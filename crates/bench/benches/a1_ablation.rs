@@ -1,0 +1,47 @@
+//! A1 — heuristic ablation benchmark: unaware / H1-only / H2-only / both,
+//! over the full workload at Gamma 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedlake_core::{FederatedEngine, FilterPlacement, PlanConfig, PlanMode};
+use fedlake_datagen::{build_lake_with, workload, LakeConfig};
+use fedlake_netsim::NetworkProfile;
+use std::time::Duration;
+
+fn a1(c: &mut Criterion) {
+    let lake_cfg = LakeConfig { scale: 0.1, ..Default::default() };
+    let modes: [(&str, PlanMode); 4] = [
+        ("unaware", PlanMode::Unaware),
+        (
+            "h1_only",
+            PlanMode::Aware { h1_join_pushdown: true, filters: FilterPlacement::Engine },
+        ),
+        (
+            "h2_only",
+            PlanMode::Aware { h1_join_pushdown: false, filters: FilterPlacement::PushIndexed },
+        ),
+        ("h1_h2", PlanMode::AWARE),
+    ];
+    let mut group = c.benchmark_group("a1_ablation");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    let mut queries = vec![workload::motivating()];
+    queries.extend(workload::experiment_queries());
+    for q in &queries {
+        let lake = build_lake_with(&lake_cfg, q.datasets);
+        for (label, mode) in modes {
+            let engine = FederatedEngine::new(
+                lake.clone(),
+                PlanConfig::new(mode, NetworkProfile::GAMMA2),
+            );
+            let id = BenchmarkId::new(q.id, label);
+            group.bench_with_input(id, q, |b, q| {
+                b.iter(|| engine.execute_sparql(&q.sparql).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, a1);
+criterion_main!(benches);

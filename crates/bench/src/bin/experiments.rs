@@ -1,0 +1,153 @@
+//! The experiment harness binary: regenerates every table and figure of
+//! the paper's evaluation against the synthetic lake.
+//!
+//! ```text
+//! experiments [--figure1] [--figure2] [--table1] [--q2-pushdown]
+//!             [--h2-study] [--ablation] [--all]
+//!             [--scale S] [--seed N] [--out DIR]
+//! ```
+//!
+//! Without selection flags, `--all` is assumed. With `--out DIR`, CSV
+//! artifacts are written there.
+
+use fedlake_bench::experiments::{
+    ablation, batching_study, decomposition_study, figure1, figure2, h2_study,
+    join_strategy_study, normalization_study, q2_pushdown, rdb_variants, table1,
+    ExperimentReport,
+};
+use fedlake_bench::ExperimentSetup;
+use fedlake_datagen::LakeConfig;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    which: Vec<&'static str>,
+    scale: f64,
+    seed: u64,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut which = Vec::new();
+    let mut scale = 1.0;
+    let mut seed = LakeConfig::default().seed;
+    let mut out = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--figure1" => which.push("figure1"),
+            "--figure2" => which.push("figure2"),
+            "--table1" => which.push("table1"),
+            "--q2-pushdown" => which.push("q2-pushdown"),
+            "--h2-study" => which.push("h2-study"),
+            "--ablation" => which.push("ablation"),
+            "--decomposition-study" => which.push("decomposition-study"),
+            "--rdb-variants" => which.push("rdb-variants"),
+            "--normalization-study" => which.push("normalization-study"),
+            "--batching-study" => which.push("batching-study"),
+            "--join-strategy-study" => which.push("join-strategy-study"),
+            "--all" => which.extend([
+                "figure1",
+                "figure2",
+                "table1",
+                "q2-pushdown",
+                "h2-study",
+                "ablation",
+                "decomposition-study",
+                "rdb-variants",
+                "normalization-study",
+                "batching-study",
+                "join-strategy-study",
+            ]),
+            "--scale" => {
+                scale = argv
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--out" => {
+                out = Some(PathBuf::from(argv.next().ok_or("--out needs a value")?));
+            }
+            "--help" | "-h" => {
+                return Err("usage: experiments [--figure1|--figure2|--table1|--q2-pushdown|\
+                            --h2-study|--ablation|--all] [--scale S] [--seed N] [--out DIR]"
+                    .to_string());
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if which.is_empty() {
+        which.extend([
+            "figure1",
+            "figure2",
+            "table1",
+            "q2-pushdown",
+            "h2-study",
+            "ablation",
+            "decomposition-study",
+            "rdb-variants",
+            "normalization-study",
+            "batching-study",
+            "join-strategy-study",
+        ]);
+    }
+    Ok(Args { which, scale, seed, out })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let setup = ExperimentSetup {
+        lake: LakeConfig { scale: args.scale, seed: args.seed, ..Default::default() },
+        run_seed: 7,
+    };
+    println!(
+        "FedLake experiment harness — scale {}, generator seed {:#x}\n",
+        args.scale, args.seed
+    );
+    for which in &args.which {
+        let report: ExperimentReport = match *which {
+            "figure1" => figure1(&setup),
+            "figure2" => figure2(&setup),
+            "table1" => table1(&setup),
+            "q2-pushdown" => q2_pushdown(&setup),
+            "h2-study" => h2_study(&setup),
+            "ablation" => ablation(&setup),
+            "decomposition-study" => decomposition_study(&setup),
+            "rdb-variants" => rdb_variants(&setup),
+            "normalization-study" => normalization_study(&setup),
+            "batching-study" => batching_study(&setup),
+            "join-strategy-study" => join_strategy_study(&setup),
+            other => unreachable!("validated flag {other}"),
+        };
+        println!("{}", report.text);
+        if let Some(dir) = &args.out {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            for (name, content) in &report.csv {
+                let path = dir.join(name);
+                if let Err(e) = std::fs::write(&path, content) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {}", path.display());
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

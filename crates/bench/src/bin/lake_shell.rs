@@ -1,0 +1,227 @@
+//! An interactive SPARQL shell over the synthetic data lake.
+//!
+//! ```text
+//! lake_shell [--scale S] [--seed N] [--mode unaware|aware|h2]
+//!            [--network NoDelay|Gamma1|Gamma2|Gamma3]
+//!            [--format table|json|csv] [--query SPARQL]
+//! ```
+//!
+//! Without `--query`, reads queries from stdin: each query is terminated
+//! by a blank line (or EOF). Meta-commands: `.explain on|off`,
+//! `.mode <m>`, `.network <n>`, `.workload <id>` (run a predefined
+//! workload query), `.quit`.
+
+use fedlake_core::{FederatedEngine, PlanConfig, PlanMode};
+use fedlake_datagen::{build_lake, workload, LakeConfig};
+use fedlake_netsim::NetworkProfile;
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Table,
+    Json,
+    Csv,
+}
+
+struct Shell {
+    engine: FederatedEngine,
+    format: Format,
+    explain: bool,
+}
+
+fn parse_mode(s: &str) -> Option<PlanMode> {
+    match s.to_ascii_lowercase().as_str() {
+        "unaware" => Some(PlanMode::Unaware),
+        "aware" => Some(PlanMode::AWARE),
+        "h2" => Some(PlanMode::AWARE_H2),
+        _ => None,
+    }
+}
+
+fn parse_network(s: &str) -> Option<NetworkProfile> {
+    NetworkProfile::ALL
+        .into_iter()
+        .find(|n| n.name.eq_ignore_ascii_case(s))
+}
+
+impl Shell {
+    fn run_query(&self, sparql: &str) {
+        match self.engine.execute_sparql(sparql) {
+            Err(e) => eprintln!("error: {e}"),
+            Ok(result) => {
+                if self.explain {
+                    println!("{}", result.explain);
+                }
+                match self.format {
+                    Format::Json => println!("{}", result.to_json()),
+                    Format::Csv => print!("{}", result.to_csv()),
+                    Format::Table => {
+                        for row in &result.rows {
+                            println!("{row}");
+                        }
+                    }
+                }
+                println!(
+                    "-- {} answer(s) in {:.3} ms simulated ({} / {}, {} messages)",
+                    result.rows.len(),
+                    result.stats.execution_time.as_secs_f64() * 1000.0,
+                    result.stats.plan_label,
+                    result.stats.network,
+                    result.stats.messages
+                );
+            }
+        }
+    }
+
+    fn meta(&mut self, line: &str) -> bool {
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some(".quit") | Some(".exit") => return false,
+            Some(".explain") => match parts.next() {
+                Some("on") => self.explain = true,
+                Some("off") => self.explain = false,
+                _ => eprintln!("usage: .explain on|off"),
+            },
+            Some(".mode") => match parts.next().and_then(parse_mode) {
+                Some(mode) => {
+                    let mut cfg = *self.engine.config();
+                    cfg.mode = mode;
+                    self.engine.set_config(cfg);
+                    println!("mode: {}", mode.label());
+                }
+                None => eprintln!("usage: .mode unaware|aware|h2"),
+            },
+            Some(".network") => match parts.next().and_then(parse_network) {
+                Some(net) => {
+                    let mut cfg = *self.engine.config();
+                    cfg.network = net;
+                    self.engine.set_config(cfg);
+                    println!("network: {net}");
+                }
+                None => eprintln!("usage: .network NoDelay|Gamma1|Gamma2|Gamma3"),
+            },
+            Some(".workload") => match parts.next().and_then(workload::by_id) {
+                Some(q) => {
+                    println!("-- {}: {}", q.id, q.description);
+                    println!("{}", q.sparql);
+                    self.run_query(&q.sparql);
+                }
+                None => {
+                    eprintln!("available: QM, Q1, Q2, Q3, Q4, Q5");
+                }
+            },
+            _ => eprintln!("meta-commands: .explain, .mode, .network, .workload, .quit"),
+        }
+        true
+    }
+}
+
+fn main() -> ExitCode {
+    let mut scale = 0.3;
+    let mut seed = LakeConfig::default().seed;
+    let mut mode = PlanMode::AWARE;
+    let mut network = NetworkProfile::GAMMA1;
+    let mut format = Format::Table;
+    let mut one_shot: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut next = |what: &str| {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("{what} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--scale" => scale = next("--scale").parse().unwrap_or(0.3),
+            "--seed" => seed = next("--seed").parse().unwrap_or(seed),
+            "--mode" => {
+                mode = parse_mode(&next("--mode")).unwrap_or_else(|| {
+                    eprintln!("bad --mode");
+                    std::process::exit(2);
+                })
+            }
+            "--network" => {
+                network = parse_network(&next("--network")).unwrap_or_else(|| {
+                    eprintln!("bad --network");
+                    std::process::exit(2);
+                })
+            }
+            "--format" => {
+                format = match next("--format").as_str() {
+                    "json" => Format::Json,
+                    "csv" => Format::Csv,
+                    _ => Format::Table,
+                }
+            }
+            "--query" => one_shot = Some(next("--query")),
+            "--help" | "-h" => {
+                println!(
+                    "lake_shell [--scale S] [--seed N] [--mode unaware|aware|h2] \
+                     [--network NoDelay|Gamma1|Gamma2|Gamma3] [--format table|json|csv] \
+                     [--query SPARQL]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!("building the ten-dataset lake (scale {scale}) …");
+    let lake = build_lake(&LakeConfig { scale, seed, ..Default::default() });
+    let engine = FederatedEngine::new(lake, PlanConfig::new(mode, network));
+    let mut shell = Shell { engine, format, explain: false };
+
+    if let Some(q) = one_shot {
+        shell.run_query(&q);
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!(
+        "enter SPARQL terminated by a blank line; .workload QM|Q1..Q5 runs the paper's \
+         queries; .quit exits"
+    );
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            eprint!("fedlake> ");
+        } else {
+            eprint!("     ...> ");
+        }
+        let _ = std::io::stderr().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => {
+                if !buffer.trim().is_empty() {
+                    shell.run_query(&buffer);
+                }
+                break;
+            }
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("stdin error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            if !shell.meta(trimmed) {
+                break;
+            }
+            continue;
+        }
+        if trimmed.is_empty() {
+            if !buffer.trim().is_empty() {
+                shell.run_query(&buffer);
+                buffer.clear();
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+    }
+    ExitCode::SUCCESS
+}

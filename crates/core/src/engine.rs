@@ -1,0 +1,253 @@
+//! The federated engine: planning + streaming execution + measurement.
+
+use crate::config::PlanConfig;
+use crate::error::FedError;
+use crate::fedplan::FedPlan;
+use crate::lake::DataLake;
+use crate::operators::{
+    BoxedOp, DistinctOp, EngineStats, ExecCtx, FilterOp, LeftHashJoin, ProjectOp,
+    SymHashJoin, UnionOp,
+};
+use crate::planner::{plan_query, PlannedQuery};
+use crate::trace::AnswerTrace;
+use crate::wrapper::{links_for, open_service, total_traffic};
+use fedlake_netsim::clock::{shared_real, shared_virtual};
+use fedlake_netsim::Link;
+use fedlake_sparql::ast::SelectQuery;
+use fedlake_sparql::binding::{Row, Var};
+use fedlake_sparql::eval::sort_rows;
+use fedlake_sparql::parser::parse_query;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Measurements of one federated execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FedStats {
+    /// Plan label (`unaware`, `aware`, `aware(h1)`, …).
+    pub plan_label: String,
+    /// Network setting name.
+    pub network: &'static str,
+    /// Total (simulated) execution time.
+    pub execution_time: Duration,
+    /// Time of the first answer, when any.
+    pub first_answer: Option<Duration>,
+    /// Answers produced.
+    pub answers: u64,
+    /// Messages that crossed the wrapper links.
+    pub messages: u64,
+    /// Rows transferred across links (the intermediate-result size).
+    pub rows_transferred: u64,
+    /// Total injected network delay.
+    pub network_delay: Duration,
+    /// SQL queries sent to sources.
+    pub sql_queries: u64,
+    /// Engine-level filter evaluations.
+    pub engine_filter_evals: u64,
+    /// Engine-level join probes.
+    pub engine_join_probes: u64,
+    /// Requests sent to sources (service leaves).
+    pub services: usize,
+    /// Engine-level operators in the plan.
+    pub engine_operators: usize,
+    /// Services carrying a pushed-down (merged) join.
+    pub merged_services: usize,
+}
+
+/// The result of executing one federated query.
+#[derive(Debug, Clone)]
+pub struct FedResult {
+    /// Projected variables, in projection order.
+    pub vars: Vec<Var>,
+    /// Answer rows.
+    pub rows: Vec<Row>,
+    /// The answer trace (Figure 2's measurement).
+    pub trace: AnswerTrace,
+    /// Execution statistics.
+    pub stats: FedStats,
+    /// Human-readable plan (Figure 1's comparison).
+    pub explain: String,
+}
+
+/// The federated SPARQL engine over a Semantic Data Lake.
+#[derive(Debug)]
+pub struct FederatedEngine {
+    lake: DataLake,
+    config: PlanConfig,
+}
+
+impl FederatedEngine {
+    /// Creates an engine over `lake` with `config`.
+    pub fn new(lake: DataLake, config: PlanConfig) -> Self {
+        FederatedEngine { lake, config }
+    }
+
+    /// The lake this engine federates.
+    pub fn lake(&self) -> &DataLake {
+        &self.lake
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PlanConfig {
+        &self.config
+    }
+
+    /// Replaces the configuration (e.g. to switch plan mode or network).
+    pub fn set_config(&mut self, config: PlanConfig) {
+        self.config = config;
+    }
+
+    /// Plans a query without executing it.
+    pub fn plan(&self, query: &SelectQuery) -> Result<PlannedQuery, FedError> {
+        plan_query(query, &self.lake, &self.config)
+    }
+
+    /// Parses, plans and executes a SPARQL query.
+    pub fn execute_sparql(&self, sparql: &str) -> Result<FedResult, FedError> {
+        let query = parse_query(sparql)?;
+        self.execute(&query)
+    }
+
+    /// Plans and executes a parsed query.
+    pub fn execute(&self, query: &SelectQuery) -> Result<FedResult, FedError> {
+        let planned = self.plan(query)?;
+        self.execute_planned(&planned)
+    }
+
+    /// Executes an already-planned query.
+    pub fn execute_planned(&self, planned: &PlannedQuery) -> Result<FedResult, FedError> {
+        let clock = if self.config.real_time {
+            shared_real()
+        } else {
+            shared_virtual()
+        };
+        let links = links_for(
+            &self.lake,
+            self.config.network,
+            Arc::clone(&clock),
+            self.config.cost,
+            self.config.seed,
+        );
+        let mut ctx = ExecCtx {
+            clock: Arc::clone(&clock),
+            cost: self.config.cost,
+            stats: EngineStats::default(),
+        };
+
+        let mut op = self.build_operator(&planned.plan, &links)?;
+        // Solution modifiers around the streaming pipeline.
+        op = Box::new(ProjectOp::new(op, planned.projection.clone()));
+        if planned.distinct {
+            op = Box::new(DistinctOp::new(op));
+        }
+
+        let mut trace = AnswerTrace::new();
+        let mut rows: Vec<Row> = Vec::new();
+        let unordered_limit = planned.order_by.is_empty().then_some(()).and(planned.limit);
+        let want = unordered_limit.map(|l| l + planned.offset);
+        while let Some(row) = op.next(&mut ctx)? {
+            trace.record(clock.now());
+            rows.push(row);
+            // Without ORDER BY, LIMIT can stop pulling early — the
+            // streaming behaviour ANAPSID's operators enable.
+            if want.is_some_and(|w| rows.len() >= w) {
+                break;
+            }
+        }
+        trace.complete(clock.now());
+
+        if !planned.order_by.is_empty() {
+            sort_rows(&mut rows, &planned.order_by);
+        }
+        if planned.offset > 0 {
+            rows.drain(..planned.offset.min(rows.len()));
+        }
+        if let Some(l) = planned.limit {
+            rows.truncate(l);
+        }
+
+        let (messages, rows_transferred, network_delay) = total_traffic(&links);
+        let stats = FedStats {
+            plan_label: self.config.mode.label(),
+            network: self.config.network.name,
+            execution_time: trace.total_time(),
+            first_answer: trace.first_answer(),
+            answers: rows.len() as u64,
+            messages,
+            rows_transferred,
+            network_delay,
+            sql_queries: ctx.stats.sql_queries,
+            engine_filter_evals: ctx.stats.engine_filter_evals,
+            engine_join_probes: ctx.stats.engine_join_probes,
+            services: planned.plan.service_count(),
+            engine_operators: planned.plan.engine_operator_count(),
+            merged_services: planned.plan.merged_service_count(),
+        };
+        Ok(FedResult {
+            vars: planned.projection.clone(),
+            rows,
+            trace,
+            stats,
+            explain: crate::explain::explain_plan(&planned.plan),
+        })
+    }
+
+    fn build_operator<'a>(
+        &'a self,
+        plan: &FedPlan,
+        links: &HashMap<String, Arc<Link>>,
+    ) -> Result<BoxedOp<'a>, FedError> {
+        match plan {
+            FedPlan::Service(node) => {
+                let link = links
+                    .get(&node.source_id)
+                    .ok_or_else(|| FedError::Internal("missing link".into()))?;
+                open_service(node, &self.lake, Arc::clone(link), self.config.rows_per_message)
+            }
+            FedPlan::Join { left, right, on } => {
+                let l = self.build_operator(left, links)?;
+                let r = self.build_operator(right, links)?;
+                Ok(Box::new(SymHashJoin::new(l, r, on.clone())))
+            }
+            FedPlan::LeftJoin { left, right, on } => {
+                let l = self.build_operator(left, links)?;
+                let r = self.build_operator(right, links)?;
+                Ok(Box::new(LeftHashJoin::new(l, r, on.clone())))
+            }
+            FedPlan::BindJoin { left, right, batch_size } => {
+                let l = self.build_operator(left, links)?;
+                let db = match self.lake.source(&right.source_id) {
+                    Some(crate::source::DataSource::Relational { db, .. }) => db,
+                    _ => {
+                        return Err(FedError::Internal(format!(
+                            "bind join target {} is not relational",
+                            right.source_id
+                        )))
+                    }
+                };
+                let link = links
+                    .get(&right.source_id)
+                    .ok_or_else(|| FedError::Internal("missing link".into()))?;
+                Ok(Box::new(crate::wrapper::BindJoinOp::new(
+                    l,
+                    db,
+                    right.clone(),
+                    Arc::clone(link),
+                    self.config.rows_per_message,
+                    *batch_size,
+                )))
+            }
+            FedPlan::Filter { input, exprs } => {
+                let i = self.build_operator(input, links)?;
+                Ok(Box::new(FilterOp::new(i, exprs.clone())))
+            }
+            FedPlan::Union(branches) => {
+                let ops = branches
+                    .iter()
+                    .map(|b| self.build_operator(b, links))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Box::new(UnionOp::new(ops)))
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Error types for the federated engine.
+
+use std::fmt;
+
+/// Errors raised while decomposing, planning or executing a federated
+/// query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FedError {
+    /// The SPARQL front-end failed.
+    Sparql(fedlake_sparql::SparqlError),
+    /// A wrapped relational source failed.
+    Sql(fedlake_relational::SqlError),
+    /// No source in the lake can answer a star-shaped sub-query.
+    NoSourceFor(String),
+    /// The query uses a feature the federated planner does not support.
+    Unsupported(String),
+    /// Planner/executor internal error.
+    Internal(String),
+}
+
+impl fmt::Display for FedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FedError::Sparql(e) => write!(f, "{e}"),
+            FedError::Sql(e) => write!(f, "{e}"),
+            FedError::NoSourceFor(ssq) => {
+                write!(f, "no source can answer sub-query over {ssq}")
+            }
+            FedError::Unsupported(m) => write!(f, "unsupported in federation: {m}"),
+            FedError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FedError {}
+
+impl From<fedlake_sparql::SparqlError> for FedError {
+    fn from(e: fedlake_sparql::SparqlError) -> Self {
+        FedError::Sparql(e)
+    }
+}
+
+impl From<fedlake_relational::SqlError> for FedError {
+    fn from(e: fedlake_relational::SqlError) -> Self {
+        FedError::Sql(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        let e: FedError = fedlake_sparql::SparqlError::Parse("x".into()).into();
+        assert!(e.to_string().contains("parse"));
+        let e: FedError = fedlake_relational::SqlError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains('t'));
+        assert!(FedError::NoSourceFor("?s".into()).to_string().contains("?s"));
+    }
+}

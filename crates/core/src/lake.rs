@@ -1,0 +1,134 @@
+//! The Semantic Data Lake: a catalog of heterogeneous sources with their
+//! RDF Molecule Templates.
+
+use crate::source::DataSource;
+use fedlake_mapping::RdfMoleculeTemplate;
+
+/// A collection of data sources, each kept in its native data model and
+/// described by RDF Molecule Templates (§2.1).
+#[derive(Debug, Clone, Default)]
+pub struct DataLake {
+    sources: Vec<DataSource>,
+    mts: Vec<RdfMoleculeTemplate>,
+}
+
+impl DataLake {
+    /// Creates an empty lake.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a source and indexes its molecule templates.
+    pub fn add_source(&mut self, source: DataSource) {
+        self.mts.extend(source.molecule_templates());
+        self.sources.push(source);
+    }
+
+    /// All sources.
+    pub fn sources(&self) -> &[DataSource] {
+        &self.sources
+    }
+
+    /// Looks up a source by id.
+    pub fn source(&self, id: &str) -> Option<&DataSource> {
+        self.sources.iter().find(|s| s.id() == id)
+    }
+
+    /// All molecule templates in the lake.
+    pub fn molecule_templates(&self) -> &[RdfMoleculeTemplate] {
+        &self.mts
+    }
+
+    /// Molecule templates offered by one source.
+    pub fn templates_of(&self, source_id: &str) -> Vec<&RdfMoleculeTemplate> {
+        self.mts.iter().filter(|m| m.source_id == source_id).collect()
+    }
+
+    /// Refreshes the molecule templates (after data/index changes).
+    pub fn refresh_templates(&mut self) {
+        self.mts = self
+            .sources
+            .iter()
+            .flat_map(DataSource::molecule_templates)
+            .collect();
+    }
+
+    /// Materializes the whole lake as one RDF graph: relational sources
+    /// are lifted through their mappings, RDF sources are copied. This is
+    /// the ground-truth oracle used by the test suite — a federated query
+    /// must return exactly the answers of a local SPARQL evaluation over
+    /// this graph.
+    pub fn oracle_graph(&self) -> fedlake_rdf::Graph {
+        let mut out = fedlake_rdf::Graph::new();
+        for source in &self.sources {
+            let g = match source {
+                DataSource::Sparql { graph, .. } => graph.clone(),
+                DataSource::Relational { db, mapping, .. } => {
+                    fedlake_mapping::lift_database(db, mapping)
+                }
+            };
+            for t in g.iter() {
+                out.insert_terms(
+                    g.term(t.s).expect("interned").clone(),
+                    g.term(t.p).expect("interned").clone(),
+                    g.term(t.o).expect("interned").clone(),
+                );
+            }
+        }
+        out
+    }
+
+    /// Number of sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// True when the lake has no sources.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedlake_rdf::{Graph, Term};
+
+    fn typed_graph(class: &str) -> Graph {
+        let mut g = Graph::new();
+        g.insert_terms(
+            Term::iri("http://d/x"),
+            Term::iri(fedlake_rdf::vocab::rdf::TYPE),
+            Term::iri(class),
+        );
+        g
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut lake = DataLake::new();
+        lake.add_source(DataSource::sparql("a", typed_graph("http://v/A")));
+        lake.add_source(DataSource::sparql("b", typed_graph("http://v/B")));
+        assert_eq!(lake.len(), 2);
+        assert!(lake.source("a").is_some());
+        assert!(lake.source("zzz").is_none());
+        assert_eq!(lake.molecule_templates().len(), 2);
+        assert_eq!(lake.templates_of("a").len(), 1);
+        assert_eq!(lake.templates_of("a")[0].class, "http://v/A");
+    }
+
+    #[test]
+    fn refresh_recomputes() {
+        let mut lake = DataLake::new();
+        lake.add_source(DataSource::sparql("a", typed_graph("http://v/A")));
+        lake.refresh_templates();
+        assert_eq!(lake.molecule_templates().len(), 1);
+    }
+
+    #[test]
+    fn empty_lake() {
+        let lake = DataLake::new();
+        assert!(lake.is_empty());
+        assert!(lake.molecule_templates().is_empty());
+    }
+}

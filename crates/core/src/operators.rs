@@ -1,0 +1,555 @@
+//! Engine-level physical operators.
+//!
+//! Execution is pull-based and streaming: operators produce one solution
+//! at a time while the shared simulation clock advances, so the answer
+//! trace reflects *when* each answer became available — the measurement of
+//! Figure 2. The join is ANAPSID's adaptive **symmetric hash join**
+//! (agjoin): it consumes from both inputs in alternation and emits matches
+//! as soon as probes succeed, producing answers incrementally instead of
+//! blocking on a build phase.
+
+use crate::error::FedError;
+use fedlake_netsim::{CostModel, SharedClock};
+use fedlake_rdf::Term;
+use fedlake_sparql::binding::{Row, Var};
+use fedlake_sparql::expr::Expr;
+use std::collections::{HashMap, VecDeque};
+
+/// Engine-side work counters for one query execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Filter evaluations performed at the engine level.
+    pub engine_filter_evals: u64,
+    /// Symmetric-hash-join inserts+probes at the engine level.
+    pub engine_join_probes: u64,
+    /// SQL queries sent to relational sources.
+    pub sql_queries: u64,
+    /// Rows retrieved from all services.
+    pub service_rows: u64,
+}
+
+/// Shared execution context: the clock, cost model and counters.
+#[derive(Debug)]
+pub struct ExecCtx {
+    /// The simulation clock shared with every wrapper link.
+    pub clock: SharedClock,
+    /// Cost model pricing engine-level work.
+    pub cost: CostModel,
+    /// Accumulated counters.
+    pub stats: EngineStats,
+}
+
+/// A pull-based operator.
+pub trait FedOp {
+    /// Produces the next solution, advancing the clock by the work done.
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError>;
+}
+
+/// A boxed operator (streams borrow the lake, hence the lifetime).
+pub type BoxedOp<'a> = Box<dyn FedOp + 'a>;
+
+/// The ANAPSID-style symmetric hash join.
+///
+/// Both inputs are consumed in alternation; every arriving row is inserted
+/// into its side's hash table and immediately probed against the other
+/// side, so results stream out as soon as both matching rows have arrived.
+pub struct SymHashJoin<'a> {
+    left: BoxedOp<'a>,
+    right: BoxedOp<'a>,
+    on: Vec<Var>,
+    left_table: HashMap<Vec<Term>, Vec<Row>>,
+    right_table: HashMap<Vec<Term>, Vec<Row>>,
+    left_done: bool,
+    right_done: bool,
+    pull_left: bool,
+    out: VecDeque<Row>,
+}
+
+impl<'a> SymHashJoin<'a> {
+    /// Creates a join of `left` and `right` on the shared variables `on`
+    /// (empty `on` degenerates to a cartesian product).
+    pub fn new(left: BoxedOp<'a>, right: BoxedOp<'a>, on: Vec<Var>) -> Self {
+        SymHashJoin {
+            left,
+            right,
+            on,
+            left_table: HashMap::new(),
+            right_table: HashMap::new(),
+            left_done: false,
+            right_done: false,
+            pull_left: true,
+            out: VecDeque::new(),
+        }
+    }
+
+    fn key_of(&self, row: &Row) -> Option<Vec<Term>> {
+        self.on
+            .iter()
+            .map(|v| row.get(v).cloned())
+            .collect::<Option<Vec<_>>>()
+    }
+
+    fn insert_and_probe(&mut self, row: Row, from_left: bool, ctx: &mut ExecCtx) {
+        ctx.stats.engine_join_probes += 1;
+        ctx.clock.advance(ctx.cost.engine_join_time(1));
+        let Some(key) = self.key_of(&row) else {
+            // A row not binding every join variable can never match.
+            return;
+        };
+        let (own, other) = if from_left {
+            (&mut self.left_table, &self.right_table)
+        } else {
+            (&mut self.right_table, &self.left_table)
+        };
+        if let Some(matches) = other.get(&key) {
+            for m in matches {
+                if let Some(merged) = row.merge(m) {
+                    ctx.clock.advance(ctx.cost.engine_row_time(1));
+                    self.out.push_back(merged);
+                }
+            }
+        }
+        own.entry(key).or_default().push(row);
+    }
+}
+
+impl FedOp for SymHashJoin<'_> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+        loop {
+            if let Some(row) = self.out.pop_front() {
+                return Ok(Some(row));
+            }
+            if self.left_done && self.right_done {
+                return Ok(None);
+            }
+            // Alternate between inputs while both still produce — the
+            // adaptive behaviour that makes answers stream out early.
+            let take_left = if self.left_done {
+                false
+            } else if self.right_done {
+                true
+            } else {
+                self.pull_left
+            };
+            self.pull_left = !self.pull_left;
+            if take_left {
+                match self.left.next(ctx)? {
+                    Some(row) => self.insert_and_probe(row, true, ctx),
+                    None => self.left_done = true,
+                }
+            } else {
+                match self.right.next(ctx)? {
+                    Some(row) => self.insert_and_probe(row, false, ctx),
+                    None => self.right_done = true,
+                }
+            }
+        }
+    }
+}
+
+/// Streaming left join (for `OPTIONAL`): matched pairs stream out as soon
+/// as both sides arrive; left rows that never matched are emitted
+/// unextended once both inputs drain.
+pub struct LeftHashJoin<'a> {
+    left: BoxedOp<'a>,
+    right: BoxedOp<'a>,
+    on: Vec<Var>,
+    left_rows: Vec<(Row, bool)>, // (row, matched)
+    left_table: HashMap<Vec<Term>, Vec<usize>>,
+    right_table: HashMap<Vec<Term>, Vec<Row>>,
+    left_done: bool,
+    right_done: bool,
+    pull_left: bool,
+    out: VecDeque<Row>,
+    flushed: bool,
+}
+
+impl<'a> LeftHashJoin<'a> {
+    /// Creates a left join of `left` (required) and `right` (optional) on
+    /// the shared variables `on`.
+    pub fn new(left: BoxedOp<'a>, right: BoxedOp<'a>, on: Vec<Var>) -> Self {
+        LeftHashJoin {
+            left,
+            right,
+            on,
+            left_rows: Vec::new(),
+            left_table: HashMap::new(),
+            right_table: HashMap::new(),
+            left_done: false,
+            right_done: false,
+            pull_left: true,
+            out: VecDeque::new(),
+            flushed: false,
+        }
+    }
+
+    fn key_of(&self, row: &Row) -> Option<Vec<Term>> {
+        self.on
+            .iter()
+            .map(|v| row.get(v).cloned())
+            .collect::<Option<Vec<_>>>()
+    }
+
+    fn take_left(&mut self, row: Row, ctx: &mut ExecCtx) {
+        ctx.stats.engine_join_probes += 1;
+        ctx.clock.advance(ctx.cost.engine_join_time(1));
+        let idx = self.left_rows.len();
+        let key = self.key_of(&row);
+        let mut matched = false;
+        if let Some(key) = &key {
+            if let Some(matches) = self.right_table.get(key) {
+                for m in matches {
+                    if let Some(merged) = row.merge(m) {
+                        matched = true;
+                        ctx.clock.advance(ctx.cost.engine_row_time(1));
+                        self.out.push_back(merged);
+                    }
+                }
+            }
+            self.left_table.entry(key.clone()).or_default().push(idx);
+        }
+        // A left row not binding every join variable can never match a
+        // (fully-bound) right row; it will flush unextended.
+        self.left_rows.push((row, matched));
+    }
+
+    fn take_right(&mut self, row: Row, ctx: &mut ExecCtx) {
+        ctx.stats.engine_join_probes += 1;
+        ctx.clock.advance(ctx.cost.engine_join_time(1));
+        let Some(key) = self.key_of(&row) else { return };
+        if let Some(left_idxs) = self.left_table.get(&key) {
+            for &i in left_idxs {
+                let (lrow, matched) = &mut self.left_rows[i];
+                if let Some(merged) = lrow.merge(&row) {
+                    *matched = true;
+                    ctx.clock.advance(ctx.cost.engine_row_time(1));
+                    self.out.push_back(merged);
+                }
+            }
+        }
+        self.right_table.entry(key).or_default().push(row);
+    }
+}
+
+impl FedOp for LeftHashJoin<'_> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+        loop {
+            if let Some(row) = self.out.pop_front() {
+                return Ok(Some(row));
+            }
+            if self.left_done && self.right_done {
+                if !self.flushed {
+                    self.flushed = true;
+                    for (row, matched) in &self.left_rows {
+                        if !matched {
+                            self.out.push_back(row.clone());
+                        }
+                    }
+                    continue;
+                }
+                return Ok(None);
+            }
+            let take_left = if self.left_done {
+                false
+            } else if self.right_done {
+                true
+            } else {
+                self.pull_left
+            };
+            self.pull_left = !self.pull_left;
+            if take_left {
+                match self.left.next(ctx)? {
+                    Some(row) => self.take_left(row, ctx),
+                    None => self.left_done = true,
+                }
+            } else {
+                match self.right.next(ctx)? {
+                    Some(row) => self.take_right(row, ctx),
+                    None => self.right_done = true,
+                }
+            }
+        }
+    }
+}
+
+/// Engine-level conjunctive filter.
+pub struct FilterOp<'a> {
+    input: BoxedOp<'a>,
+    exprs: Vec<Expr>,
+}
+
+impl<'a> FilterOp<'a> {
+    /// Creates a filter over `input`.
+    pub fn new(input: BoxedOp<'a>, exprs: Vec<Expr>) -> Self {
+        FilterOp { input, exprs }
+    }
+}
+
+impl FedOp for FilterOp<'_> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+        while let Some(row) = self.input.next(ctx)? {
+            ctx.stats.engine_filter_evals += self.exprs.len() as u64;
+            ctx.clock
+                .advance(ctx.cost.engine_filter_time(self.exprs.len() as u64));
+            if self.exprs.iter().all(|e| e.test(&row)) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Union: drains its branches in order (sources answer independently).
+pub struct UnionOp<'a> {
+    branches: VecDeque<BoxedOp<'a>>,
+}
+
+impl<'a> UnionOp<'a> {
+    /// Creates a union of `branches`.
+    pub fn new(branches: Vec<BoxedOp<'a>>) -> Self {
+        UnionOp { branches: branches.into() }
+    }
+}
+
+impl FedOp for UnionOp<'_> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+        while let Some(front) = self.branches.front_mut() {
+            match front.next(ctx)? {
+                Some(row) => return Ok(Some(row)),
+                None => {
+                    self.branches.pop_front();
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Projection to the query's selected variables.
+pub struct ProjectOp<'a> {
+    input: BoxedOp<'a>,
+    vars: Vec<Var>,
+}
+
+impl<'a> ProjectOp<'a> {
+    /// Creates a projection.
+    pub fn new(input: BoxedOp<'a>, vars: Vec<Var>) -> Self {
+        ProjectOp { input, vars }
+    }
+}
+
+impl FedOp for ProjectOp<'_> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+        Ok(self.input.next(ctx)?.map(|row| {
+            ctx.clock.advance(ctx.cost.engine_row_time(1));
+            row.project(&self.vars)
+        }))
+    }
+}
+
+/// Streaming duplicate elimination.
+pub struct DistinctOp<'a> {
+    input: BoxedOp<'a>,
+    seen: std::collections::BTreeSet<Row>,
+}
+
+impl<'a> DistinctOp<'a> {
+    /// Creates a distinct operator.
+    pub fn new(input: BoxedOp<'a>) -> Self {
+        DistinctOp { input, seen: std::collections::BTreeSet::new() }
+    }
+}
+
+impl FedOp for DistinctOp<'_> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+        while let Some(row) = self.input.next(ctx)? {
+            ctx.clock.advance(ctx.cost.engine_row_time(1));
+            if self.seen.insert(row.clone()) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// A pre-materialized input (used in tests and by the sort path).
+pub struct RowsOp {
+    rows: VecDeque<Row>,
+}
+
+impl RowsOp {
+    /// Wraps a row vector.
+    pub fn new(rows: Vec<Row>) -> Self {
+        RowsOp { rows: rows.into() }
+    }
+}
+
+impl FedOp for RowsOp {
+    fn next(&mut self, _ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+        Ok(self.rows.pop_front())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedlake_netsim::clock::shared_virtual;
+    use fedlake_sparql::expr::CmpOp;
+
+    fn ctx() -> ExecCtx {
+        ExecCtx { clock: shared_virtual(), cost: CostModel::default(), stats: EngineStats::default() }
+    }
+
+    fn row(pairs: &[(&str, &str)]) -> Row {
+        let mut r = Row::new();
+        for (v, t) in pairs {
+            r.bind(Var::new(*v), Term::iri(format!("http://x/{t}")));
+        }
+        r
+    }
+
+    fn drain(op: &mut dyn FedOp, ctx: &mut ExecCtx) -> Vec<Row> {
+        let mut out = Vec::new();
+        while let Some(r) = op.next(ctx).unwrap() {
+            out.push(r);
+        }
+        out
+    }
+
+    #[test]
+    fn sym_hash_join_matches() {
+        let left = RowsOp::new(vec![
+            row(&[("a", "1"), ("j", "x")]),
+            row(&[("a", "2"), ("j", "y")]),
+        ]);
+        let right = RowsOp::new(vec![
+            row(&[("b", "3"), ("j", "x")]),
+            row(&[("b", "4"), ("j", "z")]),
+        ]);
+        let mut j = SymHashJoin::new(Box::new(left), Box::new(right), vec![Var::new("j")]);
+        let mut c = ctx();
+        let out = drain(&mut j, &mut c);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 3);
+        assert!(c.stats.engine_join_probes >= 4);
+        assert!(c.clock.now() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn sym_hash_join_duplicates() {
+        let left = RowsOp::new(vec![row(&[("a", "1"), ("j", "x")]); 2]);
+        let right = RowsOp::new(vec![row(&[("b", "2"), ("j", "x")]); 3]);
+        let mut j = SymHashJoin::new(Box::new(left), Box::new(right), vec![Var::new("j")]);
+        assert_eq!(drain(&mut j, &mut ctx()).len(), 6);
+    }
+
+    #[test]
+    fn empty_on_is_cartesian() {
+        let left = RowsOp::new(vec![row(&[("a", "1")]), row(&[("a", "2")])]);
+        let right = RowsOp::new(vec![row(&[("b", "3")]), row(&[("b", "4")])]);
+        let mut j = SymHashJoin::new(Box::new(left), Box::new(right), Vec::new());
+        assert_eq!(drain(&mut j, &mut ctx()).len(), 4);
+    }
+
+    #[test]
+    fn join_emits_before_inputs_drain() {
+        // With matching first rows on both sides, the first answer must be
+        // available after two pulls — not after both inputs are exhausted.
+        let left = RowsOp::new(vec![row(&[("j", "x"), ("a", "1")]); 50]);
+        let right = RowsOp::new(vec![row(&[("j", "x"), ("b", "1")]); 50]);
+        let mut j = SymHashJoin::new(Box::new(left), Box::new(right), vec![Var::new("j")]);
+        let mut c = ctx();
+        let first = j.next(&mut c).unwrap();
+        assert!(first.is_some());
+        // Only two probes were needed for the first answer.
+        assert_eq!(c.stats.engine_join_probes, 2);
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched_left_rows() {
+        let left = RowsOp::new(vec![
+            row(&[("a", "1"), ("j", "x")]),
+            row(&[("a", "2"), ("j", "z")]), // no right match
+        ]);
+        let right = RowsOp::new(vec![row(&[("b", "3"), ("j", "x")])]);
+        let mut j = LeftHashJoin::new(Box::new(left), Box::new(right), vec![Var::new("j")]);
+        let out = drain(&mut j, &mut ctx());
+        assert_eq!(out.len(), 2);
+        let matched: Vec<&Row> = out.iter().filter(|r| r.len() == 3).collect();
+        let unmatched: Vec<&Row> = out.iter().filter(|r| r.len() == 2).collect();
+        assert_eq!(matched.len(), 1);
+        assert_eq!(unmatched.len(), 1);
+        assert!(!unmatched[0].is_bound(&Var::new("b")));
+    }
+
+    #[test]
+    fn left_join_multiple_matches_expand() {
+        let left = RowsOp::new(vec![row(&[("a", "1"), ("j", "x")])]);
+        let right = RowsOp::new(vec![
+            row(&[("b", "2"), ("j", "x")]),
+            row(&[("b", "3"), ("j", "x")]),
+        ]);
+        let mut j = LeftHashJoin::new(Box::new(left), Box::new(right), vec![Var::new("j")]);
+        let out = drain(&mut j, &mut ctx());
+        // The matched left row expands to both matches; no bare copy.
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|r| r.len() == 3));
+    }
+
+    #[test]
+    fn left_join_with_empty_right_passes_everything() {
+        let left = RowsOp::new(vec![row(&[("a", "1"), ("j", "x")]); 3]);
+        let right = RowsOp::new(Vec::new());
+        let mut j = LeftHashJoin::new(Box::new(left), Box::new(right), vec![Var::new("j")]);
+        let out = drain(&mut j, &mut ctx());
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|r| r.len() == 2));
+    }
+
+    #[test]
+    fn filter_op_counts_evals() {
+        let input = RowsOp::new(vec![
+            Row::new().with("n", Term::integer(1)),
+            Row::new().with("n", Term::integer(5)),
+        ]);
+        let expr = Expr::Cmp(
+            Box::new(Expr::Var(Var::new("n"))),
+            CmpOp::Gt,
+            Box::new(Expr::Const(Term::integer(3))),
+        );
+        let mut f = FilterOp::new(Box::new(input), vec![expr]);
+        let mut c = ctx();
+        let out = drain(&mut f, &mut c);
+        assert_eq!(out.len(), 1);
+        assert_eq!(c.stats.engine_filter_evals, 2);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let a = RowsOp::new(vec![row(&[("x", "1")])]);
+        let b = RowsOp::new(vec![row(&[("x", "2")]), row(&[("x", "3")])]);
+        let mut u = UnionOp::new(vec![Box::new(a), Box::new(b)]);
+        assert_eq!(drain(&mut u, &mut ctx()).len(), 3);
+    }
+
+    #[test]
+    fn project_and_distinct() {
+        let input = RowsOp::new(vec![
+            row(&[("a", "1"), ("b", "7")]),
+            row(&[("a", "1"), ("b", "8")]),
+        ]);
+        let p = ProjectOp::new(Box::new(input), vec![Var::new("a")]);
+        let mut d = DistinctOp::new(Box::new(p));
+        let out = drain(&mut d, &mut ctx());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 1);
+    }
+
+    #[test]
+    fn join_skips_rows_missing_join_var() {
+        let left = RowsOp::new(vec![row(&[("a", "1")])]); // no ?j
+        let right = RowsOp::new(vec![row(&[("j", "x")])]);
+        let mut j = SymHashJoin::new(Box::new(left), Box::new(right), vec![Var::new("j")]);
+        assert!(drain(&mut j, &mut ctx()).is_empty());
+    }
+}

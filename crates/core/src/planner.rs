@@ -1,0 +1,698 @@
+//! The federated plan generator: where the paper's heuristics live.
+//!
+//! Two plan types are produced (§3):
+//!
+//! * **Physical-Design-Unaware** ([`PlanMode::Unaware`]): each star-shaped
+//!   sub-query becomes its own source request; every `FILTER` and every
+//!   inter-star join is evaluated by engine-level operators. The physical
+//!   design (indexes) of the sources is ignored.
+//! * **Physical-Design-Aware** ([`PlanMode::Aware`]): the plan exploits the
+//!   sources' physical design through the two heuristics:
+//!   * *Heuristic 1 (pushing down joins)* — two stars resolved to the same
+//!     relational endpoint are combined into one SQL query **iff** the
+//!     join attribute (the FK column) is indexed there.
+//!   * *Heuristic 2 (pushing up instantiations)* — a star's filter runs at
+//!     the engine **unless** the filtered attribute is indexed at the
+//!     source **and** the network is slow; only then is it pushed into the
+//!     SQL `WHERE` clause to shrink the transferred intermediate result.
+//!
+//! For the ablation benches, disabling H2 inside `Aware` yields the
+//! classical always-push-selections plan, and disabling H1 keeps all joins
+//! at the engine while H2 still governs filters.
+
+use crate::config::{MergeTranslation, PlanConfig, PlanMode};
+use crate::decompose::{decompose_as, StarSubquery};
+use crate::error::FedError;
+use crate::fedplan::{FedPlan, NaiveJoin, ServiceKind, ServiceNode, SqlRequest};
+use crate::lake::DataLake;
+use crate::selection::{select_sources, Candidate};
+use crate::source::DataSource;
+use crate::translate::{
+    column_of_var, filter_column, sql_merged, sql_single, star_part, StarPart,
+};
+use fedlake_mapping::TableMapping;
+use fedlake_relational::TableSchema;
+use fedlake_sparql::ast::{OrderKey, SelectQuery};
+use fedlake_sparql::binding::Var;
+use fedlake_sparql::expr::Expr;
+use fedlake_rdf::Term;
+
+/// A fully planned query: the federated plan plus the solution modifiers
+/// the engine applies on top.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedQuery {
+    /// The federated execution plan.
+    pub plan: FedPlan,
+    /// Projected variables.
+    pub projection: Vec<Var>,
+    /// `DISTINCT`.
+    pub distinct: bool,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT`.
+    pub limit: Option<usize>,
+    /// `OFFSET`.
+    pub offset: usize,
+}
+
+/// One star bound to one relational source, with everything translation
+/// needs.
+struct RelStar {
+    star_idx: usize,
+    source_id: String,
+    tm: TableMapping,
+    schema: TableSchema,
+    pushed: Vec<Expr>,
+    engine_filters: Vec<Expr>,
+    cardinality: usize,
+}
+
+/// Plans a parsed query under `config`.
+pub fn plan_query(
+    query: &SelectQuery,
+    lake: &DataLake,
+    config: &PlanConfig,
+) -> Result<PlannedQuery, FedError> {
+    let dec = decompose_as(query, config.decomposition)?;
+    let plan = plan_tree(&dec, lake, config)?;
+    Ok(PlannedQuery {
+        plan,
+        projection: query.effective_projection(),
+        distinct: query.distinct,
+        order_by: query.order_by.clone(),
+        limit: query.limit,
+        offset: query.offset.unwrap_or(0),
+    })
+}
+
+/// Plans a decomposition: the required conjunctive part and the `UNION`
+/// blocks joined together, then the cross-star filters, then one
+/// streaming left join per `OPTIONAL` group.
+fn plan_tree(
+    dec: &crate::decompose::Decomposition,
+    lake: &DataLake,
+    config: &PlanConfig,
+) -> Result<FedPlan, FedError> {
+    // 1. Required units: the star-based part plus one unit per union
+    //    block (each block binds the variables common to all branches).
+    let mut units: Vec<(FedPlan, Vec<Var>)> = Vec::new();
+    if !dec.stars.is_empty() {
+        let star_vars = {
+            let mut out: Vec<Var> = Vec::new();
+            for st in &dec.stars {
+                for v in st.vars() {
+                    if !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+            out
+        };
+        units.push((plan_conjunctive(dec, lake, config)?, star_vars));
+    }
+    for block in &dec.unions {
+        let branches = block
+            .iter()
+            .map(|b| plan_tree(b, lake, config))
+            .collect::<Result<Vec<_>, _>>()?;
+        let plan = if branches.len() == 1 {
+            branches.into_iter().next().expect("length checked")
+        } else {
+            FedPlan::Union(branches)
+        };
+        units.push((plan, crate::decompose::union_block_vars(block)));
+    }
+    if units.is_empty() {
+        return Err(FedError::Unsupported("empty basic graph pattern".into()));
+    }
+
+    // 2. Join the units on their shared (always-bound) variables.
+    let (mut plan, mut bound_vars) = units.remove(0);
+    for (right, rvars) in units {
+        let on: Vec<Var> = rvars
+            .iter()
+            .filter(|v| bound_vars.contains(v))
+            .cloned()
+            .collect();
+        for v in rvars {
+            if !bound_vars.contains(&v) {
+                bound_vars.push(v);
+            }
+        }
+        plan = FedPlan::Join { left: Box::new(plan), right: Box::new(right), on };
+    }
+
+    // 3. Cross-star filters. Filters fully covered by the always-bound
+    //    variables apply here; the rest (e.g. BOUND over optional
+    //    variables) apply after the OPTIONALs.
+    let (pre, post): (Vec<Expr>, Vec<Expr>) = dec
+        .cross_filters
+        .iter()
+        .cloned()
+        .partition(|f| f.vars().iter().all(|v| bound_vars.contains(v)));
+    if !pre.is_empty() {
+        plan = FedPlan::Filter { input: Box::new(plan), exprs: pre };
+    }
+
+    // 4. OPTIONAL groups as streaming left joins.
+    let mut seen_optional_vars: Vec<Var> = Vec::new();
+    for opt in &dec.optionals {
+        let opt_vars = opt.vars();
+        // Correlation between two OPTIONAL groups through variables that
+        // the required part does not bind needs full compatibility
+        // semantics — out of scope.
+        if opt_vars
+            .iter()
+            .any(|v| !bound_vars.contains(v) && seen_optional_vars.contains(v))
+        {
+            return Err(FedError::Unsupported(
+                "OPTIONAL groups correlated through optional-only variables".into(),
+            ));
+        }
+        // Filters inside the OPTIONAL must be self-contained.
+        for f in &opt.cross_filters {
+            if !f.vars().iter().all(|v| opt_vars.contains(v)) {
+                return Err(FedError::Unsupported(
+                    "FILTER in OPTIONAL referencing outer variables".into(),
+                ));
+            }
+        }
+        let right = plan_tree(opt, lake, config)?;
+        let on: Vec<Var> = opt_vars
+            .iter()
+            .filter(|v| bound_vars.contains(v))
+            .cloned()
+            .collect();
+        for v in opt_vars {
+            if !bound_vars.contains(&v) && !seen_optional_vars.contains(&v) {
+                seen_optional_vars.push(v);
+            }
+        }
+        plan = FedPlan::LeftJoin { left: Box::new(plan), right: Box::new(right), on };
+    }
+
+    // 5. Filters that need conditionally-bound variables.
+    if !post.is_empty() {
+        plan = FedPlan::Filter { input: Box::new(plan), exprs: post };
+    }
+    Ok(plan)
+}
+
+/// Plans the conjunctive (required) part of a decomposition.
+fn plan_conjunctive(
+    dec: &crate::decompose::Decomposition,
+    lake: &DataLake,
+    config: &PlanConfig,
+) -> Result<FedPlan, FedError> {
+    if dec.stars.is_empty() {
+        return Err(FedError::Unsupported("empty basic graph pattern".into()));
+    }
+    let candidates = select_sources(&dec.stars, lake)?;
+
+    // Classify stars: single relational candidate vs. everything else.
+    let mut rel_stars: Vec<RelStar> = Vec::new();
+    let mut other_units: Vec<(usize, FedPlan)> = Vec::new();
+    for (i, (star, cands)) in dec.stars.iter().zip(&candidates).enumerate() {
+        let single_relational = cands.len() == 1
+            && lake
+                .source(&cands[0].source_id)
+                .is_some_and(DataSource::is_relational)
+            && !star.has_variable_predicate();
+        if single_relational {
+            let cand = &cands[0];
+            let (tm, schema) = relational_parts(lake, cand)?;
+            let (pushed, engine_filters) =
+                split_filters(star, &tm, lake.source(&cand.source_id).expect("selected"), config);
+            rel_stars.push(RelStar {
+                star_idx: i,
+                source_id: cand.source_id.clone(),
+                tm,
+                schema,
+                pushed,
+                engine_filters,
+                cardinality: cand.cardinality,
+            });
+        } else {
+            other_units.push((i, plan_other_star(star, cands, lake, config)?));
+        }
+    }
+
+    // Heuristic 1: pairwise merging of relational stars on one endpoint.
+    let h1 = matches!(
+        config.mode,
+        PlanMode::Aware { h1_join_pushdown: true, .. }
+    );
+    let mut merged_away: Vec<Option<usize>> = vec![None; rel_stars.len()]; // partner index
+    if h1 {
+        for i in 0..rel_stars.len() {
+            if merged_away[i].is_some() {
+                continue;
+            }
+            for j in (i + 1)..rel_stars.len() {
+                if merged_away[j].is_some() || merged_away[i].is_some() {
+                    continue;
+                }
+                if rel_stars[i].source_id != rel_stars[j].source_id {
+                    continue;
+                }
+                let source = lake.source(&rel_stars[i].source_id).expect("selected");
+                if find_merge_join(&dec.stars, &rel_stars[i], &rel_stars[j], source).is_some()
+                {
+                    merged_away[i] = Some(j);
+                    merged_away[j] = Some(i);
+                }
+            }
+        }
+    }
+
+    // Build service units. Single relational stars remember their
+    // RelStar index so the join loop can convert them into bind joins.
+    let mut units: Vec<(Vec<usize>, FedPlan, Option<usize>)> = Vec::new();
+    let mut consumed = vec![false; rel_stars.len()];
+    for i in 0..rel_stars.len() {
+        if consumed[i] {
+            continue;
+        }
+        consumed[i] = true;
+        match merged_away[i] {
+            Some(j) if !consumed[j] => {
+                consumed[j] = true;
+                let source = lake.source(&rel_stars[i].source_id).expect("selected");
+                let unit = build_merged_service(
+                    &dec.stars,
+                    &rel_stars[i],
+                    &rel_stars[j],
+                    source,
+                    config,
+                )?;
+                units.push((vec![rel_stars[i].star_idx, rel_stars[j].star_idx], unit, None));
+            }
+            _ => {
+                let unit = build_single_service(&dec.stars, &rel_stars[i], config)?;
+                units.push((vec![rel_stars[i].star_idx], unit, Some(i)));
+            }
+        }
+    }
+    for (i, plan) in other_units {
+        units.push((vec![i], plan, None));
+    }
+
+    // Greedy left-deep join ordering over units.
+    let star_vars: Vec<Vec<Var>> = dec.stars.iter().map(StarSubquery::vars).collect();
+    let unit_vars = |star_idxs: &[usize]| -> Vec<Var> {
+        let mut out = Vec::new();
+        for &i in star_idxs {
+            for v in &star_vars[i] {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+        }
+        out
+    };
+    units.sort_by(|a, b| a.1.estimated_rows().total_cmp(&b.1.estimated_rows()));
+    let (first_idxs, mut plan, _) = units.remove(0);
+    let mut bound_vars = unit_vars(&first_idxs);
+    while !units.is_empty() {
+        // Prefer the smallest connected unit.
+        let pick = units
+            .iter()
+            .position(|(idxs, _, _)| {
+                unit_vars(idxs).iter().any(|v| bound_vars.contains(v))
+            })
+            .unwrap_or(0);
+        let (idxs, right, bindable) = units.remove(pick);
+        let right_vars = unit_vars(&idxs);
+        let on: Vec<Var> = right_vars
+            .iter()
+            .filter(|v| bound_vars.contains(v))
+            .cloned()
+            .collect();
+        for v in right_vars {
+            if !bound_vars.contains(&v) {
+                bound_vars.push(v);
+            }
+        }
+        plan = match (config.engine_join, bindable) {
+            (crate::config::EngineJoin::Bind { batch_size }, Some(ri)) if on.len() == 1 => {
+                match build_bind_join(plan, &dec.stars, &rel_stars[ri], &on[0], batch_size)? {
+                    Ok(bound_plan) => bound_plan,
+                    // The variable does not map to a column: fall back.
+                    Err(left) => FedPlan::Join {
+                        left: Box::new(left),
+                        right: Box::new(right),
+                        on,
+                    },
+                }
+            }
+            _ => FedPlan::Join { left: Box::new(plan), right: Box::new(right), on },
+        };
+    }
+
+    // Cross-star filters are applied by `plan_tree`, which knows the
+    // union- and optional-bound variables.
+    Ok(plan)
+}
+
+/// Heuristic 2's decision: split a relational star's filters into
+/// (pushed-to-source, kept-at-engine).
+fn split_filters(
+    star: &StarSubquery,
+    tm: &TableMapping,
+    source: &DataSource,
+    config: &PlanConfig,
+) -> (Vec<Expr>, Vec<Expr>) {
+    let mut pushed = Vec::new();
+    let mut engine = Vec::new();
+    for f in &star.filters {
+        let decision = match config.mode {
+            // The unaware plan performs every operation it can at the
+            // engine.
+            PlanMode::Unaware => false,
+            PlanMode::Aware { filters, .. } => {
+                // The SQL shape must be representable in any pushed case.
+                let translatable = filter_column(f, star, tm).is_some()
+                    && crate::translate::filter_to_sql(f, star, tm, "x").is_some();
+                let indexed = filter_column(f, star, tm)
+                    .is_some_and(|col| source.has_index_on(&tm.table, &col));
+                match filters {
+                    crate::config::FilterPlacement::Engine => false,
+                    crate::config::FilterPlacement::PushIndexed => translatable && indexed,
+                    crate::config::FilterPlacement::Heuristic2 => {
+                        translatable && indexed && config.network.is_slow()
+                    }
+                    crate::config::FilterPlacement::PushAll => translatable,
+                }
+            }
+        };
+        if decision {
+            pushed.push(f.clone());
+        } else {
+            engine.push(f.clone());
+        }
+    }
+    (pushed, engine)
+}
+
+/// The join columns Heuristic 1 would merge two stars on, when the paper's
+/// indexing condition holds. Returns `(left_col_on_a, right_col_on_b)`.
+fn find_merge_join(
+    stars: &[StarSubquery],
+    a: &RelStar,
+    b: &RelStar,
+    source: &DataSource,
+) -> Option<(String, String)> {
+    let sa = &stars[a.star_idx];
+    let sb = &stars[b.star_idx];
+    // Stars over the SAME table (a denormalized design) merge without a
+    // join at all — no index condition applies, since there is nothing to
+    // join; the shared variable only has to be column-mapped on both
+    // sides.
+    let same_table = a.tm.table == b.tm.table;
+    // Case 1: an object variable of `a` is the subject of `b` (FK → PK).
+    if let crate::decompose::StarSubject::Var(vb) = &sb.subject {
+        for t in &sa.triples {
+            if t.o.as_var() == Some(vb) {
+                let pred = t.p.as_term().and_then(Term::as_iri)?;
+                let col = a.tm.column_for_predicate(pred)?.column.clone();
+                // The paper's condition: the join attribute is indexed.
+                if same_table || source.has_index_on(&a.tm.table, &col) {
+                    return Some((col, b.tm.subject_column.clone()));
+                }
+                return None;
+            }
+        }
+    }
+    // Case 1 reversed: an object variable of `b` is the subject of `a`.
+    if let crate::decompose::StarSubject::Var(va) = &sa.subject {
+        for t in &sb.triples {
+            if t.o.as_var() == Some(va) {
+                let pred = t.p.as_term().and_then(Term::as_iri)?;
+                let col = b.tm.column_for_predicate(pred)?.column.clone();
+                if same_table || source.has_index_on(&b.tm.table, &col) {
+                    // Keep `a` as the left table: left col is a's subject.
+                    return Some((a.tm.subject_column.clone(), col));
+                }
+                return None;
+            }
+        }
+    }
+    // Case 2: a shared object variable (column–column join); at least one
+    // side must be indexed.
+    let vars_a = sa.vars();
+    let vars_b = sb.vars();
+    for v in &vars_a {
+        if !vars_b.contains(v) {
+            continue;
+        }
+        let (Some(ca), Some(cb)) = (
+            column_of_var(v, sa, &a.tm),
+            column_of_var(v, sb, &b.tm),
+        ) else {
+            continue;
+        };
+        if same_table
+            || source.has_index_on(&a.tm.table, &ca)
+            || source.has_index_on(&b.tm.table, &cb)
+        {
+            return Some((ca, cb));
+        }
+    }
+    None
+}
+
+fn relational_parts(
+    lake: &DataLake,
+    cand: &Candidate,
+) -> Result<(TableMapping, TableSchema), FedError> {
+    match lake.source(&cand.source_id) {
+        Some(DataSource::Relational { db, mapping, .. }) => {
+            let tm = mapping
+                .for_class(&cand.class)
+                .ok_or_else(|| {
+                    FedError::Internal(format!("class {} not mapped", cand.class))
+                })?
+                .clone();
+            let schema = db
+                .table(&tm.table)
+                .ok_or_else(|| FedError::Internal(format!("table {} missing", tm.table)))?
+                .schema
+                .clone();
+            Ok((tm, schema))
+        }
+        _ => Err(FedError::Internal(format!(
+            "candidate source {} is not relational",
+            cand.source_id
+        ))),
+    }
+}
+
+fn estimate(cardinality: usize, part: &StarPart) -> f64 {
+    let constraints = part
+        .wheres
+        .iter()
+        .filter(|w| !w.ends_with("IS NOT NULL"))
+        .count();
+    ((cardinality as f64) * 0.4f64.powi(constraints as i32)).max(1.0)
+}
+
+fn wrap_engine_filters(plan: FedPlan, filters: Vec<Expr>) -> FedPlan {
+    if filters.is_empty() {
+        plan
+    } else {
+        FedPlan::Filter { input: Box::new(plan), exprs: filters }
+    }
+}
+
+/// Converts a single relational star into the right side of a dependent
+/// bind join on `join_var`. Returns `Err(left)` (giving the left plan
+/// back) when the variable does not map to a column of the star.
+#[allow(clippy::result_large_err)]
+fn build_bind_join(
+    left: FedPlan,
+    stars: &[StarSubquery],
+    rs: &RelStar,
+    join_var: &Var,
+    batch_size: usize,
+) -> Result<Result<FedPlan, FedPlan>, FedError> {
+    let star = &stars[rs.star_idx];
+    let Some(column) = column_of_var(join_var, star, &rs.tm) else {
+        return Ok(Err(left));
+    };
+    let extract = match &star.subject {
+        crate::decompose::StarSubject::Var(v) if v == join_var => {
+            Some(rs.tm.subject_template.clone())
+        }
+        _ => crate::translate::column_ref_template(join_var, star, &rs.tm),
+    };
+    let part = star_part(star, &rs.tm, &rs.schema, &rs.pushed, "s0")?;
+    let est = estimate(rs.cardinality, &part);
+    let target = crate::fedplan::BindTarget {
+        source_id: rs.source_id.clone(),
+        part,
+        join_var: join_var.clone(),
+        column,
+        extract,
+        covers: star.subject.to_string(),
+        estimated_rows: est,
+    };
+    let plan = FedPlan::BindJoin { left: Box::new(left), right: target, batch_size };
+    Ok(Ok(wrap_engine_filters(plan, rs.engine_filters.clone())))
+}
+
+fn build_single_service(
+    stars: &[StarSubquery],
+    rs: &RelStar,
+    _config: &PlanConfig,
+) -> Result<FedPlan, FedError> {
+    let star = &stars[rs.star_idx];
+    let part = star_part(star, &rs.tm, &rs.schema, &rs.pushed, "s0")?;
+    let est = estimate(rs.cardinality, &part);
+    let q = sql_single(&part);
+    let service = FedPlan::Service(ServiceNode {
+        source_id: rs.source_id.clone(),
+        kind: ServiceKind::Sql {
+            request: SqlRequest::Single(q),
+            covers: vec![star.subject.to_string()],
+        },
+        estimated_rows: est,
+    });
+    Ok(wrap_engine_filters(service, rs.engine_filters.clone()))
+}
+
+fn build_merged_service(
+    stars: &[StarSubquery],
+    a: &RelStar,
+    b: &RelStar,
+    source: &DataSource,
+    config: &PlanConfig,
+) -> Result<FedPlan, FedError> {
+    let (left_col, right_col) = find_merge_join(stars, a, b, source)
+        .ok_or_else(|| FedError::Internal("merge pair lost its join".into()))?;
+    let sa = &stars[a.star_idx];
+    let sb = &stars[b.star_idx];
+
+    // Denormalized case: both stars read one table — combine under a
+    // single alias with no join (regardless of the translation quality
+    // setting; there is no join to translate badly).
+    if a.tm.table == b.tm.table {
+        let pa = star_part(sa, &a.tm, &a.schema, &a.pushed, "s0")?;
+        let pb = star_part(sb, &b.tm, &b.schema, &b.pushed, "s0")?;
+        let est = estimate(a.cardinality, &pa).min(estimate(b.cardinality, &pb));
+        let q = crate::translate::sql_merged_same_table(&pa, &pb, &left_col, &right_col);
+        let service = FedPlan::Service(ServiceNode {
+            source_id: a.source_id.clone(),
+            kind: ServiceKind::Sql {
+                request: SqlRequest::MergedOptimized(q),
+                covers: vec![sa.subject.to_string(), sb.subject.to_string()],
+            },
+            estimated_rows: est,
+        });
+        let mut filters = a.engine_filters.clone();
+        filters.extend(b.engine_filters.clone());
+        return Ok(wrap_engine_filters(service, filters));
+    }
+
+    let pa = star_part(sa, &a.tm, &a.schema, &a.pushed, "s0")?;
+    let pb = star_part(sb, &b.tm, &b.schema, &b.pushed, "s1")?;
+    let est = estimate(a.cardinality, &pa).min(estimate(b.cardinality, &pb));
+    let covers = vec![sa.subject.to_string(), sb.subject.to_string()];
+    let request = match config.merge_translation {
+        MergeTranslation::Optimized => {
+            SqlRequest::MergedOptimized(sql_merged(&pa, &pb, &left_col, &right_col))
+        }
+        MergeTranslation::Naive => {
+            // The dependent join keys on the shared variable: the one
+            // mapped to `left_col` on `a`'s side.
+            let join_var = sa
+                .vars()
+                .into_iter()
+                .find(|v| column_of_var(v, sa, &a.tm).as_deref() == Some(left_col.as_str()))
+                .ok_or_else(|| {
+                    FedError::Internal("naive merge: join variable not found".into())
+                })?;
+            // How inner keys lift: if the variable is b's subject, IRIs are
+            // minted by b's subject template; otherwise, by the reference
+            // template if any.
+            let extract = match &sb.subject {
+                crate::decompose::StarSubject::Var(v) if *v == join_var => {
+                    Some(b.tm.subject_template.clone())
+                }
+                _ => crate::translate::column_ref_template(&join_var, sb, &b.tm),
+            };
+            SqlRequest::MergedNaive {
+                outer: sql_single(&pa),
+                inner: pb,
+                join: NaiveJoin { outer_var: join_var, inner_col: right_col, extract },
+            }
+        }
+    };
+    let service = FedPlan::Service(ServiceNode {
+        source_id: a.source_id.clone(),
+        kind: ServiceKind::Sql { request, covers },
+        estimated_rows: est,
+    });
+    let mut filters = a.engine_filters.clone();
+    filters.extend(b.engine_filters.clone());
+    Ok(wrap_engine_filters(service, filters))
+}
+
+/// Plans a star that is not a single-relational-candidate: SPARQL sources
+/// evaluate natively, multiple candidates become a union.
+fn plan_other_star(
+    star: &StarSubquery,
+    cands: &[Candidate],
+    lake: &DataLake,
+    config: &PlanConfig,
+) -> Result<FedPlan, FedError> {
+    let mut branches = Vec::new();
+    for cand in cands {
+        let source = lake
+            .source(&cand.source_id)
+            .ok_or_else(|| FedError::Internal("candidate source missing".into()))?;
+        match source {
+            DataSource::Sparql { .. } => {
+                branches.push(FedPlan::Service(ServiceNode {
+                    source_id: cand.source_id.clone(),
+                    kind: ServiceKind::Sparql {
+                        star: star.clone(),
+                        filters: star.filters.clone(),
+                    },
+                    estimated_rows: (cand.cardinality as f64).max(1.0),
+                }));
+            }
+            DataSource::Relational { db, mapping, .. } => {
+                let tm = mapping
+                    .for_class(&cand.class)
+                    .ok_or_else(|| {
+                        FedError::Internal(format!("class {} not mapped", cand.class))
+                    })?
+                    .clone();
+                let schema = db
+                    .table(&tm.table)
+                    .ok_or_else(|| {
+                        FedError::Internal(format!("table {} missing", tm.table))
+                    })?
+                    .schema
+                    .clone();
+                let (pushed, engine) = split_filters(star, &tm, source, config);
+                let part = star_part(star, &tm, &schema, &pushed, "s0")?;
+                let est = estimate(cand.cardinality, &part);
+                let service = FedPlan::Service(ServiceNode {
+                    source_id: cand.source_id.clone(),
+                    kind: ServiceKind::Sql {
+                        request: SqlRequest::Single(sql_single(&part)),
+                        covers: vec![star.subject.to_string()],
+                    },
+                    estimated_rows: est,
+                });
+                branches.push(wrap_engine_filters(service, engine));
+            }
+        }
+    }
+    Ok(if branches.len() == 1 {
+        branches.remove(0)
+    } else {
+        FedPlan::Union(branches)
+    })
+}

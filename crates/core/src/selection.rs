@@ -1,0 +1,184 @@
+//! Source selection: matching star-shaped sub-queries against the lake's
+//! RDF Molecule Templates (the MULDER/Ontario strategy).
+
+use crate::decompose::StarSubquery;
+use crate::error::FedError;
+use crate::lake::DataLake;
+use fedlake_mapping::RdfMoleculeTemplate;
+
+/// One candidate source for a star: the source id and the molecule
+/// template that matched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The matched source.
+    pub source_id: String,
+    /// The class whose molecule matched.
+    pub class: String,
+    /// Estimated instances at the source.
+    pub cardinality: usize,
+}
+
+/// Selects the candidate sources for one star.
+///
+/// A molecule template matches when (a) the star's class constraint, if
+/// any, equals the template's class, and (b) the template offers every
+/// ground predicate of the star. Stars with variable predicates can only
+/// be answered by SPARQL sources (full triple stores).
+pub fn candidates_for(star: &StarSubquery, lake: &DataLake) -> Vec<Candidate> {
+    if star.has_variable_predicate() {
+        // Only native RDF stores answer variable-predicate stars.
+        return lake
+            .sources()
+            .iter()
+            .filter(|s| !s.is_relational())
+            .map(|s| Candidate {
+                source_id: s.id().to_string(),
+                class: star.class.clone().unwrap_or_default(),
+                cardinality: 0,
+            })
+            .collect();
+    }
+    let preds = star.predicates();
+    lake.molecule_templates()
+        .iter()
+        .filter(|mt| class_matches(mt, star) && mt.offers_all(&preds))
+        .map(|mt| Candidate {
+            source_id: mt.source_id.clone(),
+            class: mt.class.clone(),
+            cardinality: mt.cardinality,
+        })
+        .collect()
+}
+
+fn class_matches(mt: &RdfMoleculeTemplate, star: &StarSubquery) -> bool {
+    match &star.class {
+        Some(c) => &mt.class == c,
+        None => true,
+    }
+}
+
+/// Selects sources for every star; errors when a star has no candidate.
+pub fn select_sources(
+    stars: &[StarSubquery],
+    lake: &DataLake,
+) -> Result<Vec<Vec<Candidate>>, FedError> {
+    stars
+        .iter()
+        .map(|star| {
+            let cands = candidates_for(star, lake);
+            if cands.is_empty() {
+                Err(FedError::NoSourceFor(star.subject.to_string()))
+            } else {
+                Ok(cands)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::decompose;
+    use crate::source::DataSource;
+    use fedlake_mapping::{DatasetMapping, IriTemplate, TableMapping};
+    use fedlake_relational::Database;
+    use fedlake_sparql::parser::parse_query;
+
+    fn lake() -> DataLake {
+        let mut db = Database::new("diseasome");
+        db.execute("CREATE TABLE gene (id TEXT PRIMARY KEY, label TEXT)").unwrap();
+        db.execute("INSERT INTO gene VALUES ('g1', 'BRCA1')").unwrap();
+        db.execute("INSERT INTO gene VALUES ('g2', 'TP53')").unwrap();
+        let mapping = DatasetMapping::new("diseasome").with_table(
+            TableMapping::new(
+                "gene",
+                "http://v/Gene",
+                IriTemplate::new("http://d/gene/{}"),
+                "id",
+            )
+            .with_literal("label", "http://v/label"),
+        );
+        let mut lake = DataLake::new();
+        lake.add_source(DataSource::relational("diseasome", db, mapping));
+
+        // A SPARQL source offering a different class.
+        let mut g = fedlake_rdf::Graph::new();
+        g.insert_terms(
+            fedlake_rdf::Term::iri("http://d/d1"),
+            fedlake_rdf::Term::iri(fedlake_rdf::vocab::rdf::TYPE),
+            fedlake_rdf::Term::iri("http://v/Drug"),
+        );
+        g.insert_terms(
+            fedlake_rdf::Term::iri("http://d/d1"),
+            fedlake_rdf::Term::iri("http://v/name"),
+            fedlake_rdf::Term::literal("Aspirin"),
+        );
+        lake.add_source(DataSource::sparql("drugbank", g));
+        lake
+    }
+
+    fn stars(q: &str) -> Vec<StarSubquery> {
+        decompose(&parse_query(q).unwrap()).unwrap().stars
+    }
+
+    #[test]
+    fn class_constrained_selection() {
+        let lake = lake();
+        let s = stars("SELECT * WHERE { ?g a <http://v/Gene> . ?g <http://v/label> ?l }");
+        let c = candidates_for(&s[0], &lake);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].source_id, "diseasome");
+        assert_eq!(c[0].cardinality, 2);
+    }
+
+    #[test]
+    fn predicate_based_selection_without_class() {
+        let lake = lake();
+        let s = stars("SELECT * WHERE { ?g <http://v/label> ?l }");
+        let c = candidates_for(&s[0], &lake);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].source_id, "diseasome");
+    }
+
+    #[test]
+    fn missing_predicate_excludes_source() {
+        let lake = lake();
+        let s = stars("SELECT * WHERE { ?g <http://v/label> ?l . ?g <http://v/unknown> ?u }");
+        assert!(candidates_for(&s[0], &lake).is_empty());
+        assert!(matches!(
+            select_sources(&s, &lake),
+            Err(FedError::NoSourceFor(_))
+        ));
+    }
+
+    #[test]
+    fn sparql_source_selected_for_its_class() {
+        let lake = lake();
+        let s = stars("SELECT * WHERE { ?d a <http://v/Drug> . ?d <http://v/name> ?n }");
+        let c = candidates_for(&s[0], &lake);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].source_id, "drugbank");
+    }
+
+    #[test]
+    fn variable_predicate_goes_to_sparql_sources_only() {
+        let lake = lake();
+        let s = stars("SELECT * WHERE { ?s ?p ?o }");
+        let c = candidates_for(&s[0], &lake);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].source_id, "drugbank");
+    }
+
+    #[test]
+    fn select_sources_covers_all_stars() {
+        let lake = lake();
+        let s = stars(
+            "SELECT * WHERE { ?g a <http://v/Gene> . ?g <http://v/label> ?l . \
+             ?d a <http://v/Drug> . ?d <http://v/name> ?n }",
+        );
+        let per_star = select_sources(&s, &lake).unwrap();
+        assert_eq!(per_star.len(), 2);
+        assert_eq!(per_star[0][0].source_id, "diseasome");
+        assert_eq!(per_star[1][0].source_id, "drugbank");
+    }
+}

@@ -1,0 +1,142 @@
+//! IRI templates: minting entity IRIs from key values and recovering key
+//! values from IRIs.
+
+use std::fmt;
+
+/// An IRI template with exactly one `{}` placeholder, e.g.
+/// `http://lake/diseasome/gene/{}`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IriTemplate {
+    prefix: String,
+    suffix: String,
+}
+
+impl IriTemplate {
+    /// Creates a template. Panics when the pattern does not contain exactly
+    /// one `{}` placeholder.
+    pub fn new(pattern: impl AsRef<str>) -> Self {
+        let pattern = pattern.as_ref();
+        let mut parts = pattern.splitn(2, "{}");
+        let prefix = parts.next().unwrap_or_default().to_string();
+        let suffix = parts
+            .next()
+            .unwrap_or_else(|| panic!("IRI template {pattern:?} must contain '{{}}'"))
+            .to_string();
+        assert!(
+            !suffix.contains("{}"),
+            "IRI template {pattern:?} must contain exactly one '{{}}'"
+        );
+        IriTemplate { prefix: prefix.clone(), suffix }
+    }
+
+    /// Mints an IRI for `key`, percent-encoding characters unsafe in IRIs.
+    pub fn apply(&self, key: &str) -> String {
+        format!("{}{}{}", self.prefix, encode(key), self.suffix)
+    }
+
+    /// Recovers the key from an IRI minted by this template.
+    pub fn extract(&self, iri: &str) -> Option<String> {
+        let inner = iri.strip_prefix(self.prefix.as_str())?;
+        let key = inner.strip_suffix(self.suffix.as_str())?;
+        if key.is_empty() {
+            return None;
+        }
+        Some(decode(key))
+    }
+
+    /// True when `iri` could have been minted by this template.
+    pub fn matches(&self, iri: &str) -> bool {
+        self.extract(iri).is_some()
+    }
+}
+
+impl fmt::Display for IriTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{}}{}", self.prefix, self.suffix)
+    }
+}
+
+fn encode(key: &str) -> String {
+    let mut out = String::with_capacity(key.len());
+    for b in key.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+fn decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() + 1 && i + 2 < bytes.len() + 1 {
+            if let (Some(h), Some(l)) = (
+                bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16)),
+                bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16)),
+            ) {
+                out.push((h * 16 + l) as u8);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_and_extract() {
+        let t = IriTemplate::new("http://lake/gene/{}");
+        let iri = t.apply("g42");
+        assert_eq!(iri, "http://lake/gene/g42");
+        assert_eq!(t.extract(&iri), Some("g42".into()));
+        assert!(t.matches(&iri));
+        assert!(!t.matches("http://lake/disease/d1"));
+    }
+
+    #[test]
+    fn suffix_templates() {
+        let t = IriTemplate::new("http://lake/{}.html");
+        assert_eq!(t.apply("x"), "http://lake/x.html");
+        assert_eq!(t.extract("http://lake/x.html"), Some("x".into()));
+        assert_eq!(t.extract("http://lake/x.json"), None);
+    }
+
+    #[test]
+    fn roundtrip_special_chars() {
+        let t = IriTemplate::new("http://lake/drug/{}");
+        for key in ["a b", "x/y", "100%", "ü", "a#b?c"] {
+            let iri = t.apply(key);
+            assert!(!iri.contains(' '), "space must be encoded: {iri}");
+            assert_eq!(t.extract(&iri).as_deref(), Some(key), "roundtrip of {key:?}");
+        }
+    }
+
+    #[test]
+    fn empty_key_rejected_on_extract() {
+        let t = IriTemplate::new("http://lake/gene/{}");
+        assert_eq!(t.extract("http://lake/gene/"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must contain")]
+    fn pattern_without_placeholder_panics() {
+        IriTemplate::new("http://lake/gene/");
+    }
+
+    #[test]
+    fn display_roundtrips_pattern() {
+        let t = IriTemplate::new("http://lake/gene/{}");
+        assert_eq!(t.to_string(), "http://lake/gene/{}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Virtual and real clocks.
+//!
+//! All delays and costs in the simulation flow through a [`Clock`]. In
+//! `Virtual` mode, advancing the clock just adds to a counter — runs are
+//! deterministic and orders of magnitude faster than wall-clock, while
+//! preserving every ordering effect the paper measures. In `Real` mode the
+//! clock actually sleeps, reproducing the paper's `time.sleep` setup.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A simulation clock.
+#[derive(Debug)]
+pub enum Clock {
+    /// Simulated time: `advance` accumulates, nothing sleeps.
+    Virtual(AtomicU64),
+    /// Wall-clock time: `advance` sleeps.
+    Real(Instant),
+}
+
+impl Clock {
+    /// A virtual clock starting at zero.
+    pub fn virtual_clock() -> Self {
+        Clock::Virtual(AtomicU64::new(0))
+    }
+
+    /// A real clock starting now.
+    pub fn real_clock() -> Self {
+        Clock::Real(Instant::now())
+    }
+
+    /// Elapsed simulated (or real) time since the clock started.
+    pub fn now(&self) -> Duration {
+        match self {
+            Clock::Virtual(ns) => Duration::from_nanos(ns.load(Ordering::Relaxed)),
+            Clock::Real(start) => start.elapsed(),
+        }
+    }
+
+    /// Advances the clock by `d` (virtual: account; real: sleep).
+    pub fn advance(&self, d: Duration) {
+        match self {
+            Clock::Virtual(ns) => {
+                ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+            }
+            Clock::Real(_) => std::thread::sleep(d),
+        }
+    }
+
+    /// True for virtual clocks.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, Clock::Virtual(_))
+    }
+}
+
+/// A clock shared by the engine and every wrapper of a federation.
+pub type SharedClock = Arc<Clock>;
+
+/// Creates a shared virtual clock.
+pub fn shared_virtual() -> SharedClock {
+    Arc::new(Clock::virtual_clock())
+}
+
+/// Creates a shared real clock.
+pub fn shared_real() -> SharedClock {
+    Arc::new(Clock::real_clock())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_accumulates_without_sleeping() {
+        let c = Clock::virtual_clock();
+        let wall = Instant::now();
+        c.advance(Duration::from_secs(3600));
+        c.advance(Duration::from_millis(250));
+        assert_eq!(c.now(), Duration::from_millis(3_600_250));
+        // An hour of simulated time must pass in well under a second.
+        assert!(wall.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn real_clock_sleeps() {
+        let c = Clock::real_clock();
+        c.advance(Duration::from_millis(15));
+        assert!(c.now() >= Duration::from_millis(15));
+        assert!(!c.is_virtual());
+    }
+
+    #[test]
+    fn shared_clock_is_shared() {
+        let c = shared_virtual();
+        let c2 = Arc::clone(&c);
+        c.advance(Duration::from_millis(5));
+        c2.advance(Duration::from_millis(7));
+        assert_eq!(c.now(), Duration::from_millis(12));
+        assert!(c.is_virtual());
+    }
+}

@@ -1,0 +1,31 @@
+//! # fedlake-netsim
+//!
+//! Network and cost simulation for the data-lake experiments.
+//!
+//! The paper simulates network conditions *inside the SQL wrapper*: each
+//! retrieval of the next answer from a source is delayed by a sample from a
+//! gamma distribution (`numpy.random.gamma` + `time.sleep`). This crate
+//! reproduces that design with two improvements needed for a reproducible
+//! benchmark harness:
+//!
+//! * a [`clock::Clock`] that can run in **virtual** mode (delays are
+//!   accounted in simulated time, runs are deterministic and fast) or
+//!   **real** mode (delays actually sleep, as in the paper);
+//! * a [`gamma`] sampler (Marsaglia–Tsang) built directly on `rand`, with
+//!   the three gamma profiles of §3 predefined in [`profile`];
+//! * an explicit [`cost::CostModel`] that converts the relational engine's
+//!   work counters and the federated engine's operator counters into
+//!   simulated time — making the "engine-level string filters are faster
+//!   than RDB filters" observation an explicit, tunable assumption.
+
+pub mod clock;
+pub mod cost;
+pub mod gamma;
+pub mod link;
+pub mod profile;
+
+pub use clock::{Clock, SharedClock};
+pub use cost::CostModel;
+pub use gamma::GammaSampler;
+pub use link::Link;
+pub use profile::{DelayModel, NetworkProfile};

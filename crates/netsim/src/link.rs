@@ -1,0 +1,180 @@
+//! A simulated network link between the query engine and one source.
+//!
+//! Mirrors the paper's setup: *"Network delays are simulated within the SQL
+//! wrapper of Ontario; delaying the retrieval of the next answer from the
+//! source."* Every message retrieved through a [`Link`] advances the shared
+//! clock by a sampled delay plus the fixed transfer cost.
+
+use crate::clock::SharedClock;
+use crate::cost::CostModel;
+use crate::profile::NetworkProfile;
+use parking_lot_shim::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+// `parking_lot` is only linked by crates that already depend on it; keep
+// netsim dependency-light with a std shim exposing the same call shape.
+mod parking_lot_shim {
+    /// `std::sync::Mutex` with `parking_lot`-style (non-poisoning) `lock()`.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        pub fn new(v: T) -> Self {
+            Mutex(std::sync::Mutex::new(v))
+        }
+
+        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+            self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+    }
+}
+
+/// Accumulated link statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Messages transferred.
+    pub messages: u64,
+    /// Rows transferred.
+    pub rows: u64,
+    /// Total simulated network delay injected.
+    pub delay: Duration,
+}
+
+/// A link from the engine to one source, with its own RNG stream so runs
+/// are reproducible regardless of how many sources a federation has.
+#[derive(Debug)]
+pub struct Link {
+    /// The network setting this link simulates.
+    pub profile: NetworkProfile,
+    clock: SharedClock,
+    cost: CostModel,
+    state: Mutex<LinkState>,
+}
+
+#[derive(Debug)]
+struct LinkState {
+    rng: StdRng,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// Creates a link over `clock` with a deterministic RNG stream.
+    pub fn new(profile: NetworkProfile, clock: SharedClock, cost: CostModel, seed: u64) -> Self {
+        Link {
+            profile,
+            clock,
+            cost,
+            state: Mutex::new(LinkState { rng: StdRng::seed_from_u64(seed), stats: LinkStats::default() }),
+        }
+    }
+
+    /// Simulates the transfer of one message carrying `rows` rows:
+    /// advances the clock by a sampled latency plus the fixed per-message
+    /// cost, and records the traffic.
+    pub fn transfer_message(&self, rows: usize) {
+        let mut st = self.state.lock();
+        let delay = self.profile.delay.sample(&mut st.rng);
+        st.stats.messages += 1;
+        st.stats.rows += rows as u64;
+        st.stats.delay += delay;
+        drop(st);
+        self.clock.advance(delay + self.cost.message_time(rows));
+    }
+
+    /// Simulates transferring `total_rows` rows in messages of
+    /// `rows_per_message` (the last message may be smaller). An empty
+    /// result still costs one (empty) message — the source must answer.
+    pub fn transfer_rows(&self, total_rows: usize, rows_per_message: usize) {
+        assert!(rows_per_message > 0, "message size must be positive");
+        if total_rows == 0 {
+            self.transfer_message(0);
+            return;
+        }
+        let mut remaining = total_rows;
+        while remaining > 0 {
+            let n = remaining.min(rows_per_message);
+            self.transfer_message(n);
+            remaining -= n;
+        }
+    }
+
+    /// Traffic accumulated so far.
+    pub fn stats(&self) -> LinkStats {
+        self.state.lock().stats
+    }
+
+    /// The shared clock this link advances.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::shared_virtual;
+
+    fn link(profile: NetworkProfile) -> Link {
+        Link::new(profile, shared_virtual(), CostModel::default(), 99)
+    }
+
+    #[test]
+    fn transfer_advances_clock() {
+        let l = link(NetworkProfile::GAMMA3);
+        let before = l.clock().now();
+        l.transfer_message(10);
+        assert!(l.clock().now() > before);
+        let s = l.stats();
+        assert_eq!(s.messages, 1);
+        assert_eq!(s.rows, 10);
+        assert!(s.delay > Duration::ZERO);
+    }
+
+    #[test]
+    fn no_delay_still_costs_transfer_time() {
+        let l = link(NetworkProfile::NO_DELAY);
+        l.transfer_message(10);
+        // No network delay, but serialization/transfer cost applies.
+        assert_eq!(l.stats().delay, Duration::ZERO);
+        assert!(l.clock().now() > Duration::ZERO);
+    }
+
+    #[test]
+    fn batching_reduces_messages() {
+        let a = link(NetworkProfile::GAMMA2);
+        a.transfer_rows(100, 1);
+        let b = link(NetworkProfile::GAMMA2);
+        b.transfer_rows(100, 50);
+        assert_eq!(a.stats().messages, 100);
+        assert_eq!(b.stats().messages, 2);
+        // Per-row messages accumulate far more delay.
+        assert!(a.clock().now() > b.clock().now());
+    }
+
+    #[test]
+    fn empty_result_costs_one_message() {
+        let l = link(NetworkProfile::GAMMA1);
+        l.transfer_rows(0, 64);
+        assert_eq!(l.stats().messages, 1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = link(NetworkProfile::GAMMA3);
+        let b = link(NetworkProfile::GAMMA3);
+        a.transfer_rows(50, 1);
+        b.transfer_rows(50, 1);
+        assert_eq!(a.clock().now(), b.clock().now());
+    }
+
+    #[test]
+    fn slow_profile_dominates() {
+        let fast = link(NetworkProfile::GAMMA1);
+        let slow = link(NetworkProfile::GAMMA3);
+        fast.transfer_rows(500, 1);
+        slow.transfer_rows(500, 1);
+        assert!(slow.clock().now() > fast.clock().now());
+    }
+}

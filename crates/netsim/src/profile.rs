@@ -1,0 +1,164 @@
+//! The four network settings of the paper's experiment (§3).
+
+use crate::gamma::GammaSampler;
+use rand::Rng;
+use std::fmt;
+use std::time::Duration;
+
+/// Per-message delay model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DelayModel {
+    /// Perfect network: no or negligible latency.
+    None,
+    /// Gamma-distributed latency; parameters in milliseconds.
+    Gamma {
+        /// Shape.
+        alpha: f64,
+        /// Scale, in milliseconds.
+        beta_ms: f64,
+    },
+    /// Fixed latency (useful in tests and ablations).
+    Constant {
+        /// Latency in milliseconds.
+        ms: f64,
+    },
+}
+
+impl DelayModel {
+    /// Mean latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        match self {
+            DelayModel::None => 0.0,
+            DelayModel::Gamma { alpha, beta_ms } => alpha * beta_ms,
+            DelayModel::Constant { ms } => *ms,
+        }
+    }
+
+    /// Draws one per-message delay.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        let ms = match self {
+            DelayModel::None => 0.0,
+            DelayModel::Gamma { alpha, beta_ms } => {
+                GammaSampler::new(*alpha, *beta_ms).sample(rng)
+            }
+            DelayModel::Constant { ms } => *ms,
+        };
+        Duration::from_nanos((ms * 1_000_000.0) as u64)
+    }
+}
+
+/// A named network setting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkProfile {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Delay model applied per message retrieved from a source.
+    pub delay: DelayModel,
+}
+
+impl NetworkProfile {
+    /// §3 a) *No Delay*: perfect network.
+    pub const NO_DELAY: NetworkProfile =
+        NetworkProfile { name: "NoDelay", delay: DelayModel::None };
+
+    /// §3 b) *Gamma 1*: fast network, Γ(α=1, β=0.3) → 0.3 ms average.
+    pub const GAMMA1: NetworkProfile = NetworkProfile {
+        name: "Gamma1",
+        delay: DelayModel::Gamma { alpha: 1.0, beta_ms: 0.3 },
+    };
+
+    /// §3 c) *Gamma 2*: medium network, Γ(α=3, β=1) → 3 ms average.
+    pub const GAMMA2: NetworkProfile = NetworkProfile {
+        name: "Gamma2",
+        delay: DelayModel::Gamma { alpha: 3.0, beta_ms: 1.0 },
+    };
+
+    /// §3 d) *Gamma 3*: slow network, Γ(α=3, β=1.5) → 4.5 ms average.
+    pub const GAMMA3: NetworkProfile = NetworkProfile {
+        name: "Gamma3",
+        delay: DelayModel::Gamma { alpha: 3.0, beta_ms: 1.5 },
+    };
+
+    /// The experiment's four settings, in the paper's order.
+    pub const ALL: [NetworkProfile; 4] = [
+        NetworkProfile::NO_DELAY,
+        NetworkProfile::GAMMA1,
+        NetworkProfile::GAMMA2,
+        NetworkProfile::GAMMA3,
+    ];
+
+    /// The paper's threshold for a "slow network" in Heuristic 2. Profiles
+    /// with a mean per-message latency at or above this are considered
+    /// slow, which makes H2 push instantiations down to the source.
+    pub const SLOW_THRESHOLD_MS: f64 = 1.0;
+
+    /// True when Heuristic 2 should treat this network as slow.
+    pub fn is_slow(&self) -> bool {
+        self.delay.mean_ms() >= Self::SLOW_THRESHOLD_MS
+    }
+}
+
+impl fmt::Display for NetworkProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (mean {:.1} ms)", self.name, self.delay.mean_ms())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_profile_means() {
+        assert_eq!(NetworkProfile::NO_DELAY.delay.mean_ms(), 0.0);
+        assert!((NetworkProfile::GAMMA1.delay.mean_ms() - 0.3).abs() < 1e-12);
+        assert!((NetworkProfile::GAMMA2.delay.mean_ms() - 3.0).abs() < 1e-12);
+        assert!((NetworkProfile::GAMMA3.delay.mean_ms() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slow_classification() {
+        assert!(!NetworkProfile::NO_DELAY.is_slow());
+        assert!(!NetworkProfile::GAMMA1.is_slow());
+        assert!(NetworkProfile::GAMMA2.is_slow());
+        assert!(NetworkProfile::GAMMA3.is_slow());
+    }
+
+    #[test]
+    fn no_delay_samples_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            NetworkProfile::NO_DELAY.delay.sample(&mut rng),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn gamma_sampling_mean_close() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let total: Duration = (0..n)
+            .map(|_| NetworkProfile::GAMMA3.delay.sample(&mut rng))
+            .sum();
+        let mean_ms = total.as_secs_f64() * 1000.0 / n as f64;
+        assert!((mean_ms - 4.5).abs() < 0.1, "mean was {mean_ms}");
+    }
+
+    #[test]
+    fn constant_model() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = DelayModel::Constant { ms: 2.0 };
+        assert_eq!(d.sample(&mut rng), Duration::from_millis(2));
+        assert_eq!(d.mean_ms(), 2.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            NetworkProfile::GAMMA2.to_string(),
+            "Gamma2 (mean 3.0 ms)"
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Term interning.
+//!
+//! Graphs store triples as triples of [`TermId`]s; the [`Dictionary`] maps
+//! between ids and full [`Term`]s. Interning keeps the triple indexes
+//! compact (12 bytes per triple per index) and makes joins and comparisons
+//! integer comparisons.
+
+use crate::term::Term;
+use std::collections::HashMap;
+
+/// A compact identifier for an interned RDF term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The raw index value.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A bidirectional mapping between [`Term`]s and [`TermId`]s.
+///
+/// Ids are dense and allocated in insertion order, so they can be used to
+/// index side tables.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    terms: Vec<Term>,
+    ids: HashMap<Term, TermId>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `term`, returning its id. Idempotent.
+    pub fn intern(&mut self, term: Term) -> TermId {
+        if let Some(&id) = self.ids.get(&term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("dictionary overflow"));
+        self.terms.push(term.clone());
+        self.ids.insert(term, id);
+        id
+    }
+
+    /// Looks up the id of `term` without interning it.
+    pub fn id(&self, term: &Term) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// Resolves an id back to its term.
+    pub fn term(&self, id: TermId) -> Option<&Term> {
+        self.terms.get(id.index())
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no term has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over all `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern(Term::iri("http://x/a"));
+        let b = d.intern(Term::iri("http://x/a"));
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut d = Dictionary::new();
+        let a = d.intern(Term::iri("a"));
+        let b = d.intern(Term::iri("b"));
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut d = Dictionary::new();
+        let t = Term::literal("v");
+        let id = d.intern(t.clone());
+        assert_eq!(d.term(id), Some(&t));
+        assert_eq!(d.id(&t), Some(id));
+    }
+
+    #[test]
+    fn lookup_missing() {
+        let d = Dictionary::new();
+        assert!(d.id(&Term::iri("nope")).is_none());
+        assert!(d.term(TermId(0)).is_none());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn distinct_terms_distinct_ids() {
+        let mut d = Dictionary::new();
+        // IRI "a" and literal "a" are different terms.
+        let i = d.intern(Term::iri("a"));
+        let l = d.intern(Term::literal("a"));
+        assert_ne!(i, l);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn iter_yields_in_order() {
+        let mut d = Dictionary::new();
+        d.intern(Term::iri("a"));
+        d.intern(Term::iri("b"));
+        let pairs: Vec<_> = d.iter().map(|(id, t)| (id.index(), t.clone())).collect();
+        assert_eq!(pairs, vec![(0, Term::iri("a")), (1, Term::iri("b"))]);
+    }
+}

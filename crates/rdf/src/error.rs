@@ -1,0 +1,43 @@
+//! Error types for the RDF crate.
+
+use std::fmt;
+
+/// Errors produced while parsing or manipulating RDF data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RdfError {
+    /// An N-Triples line could not be parsed; carries the line number
+    /// (1-based) and a description.
+    Syntax { line: usize, message: String },
+    /// A term id was used with a dictionary that does not know it.
+    UnknownTermId(u64),
+}
+
+impl fmt::Display for RdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdfError::Syntax { line, message } => {
+                write!(f, "N-Triples syntax error at line {line}: {message}")
+            }
+            RdfError::UnknownTermId(id) => write!(f, "unknown term id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for RdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_syntax_error() {
+        let e = RdfError::Syntax { line: 3, message: "bad IRI".into() };
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("bad IRI"));
+    }
+
+    #[test]
+    fn display_unknown_id() {
+        assert!(RdfError::UnknownTermId(9).to_string().contains('9'));
+    }
+}

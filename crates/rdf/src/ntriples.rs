@@ -1,0 +1,291 @@
+//! N-Triples parsing and serialization.
+//!
+//! Supports the subset of N-Triples needed by the data lake: IRIs, blank
+//! nodes, plain / language-tagged / datatyped literals with the standard
+//! string escapes, `#` comments and blank lines.
+
+use crate::error::RdfError;
+use crate::graph::Graph;
+use crate::term::{Literal, Term};
+
+/// Parses an N-Triples document into a new [`Graph`].
+pub fn parse(input: &str) -> Result<Graph, RdfError> {
+    let mut g = Graph::new();
+    parse_into(input, &mut g)?;
+    Ok(g)
+}
+
+/// Parses an N-Triples document, inserting the triples into `graph`.
+pub fn parse_into(input: &str, graph: &mut Graph) -> Result<(), RdfError> {
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (s, p, o) = parse_line(line).map_err(|message| RdfError::Syntax {
+            line: lineno + 1,
+            message,
+        })?;
+        graph.insert_terms(s, p, o);
+    }
+    Ok(())
+}
+
+/// Serializes a graph as an N-Triples document (SPO index order).
+pub fn serialize(graph: &Graph) -> String {
+    let mut out = String::new();
+    for t in graph.iter() {
+        let s = graph.term(t.s).expect("triple subject must be interned");
+        let p = graph.term(t.p).expect("triple predicate must be interned");
+        let o = graph.term(t.o).expect("triple object must be interned");
+        out.push_str(&format!("{s} {p} {o} .\n"));
+    }
+    out
+}
+
+fn parse_line(line: &str) -> Result<(Term, Term, Term), String> {
+    let mut cursor = Cursor::new(line);
+    let s = cursor.term()?;
+    cursor.skip_ws();
+    let p = cursor.term()?;
+    cursor.skip_ws();
+    let o = cursor.term()?;
+    cursor.skip_ws();
+    cursor.expect('.')?;
+    cursor.skip_ws();
+    if !cursor.at_end() && !cursor.rest().starts_with('#') {
+        return Err(format!("trailing content: {:?}", cursor.rest()));
+    }
+    Ok((s, p, o))
+}
+
+struct Cursor<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(input: &'a str) -> Self {
+        Cursor { input, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(format!("expected {c:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn term(&mut self) -> Result<Term, String> {
+        match self.peek() {
+            Some('<') => self.iri(),
+            Some('_') => self.blank(),
+            Some('"') => self.literal(),
+            other => Err(format!("expected term, found {other:?}")),
+        }
+    }
+
+    fn iri(&mut self) -> Result<Term, String> {
+        self.expect('<')?;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == '>' {
+                let iri = &self.input[start..self.pos];
+                self.bump();
+                return Ok(Term::iri(iri));
+            }
+            if c.is_whitespace() {
+                break;
+            }
+            self.bump();
+        }
+        Err("unterminated IRI".into())
+    }
+
+    fn blank(&mut self) -> Result<Term, String> {
+        self.expect('_')?;
+        self.expect(':')?;
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-') {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err("empty blank node label".into());
+        }
+        Ok(Term::blank(&self.input[start..self.pos]))
+    }
+
+    fn literal(&mut self) -> Result<Term, String> {
+        self.expect('"')?;
+        let mut lexical = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => lexical.push('\n'),
+                    Some('r') => lexical.push('\r'),
+                    Some('t') => lexical.push('\t'),
+                    Some('"') => lexical.push('"'),
+                    Some('\\') => lexical.push('\\'),
+                    Some('u') => lexical.push(self.unicode_escape(4)?),
+                    Some('U') => lexical.push(self.unicode_escape(8)?),
+                    other => return Err(format!("bad escape: {other:?}")),
+                },
+                Some(c) => lexical.push(c),
+                None => return Err("unterminated literal".into()),
+            }
+        }
+        match self.peek() {
+            Some('@') => {
+                self.bump();
+                let start = self.pos;
+                while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == '-') {
+                    self.bump();
+                }
+                if self.pos == start {
+                    return Err("empty language tag".into());
+                }
+                Ok(Term::Literal(Literal::lang_tagged(
+                    lexical,
+                    &self.input[start..self.pos],
+                )))
+            }
+            Some('^') => {
+                self.bump();
+                self.expect('^')?;
+                match self.iri()? {
+                    Term::Iri(dt) => Ok(Term::Literal(Literal::typed(lexical, dt))),
+                    _ => unreachable!("iri() only returns Term::Iri"),
+                }
+            }
+            _ => Ok(Term::Literal(Literal::plain(lexical))),
+        }
+    }
+
+    fn unicode_escape(&mut self, digits: usize) -> Result<char, String> {
+        let start = self.pos;
+        for _ in 0..digits {
+            if self.bump().is_none() {
+                return Err("truncated unicode escape".into());
+            }
+        }
+        let hex = &self.input[start..self.pos];
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| format!("bad unicode escape {hex:?}"))?;
+        char::from_u32(cp).ok_or_else(|| format!("invalid code point U+{cp:X}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TriplePattern;
+
+    #[test]
+    fn parse_simple_triple() {
+        let g = parse("<http://x/s> <http://x/p> <http://x/o> .\n").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn parse_literals() {
+        let doc = r#"<http://x/s> <http://x/p> "plain" .
+<http://x/s> <http://x/p> "tagged"@en .
+<http://x/s> <http://x/p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .
+"#;
+        let g = parse(doc).unwrap();
+        assert_eq!(g.len(), 3);
+        assert!(g.id(&Term::Literal(Literal::lang_tagged("tagged", "en"))).is_some());
+        assert!(g.id(&Term::integer(42)).is_some());
+    }
+
+    #[test]
+    fn parse_blank_nodes() {
+        let g = parse("_:a <http://x/p> _:b .\n").unwrap();
+        assert_eq!(g.len(), 1);
+        assert!(g.id(&Term::blank("a")).is_some());
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let doc = "# a comment\n\n<http://x/s> <http://x/p> <http://x/o> . # trailing\n";
+        let g = parse(doc).unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn parse_escapes() {
+        let g = parse(r#"<http://x/s> <http://x/p> "a\"b\\c\nd" ."#).unwrap();
+        assert!(g.id(&Term::literal("a\"b\\c\nd")).is_some());
+    }
+
+    #[test]
+    fn parse_unicode_escape() {
+        let g = parse(r#"<http://x/s> <http://x/p> "é" ."#).unwrap();
+        assert!(g.id(&Term::literal("é")).is_some());
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let err = parse("<http://x/s> <http://x/p> <http://x/o> .\nnot a triple\n").unwrap_err();
+        match err {
+            RdfError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_dot_is_error() {
+        assert!(parse("<http://x/s> <http://x/p> <http://x/o>\n").is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let doc = r#"<http://x/s> <http://x/p> "v\"1" .
+<http://x/s> <http://x/p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://x/s> <http://x/q> "hello"@en-GB .
+_:b <http://x/p> <http://x/o> .
+"#;
+        let g = parse(doc).unwrap();
+        let ser = serialize(&g);
+        let g2 = parse(&ser).unwrap();
+        assert_eq!(g.len(), g2.len());
+        for t in g.iter() {
+            let s = g.term(t.s).unwrap().clone();
+            let p = g.term(t.p).unwrap().clone();
+            let o = g.term(t.o).unwrap().clone();
+            let pat = TriplePattern {
+                s: g2.id(&s),
+                p: g2.id(&p),
+                o: g2.id(&o),
+            };
+            assert!(pat.s.is_some() && pat.p.is_some() && pat.o.is_some());
+            assert_eq!(g2.match_pattern(&pat).len(), 1);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the triple store: index agreement, pattern
+//! matching vs. naive filtering, and N-Triples round-trips.
+
+use fedlake_rdf::{ntriples, Graph, Literal, Term, TriplePattern};
+use proptest::prelude::*;
+
+/// A small universe of term components so collisions (and therefore matches)
+/// are frequent.
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0u8..8).prop_map(|i| Term::iri(format!("http://example.org/r{i}"))),
+        (0u8..4).prop_map(|i| Term::blank(format!("b{i}"))),
+        (0u8..6).prop_map(|i| Term::literal(format!("lit{i}"))),
+        (-3i64..3).prop_map(Term::integer),
+        ("[a-z]{0,3}", 0u8..2)
+            .prop_map(|(s, l)| Term::Literal(Literal::lang_tagged(s, format!("l{l}")))),
+    ]
+}
+
+fn arb_triples() -> impl Strategy<Value = Vec<(Term, Term, Term)>> {
+    prop::collection::vec((arb_term(), arb_term(), arb_term()), 0..60)
+}
+
+proptest! {
+    /// Any pattern answered via an index must equal naive filtering over all
+    /// triples.
+    #[test]
+    fn pattern_matching_agrees_with_full_scan(
+        triples in arb_triples(),
+        pick in (any::<u16>(), any::<bool>(), any::<bool>(), any::<bool>()),
+    ) {
+        let mut g = Graph::new();
+        for (s, p, o) in &triples {
+            g.insert_terms(s.clone(), p.clone(), o.clone());
+        }
+        let all: Vec<_> = g.iter().collect();
+        // Derive a pattern from a random existing triple (if any).
+        let (idx, bs, bp, bo) = pick;
+        let pattern = if all.is_empty() {
+            TriplePattern::any()
+        } else {
+            let t = all[idx as usize % all.len()];
+            TriplePattern {
+                s: bs.then_some(t.s),
+                p: bp.then_some(t.p),
+                o: bo.then_some(t.o),
+            }
+        };
+        let via_index: std::collections::BTreeSet<_> =
+            g.match_pattern(&pattern).into_iter().collect();
+        let naive: std::collections::BTreeSet<_> =
+            all.iter().copied().filter(|t| pattern.matches(t)).collect();
+        prop_assert_eq!(via_index, naive);
+    }
+
+    /// Insert/remove keeps all three indexes consistent.
+    #[test]
+    fn remove_restores_previous_state(triples in arb_triples()) {
+        let mut g = Graph::new();
+        let mut inserted = Vec::new();
+        for (s, p, o) in &triples {
+            inserted.push(g.insert_terms(s.clone(), p.clone(), o.clone()));
+        }
+        let full_len = g.len();
+        // Remove every other triple, then verify matching still agrees.
+        let removed: Vec<_> = inserted.iter().copied().step_by(2).collect();
+        for t in &removed {
+            g.remove(*t);
+        }
+        prop_assert!(g.len() <= full_len);
+        for t in &removed {
+            prop_assert!(!g.contains(*t));
+            // All three index-backed access paths must agree it is gone.
+            prop_assert!(!g
+                .match_pattern(&TriplePattern::any().with_s(t.s))
+                .contains(t));
+            prop_assert!(!g
+                .match_pattern(&TriplePattern::any().with_p(t.p))
+                .contains(t));
+            prop_assert!(!g
+                .match_pattern(&TriplePattern::any().with_o(t.o))
+                .contains(t));
+        }
+    }
+
+    /// serialize ∘ parse is the identity on graphs (up to triple set).
+    #[test]
+    fn ntriples_roundtrip(triples in arb_triples()) {
+        let mut g = Graph::new();
+        for (s, p, o) in &triples {
+            // N-Triples requires IRI/blank subjects and IRI predicates.
+            let s = match s {
+                Term::Literal(_) => Term::iri("http://example.org/fixed-s"),
+                other => other.clone(),
+            };
+            let p = match p {
+                Term::Iri(_) => p.clone(),
+                _ => Term::iri("http://example.org/fixed-p"),
+            };
+            g.insert_terms(s, p, o.clone());
+        }
+        let doc = ntriples::serialize(&g);
+        let g2 = ntriples::parse(&doc).unwrap();
+        prop_assert_eq!(g.len(), g2.len());
+        let set1: std::collections::BTreeSet<String> = doc.lines().map(String::from).collect();
+        let doc2 = ntriples::serialize(&g2);
+        let set2: std::collections::BTreeSet<String> = doc2.lines().map(String::from).collect();
+        prop_assert_eq!(set1, set2);
+    }
+}

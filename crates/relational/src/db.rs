@@ -1,0 +1,423 @@
+//! The database facade: catalog plus SQL entry point.
+
+use crate::error::SqlError;
+use crate::exec::{execute, CostStats};
+use crate::explain::explain;
+use crate::optimizer::plan_select;
+use crate::plan::PhysicalPlan;
+use crate::schema::TableSchema;
+use crate::sql::{parse, SelectStmt, Statement};
+use crate::stats::{table_stats, TableStats};
+use crate::storage::Table;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// The result of executing a statement.
+#[derive(Debug, Clone)]
+pub struct ResultSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Work performed, for the cost simulation.
+    pub cost: CostStats,
+    /// `EXPLAIN` text, when the statement was an `EXPLAIN`.
+    pub explain: Option<String>,
+}
+
+impl ResultSet {
+    fn empty() -> Self {
+        ResultSet {
+            columns: Vec::new(),
+            rows: Vec::new(),
+            cost: CostStats::default(),
+            explain: None,
+        }
+    }
+}
+
+/// An embedded relational database: one named catalog of tables.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    name: String,
+    tables: HashMap<String, Table>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new(name: impl Into<String>) -> Self {
+        Database { name: name.into(), tables: HashMap::new() }
+    }
+
+    /// The database name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Executes one SQL statement.
+    pub fn execute(&mut self, sql: &str) -> Result<ResultSet, SqlError> {
+        match parse(sql)? {
+            Statement::CreateTable(schema) => {
+                self.create_table(schema)?;
+                Ok(ResultSet::empty())
+            }
+            Statement::CreateIndex { name, table, columns, unique } => {
+                self.create_index(&table, &name, &columns, unique)?;
+                Ok(ResultSet::empty())
+            }
+            Statement::Insert { table, rows } => {
+                let t = self
+                    .tables
+                    .get_mut(&table)
+                    .ok_or_else(|| SqlError::UnknownTable(table.clone()))?;
+                for row in rows {
+                    t.insert(row)?;
+                }
+                Ok(ResultSet::empty())
+            }
+            Statement::Select(stmt) => self.run_select(&stmt),
+            Statement::Explain(stmt) => {
+                let plan = self.plan(&stmt)?;
+                Ok(ResultSet {
+                    columns: Vec::new(),
+                    rows: Vec::new(),
+                    cost: CostStats::default(),
+                    explain: Some(explain(&plan)),
+                })
+            }
+        }
+    }
+
+    /// Plans a `SELECT` without executing it.
+    pub fn plan(&self, stmt: &SelectStmt) -> Result<PhysicalPlan, SqlError> {
+        plan_select(stmt, &self.tables)
+    }
+
+    /// Plans and executes a `SELECT` statement.
+    pub fn run_select(&self, stmt: &SelectStmt) -> Result<ResultSet, SqlError> {
+        let plan = self.plan(stmt)?;
+        self.run_plan(&plan)
+    }
+
+    /// Executes an already-built physical plan.
+    pub fn run_plan(&self, plan: &PhysicalPlan) -> Result<ResultSet, SqlError> {
+        let (rel, cost) = execute(plan, &self.tables)?;
+        let columns = match plan {
+            PhysicalPlan::Project { names, .. } => names.clone(),
+            PhysicalPlan::Distinct(inner) | PhysicalPlan::Limit { input: inner, .. } => {
+                project_names(inner).unwrap_or_else(|| {
+                    rel.schema.iter().map(|c| c.column.clone()).collect()
+                })
+            }
+            _ => rel.schema.iter().map(|c| c.column.clone()).collect(),
+        };
+        Ok(ResultSet { columns, rows: rel.rows, cost, explain: None })
+    }
+
+    /// Parses and runs a `SELECT`-only SQL string (convenience for
+    /// wrappers that must not mutate).
+    pub fn query(&self, sql: &str) -> Result<ResultSet, SqlError> {
+        match parse(sql)? {
+            Statement::Select(stmt) => self.run_select(&stmt),
+            _ => Err(SqlError::Internal("query() accepts only SELECT".into())),
+        }
+    }
+
+    /// Creates a table from a schema.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<(), SqlError> {
+        if self.tables.contains_key(&schema.name) {
+            return Err(SqlError::AlreadyExists(schema.name));
+        }
+        let name = schema.name.clone();
+        self.tables.insert(name, Table::new(schema)?);
+        Ok(())
+    }
+
+    /// Creates an index on `table(columns)`.
+    pub fn create_index(
+        &mut self,
+        table: &str,
+        name: &str,
+        columns: &[String],
+        unique: bool,
+    ) -> Result<(), SqlError> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| SqlError::UnknownTable(table.to_string()))?;
+        t.create_index(name, columns, unique)
+    }
+
+    /// Inserts a row through the typed API.
+    pub fn insert_row(&mut self, table: &str, row: Vec<Value>) -> Result<(), SqlError> {
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| SqlError::UnknownTable(table.to_string()))?;
+        t.insert(row)?;
+        Ok(())
+    }
+
+    /// Immutable table access.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_lowercase())
+    }
+
+    /// All table names, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Statistics for one table.
+    pub fn stats(&self, table: &str) -> Option<TableStats> {
+        self.table(table).map(table_stats)
+    }
+
+    /// True when `table.column` carries an index with that column as the
+    /// leading key — the physical-design question the paper's heuristics
+    /// ask of each source.
+    pub fn has_index_on(&self, table: &str, column: &str) -> bool {
+        self.table(table).is_some_and(|t| t.has_index_on(column))
+    }
+}
+
+fn project_names(plan: &PhysicalPlan) -> Option<Vec<String>> {
+    match plan {
+        PhysicalPlan::Project { names, .. } => Some(names.clone()),
+        PhysicalPlan::Distinct(inner)
+        | PhysicalPlan::Limit { input: inner, .. }
+        | PhysicalPlan::Sort { input: inner, .. } => project_names(inner),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lake_db() -> Database {
+        let mut db = Database::new("diseasome");
+        db.execute(
+            "CREATE TABLE gene (id TEXT PRIMARY KEY, label TEXT, species TEXT)",
+        )
+        .unwrap();
+        db.execute(
+            "CREATE TABLE disease (id TEXT PRIMARY KEY, name TEXT, class TEXT)",
+        )
+        .unwrap();
+        db.execute(
+            "CREATE TABLE gene_disease (gene TEXT, disease TEXT, PRIMARY KEY (gene, disease), \
+             FOREIGN KEY (gene) REFERENCES gene (id), \
+             FOREIGN KEY (disease) REFERENCES disease (id))",
+        )
+        .unwrap();
+        for i in 0..30 {
+            db.execute(&format!(
+                "INSERT INTO gene VALUES ('g{i}', 'gene {i}', '{}')",
+                if i % 3 == 0 { "Homo sapiens" } else { "Mus musculus" }
+            ))
+            .unwrap();
+            db.execute(&format!(
+                "INSERT INTO disease VALUES ('d{i}', 'disease {i}', 'class{}')",
+                i % 5
+            ))
+            .unwrap();
+        }
+        for i in 0..30 {
+            db.execute(&format!(
+                "INSERT INTO gene_disease VALUES ('g{i}', 'd{}')",
+                (i * 7) % 30
+            ))
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn ddl_and_inserts() {
+        let db = lake_db();
+        assert_eq!(db.table("gene").unwrap().len(), 30);
+        assert_eq!(db.table_names(), vec!["disease", "gene", "gene_disease"]);
+    }
+
+    #[test]
+    fn point_query_via_pk() {
+        let db = lake_db();
+        let rs = db.query("SELECT label FROM gene WHERE id = 'g7'").unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::text("gene 7"));
+        // PK access must go through the index, not a scan.
+        assert_eq!(rs.cost.rows_scanned, 0);
+        assert_eq!(rs.cost.index_probes, 1);
+    }
+
+    #[test]
+    fn filter_without_index_scans() {
+        let db = lake_db();
+        let rs = db
+            .query("SELECT id FROM gene WHERE species = 'Homo sapiens'")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 10);
+        assert_eq!(rs.cost.rows_scanned, 30);
+    }
+
+    #[test]
+    fn three_way_join() {
+        let db = lake_db();
+        let rs = db
+            .query(
+                "SELECT g.label, d.name FROM gene g \
+                 JOIN gene_disease gd ON g.id = gd.gene \
+                 JOIN disease d ON gd.disease = d.id",
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 30);
+        assert_eq!(rs.columns, vec!["label", "name"]);
+    }
+
+    #[test]
+    fn join_answers_match_manual() {
+        let db = lake_db();
+        let rs = db
+            .query(
+                "SELECT d.name FROM gene g \
+                 JOIN gene_disease gd ON g.id = gd.gene \
+                 JOIN disease d ON gd.disease = d.id \
+                 WHERE g.id = 'g3'",
+            )
+            .unwrap();
+        // g3 → d21.
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::text("disease 21"));
+    }
+
+    #[test]
+    fn order_and_limit() {
+        let db = lake_db();
+        let rs = db
+            .query("SELECT id FROM gene ORDER BY id DESC LIMIT 3")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 3);
+        assert_eq!(rs.rows[0][0], Value::text("g9"));
+    }
+
+    #[test]
+    fn distinct() {
+        let db = lake_db();
+        let rs = db.query("SELECT DISTINCT species FROM gene").unwrap();
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn like_filter() {
+        let db = lake_db();
+        let rs = db
+            .query("SELECT id FROM gene WHERE species LIKE '%sapiens%'")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 10);
+    }
+
+    #[test]
+    fn explain_shows_index_use() {
+        let mut db = lake_db();
+        let rs = db.execute("EXPLAIN SELECT * FROM gene WHERE id = 'g1'").unwrap();
+        let text = rs.explain.unwrap();
+        assert!(text.contains("IndexScan"), "plan was: {text}");
+        let rs = db
+            .execute("EXPLAIN SELECT * FROM gene WHERE species = 'Homo sapiens'")
+            .unwrap();
+        let text = rs.explain.unwrap();
+        assert!(text.contains("SeqScan"), "plan was: {text}");
+    }
+
+    #[test]
+    fn creating_secondary_index_changes_plan_and_cost() {
+        let mut db = lake_db();
+        let before = db
+            .query("SELECT id FROM disease WHERE class = 'class2'")
+            .unwrap();
+        assert!(before.cost.rows_scanned > 0);
+        db.execute("CREATE INDEX idx_class ON disease (class)").unwrap();
+        let after = db
+            .query("SELECT id FROM disease WHERE class = 'class2'")
+            .unwrap();
+        assert_eq!(after.cost.rows_scanned, 0);
+        assert!(after.cost.index_probes >= 1);
+        // Same answers either way.
+        assert_eq!(before.rows.len(), after.rows.len());
+    }
+
+    #[test]
+    fn stats_and_has_index() {
+        let db = lake_db();
+        assert!(db.has_index_on("gene", "id"));
+        assert!(!db.has_index_on("gene", "species"));
+        let stats = db.stats("gene").unwrap();
+        // Mus musculus occurs in 2/3 of rows — above the 15 % threshold.
+        assert!(!stats.column("species").unwrap().is_indexable());
+        assert!(stats.column("id").unwrap().is_indexable());
+    }
+
+    #[test]
+    fn insert_violating_pk_fails() {
+        let mut db = lake_db();
+        assert!(db
+            .execute("INSERT INTO gene VALUES ('g1', 'dup', 'x')")
+            .is_err());
+    }
+
+    #[test]
+    fn query_rejects_ddl() {
+        let db = lake_db();
+        assert!(db.query("CREATE TABLE x (a INT)").is_err());
+    }
+
+    #[test]
+    fn explain_join_shows_algorithm() {
+        let mut db = lake_db();
+        let rs = db
+            .execute(
+                "EXPLAIN SELECT g.label, d.name FROM gene g \
+                 JOIN gene_disease gd ON g.id = gd.gene \
+                 JOIN disease d ON gd.disease = d.id",
+            )
+            .unwrap();
+        let text = rs.explain.unwrap();
+        // Both join steps resolve through indexes (PKs).
+        assert!(text.contains("IndexNestedLoopJoin"), "plan was: {text}");
+        assert!(text.contains("Project: "), "plan was: {text}");
+    }
+
+    #[test]
+    fn in_list_ignores_null_values_in_rows() {
+        let mut db = Database::new("nulls");
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'a'), (2, NULL), (3, 'b')").unwrap();
+        let rs = db.query("SELECT id FROM t WHERE v IN ('a', 'b', 'c')").unwrap();
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn in_list_query() {
+        let db = lake_db();
+        let rs = db
+            .query("SELECT id FROM gene WHERE id IN ('g1', 'g2', 'zzz')")
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.cost.index_probes, 3);
+    }
+
+    #[test]
+    fn range_query_on_pk() {
+        let mut db = Database::new("r");
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)").unwrap();
+        for i in 0..100 {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, 'v{i}')")).unwrap();
+        }
+        let rs = db.query("SELECT id FROM t WHERE id >= 90").unwrap();
+        assert_eq!(rs.rows.len(), 10);
+        assert_eq!(rs.cost.rows_scanned, 0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Error types for the relational engine.
+
+use std::fmt;
+
+/// Errors raised by the SQL front-end, planner or executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Lexical/parse error.
+    Parse(String),
+    /// Unknown table.
+    UnknownTable(String),
+    /// Unknown column, with the context where it was referenced.
+    UnknownColumn(String),
+    /// Ambiguous unqualified column reference.
+    AmbiguousColumn(String),
+    /// Schema violation (duplicate key, NOT NULL, arity, type mismatch).
+    Constraint(String),
+    /// An object (table/index) already exists.
+    AlreadyExists(String),
+    /// Planner/executor internal error.
+    Internal(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(m) => write!(f, "SQL parse error: {m}"),
+            SqlError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            SqlError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            SqlError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            SqlError::Constraint(m) => write!(f, "constraint violation: {m}"),
+            SqlError::AlreadyExists(o) => write!(f, "already exists: {o}"),
+            SqlError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SqlError::Parse("x".into()).to_string().contains("parse"));
+        assert!(SqlError::UnknownTable("t".into()).to_string().contains('t'));
+        assert!(SqlError::AmbiguousColumn("c".into())
+            .to_string()
+            .contains("ambiguous"));
+    }
+}

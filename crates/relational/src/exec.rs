@@ -1,0 +1,532 @@
+//! Plan execution with cost accounting.
+//!
+//! Every operator records the work it performs in a [`CostStats`]. The
+//! network/cost simulation (`fedlake-netsim`) converts these counters into
+//! simulated time, which is how the experiments price an indexed lookup
+//! differently from a full scan without depending on wall-clock noise.
+
+use crate::error::SqlError;
+use crate::optimizer::CatalogView;
+use crate::plan::{AccessPath, JoinAlgo, PhysicalPlan, ScanNode};
+use crate::sql::ast::{ColumnRef, Operand, Predicate, SortKey, SqlCmpOp};
+use crate::storage::Table;
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Work counters accumulated during execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostStats {
+    /// Heap rows visited by sequential scans.
+    pub rows_scanned: u64,
+    /// Index lookups (point, range or IN-list probes).
+    pub index_probes: u64,
+    /// Rows fetched through an index.
+    pub index_rows: u64,
+    /// Predicate evaluations.
+    pub filter_evals: u64,
+    /// Rows inserted into join hash tables.
+    pub hash_build_rows: u64,
+    /// Rows probed against join hash tables.
+    pub hash_probe_rows: u64,
+    /// Rows passed through sort operators.
+    pub sort_rows: u64,
+    /// Rows in the final result.
+    pub rows_output: u64,
+}
+
+impl CostStats {
+    /// Accumulates another operator's counters.
+    pub fn merge(&mut self, other: &CostStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.index_probes += other.index_probes;
+        self.index_rows += other.index_rows;
+        self.filter_evals += other.filter_evals;
+        self.hash_build_rows += other.hash_build_rows;
+        self.hash_probe_rows += other.hash_probe_rows;
+        self.sort_rows += other.sort_rows;
+        self.rows_output += other.rows_output;
+    }
+}
+
+/// An intermediate relation: alias-qualified schema plus row data.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    /// Column descriptors.
+    pub schema: Vec<ColumnRef>,
+    /// Row data, one `Vec<Value>` per row, aligned with `schema`.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    /// Index of a column in this relation's schema.
+    pub fn col_index(&self, c: &ColumnRef) -> Option<usize> {
+        self.schema.iter().position(|s| s == c)
+    }
+}
+
+/// Executes a physical plan against a catalog.
+pub fn execute<C: CatalogView>(
+    plan: &PhysicalPlan,
+    catalog: &C,
+) -> Result<(Relation, CostStats), SqlError> {
+    let mut cost = CostStats::default();
+    let rel = exec_node(plan, catalog, &mut cost)?;
+    cost.rows_output = rel.rows.len() as u64;
+    Ok((rel, cost))
+}
+
+fn exec_node<C: CatalogView>(
+    plan: &PhysicalPlan,
+    catalog: &C,
+    cost: &mut CostStats,
+) -> Result<Relation, SqlError> {
+    match plan {
+        PhysicalPlan::Scan(scan) => exec_scan(scan, catalog, cost),
+        PhysicalPlan::Join { left, right, algo, left_key, right_key } => {
+            let left_rel = exec_node(left, catalog, cost)?;
+            exec_join(left_rel, right, *algo, left_key, right_key, catalog, cost)
+        }
+        PhysicalPlan::Filter { input, predicates } => {
+            let rel = exec_node(input, catalog, cost)?;
+            let mut rows = Vec::with_capacity(rel.rows.len());
+            for row in rel.rows {
+                cost.filter_evals += predicates.len() as u64;
+                if predicates
+                    .iter()
+                    .all(|p| eval_predicate(p, &rel.schema, &row))
+                {
+                    rows.push(row);
+                }
+            }
+            Ok(Relation { schema: rel.schema, rows })
+        }
+        PhysicalPlan::Project { input, columns, names: _ } => {
+            let rel = exec_node(input, catalog, cost)?;
+            let idx: Vec<usize> = columns
+                .iter()
+                .map(|c| {
+                    rel.col_index(c)
+                        .ok_or_else(|| SqlError::Internal(format!("projection column {c} missing")))
+                })
+                .collect::<Result<_, _>>()?;
+            let rows = rel
+                .rows
+                .into_iter()
+                .map(|row| idx.iter().map(|&i| row[i].clone()).collect())
+                .collect();
+            Ok(Relation { schema: columns.clone(), rows })
+        }
+        PhysicalPlan::Distinct(input) => {
+            let rel = exec_node(input, catalog, cost)?;
+            let mut seen = std::collections::HashSet::new();
+            let mut rows = Vec::new();
+            for row in rel.rows {
+                if seen.insert(row.clone()) {
+                    rows.push(row);
+                }
+            }
+            Ok(Relation { schema: rel.schema, rows })
+        }
+        PhysicalPlan::Sort { input, keys } => {
+            let rel = exec_node(input, catalog, cost)?;
+            let idx: Vec<(usize, bool)> = keys
+                .iter()
+                .map(|SortKey { col, asc }| {
+                    rel.col_index(col)
+                        .map(|i| (i, *asc))
+                        .ok_or_else(|| SqlError::Internal(format!("sort column {col} missing")))
+                })
+                .collect::<Result<_, _>>()?;
+            cost.sort_rows += rel.rows.len() as u64;
+            let mut rows = rel.rows;
+            rows.sort_by(|a, b| {
+                for &(i, asc) in &idx {
+                    let ord = a[i].cmp(&b[i]);
+                    let ord = if asc { ord } else { ord.reverse() };
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                Ordering::Equal
+            });
+            Ok(Relation { schema: rel.schema, rows })
+        }
+        PhysicalPlan::Limit { input, n } => {
+            let mut rel = exec_node(input, catalog, cost)?;
+            rel.rows.truncate(*n);
+            Ok(rel)
+        }
+    }
+}
+
+fn table_schema_refs(table: &Table, alias: &str) -> Vec<ColumnRef> {
+    table
+        .schema
+        .columns
+        .iter()
+        .map(|c| ColumnRef::qualified(alias, &c.name))
+        .collect()
+}
+
+fn exec_scan<C: CatalogView>(
+    scan: &ScanNode,
+    catalog: &C,
+    cost: &mut CostStats,
+) -> Result<Relation, SqlError> {
+    let table = catalog
+        .table(&scan.table)
+        .ok_or_else(|| SqlError::UnknownTable(scan.table.clone()))?;
+    let schema = table_schema_refs(table, &scan.alias);
+    let rids: Vec<usize> = match &scan.path {
+        AccessPath::SeqScan => {
+            cost.rows_scanned += table.len() as u64;
+            (0..table.len()).collect()
+        }
+        AccessPath::IndexEq { index, key } => {
+            cost.index_probes += 1;
+            let idx = find_index(table, index)?;
+            let rids = idx.lookup(std::slice::from_ref(key)).to_vec();
+            cost.index_rows += rids.len() as u64;
+            rids
+        }
+        AccessPath::IndexRange { index, low, high } => {
+            cost.index_probes += 1;
+            let idx = find_index(table, index)?;
+            let rids = idx.range(
+                low.as_ref().map(|(v, inc)| (v, *inc)),
+                high.as_ref().map(|(v, inc)| (v, *inc)),
+            );
+            cost.index_rows += rids.len() as u64;
+            rids
+        }
+        AccessPath::IndexInList { index, keys } => {
+            let idx = find_index(table, index)?;
+            let mut rids = Vec::new();
+            for key in keys {
+                cost.index_probes += 1;
+                rids.extend_from_slice(idx.lookup(std::slice::from_ref(key)));
+            }
+            cost.index_rows += rids.len() as u64;
+            rids
+        }
+    };
+    let mut rows = Vec::with_capacity(rids.len());
+    for rid in rids {
+        let row = table
+            .row(rid)
+            .ok_or_else(|| SqlError::Internal(format!("dangling rid {rid}")))?;
+        if !scan.residual.is_empty() {
+            cost.filter_evals += scan.residual.len() as u64;
+            if !scan
+                .residual
+                .iter()
+                .all(|p| eval_predicate(p, &schema, row))
+            {
+                continue;
+            }
+        }
+        rows.push(row.to_vec());
+    }
+    Ok(Relation { schema, rows })
+}
+
+fn find_index<'t>(
+    table: &'t Table,
+    name: &str,
+) -> Result<&'t crate::index::BTreeIndex, SqlError> {
+    table
+        .indexes()
+        .iter()
+        .find(|i| i.name == name)
+        .ok_or_else(|| SqlError::Internal(format!("index {name} disappeared")))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_join<C: CatalogView>(
+    left: Relation,
+    right: &ScanNode,
+    algo: JoinAlgo,
+    left_key: &Option<ColumnRef>,
+    right_key: &Option<ColumnRef>,
+    catalog: &C,
+    cost: &mut CostStats,
+) -> Result<Relation, SqlError> {
+    let table = catalog
+        .table(&right.table)
+        .ok_or_else(|| SqlError::UnknownTable(right.table.clone()))?;
+    let right_schema = table_schema_refs(table, &right.alias);
+    let mut out_schema = left.schema.clone();
+    out_schema.extend(right_schema.iter().cloned());
+
+    match algo {
+        JoinAlgo::Cross => {
+            let right_rel = exec_scan(right, catalog, cost)?;
+            let mut rows = Vec::new();
+            for l in &left.rows {
+                for r in &right_rel.rows {
+                    let mut row = l.clone();
+                    row.extend(r.iter().cloned());
+                    rows.push(row);
+                }
+            }
+            Ok(Relation { schema: out_schema, rows })
+        }
+        JoinAlgo::Hash => {
+            let lk = left_key
+                .as_ref()
+                .ok_or_else(|| SqlError::Internal("hash join without key".into()))?;
+            let rk = right_key
+                .as_ref()
+                .ok_or_else(|| SqlError::Internal("hash join without key".into()))?;
+            let li = left
+                .schema
+                .iter()
+                .position(|c| c == lk)
+                .ok_or_else(|| SqlError::Internal(format!("join key {lk} missing")))?;
+            let right_rel = exec_scan(right, catalog, cost)?;
+            let ri = right_rel
+                .schema
+                .iter()
+                .position(|c| c == rk)
+                .ok_or_else(|| SqlError::Internal(format!("join key {rk} missing")))?;
+            // Build on the smaller input.
+            let mut ht: HashMap<Value, Vec<usize>> = HashMap::new();
+            let (build, probe, build_is_left) = if left.rows.len() <= right_rel.rows.len() {
+                (&left.rows, &right_rel.rows, true)
+            } else {
+                (&right_rel.rows, &left.rows, false)
+            };
+            let (bi, pi) = if build_is_left { (li, ri) } else { (ri, li) };
+            for (n, row) in build.iter().enumerate() {
+                cost.hash_build_rows += 1;
+                if row[bi].is_null() {
+                    continue;
+                }
+                ht.entry(row[bi].clone()).or_default().push(n);
+            }
+            let mut rows = Vec::new();
+            for prow in probe {
+                cost.hash_probe_rows += 1;
+                if prow[pi].is_null() {
+                    continue;
+                }
+                if let Some(matches) = ht.get(&prow[pi]) {
+                    for &bn in matches {
+                        let brow = &build[bn];
+                        let (l, r) = if build_is_left { (brow, prow) } else { (prow, brow) };
+                        let mut row = l.clone();
+                        row.extend(r.iter().cloned());
+                        rows.push(row);
+                    }
+                }
+            }
+            Ok(Relation { schema: out_schema, rows })
+        }
+        JoinAlgo::IndexNestedLoop => {
+            let lk = left_key
+                .as_ref()
+                .ok_or_else(|| SqlError::Internal("INLJ without key".into()))?;
+            let rk = right_key
+                .as_ref()
+                .ok_or_else(|| SqlError::Internal("INLJ without key".into()))?;
+            let li = left
+                .schema
+                .iter()
+                .position(|c| c == lk)
+                .ok_or_else(|| SqlError::Internal(format!("join key {lk} missing")))?;
+            let idx = table
+                .index_on(&rk.column)
+                .ok_or_else(|| SqlError::Internal(format!("no index on {rk} for INLJ")))?;
+            let mut rows = Vec::new();
+            for lrow in &left.rows {
+                let key = &lrow[li];
+                if key.is_null() {
+                    continue;
+                }
+                cost.index_probes += 1;
+                for &rid in idx.lookup_prefix(std::slice::from_ref(key)).iter() {
+                    let rrow = table
+                        .row(rid)
+                        .ok_or_else(|| SqlError::Internal(format!("dangling rid {rid}")))?;
+                    cost.index_rows += 1;
+                    // Apply the right side's residual predicates.
+                    if !right.residual.is_empty() {
+                        cost.filter_evals += right.residual.len() as u64;
+                        if !right
+                            .residual
+                            .iter()
+                            .all(|p| eval_predicate(p, &right_schema, rrow))
+                        {
+                            continue;
+                        }
+                    }
+                    // And its access-path restriction, if any (the planner
+                    // may have both an index path and a join; the path then
+                    // acts as an extra filter).
+                    if !path_accepts(&right.path, table, rrow) {
+                        continue;
+                    }
+                    let mut row = lrow.clone();
+                    row.extend(rrow.iter().cloned());
+                    rows.push(row);
+                }
+            }
+            Ok(Relation { schema: out_schema, rows })
+        }
+    }
+}
+
+/// When an INLJ drives row fetches, the scan's own access path becomes a
+/// residual restriction on the fetched rows.
+fn path_accepts(path: &AccessPath, table: &Table, row: &[Value]) -> bool {
+    match path {
+        AccessPath::SeqScan => true,
+        AccessPath::IndexEq { index, key } => key_of(table, index, row)
+            .map(|k| k.first() == Some(key))
+            .unwrap_or(false),
+        AccessPath::IndexRange { index, low, high } => {
+            let Some(k) = key_of(table, index, row).and_then(|k| k.into_iter().next()) else {
+                return false;
+            };
+            if k.is_null() {
+                return false;
+            }
+            let lo_ok = low.as_ref().is_none_or(|(v, inc)| match k.sql_cmp(v) {
+                Some(Ordering::Greater) => true,
+                Some(Ordering::Equal) => *inc,
+                _ => false,
+            });
+            let hi_ok = high.as_ref().is_none_or(|(v, inc)| match k.sql_cmp(v) {
+                Some(Ordering::Less) => true,
+                Some(Ordering::Equal) => *inc,
+                _ => false,
+            });
+            lo_ok && hi_ok
+        }
+        AccessPath::IndexInList { index, keys } => key_of(table, index, row)
+            .and_then(|k| k.into_iter().next())
+            .map(|k| keys.contains(&k))
+            .unwrap_or(false),
+    }
+}
+
+fn key_of(table: &Table, index_name: &str, row: &[Value]) -> Option<Vec<Value>> {
+    table
+        .indexes()
+        .iter()
+        .find(|i| i.name == index_name)
+        .map(|i| i.key_of(row))
+}
+
+/// Evaluates a predicate against a row under the given schema.
+pub fn eval_predicate(p: &Predicate, schema: &[ColumnRef], row: &[Value]) -> bool {
+    let resolve = |c: &ColumnRef| -> Option<usize> {
+        schema.iter().position(|s| {
+            s.column == c.column && (c.table.is_none() || s.table == c.table)
+        })
+    };
+    match p {
+        Predicate::Compare { left, op, right } => {
+            let Some(li) = resolve(left) else { return false };
+            let lv = &row[li];
+            let rv = match right {
+                Operand::Literal(v) => v.clone(),
+                Operand::Column(c) => {
+                    let Some(ri) = resolve(c) else { return false };
+                    row[ri].clone()
+                }
+            };
+            match lv.sql_cmp(&rv) {
+                None => false,
+                Some(ord) => match op {
+                    SqlCmpOp::Eq => ord == Ordering::Equal,
+                    SqlCmpOp::Ne => ord != Ordering::Equal,
+                    SqlCmpOp::Lt => ord == Ordering::Less,
+                    SqlCmpOp::Le => ord != Ordering::Greater,
+                    SqlCmpOp::Gt => ord == Ordering::Greater,
+                    SqlCmpOp::Ge => ord != Ordering::Less,
+                },
+            }
+        }
+        Predicate::Like { col, pattern, negated } => {
+            let Some(i) = resolve(col) else { return false };
+            if row[i].is_null() {
+                return false;
+            }
+            row[i].like(pattern) != *negated
+        }
+        Predicate::IsNull { col, negated } => {
+            let Some(i) = resolve(col) else { return false };
+            row[i].is_null() != *negated
+        }
+        Predicate::InList { col, values } => {
+            let Some(i) = resolve(col) else { return false };
+            let v = &row[i];
+            if v.is_null() {
+                return false;
+            }
+            values
+                .iter()
+                .any(|w| v.sql_cmp(w) == Some(Ordering::Equal))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::ast::Operand;
+
+    fn schema() -> Vec<ColumnRef> {
+        vec![
+            ColumnRef::qualified("t", "id"),
+            ColumnRef::qualified("t", "name"),
+        ]
+    }
+
+    #[test]
+    fn predicate_eval_compare() {
+        let row = vec![Value::Int(5), Value::text("abc")];
+        let p = Predicate::Compare {
+            left: ColumnRef::qualified("t", "id"),
+            op: SqlCmpOp::Gt,
+            right: Operand::Literal(Value::Int(3)),
+        };
+        assert!(eval_predicate(&p, &schema(), &row));
+    }
+
+    #[test]
+    fn predicate_eval_unqualified_matches() {
+        let row = vec![Value::Int(5), Value::text("abc")];
+        let p = Predicate::Compare {
+            left: ColumnRef::new("name"),
+            op: SqlCmpOp::Eq,
+            right: Operand::Literal(Value::text("abc")),
+        };
+        assert!(eval_predicate(&p, &schema(), &row));
+    }
+
+    #[test]
+    fn predicate_null_semantics() {
+        let row = vec![Value::Null, Value::Null];
+        let eq = Predicate::Compare {
+            left: ColumnRef::new("id"),
+            op: SqlCmpOp::Eq,
+            right: Operand::Literal(Value::Null),
+        };
+        // NULL = NULL is UNKNOWN → filtered out.
+        assert!(!eval_predicate(&eq, &schema(), &row));
+        let isnull = Predicate::IsNull { col: ColumnRef::new("id"), negated: false };
+        assert!(eval_predicate(&isnull, &schema(), &row));
+    }
+
+    #[test]
+    fn cost_merge() {
+        let mut a = CostStats { rows_scanned: 1, ..Default::default() };
+        let b = CostStats { rows_scanned: 2, index_probes: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.rows_scanned, 3);
+        assert_eq!(a.index_probes, 3);
+    }
+}

@@ -1,0 +1,122 @@
+//! `EXPLAIN` rendering of physical plans.
+
+use crate::plan::{AccessPath, JoinAlgo, PhysicalPlan};
+
+/// Renders a plan as an indented text tree, one operator per line.
+pub fn explain(plan: &PhysicalPlan) -> String {
+    let mut out = String::new();
+    render(plan, 0, &mut out);
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render(plan: &PhysicalPlan, depth: usize, out: &mut String) {
+    indent(out, depth);
+    match plan {
+        PhysicalPlan::Scan(s) => {
+            let path = match &s.path {
+                AccessPath::SeqScan => "SeqScan".to_string(),
+                AccessPath::IndexEq { index, key } => format!("IndexScan[{index} = {key}]"),
+                AccessPath::IndexRange { index, .. } => format!("IndexRangeScan[{index}]"),
+                AccessPath::IndexInList { index, keys } => {
+                    format!("IndexInScan[{index}, {} keys]", keys.len())
+                }
+            };
+            out.push_str(&format!(
+                "{path} {} AS {} (est {:.1} rows)",
+                s.table, s.alias, s.estimated_rows
+            ));
+            if !s.residual.is_empty() {
+                let preds: Vec<String> = s.residual.iter().map(|p| p.to_string()).collect();
+                out.push_str(&format!(" filter: {}", preds.join(" AND ")));
+            }
+            out.push('\n');
+        }
+        PhysicalPlan::Join { left, right, algo, left_key, right_key } => {
+            let name = match algo {
+                JoinAlgo::Hash => "HashJoin",
+                JoinAlgo::IndexNestedLoop => "IndexNestedLoopJoin",
+                JoinAlgo::Cross => "CrossJoin",
+            };
+            match (left_key, right_key) {
+                (Some(l), Some(r)) => out.push_str(&format!("{name} on {l} = {r}\n")),
+                _ => out.push_str(&format!("{name}\n")),
+            }
+            render(left, depth + 1, out);
+            // Render the right scan as a child line.
+            render(&PhysicalPlan::Scan(right.clone()), depth + 1, out);
+        }
+        PhysicalPlan::Filter { input, predicates } => {
+            let preds: Vec<String> = predicates.iter().map(|p| p.to_string()).collect();
+            out.push_str(&format!("Filter: {}\n", preds.join(" AND ")));
+            render(input, depth + 1, out);
+        }
+        PhysicalPlan::Project { input, columns, .. } => {
+            let cols: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
+            out.push_str(&format!("Project: {}\n", cols.join(", ")));
+            render(input, depth + 1, out);
+        }
+        PhysicalPlan::Distinct(input) => {
+            out.push_str("Distinct\n");
+            render(input, depth + 1, out);
+        }
+        PhysicalPlan::Sort { input, keys } => {
+            let ks: Vec<String> = keys
+                .iter()
+                .map(|k| format!("{}{}", k.col, if k.asc { "" } else { " DESC" }))
+                .collect();
+            out.push_str(&format!("Sort: {}\n", ks.join(", ")));
+            render(input, depth + 1, out);
+        }
+        PhysicalPlan::Limit { input, n } => {
+            out.push_str(&format!("Limit {n}\n"));
+            render(input, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ScanNode;
+
+    #[test]
+    fn explain_scan() {
+        let plan = PhysicalPlan::Scan(ScanNode {
+            table: "gene".into(),
+            alias: "g".into(),
+            path: AccessPath::SeqScan,
+            residual: Vec::new(),
+            estimated_rows: 20.0,
+        });
+        let text = explain(&plan);
+        assert!(text.contains("SeqScan gene AS g"));
+        assert!(text.contains("est 20.0 rows"));
+    }
+
+    #[test]
+    fn explain_nested() {
+        let scan = ScanNode {
+            table: "gene".into(),
+            alias: "g".into(),
+            path: AccessPath::IndexEq {
+                index: "pk_gene".into(),
+                key: crate::value::Value::text("g1"),
+            },
+            residual: Vec::new(),
+            estimated_rows: 1.0,
+        };
+        let plan = PhysicalPlan::Limit {
+            input: Box::new(PhysicalPlan::Scan(scan)),
+            n: 5,
+        };
+        let text = explain(&plan);
+        assert!(text.starts_with("Limit 5"));
+        assert!(text.contains("IndexScan[pk_gene = 'g1']"));
+    }
+}

@@ -1,0 +1,51 @@
+//! # fedlake-relational
+//!
+//! An embedded, in-memory relational database engine — the stand-in for the
+//! MySQL 5.7 containers the paper's data lake is built from.
+//!
+//! The engine provides everything the physical-design heuristics observe:
+//!
+//! * a catalog with primary keys, foreign keys and **secondary indexes**
+//!   ([`schema`], [`Database::create_index`]);
+//! * B-tree indexes supporting point and range lookups ([`index`]);
+//! * per-column statistics including the *duplication ratio* that drives
+//!   the paper's "no index when a value occurs in more than 15 % of the
+//!   records" rule ([`stats`]);
+//! * a SQL subset (`CREATE TABLE`, `CREATE INDEX`, `INSERT`, `SELECT` with
+//!   joins, `WHERE`, `ORDER BY`, `LIMIT`) ([`sql`]);
+//! * a rule/cost optimizer that picks access paths and join algorithms
+//!   based on available indexes ([`optimizer`]);
+//! * an iterator executor with **cost accounting** ([`exec`]) — the numbers
+//!   the network/cost simulation converts into simulated time;
+//! * `EXPLAIN` output ([`explain`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use fedlake_relational::Database;
+//!
+//! let mut db = Database::new("demo");
+//! db.execute("CREATE TABLE drug (id TEXT PRIMARY KEY, name TEXT)").unwrap();
+//! db.execute("INSERT INTO drug VALUES ('d1', 'Aspirin')").unwrap();
+//! let rs = db.execute("SELECT name FROM drug WHERE id = 'd1'").unwrap();
+//! assert_eq!(rs.rows.len(), 1);
+//! ```
+
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod explain;
+pub mod index;
+pub mod optimizer;
+pub mod plan;
+pub mod schema;
+pub mod sql;
+pub mod stats;
+pub mod storage;
+pub mod value;
+
+pub use db::{Database, ResultSet};
+pub use error::SqlError;
+pub use exec::CostStats;
+pub use schema::{Column, ForeignKey, IndexDef, TableSchema};
+pub use value::{DataType, Value};

@@ -1,0 +1,208 @@
+//! Physical query plans.
+//!
+//! Plans are left-deep: the right side of every join is a base-table scan.
+//! This mirrors the shape of plans MySQL produces for the star-shaped
+//! queries the paper's workload consists of, and keeps the cost accounting
+//! interpretable.
+
+use crate::sql::ast::{ColumnRef, Predicate, SortKey};
+use crate::value::Value;
+
+/// How a base table is accessed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPath {
+    /// Full heap scan.
+    SeqScan,
+    /// Point lookup on an index's leading column.
+    IndexEq {
+        /// Index name.
+        index: String,
+        /// Lookup key.
+        key: Value,
+    },
+    /// Range scan on an index's leading column.
+    IndexRange {
+        /// Index name.
+        index: String,
+        /// Lower bound (value, inclusive).
+        low: Option<(Value, bool)>,
+        /// Upper bound (value, inclusive).
+        high: Option<(Value, bool)>,
+    },
+    /// A batch of point lookups (`IN` list).
+    IndexInList {
+        /// Index name.
+        index: String,
+        /// Lookup keys.
+        keys: Vec<Value>,
+    },
+}
+
+impl AccessPath {
+    /// True when this path uses an index.
+    pub fn uses_index(&self) -> bool {
+        !matches!(self, AccessPath::SeqScan)
+    }
+}
+
+/// A base-table scan with residual predicates evaluated after access.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanNode {
+    /// Table name.
+    pub table: String,
+    /// Alias the scan's columns are exposed under.
+    pub alias: String,
+    /// Access path chosen by the optimizer.
+    pub path: AccessPath,
+    /// Single-table predicates applied after row fetch.
+    pub residual: Vec<Predicate>,
+    /// Optimizer's cardinality estimate after residual filters.
+    pub estimated_rows: f64,
+}
+
+/// Join algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinAlgo {
+    /// Build a hash table on the accumulated left side, probe with the
+    /// right scan.
+    Hash,
+    /// For each left row, probe the right table's index on the join key.
+    IndexNestedLoop,
+    /// Cartesian product (no join condition).
+    Cross,
+}
+
+/// A physical plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// Leaf scan.
+    Scan(ScanNode),
+    /// Left-deep join step.
+    Join {
+        /// Accumulated left input.
+        left: Box<PhysicalPlan>,
+        /// Right base-table scan.
+        right: ScanNode,
+        /// Algorithm.
+        algo: JoinAlgo,
+        /// Join key on the left input (alias-qualified), unless `Cross`.
+        left_key: Option<ColumnRef>,
+        /// Join key on the right table, unless `Cross`.
+        right_key: Option<ColumnRef>,
+    },
+    /// Residual multi-table filter.
+    Filter {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Conjunctive predicates.
+        predicates: Vec<Predicate>,
+    },
+    /// Column projection.
+    Project {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Projected columns (alias-qualified).
+        columns: Vec<ColumnRef>,
+        /// Output names for the projected columns.
+        names: Vec<String>,
+    },
+    /// Duplicate elimination.
+    Distinct(Box<PhysicalPlan>),
+    /// Sorting.
+    Sort {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Sort keys.
+        keys: Vec<SortKey>,
+    },
+    /// Row-count limit.
+    Limit {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Maximum rows.
+        n: usize,
+    },
+}
+
+impl PhysicalPlan {
+    /// Number of base-table scans in the plan.
+    pub fn scan_count(&self) -> usize {
+        match self {
+            PhysicalPlan::Scan(_) => 1,
+            PhysicalPlan::Join { left, .. } => 1 + left.scan_count(),
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. } => input.scan_count(),
+            PhysicalPlan::Distinct(input) => input.scan_count(),
+        }
+    }
+
+    /// Number of scans that use an index.
+    pub fn indexed_scan_count(&self) -> usize {
+        match self {
+            PhysicalPlan::Scan(s) => usize::from(s.path.uses_index()),
+            PhysicalPlan::Join { left, right, algo, .. } => {
+                // An INLJ uses the right table's index even though the scan
+                // node itself may be a seq scan descriptor.
+                let right_indexed = right.path.uses_index()
+                    || *algo == JoinAlgo::IndexNestedLoop;
+                left.indexed_scan_count() + usize::from(right_indexed)
+            }
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. } => input.indexed_scan_count(),
+            PhysicalPlan::Distinct(input) => input.indexed_scan_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(table: &str, path: AccessPath) -> ScanNode {
+        ScanNode {
+            table: table.into(),
+            alias: table.into(),
+            path,
+            residual: Vec::new(),
+            estimated_rows: 1.0,
+        }
+    }
+
+    #[test]
+    fn access_path_classification() {
+        assert!(!AccessPath::SeqScan.uses_index());
+        assert!(AccessPath::IndexEq { index: "i".into(), key: Value::Int(1) }.uses_index());
+    }
+
+    #[test]
+    fn scan_counts() {
+        let plan = PhysicalPlan::Join {
+            left: Box::new(PhysicalPlan::Scan(scan("a", AccessPath::SeqScan))),
+            right: scan(
+                "b",
+                AccessPath::IndexEq { index: "i".into(), key: Value::Int(1) },
+            ),
+            algo: JoinAlgo::Hash,
+            left_key: Some(ColumnRef::qualified("a", "x")),
+            right_key: Some(ColumnRef::qualified("b", "y")),
+        };
+        assert_eq!(plan.scan_count(), 2);
+        assert_eq!(plan.indexed_scan_count(), 1);
+    }
+
+    #[test]
+    fn inlj_counts_as_indexed() {
+        let plan = PhysicalPlan::Join {
+            left: Box::new(PhysicalPlan::Scan(scan("a", AccessPath::SeqScan))),
+            right: scan("b", AccessPath::SeqScan),
+            algo: JoinAlgo::IndexNestedLoop,
+            left_key: Some(ColumnRef::qualified("a", "x")),
+            right_key: Some(ColumnRef::qualified("b", "y")),
+        };
+        assert_eq!(plan.indexed_scan_count(), 1);
+    }
+}

@@ -1,0 +1,216 @@
+//! Solution mappings.
+//!
+//! A [`Row`] maps variables to RDF terms. Rows are the currency of every
+//! operator in the workspace: the local SPARQL evaluator, the federated
+//! engine's adaptive operators and the wrappers all produce and consume
+//! them. Terms are stored by value (not dictionary ids) because rows cross
+//! source boundaries where dictionaries differ.
+
+use fedlake_rdf::Term;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A query variable (without the leading `?`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub Arc<str>);
+
+impl Var {
+    /// Creates a variable from its name (no leading `?`).
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Var(Arc::from(name.as_ref()))
+    }
+
+    /// The variable name without the `?` sigil.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+/// A single solution mapping: variable → term.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Row {
+    slots: BTreeMap<Var, Term>,
+}
+
+impl Row {
+    /// An empty solution mapping.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `var` to `term`, replacing any existing binding.
+    pub fn bind(&mut self, var: Var, term: Term) {
+        self.slots.insert(var, term);
+    }
+
+    /// Builder-style [`Row::bind`].
+    pub fn with(mut self, var: impl Into<Var>, term: Term) -> Self {
+        self.bind(var.into(), term);
+        self
+    }
+
+    /// The term bound to `var`, if any.
+    pub fn get(&self, var: &Var) -> Option<&Term> {
+        self.slots.get(var)
+    }
+
+    /// True when `var` is bound.
+    pub fn is_bound(&self, var: &Var) -> bool {
+        self.slots.contains_key(var)
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterates `(variable, term)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Var, &Term)> {
+        self.slots.iter()
+    }
+
+    /// The set of bound variables.
+    pub fn vars(&self) -> impl Iterator<Item = &Var> {
+        self.slots.keys()
+    }
+
+    /// Two rows are *compatible* when they agree on every shared variable.
+    pub fn compatible(&self, other: &Row) -> bool {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .iter()
+            .all(|(v, t)| large.get(v).is_none_or(|u| u == t))
+    }
+
+    /// Merges two compatible rows; `None` when they conflict.
+    pub fn merge(&self, other: &Row) -> Option<Row> {
+        if !self.compatible(other) {
+            return None;
+        }
+        let mut out = self.clone();
+        for (v, t) in other.iter() {
+            out.slots.entry(v.clone()).or_insert_with(|| t.clone());
+        }
+        Some(out)
+    }
+
+    /// Restricts the row to `vars` (projection).
+    pub fn project(&self, vars: &[Var]) -> Row {
+        let mut out = Row::new();
+        for v in vars {
+            if let Some(t) = self.get(v) {
+                out.bind(v.clone(), t.clone());
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<(Var, Term)> for Row {
+    fn from_iter<I: IntoIterator<Item = (Var, Term)>>(iter: I) -> Self {
+        Row { slots: iter.into_iter().collect() }
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, t)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}={t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A multiset of solution mappings.
+pub type Rows = Vec<Row>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &str) -> Term {
+        Term::iri(format!("http://x/{v}"))
+    }
+
+    #[test]
+    fn bind_and_get() {
+        let r = Row::new().with("x", t("a"));
+        assert_eq!(r.get(&Var::new("x")), Some(&t("a")));
+        assert!(r.get(&Var::new("y")).is_none());
+        assert!(r.is_bound(&Var::new("x")));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn compatible_when_disjoint() {
+        let a = Row::new().with("x", t("a"));
+        let b = Row::new().with("y", t("b"));
+        assert!(a.compatible(&b));
+        let m = a.merge(&b).unwrap();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn compatible_when_agreeing() {
+        let a = Row::new().with("x", t("a")).with("y", t("b"));
+        let b = Row::new().with("x", t("a")).with("z", t("c"));
+        assert!(a.compatible(&b));
+        assert_eq!(a.merge(&b).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn incompatible_when_conflicting() {
+        let a = Row::new().with("x", t("a"));
+        let b = Row::new().with("x", t("b"));
+        assert!(!a.compatible(&b));
+        assert!(a.merge(&b).is_none());
+    }
+
+    #[test]
+    fn projection_keeps_only_requested() {
+        let r = Row::new().with("x", t("a")).with("y", t("b"));
+        let p = r.project(&[Var::new("y"), Var::new("z")]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.get(&Var::new("y")), Some(&t("b")));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let r = Row::new().with("x", t("a"));
+        assert_eq!(r.to_string(), "{?x=<http://x/a>}");
+    }
+
+    #[test]
+    fn empty_row_compatible_with_all() {
+        let a = Row::new();
+        let b = Row::new().with("x", t("a"));
+        assert!(a.compatible(&b));
+        assert_eq!(a.merge(&b).unwrap(), b);
+    }
+}

@@ -1,0 +1,49 @@
+//! Error types for SPARQL parsing and evaluation.
+
+use std::fmt;
+
+/// Errors raised while lexing, parsing or evaluating a SPARQL query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparqlError {
+    /// Lexical error with byte position.
+    Lex { pos: usize, message: String },
+    /// Parse error with a human-readable description.
+    Parse(String),
+    /// A prefixed name used an undeclared prefix.
+    UnknownPrefix(String),
+    /// Evaluation error (type errors are normally absorbed into unbound
+    /// results per SPARQL semantics; this covers engine-level failures).
+    Eval(String),
+}
+
+impl fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparqlError::Lex { pos, message } => {
+                write!(f, "lexical error at byte {pos}: {message}")
+            }
+            SparqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SparqlError::UnknownPrefix(p) => write!(f, "unknown prefix: {p}"),
+            SparqlError::Eval(m) => write!(f, "evaluation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SparqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SparqlError::Parse("x".into()).to_string().contains("parse"));
+        assert!(SparqlError::UnknownPrefix("foaf".into())
+            .to_string()
+            .contains("foaf"));
+        assert!(SparqlError::Lex { pos: 5, message: "bad".into() }
+            .to_string()
+            .contains("byte 5"));
+        assert!(SparqlError::Eval("boom".into()).to_string().contains("boom"));
+    }
+}

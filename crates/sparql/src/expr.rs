@@ -1,0 +1,530 @@
+//! The SPARQL expression language used in `FILTER` clauses, and its
+//! evaluation over solution mappings.
+//!
+//! Evaluation follows SPARQL's three-valued semantics loosely: a type error
+//! (e.g. comparing a string to an IRI with `<`) yields `Err`, which a
+//! `FILTER` treats as `false`.
+
+use crate::binding::{Row, Var};
+use fedlake_rdf::{Literal, Term};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Binary comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn test(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        })
+    }
+}
+
+/// A filter expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A variable reference.
+    Var(Var),
+    /// A constant term.
+    Const(Term),
+    /// Comparison.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Arithmetic.
+    Arith(Box<Expr>, ArithOp, Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// `BOUND(?v)`.
+    Bound(Var),
+    /// `REGEX(expr, pattern)` — substring/anchor subset, no full regex
+    /// engine (supports `^` and `$` anchors and literal text).
+    Regex(Box<Expr>, String),
+    /// `CONTAINS(expr, literal)`.
+    Contains(Box<Expr>, Box<Expr>),
+    /// `STRSTARTS(expr, literal)`.
+    StrStarts(Box<Expr>, Box<Expr>),
+    /// `STRENDS(expr, literal)`.
+    StrEnds(Box<Expr>, Box<Expr>),
+    /// `STR(expr)` — the string form of a term.
+    Str(Box<Expr>),
+    /// `LANG(expr)`.
+    Lang(Box<Expr>),
+}
+
+/// A value produced during expression evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An RDF term.
+    Term(Term),
+    /// A boolean.
+    Bool(bool),
+    /// A numeric value.
+    Num(f64),
+    /// A plain string (from `STR`/`LANG`).
+    Str(String),
+}
+
+impl Value {
+    /// SPARQL effective boolean value.
+    pub fn ebv(&self) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            Value::Num(n) => Ok(*n != 0.0),
+            Value::Str(s) => Ok(!s.is_empty()),
+            Value::Term(Term::Literal(l)) => {
+                if let Some(n) = numeric_value(l) {
+                    Ok(n != 0.0)
+                } else if l.datatype.as_deref() == Some(fedlake_rdf::vocab::xsd::BOOLEAN) {
+                    Ok(l.lexical == "true" || l.lexical == "1")
+                } else {
+                    Ok(!l.lexical.is_empty())
+                }
+            }
+            Value::Term(_) => Err("EBV of non-literal".into()),
+        }
+    }
+}
+
+fn numeric_value(l: &Literal) -> Option<f64> {
+    if l.is_numeric() {
+        l.as_double()
+    } else {
+        None
+    }
+}
+
+fn as_num(v: &Value) -> Option<f64> {
+    match v {
+        Value::Num(n) => Some(*n),
+        Value::Term(Term::Literal(l)) => numeric_value(l),
+        _ => None,
+    }
+}
+
+fn as_str(v: &Value) -> Option<String> {
+    match v {
+        Value::Str(s) => Some(s.clone()),
+        Value::Term(Term::Literal(l)) => Some(l.lexical.clone()),
+        Value::Term(Term::Iri(i)) => Some(i.clone()),
+        _ => None,
+    }
+}
+
+/// Compares two values per SPARQL operator semantics.
+fn compare(a: &Value, b: &Value) -> Result<Ordering, String> {
+    if let (Some(x), Some(y)) = (as_num(a), as_num(b)) {
+        return x.partial_cmp(&y).ok_or_else(|| "NaN comparison".into());
+    }
+    match (a, b) {
+        (Value::Bool(x), Value::Bool(y)) => Ok(x.cmp(y)),
+        (Value::Term(Term::Iri(x)), Value::Term(Term::Iri(y))) => Ok(x.cmp(y)),
+        (Value::Term(Term::Blank(x)), Value::Term(Term::Blank(y))) => Ok(x.cmp(y)),
+        _ => {
+            let x = as_str(a).ok_or("uncomparable operand")?;
+            let y = as_str(b).ok_or("uncomparable operand")?;
+            Ok(x.cmp(&y))
+        }
+    }
+}
+
+impl Expr {
+    /// Evaluates the expression against a solution mapping.
+    pub fn eval(&self, row: &Row) -> Result<Value, String> {
+        match self {
+            Expr::Var(v) => row
+                .get(v)
+                .cloned()
+                .map(Value::Term)
+                .ok_or_else(|| format!("unbound variable {v}")),
+            Expr::Const(t) => Ok(Value::Term(t.clone())),
+            Expr::Cmp(a, op, b) => {
+                let va = a.eval(row)?;
+                let vb = b.eval(row)?;
+                // `=`/`!=` on non-numeric terms is term equality.
+                if matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                    if let (Value::Term(x), Value::Term(y)) = (&va, &vb) {
+                        if as_num(&va).is_none() || as_num(&vb).is_none() {
+                            let eq = x == y;
+                            return Ok(Value::Bool(if *op == CmpOp::Eq { eq } else { !eq }));
+                        }
+                    }
+                }
+                Ok(Value::Bool(op.test(compare(&va, &vb)?)))
+            }
+            Expr::Arith(a, op, b) => {
+                let x = as_num(&a.eval(row)?).ok_or("non-numeric operand")?;
+                let y = as_num(&b.eval(row)?).ok_or("non-numeric operand")?;
+                let r = match op {
+                    ArithOp::Add => x + y,
+                    ArithOp::Sub => x - y,
+                    ArithOp::Mul => x * y,
+                    ArithOp::Div => {
+                        if y == 0.0 {
+                            return Err("division by zero".into());
+                        }
+                        x / y
+                    }
+                };
+                Ok(Value::Num(r))
+            }
+            Expr::And(a, b) => {
+                // SPARQL logical-and: false dominates errors.
+                let va = a.eval(row).and_then(|v| v.ebv());
+                let vb = b.eval(row).and_then(|v| v.ebv());
+                match (va, vb) {
+                    (Ok(false), _) | (_, Ok(false)) => Ok(Value::Bool(false)),
+                    (Ok(true), Ok(true)) => Ok(Value::Bool(true)),
+                    (Err(e), _) | (_, Err(e)) => Err(e),
+                }
+            }
+            Expr::Or(a, b) => {
+                // SPARQL logical-or: true dominates errors.
+                let va = a.eval(row).and_then(|v| v.ebv());
+                let vb = b.eval(row).and_then(|v| v.ebv());
+                match (va, vb) {
+                    (Ok(true), _) | (_, Ok(true)) => Ok(Value::Bool(true)),
+                    (Ok(false), Ok(false)) => Ok(Value::Bool(false)),
+                    (Err(e), _) | (_, Err(e)) => Err(e),
+                }
+            }
+            Expr::Not(e) => Ok(Value::Bool(!e.eval(row)?.ebv()?)),
+            Expr::Bound(v) => Ok(Value::Bool(row.is_bound(v))),
+            Expr::Regex(e, pattern) => {
+                let s = as_str(&e.eval(row)?).ok_or("REGEX on non-string")?;
+                Ok(Value::Bool(simple_regex_match(&s, pattern)))
+            }
+            Expr::Contains(a, b) => {
+                let s = as_str(&a.eval(row)?).ok_or("CONTAINS on non-string")?;
+                let n = as_str(&b.eval(row)?).ok_or("CONTAINS needle non-string")?;
+                Ok(Value::Bool(s.contains(&n)))
+            }
+            Expr::StrStarts(a, b) => {
+                let s = as_str(&a.eval(row)?).ok_or("STRSTARTS on non-string")?;
+                let n = as_str(&b.eval(row)?).ok_or("STRSTARTS needle non-string")?;
+                Ok(Value::Bool(s.starts_with(&n)))
+            }
+            Expr::StrEnds(a, b) => {
+                let s = as_str(&a.eval(row)?).ok_or("STRENDS on non-string")?;
+                let n = as_str(&b.eval(row)?).ok_or("STRENDS needle non-string")?;
+                Ok(Value::Bool(s.ends_with(&n)))
+            }
+            Expr::Str(e) => {
+                let v = e.eval(row)?;
+                Ok(Value::Str(as_str(&v).ok_or("STR of boolean")?))
+            }
+            Expr::Lang(e) => match e.eval(row)? {
+                Value::Term(Term::Literal(l)) => Ok(Value::Str(l.lang.unwrap_or_default())),
+                _ => Err("LANG of non-literal".into()),
+            },
+        }
+    }
+
+    /// Evaluates the expression as a filter condition: errors count as
+    /// `false`, per SPARQL semantics.
+    pub fn test(&self, row: &Row) -> bool {
+        self.eval(row).and_then(|v| v.ebv()).unwrap_or(false)
+    }
+
+    /// All variables mentioned by the expression.
+    pub fn vars(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Expr::Var(v) | Expr::Bound(v) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            Expr::Const(_) => {}
+            Expr::Cmp(a, _, b)
+            | Expr::Arith(a, _, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b)
+            | Expr::Contains(a, b)
+            | Expr::StrStarts(a, b)
+            | Expr::StrEnds(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Expr::Not(e) | Expr::Regex(e, _) | Expr::Str(e) | Expr::Lang(e) => {
+                e.collect_vars(out)
+            }
+        }
+    }
+
+    /// True when this expression is a *simple instantiation* of a single
+    /// variable — a pattern like `?v = const`, `CONTAINS(?v, "x")`,
+    /// `STRSTARTS(STR(?v), "x")` or a comparison against a constant. These
+    /// are the filters Heuristic 2 of the paper reasons about: they can be
+    /// pushed into a source query as a WHERE condition on one column.
+    pub fn is_simple_instantiation(&self) -> bool {
+        fn is_var(e: &Expr) -> bool {
+            matches!(e, Expr::Var(_)) || matches!(e, Expr::Str(inner) if is_var(inner))
+        }
+        fn is_const(e: &Expr) -> bool {
+            matches!(e, Expr::Const(_))
+        }
+        match self {
+            Expr::Cmp(a, _, b) => (is_var(a) && is_const(b)) || (is_const(a) && is_var(b)),
+            Expr::Regex(e, _) => is_var(e),
+            Expr::Contains(a, b) | Expr::StrStarts(a, b) | Expr::StrEnds(a, b) => {
+                is_var(a) && is_const(b)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(v) => write!(f, "{v}"),
+            Expr::Const(t) => write!(f, "{t}"),
+            Expr::Cmp(a, op, b) => write!(f, "({a} {op} {b})"),
+            Expr::Arith(a, op, b) => write!(f, "({a} {op} {b})"),
+            Expr::And(a, b) => write!(f, "({a} && {b})"),
+            Expr::Or(a, b) => write!(f, "({a} || {b})"),
+            Expr::Not(e) => write!(f, "!({e})"),
+            Expr::Bound(v) => write!(f, "BOUND({v})"),
+            Expr::Regex(e, p) => write!(f, "REGEX({e}, \"{p}\")"),
+            Expr::Contains(a, b) => write!(f, "CONTAINS({a}, {b})"),
+            Expr::StrStarts(a, b) => write!(f, "STRSTARTS({a}, {b})"),
+            Expr::StrEnds(a, b) => write!(f, "STRENDS({a}, {b})"),
+            Expr::Str(e) => write!(f, "STR({e})"),
+            Expr::Lang(e) => write!(f, "LANG({e})"),
+        }
+    }
+}
+
+/// A minimal "regex" matcher supporting `^`/`$` anchors around literal text.
+/// This covers the instantiation patterns used by the paper's workload
+/// without pulling in a regex engine.
+pub fn simple_regex_match(s: &str, pattern: &str) -> bool {
+    let starts = pattern.starts_with('^');
+    let ends = pattern.ends_with('$') && pattern.len() > 1;
+    let body = &pattern[usize::from(starts)..pattern.len() - usize::from(ends)];
+    match (starts, ends) {
+        (true, true) => s == body,
+        (true, false) => s.starts_with(body),
+        (false, true) => s.ends_with(body),
+        (false, false) => s.contains(body),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Row {
+        Row::new()
+            .with("n", Term::integer(5))
+            .with("s", Term::literal("Homo sapiens"))
+            .with("i", Term::iri("http://x/a"))
+    }
+
+    fn var(n: &str) -> Box<Expr> {
+        Box::new(Expr::Var(Var::new(n)))
+    }
+
+    fn int(v: i64) -> Box<Expr> {
+        Box::new(Expr::Const(Term::integer(v)))
+    }
+
+    fn s(v: &str) -> Box<Expr> {
+        Box::new(Expr::Const(Term::literal(v)))
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        assert!(Expr::Cmp(var("n"), CmpOp::Eq, int(5)).test(&row()));
+        assert!(Expr::Cmp(var("n"), CmpOp::Lt, int(6)).test(&row()));
+        assert!(Expr::Cmp(var("n"), CmpOp::Ge, int(5)).test(&row()));
+        assert!(!Expr::Cmp(var("n"), CmpOp::Gt, int(5)).test(&row()));
+    }
+
+    #[test]
+    fn string_comparisons() {
+        assert!(Expr::Cmp(var("s"), CmpOp::Eq, s("Homo sapiens")).test(&row()));
+        assert!(Expr::Cmp(var("s"), CmpOp::Ne, s("Mus musculus")).test(&row()));
+    }
+
+    #[test]
+    fn iri_equality() {
+        let e = Expr::Cmp(
+            var("i"),
+            CmpOp::Eq,
+            Box::new(Expr::Const(Term::iri("http://x/a"))),
+        );
+        assert!(e.test(&row()));
+    }
+
+    #[test]
+    fn logical_operators() {
+        let t = Expr::Cmp(var("n"), CmpOp::Eq, int(5));
+        let f = Expr::Cmp(var("n"), CmpOp::Eq, int(6));
+        assert!(Expr::And(Box::new(t.clone()), Box::new(t.clone())).test(&row()));
+        assert!(!Expr::And(Box::new(t.clone()), Box::new(f.clone())).test(&row()));
+        assert!(Expr::Or(Box::new(f.clone()), Box::new(t.clone())).test(&row()));
+        assert!(!Expr::Or(Box::new(f.clone()), Box::new(f.clone())).test(&row()));
+        assert!(Expr::Not(Box::new(f)).test(&row()));
+        assert!(!Expr::Not(Box::new(t)).test(&row()));
+    }
+
+    #[test]
+    fn error_false_dominance() {
+        // ?missing is unbound → error; AND(false, error) = false,
+        // OR(true, error) = true.
+        let err = Expr::Cmp(var("missing"), CmpOp::Eq, int(1));
+        let f = Expr::Cmp(var("n"), CmpOp::Eq, int(6));
+        let t = Expr::Cmp(var("n"), CmpOp::Eq, int(5));
+        assert!(!Expr::And(Box::new(f), Box::new(err.clone())).test(&row()));
+        assert!(Expr::Or(Box::new(t), Box::new(err.clone())).test(&row()));
+        // Bare error filters to false.
+        assert!(!err.test(&row()));
+    }
+
+    #[test]
+    fn string_functions() {
+        assert!(Expr::Contains(var("s"), s("sapiens")).test(&row()));
+        assert!(Expr::StrStarts(var("s"), s("Homo")).test(&row()));
+        assert!(Expr::StrEnds(var("s"), s("sapiens")).test(&row()));
+        assert!(!Expr::Contains(var("s"), s("musculus")).test(&row()));
+    }
+
+    #[test]
+    fn regex_subset() {
+        assert!(simple_regex_match("Homo sapiens", "sapiens"));
+        assert!(simple_regex_match("Homo sapiens", "^Homo"));
+        assert!(simple_regex_match("Homo sapiens", "sapiens$"));
+        assert!(simple_regex_match("Homo sapiens", "^Homo sapiens$"));
+        assert!(!simple_regex_match("Homo sapiens", "^sapiens"));
+        assert!(Expr::Regex(var("s"), "^Homo".into()).test(&row()));
+    }
+
+    #[test]
+    fn str_and_lang() {
+        let r = Row::new().with("l", Term::Literal(Literal::lang_tagged("chat", "en")));
+        assert_eq!(
+            Expr::Lang(var("l")).eval(&r).unwrap(),
+            Value::Str("en".into())
+        );
+        assert_eq!(
+            Expr::Str(var("l")).eval(&r).unwrap(),
+            Value::Str("chat".into())
+        );
+        // STR of an IRI yields the IRI text.
+        assert_eq!(
+            Expr::Str(var("i")).eval(&row()).unwrap(),
+            Value::Str("http://x/a".into())
+        );
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = Expr::Cmp(
+            Box::new(Expr::Arith(var("n"), ArithOp::Add, int(3))),
+            CmpOp::Eq,
+            int(8),
+        );
+        assert!(e.test(&row()));
+        let div0 = Expr::Arith(var("n"), ArithOp::Div, int(0));
+        assert!(div0.eval(&row()).is_err());
+    }
+
+    #[test]
+    fn bound() {
+        assert!(Expr::Bound(Var::new("n")).test(&row()));
+        assert!(!Expr::Bound(Var::new("zz")).test(&row()));
+    }
+
+    #[test]
+    fn simple_instantiation_detection() {
+        assert!(Expr::Cmp(var("s"), CmpOp::Eq, s("x")).is_simple_instantiation());
+        assert!(Expr::Cmp(s("x"), CmpOp::Eq, var("s")).is_simple_instantiation());
+        assert!(Expr::Contains(var("s"), s("x")).is_simple_instantiation());
+        assert!(Expr::Regex(var("s"), "x".into()).is_simple_instantiation());
+        assert!(
+            Expr::Cmp(Box::new(Expr::Str(var("s"))), CmpOp::Eq, s("x"))
+                .is_simple_instantiation()
+        );
+        // Joins of two variables are not instantiations.
+        assert!(!Expr::Cmp(var("a"), CmpOp::Eq, var("b")).is_simple_instantiation());
+        assert!(!Expr::Bound(Var::new("a")).is_simple_instantiation());
+    }
+
+    #[test]
+    fn expr_vars() {
+        let e = Expr::And(
+            Box::new(Expr::Cmp(var("a"), CmpOp::Eq, var("b"))),
+            Box::new(Expr::Bound(Var::new("a"))),
+        );
+        assert_eq!(e.vars().len(), 2);
+    }
+
+    use fedlake_rdf::Literal;
+}
