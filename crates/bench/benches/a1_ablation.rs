@@ -1,13 +1,12 @@
 //! A1 — heuristic ablation benchmark: unaware / H1-only / H2-only / both,
 //! over the full workload at Gamma 2.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedlake_bench::harness::Bench;
 use fedlake_core::{FederatedEngine, FilterPlacement, PlanConfig, PlanMode};
 use fedlake_datagen::{build_lake_with, workload, LakeConfig};
 use fedlake_netsim::NetworkProfile;
-use std::time::Duration;
 
-fn a1(c: &mut Criterion) {
+fn main() {
     let lake_cfg = LakeConfig { scale: 0.1, ..Default::default() };
     let modes: [(&str, PlanMode); 4] = [
         ("unaware", PlanMode::Unaware),
@@ -21,10 +20,7 @@ fn a1(c: &mut Criterion) {
         ),
         ("h1_h2", PlanMode::AWARE),
     ];
-    let mut group = c.benchmark_group("a1_ablation");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_secs(2));
+    let mut group = Bench::new("a1_ablation");
     let mut queries = vec![workload::motivating()];
     queries.extend(workload::experiment_queries());
     for q in &queries {
@@ -34,14 +30,10 @@ fn a1(c: &mut Criterion) {
                 lake.clone(),
                 PlanConfig::new(mode, NetworkProfile::GAMMA2),
             );
-            let id = BenchmarkId::new(q.id, label);
-            group.bench_with_input(id, q, |b, q| {
-                b.iter(|| engine.execute_sparql(&q.sparql).unwrap())
+            group.bench(format!("{}/{label}", q.id), || {
+                engine.execute_sparql(&q.sparql).unwrap()
             });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, a1);
-criterion_main!(benches);

@@ -1,13 +1,12 @@
 //! C1 — benchmark of the Q2 merged-SQL claim: unaware vs optimized merge
 //! vs naive (N+1) merge.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedlake_bench::harness::Bench;
 use fedlake_core::{FederatedEngine, MergeTranslation, PlanConfig, PlanMode};
 use fedlake_datagen::{build_lake_with, workload, LakeConfig};
 use fedlake_netsim::NetworkProfile;
-use std::time::Duration;
 
-fn c1(c: &mut Criterion) {
+fn main() {
     let q2 = workload::q2();
     let lake = build_lake_with(&LakeConfig { scale: 0.1, ..Default::default() }, q2.datasets);
     let variants: [(&str, PlanMode, MergeTranslation); 3] = [
@@ -15,19 +14,14 @@ fn c1(c: &mut Criterion) {
         ("merged_optimized", PlanMode::AWARE, MergeTranslation::Optimized),
         ("merged_naive", PlanMode::AWARE, MergeTranslation::Naive),
     ];
-    let mut group = c.benchmark_group("c1_q2_pushdown");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_secs(2));
+    let mut group = Bench::new("c1_q2_pushdown");
     for (label, mode, merge) in variants {
         let mut cfg = PlanConfig::new(mode, NetworkProfile::GAMMA2);
         cfg.merge_translation = merge;
         let engine = FederatedEngine::new(lake.clone(), cfg);
-        let id = BenchmarkId::new(label, NetworkProfile::GAMMA2.name);
-        group.bench_function(id, |b| b.iter(|| engine.execute_sparql(&q2.sparql).unwrap()));
+        group.bench(format!("{label}/{}", NetworkProfile::GAMMA2.name), || {
+            engine.execute_sparql(&q2.sparql).unwrap()
+        });
     }
     group.finish();
 }
-
-criterion_group!(benches, c1);
-criterion_main!(benches);

@@ -1,23 +1,19 @@
 //! C2 — benchmark of the filter-placement study: Q1 and Q3 under every
 //! placement policy (engine / pushed / Heuristic 2).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedlake_bench::harness::Bench;
 use fedlake_core::{FederatedEngine, FilterPlacement, PlanConfig, PlanMode};
 use fedlake_datagen::{build_lake_with, workload, LakeConfig};
 use fedlake_netsim::NetworkProfile;
-use std::time::Duration;
 
-fn c2(c: &mut Criterion) {
+fn main() {
     let lake_cfg = LakeConfig { scale: 0.1, ..Default::default() };
     let placements: [(&str, FilterPlacement); 3] = [
         ("engine", FilterPlacement::Engine),
         ("pushed", FilterPlacement::PushIndexed),
         ("heuristic2", FilterPlacement::Heuristic2),
     ];
-    let mut group = c.benchmark_group("c2_filter_placement");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_secs(2));
+    let mut group = Bench::new("c2_filter_placement");
     for q in [workload::q1(), workload::q3()] {
         let lake = build_lake_with(&lake_cfg, q.datasets);
         for (label, placement) in placements {
@@ -25,15 +21,11 @@ fn c2(c: &mut Criterion) {
                 let mode = PlanMode::Aware { h1_join_pushdown: true, filters: placement };
                 let engine =
                     FederatedEngine::new(lake.clone(), PlanConfig::new(mode, network));
-                let id = BenchmarkId::new(format!("{}/{label}", q.id), network.name);
-                group.bench_with_input(id, &q, |b, q| {
-                    b.iter(|| engine.execute_sparql(&q.sparql).unwrap())
+                group.bench(format!("{}/{label}/{}", q.id, network.name), || {
+                    engine.execute_sparql(&q.sparql).unwrap()
                 });
             }
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, c2);
-criterion_main!(benches);

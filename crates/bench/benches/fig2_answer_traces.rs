@@ -1,34 +1,24 @@
 //! F2 — benchmark of Q3 answer-trace production (the Figure 2
 //! measurement) under both plan types and all four networks.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedlake_bench::harness::Bench;
 use fedlake_core::{FederatedEngine, PlanConfig, PlanMode};
 use fedlake_datagen::{build_lake_with, workload, LakeConfig};
 use fedlake_netsim::NetworkProfile;
-use std::time::Duration;
 
-fn fig2(c: &mut Criterion) {
+fn main() {
     let q3 = workload::q3();
     let lake = build_lake_with(&LakeConfig { scale: 0.1, ..Default::default() }, q3.datasets);
-    let mut group = c.benchmark_group("fig2_answer_traces");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_secs(2));
+    let mut group = Bench::new("fig2_answer_traces");
     for (label, mode) in [("unaware", PlanMode::Unaware), ("aware", PlanMode::AWARE)] {
         for network in NetworkProfile::ALL {
             let engine = FederatedEngine::new(lake.clone(), PlanConfig::new(mode, network));
-            let id = BenchmarkId::new(label, network.name);
-            group.bench_function(id, |b| {
-                b.iter(|| {
-                    let r = engine.execute_sparql(&q3.sparql).unwrap();
-                    assert!(r.trace.count() > 0);
-                    r
-                })
+            group.bench(format!("{label}/{}", network.name), || {
+                let r = engine.execute_sparql(&q3.sparql).unwrap();
+                assert!(r.trace.count() > 0);
+                r
             });
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, fig2);
-criterion_main!(benches);

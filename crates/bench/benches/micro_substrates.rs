@@ -1,43 +1,35 @@
 //! Micro-benchmarks of the substrates the federation is built from: the
 //! relational engine's access paths, the triple store's pattern matching,
-//! the SPARQL→SQL translation and the gamma sampler.
+//! the SPARQL local evaluator and the gamma sampler.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fedlake_bench::harness::Bench;
 use fedlake_datagen::{datasets, LakeConfig};
 use fedlake_netsim::GammaSampler;
+use fedlake_prng::Prng;
 use fedlake_rdf::{Graph, Term, TriplePattern};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-fn relational_access_paths(c: &mut Criterion) {
+fn relational_access_paths() {
     let cfg = LakeConfig::default();
     let (db, _) = datasets::build_dataset(&cfg, "linkedct");
-    let mut group = c.benchmark_group("relational");
-    group.sample_size(20);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.bench_function("index_point_lookup", |b| {
-        b.iter(|| db.query("SELECT id FROM trial WHERE category = 'cat-7'").unwrap())
+    let mut group = Bench::new("relational");
+    group.bench("index_point_lookup", || {
+        db.query("SELECT id FROM trial WHERE category = 'cat-7'").unwrap()
     });
-    group.bench_function("seq_scan_filter", |b| {
-        b.iter(|| db.query("SELECT id FROM trial WHERE phase = 'Phase 2'").unwrap())
+    group.bench("seq_scan_filter", || {
+        db.query("SELECT id FROM trial WHERE phase = 'Phase 2'").unwrap()
     });
-    group.bench_function("pk_point_lookup", |b| {
-        b.iter(|| db.query("SELECT title FROM trial WHERE id = 't42'").unwrap())
+    group.bench("pk_point_lookup", || {
+        db.query("SELECT title FROM trial WHERE id = 't42'").unwrap()
     });
     let (db2, _) = datasets::build_dataset(&cfg, "diseasome");
-    group.bench_function("indexed_join", |b| {
-        b.iter(|| {
-            db2.query(
-                "SELECT g.label, d.name FROM gene g JOIN disease d ON g.disease = d.id",
-            )
+    group.bench("indexed_join", || {
+        db2.query("SELECT g.label, d.name FROM gene g JOIN disease d ON g.disease = d.id")
             .unwrap()
-        })
     });
     group.finish();
 }
 
-fn triple_store(c: &mut Criterion) {
+fn triple_store() {
     let mut g = Graph::new();
     for i in 0..20_000 {
         g.insert_terms(
@@ -48,20 +40,13 @@ fn triple_store(c: &mut Criterion) {
     }
     let p5 = g.id(&Term::iri("http://x/p5")).unwrap();
     let s9 = g.id(&Term::iri("http://x/s9")).unwrap();
-    let mut group = c.benchmark_group("triple_store");
-    group.sample_size(20);
-    group.warm_up_time(std::time::Duration::from_millis(300));
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.bench_function("match_by_predicate", |b| {
-        b.iter(|| g.match_pattern(&TriplePattern::any().with_p(p5)))
-    });
-    group.bench_function("match_by_subject", |b| {
-        b.iter(|| g.match_pattern(&TriplePattern::any().with_s(s9)))
-    });
+    let mut group = Bench::new("triple_store");
+    group.bench("match_by_predicate", || g.match_pattern(&TriplePattern::any().with_p(p5)));
+    group.bench("match_by_subject", || g.match_pattern(&TriplePattern::any().with_s(s9)));
     group.finish();
 }
 
-fn sparql_local_eval(c: &mut Criterion) {
+fn sparql_local_eval() {
     use fedlake_sparql::{eval::evaluate, parser::parse_query};
     let cfg = LakeConfig { scale: 0.2, ..Default::default() };
     let (db, mapping) = datasets::build_dataset(&cfg, "diseasome");
@@ -73,22 +58,22 @@ fn sparql_local_eval(c: &mut Criterion) {
            ?d <http://lake.example/vocab/diseasome/name> ?dn }",
     )
     .unwrap();
-    c.bench_function("sparql_local_bgp_join", |b| {
-        b.iter(|| evaluate(&q, &graph).unwrap())
-    });
+    let mut group = Bench::new("sparql");
+    group.bench("local_bgp_join", || evaluate(&q, &graph).unwrap());
+    group.finish();
 }
 
-fn gamma_sampler(c: &mut Criterion) {
+fn gamma_sampler() {
     let g = GammaSampler::new(3.0, 1.5);
-    let mut rng = StdRng::seed_from_u64(1);
-    c.bench_function("gamma_sample", |b| b.iter(|| g.sample(&mut rng)));
+    let mut rng = Prng::seed_from_u64(1);
+    let mut group = Bench::new("netsim");
+    group.bench("gamma_sample", || g.sample(&mut rng));
+    group.finish();
 }
 
-criterion_group!(
-    benches,
-    relational_access_paths,
-    triple_store,
-    sparql_local_eval,
-    gamma_sampler
-);
-criterion_main!(benches);
+fn main() {
+    relational_access_paths();
+    triple_store();
+    sparql_local_eval();
+    gamma_sampler();
+}

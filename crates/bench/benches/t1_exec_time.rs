@@ -3,33 +3,25 @@
 //! is built once per case; the measurement is the federated execution
 //! itself (planning + SQL + operators + simulated-time accounting).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedlake_bench::harness::Bench;
 use fedlake_core::{FederatedEngine, PlanConfig, PlanMode};
 use fedlake_datagen::{build_lake_with, workload, LakeConfig};
 use fedlake_netsim::NetworkProfile;
-use std::time::Duration;
 
-fn t1(c: &mut Criterion) {
+fn main() {
     let lake_cfg = LakeConfig { scale: 0.1, ..Default::default() };
-    let mut group = c.benchmark_group("t1_exec_time");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(300));
-    group.measurement_time(Duration::from_secs(2));
+    let mut group = Bench::new("t1_exec_time");
     for q in workload::experiment_queries() {
         let lake = build_lake_with(&lake_cfg, q.datasets);
         for (label, mode) in [("unaware", PlanMode::Unaware), ("aware", PlanMode::AWARE)] {
             for network in [NetworkProfile::NO_DELAY, NetworkProfile::GAMMA3] {
                 let engine =
                     FederatedEngine::new(lake.clone(), PlanConfig::new(mode, network));
-                let id = BenchmarkId::new(format!("{}/{}", q.id, label), network.name);
-                group.bench_with_input(id, &q, |b, q| {
-                    b.iter(|| engine.execute_sparql(&q.sparql).unwrap())
+                group.bench(format!("{}/{}/{}", q.id, label, network.name), || {
+                    engine.execute_sparql(&q.sparql).unwrap()
                 });
             }
         }
     }
     group.finish();
 }
-
-criterion_group!(benches, t1);
-criterion_main!(benches);

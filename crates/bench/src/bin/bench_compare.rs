@@ -1,0 +1,242 @@
+//! Compares the interned slot-row representation against the reference
+//! term-row (`BTreeMap<Var, Term>`) representation on the operations the
+//! row currency dominates: symmetric-hash-join probing, DISTINCT
+//! insertion, projection, and the end-to-end Q2 federated execution.
+//!
+//! Emits `BENCH_rows.json` (in the current directory) with median ns/op
+//! per case and the reference/interned speedup factor. Before measuring,
+//! it asserts both representations produce identical answers on the
+//! synthetic inputs and on Q2.
+
+use fedlake_bench::harness::{format_ns, Bench, Measurement};
+use fedlake_core::operators::{
+    DistinctOp, ExecCtx, ProjectOp, RowsOp, SymHashJoin,
+};
+use fedlake_core::reference::{
+    DistinctRefOp, ProjectRefOp, RefOp, RowsRefOp, SymHashJoinRef,
+};
+use fedlake_core::{FederatedEngine, PlanConfig, PlanMode};
+use fedlake_datagen::{build_lake_with, workload, LakeConfig};
+use fedlake_netsim::clock::shared_virtual;
+use fedlake_netsim::{CostModel, NetworkProfile};
+use fedlake_rdf::{SharedInterner, Term};
+use fedlake_sparql::binding::{encode_row, Row, RowSchema, SlotRow, Var};
+use std::sync::Arc;
+
+const N_ROWS: usize = 2_000;
+const N_KEYS: usize = 400;
+
+struct Fixture {
+    schema: Arc<RowSchema>,
+    interner: SharedInterner,
+    left_rows: Vec<Row>,
+    right_rows: Vec<Row>,
+    left_slots: Vec<SlotRow>,
+    right_slots: Vec<SlotRow>,
+}
+
+fn fixture() -> Fixture {
+    let schema = Arc::new(RowSchema::new(
+        ["j", "a", "b"].into_iter().map(Var::new),
+    ));
+    let interner = SharedInterner::new();
+    let mk = |side: &str, i: usize, payload_var: &str| {
+        Row::new()
+            .with("j", Term::iri(format!("http://x/key{}", i % N_KEYS)))
+            .with(payload_var, Term::iri(format!("http://x/{side}{i}")))
+    };
+    let left_rows: Vec<Row> = (0..N_ROWS).map(|i| mk("l", i, "a")).collect();
+    let right_rows: Vec<Row> = (0..N_ROWS).map(|i| mk("r", i, "b")).collect();
+    let enc = |rows: &[Row]| -> Vec<SlotRow> {
+        let mut dict = interner.lock();
+        rows.iter().map(|r| encode_row(r, &schema, &mut dict)).collect()
+    };
+    let left_slots = enc(&left_rows);
+    let right_slots = enc(&right_rows);
+    Fixture { schema, interner, left_rows, right_rows, left_slots, right_slots }
+}
+
+fn ctx(f: &Fixture) -> ExecCtx {
+    ExecCtx::new(
+        shared_virtual(),
+        CostModel::default(),
+        Arc::clone(&f.schema),
+        f.interner.clone(),
+    )
+}
+
+fn join_slots(f: &Fixture) -> usize {
+    let mut c = ctx(f);
+    let mut j = SymHashJoin::new(
+        Box::new(RowsOp::new(f.left_slots.clone())),
+        Box::new(RowsOp::new(f.right_slots.clone())),
+        vec![f.schema.slot(&Var::new("j")).unwrap()],
+    );
+    let mut n = 0;
+    while let Some(r) = fedlake_core::operators::FedOp::next(&mut j, &mut c).unwrap() {
+        std::hint::black_box(r);
+        n += 1;
+    }
+    n
+}
+
+fn join_ref(f: &Fixture) -> usize {
+    let mut c = ctx(f);
+    let mut j = SymHashJoinRef::new(
+        Box::new(RowsRefOp::new(f.left_rows.clone())),
+        Box::new(RowsRefOp::new(f.right_rows.clone())),
+        vec![Var::new("j")],
+    );
+    let mut n = 0;
+    while let Some(r) = j.next(&mut c).unwrap() {
+        std::hint::black_box(r);
+        n += 1;
+    }
+    n
+}
+
+fn distinct_slots(f: &Fixture) -> usize {
+    let mut c = ctx(f);
+    let mut d = DistinctOp::new(Box::new(RowsOp::new(f.left_slots.clone())));
+    let mut n = 0;
+    while let Some(r) = fedlake_core::operators::FedOp::next(&mut d, &mut c).unwrap() {
+        std::hint::black_box(r);
+        n += 1;
+    }
+    n
+}
+
+fn distinct_ref(f: &Fixture) -> usize {
+    let mut c = ctx(f);
+    let mut d = DistinctRefOp::new(Box::new(RowsRefOp::new(f.left_rows.clone())));
+    let mut n = 0;
+    while let Some(r) = d.next(&mut c).unwrap() {
+        std::hint::black_box(r);
+        n += 1;
+    }
+    n
+}
+
+fn project_slots(f: &Fixture) -> usize {
+    let mut c = ctx(f);
+    let keep = f.schema.slots_of(&[Var::new("j")]);
+    let mut p = ProjectOp::new(Box::new(RowsOp::new(f.left_slots.clone())), keep);
+    let mut n = 0;
+    while let Some(r) = fedlake_core::operators::FedOp::next(&mut p, &mut c).unwrap() {
+        std::hint::black_box(r);
+        n += 1;
+    }
+    n
+}
+
+fn project_ref(f: &Fixture) -> usize {
+    let mut c = ctx(f);
+    let mut p =
+        ProjectRefOp::new(Box::new(RowsRefOp::new(f.left_rows.clone())), vec![Var::new("j")]);
+    let mut n = 0;
+    while let Some(r) = p.next(&mut c).unwrap() {
+        std::hint::black_box(r);
+        n += 1;
+    }
+    n
+}
+
+struct Case {
+    name: &'static str,
+    reference_ns: f64,
+    interned_ns: f64,
+}
+
+impl Case {
+    fn speedup(&self) -> f64 {
+        self.reference_ns / self.interned_ns
+    }
+}
+
+fn per_op(m: &Measurement, ops: usize) -> f64 {
+    m.median_ns / ops as f64
+}
+
+fn main() {
+    let f = fixture();
+
+    // Representation equivalence on the synthetic inputs.
+    assert_eq!(join_slots(&f), join_ref(&f), "join answers diverge");
+    assert_eq!(distinct_slots(&f), distinct_ref(&f), "distinct answers diverge");
+    assert_eq!(project_slots(&f), project_ref(&f), "project answers diverge");
+
+    // End-to-end Q2: plan once, execute through both engines. Unaware mode
+    // keeps the join in the engine (AWARE merges it into one SQL query, so
+    // the row representation would barely matter).
+    let q2 = workload::q2();
+    let lake = build_lake_with(&LakeConfig { scale: 0.3, ..Default::default() }, q2.datasets);
+    let engine = FederatedEngine::new(
+        lake,
+        PlanConfig::new(PlanMode::Unaware, NetworkProfile::NO_DELAY),
+    );
+    let planned = engine
+        .plan(&fedlake_sparql::parser::parse_query(&q2.sparql).unwrap())
+        .unwrap();
+    {
+        let a = engine.execute_planned(&planned).unwrap();
+        let b = engine.execute_planned_reference(&planned).unwrap();
+        let sorted = |rows: &[Row]| {
+            let mut v: Vec<String> = rows.iter().map(|r| r.to_string()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(sorted(&a.rows), sorted(&b.rows), "Q2 answers diverge");
+    }
+
+    let probes = 2 * N_ROWS; // both join inputs are probed once per row
+
+    let mut b = Bench::new("rows_interned");
+    b.bench("join_probe", || join_slots(&f));
+    b.bench("distinct_insert", || distinct_slots(&f));
+    b.bench("project", || project_slots(&f));
+    b.bench("q2_end_to_end", || engine.execute_planned(&planned).unwrap());
+    let interned = b.finish();
+
+    let mut b = Bench::new("rows_reference");
+    b.bench("join_probe", || join_ref(&f));
+    b.bench("distinct_insert", || distinct_ref(&f));
+    b.bench("project", || project_ref(&f));
+    b.bench("q2_end_to_end", || engine.execute_planned_reference(&planned).unwrap());
+    let reference = b.finish();
+
+    let ops = [probes, N_ROWS, N_ROWS, 1];
+    let cases: Vec<Case> = ["join_probe", "distinct_insert", "project", "q2_end_to_end"]
+        .iter()
+        .enumerate()
+        .map(|(i, name)| Case {
+            name,
+            reference_ns: per_op(&reference[i], ops[i]),
+            interned_ns: per_op(&interned[i], ops[i]),
+        })
+        .collect();
+
+    println!("\n== speedup (reference BTreeMap rows / interned slot rows) ==");
+    let mut json = String::from(
+        "{\n  \"benchmark\": \"row_representation\",\n  \"units\": \"median ns per operation\",\n  \"cases\": [\n",
+    );
+    for (i, c) in cases.iter().enumerate() {
+        println!(
+            "{:<24} reference {:>12}  interned {:>12}  speedup {:>6.2}x",
+            c.name,
+            format_ns(c.reference_ns),
+            format_ns(c.interned_ns),
+            c.speedup()
+        );
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"reference_btreemap_ns\": {:.1}, \"interned_slots_ns\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            c.name,
+            c.reference_ns,
+            c.interned_ns,
+            c.speedup(),
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_rows.json", &json).expect("write BENCH_rows.json");
+    println!("\nwrote BENCH_rows.json");
+}

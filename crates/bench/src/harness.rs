@@ -1,0 +1,142 @@
+//! A minimal, dependency-free micro-benchmark harness.
+//!
+//! Each measurement calibrates an iteration count targeting a fixed
+//! per-sample duration, collects an odd number of samples and reports the
+//! median ns/op — robust against scheduler noise without requiring an
+//! external statistics crate. Benches register with [`Bench::bench`] and
+//! print a fixed-width table via [`Bench::finish`]; the measured results
+//! are also returned so callers (e.g. `bench_compare`) can serialize
+//! them.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark case.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Fully qualified case name (`group/name`).
+    pub name: String,
+    /// Median time per iteration in nanoseconds.
+    pub median_ns: f64,
+    /// Iterations per sample used after calibration.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// A named group of benchmark cases.
+pub struct Bench {
+    group: String,
+    target_sample: Duration,
+    samples: usize,
+    results: Vec<Measurement>,
+}
+
+impl Bench {
+    /// Creates a benchmark group with default settings (15 samples of
+    /// ~5 ms each).
+    pub fn new(group: impl Into<String>) -> Self {
+        Bench {
+            group: group.into(),
+            target_sample: Duration::from_millis(5),
+            samples: 15,
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-sample time budget.
+    pub fn sample_time(mut self, d: Duration) -> Self {
+        self.target_sample = d;
+        self
+    }
+
+    /// Overrides the sample count (rounded up to odd for a true median).
+    pub fn samples(mut self, n: usize) -> Self {
+        self.samples = if n.is_multiple_of(2) { n + 1 } else { n };
+        self
+    }
+
+    /// Measures `f`, recording the median ns per iteration.
+    pub fn bench<R>(&mut self, name: impl AsRef<str>, mut f: impl FnMut() -> R) {
+        // Warm up and calibrate: how many iterations fill one sample?
+        let t0 = Instant::now();
+        black_box(f());
+        let mut once = t0.elapsed();
+        if once.is_zero() {
+            once = Duration::from_nanos(1);
+        }
+        let iters = (self.target_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        // A second warm-up round at the calibrated count settles caches.
+        for _ in 0..iters.min(100) {
+            black_box(f());
+        }
+        let mut per_iter: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter.sort_by(f64::total_cmp);
+        let median_ns = per_iter[per_iter.len() / 2];
+        self.results.push(Measurement {
+            name: format!("{}/{}", self.group, name.as_ref()),
+            median_ns,
+            iters_per_sample: iters,
+            samples: self.samples,
+        });
+    }
+
+    /// Prints the group's table and returns the measurements.
+    pub fn finish(self) -> Vec<Measurement> {
+        println!("\n== {} ==", self.group);
+        println!("{:<56} {:>14} {:>10}", "case", "median", "iters");
+        for m in &self.results {
+            println!(
+                "{:<56} {:>14} {:>10}",
+                m.name,
+                format_ns(m.median_ns),
+                m.iters_per_sample
+            );
+        }
+        self.results
+    }
+}
+
+/// Formats nanoseconds human-readably (ns/µs/ms/s).
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut b = Bench::new("t").sample_time(Duration::from_micros(200)).samples(3);
+        b.bench("add", || std::hint::black_box(2u64) + 2);
+        let r = b.finish();
+        assert_eq!(r.len(), 1);
+        assert!(r[0].median_ns > 0.0);
+        assert_eq!(r[0].samples, 3);
+    }
+
+    #[test]
+    fn format_ranges() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with('s'));
+    }
+}

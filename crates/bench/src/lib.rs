@@ -17,10 +17,13 @@
 //! | A6 | symmetric-hash vs bind join ablation  | [`experiments::join_strategy_study`] |
 //!
 //! The `experiments` binary drives these from the command line; the
-//! Criterion benches in `benches/` measure the implementation's wall-clock
-//! performance on the same workload.
+//! benches in `benches/` (on the in-repo [`harness`]) measure the
+//! implementation's wall-clock performance on the same workload, and the
+//! `bench_compare` binary contrasts the interned slot-row representation
+//! against the reference term-row representation.
 
 pub mod experiments;
+pub mod harness;
 pub mod report;
 pub mod runner;
 

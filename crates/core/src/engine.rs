@@ -5,16 +5,16 @@ use crate::error::FedError;
 use crate::fedplan::FedPlan;
 use crate::lake::DataLake;
 use crate::operators::{
-    BoxedOp, DistinctOp, EngineStats, ExecCtx, FilterOp, LeftHashJoin, ProjectOp,
-    SymHashJoin, UnionOp,
+    BoxedOp, DistinctOp, ExecCtx, FilterOp, LeftHashJoin, ProjectOp, SymHashJoin, UnionOp,
 };
 use crate::planner::{plan_query, PlannedQuery};
 use crate::trace::AnswerTrace;
 use crate::wrapper::{links_for, open_service, total_traffic};
 use fedlake_netsim::clock::{shared_real, shared_virtual};
 use fedlake_netsim::Link;
+use fedlake_rdf::SharedInterner;
 use fedlake_sparql::ast::SelectQuery;
-use fedlake_sparql::binding::{Row, Var};
+use fedlake_sparql::binding::{decode_row, Row, RowSchema, SlotRow, Var};
 use fedlake_sparql::eval::sort_rows;
 use fedlake_sparql::parser::parse_query;
 use std::collections::HashMap;
@@ -57,8 +57,9 @@ pub struct FedStats {
 /// The result of executing one federated query.
 #[derive(Debug, Clone)]
 pub struct FedResult {
-    /// Projected variables, in projection order.
-    pub vars: Vec<Var>,
+    /// Projected variables, in projection order (shared with the plan —
+    /// no per-execution allocation).
+    pub vars: Arc<[Var]>,
     /// Answer rows.
     pub rows: Vec<Row>,
     /// The answer trace (Figure 2's measurement).
@@ -128,33 +129,44 @@ impl FederatedEngine {
             self.config.cost,
             self.config.seed,
         );
-        let mut ctx = ExecCtx {
-            clock: Arc::clone(&clock),
-            cost: self.config.cost,
-            stats: EngineStats::default(),
-        };
+        let mut ctx = ExecCtx::new(
+            Arc::clone(&clock),
+            self.config.cost,
+            Arc::clone(&planned.schema),
+            SharedInterner::new(),
+        );
 
-        let mut op = self.build_operator(&planned.plan, &links)?;
-        // Solution modifiers around the streaming pipeline.
-        op = Box::new(ProjectOp::new(op, planned.projection.clone()));
+        let mut op = self.build_operator(&planned.plan, &planned.schema, &links)?;
+        // Solution modifiers around the streaming pipeline. The projection
+        // is a slot remap resolved once per execution, not per row.
+        op = Box::new(ProjectOp::new(op, planned.schema.slots_of(&planned.projection)));
         if planned.distinct {
             op = Box::new(DistinctOp::new(op));
         }
 
         let mut trace = AnswerTrace::new();
-        let mut rows: Vec<Row> = Vec::new();
+        let mut slot_rows: Vec<SlotRow> = Vec::new();
         let unordered_limit = planned.order_by.is_empty().then_some(()).and(planned.limit);
         let want = unordered_limit.map(|l| l + planned.offset);
         while let Some(row) = op.next(&mut ctx)? {
             trace.record(clock.now());
-            rows.push(row);
+            slot_rows.push(row);
             // Without ORDER BY, LIMIT can stop pulling early — the
             // streaming behaviour ANAPSID's operators enable.
-            if want.is_some_and(|w| rows.len() >= w) {
+            if want.is_some_and(|w| slot_rows.len() >= w) {
                 break;
             }
         }
         trace.complete(clock.now());
+
+        // Materialize terms only at the API boundary.
+        let mut rows: Vec<Row> = {
+            let dict = ctx.interner.lock();
+            slot_rows
+                .iter()
+                .map(|r| decode_row(r, &planned.schema, &dict))
+                .collect()
+        };
 
         if !planned.order_by.is_empty() {
             sort_rows(&mut rows, &planned.order_by);
@@ -184,7 +196,7 @@ impl FederatedEngine {
             merged_services: planned.plan.merged_service_count(),
         };
         Ok(FedResult {
-            vars: planned.projection.clone(),
+            vars: Arc::clone(&planned.projection),
             rows,
             trace,
             stats,
@@ -195,6 +207,7 @@ impl FederatedEngine {
     fn build_operator<'a>(
         &'a self,
         plan: &FedPlan,
+        schema: &RowSchema,
         links: &HashMap<String, Arc<Link>>,
     ) -> Result<BoxedOp<'a>, FedError> {
         match plan {
@@ -205,17 +218,17 @@ impl FederatedEngine {
                 open_service(node, &self.lake, Arc::clone(link), self.config.rows_per_message)
             }
             FedPlan::Join { left, right, on } => {
-                let l = self.build_operator(left, links)?;
-                let r = self.build_operator(right, links)?;
-                Ok(Box::new(SymHashJoin::new(l, r, on.clone())))
+                let l = self.build_operator(left, schema, links)?;
+                let r = self.build_operator(right, schema, links)?;
+                Ok(Box::new(SymHashJoin::new(l, r, schema.slots_of(on))))
             }
             FedPlan::LeftJoin { left, right, on } => {
-                let l = self.build_operator(left, links)?;
-                let r = self.build_operator(right, links)?;
-                Ok(Box::new(LeftHashJoin::new(l, r, on.clone())))
+                let l = self.build_operator(left, schema, links)?;
+                let r = self.build_operator(right, schema, links)?;
+                Ok(Box::new(LeftHashJoin::new(l, r, schema.slots_of(on))))
             }
             FedPlan::BindJoin { left, right, batch_size } => {
-                let l = self.build_operator(left, links)?;
+                let l = self.build_operator(left, schema, links)?;
                 let db = match self.lake.source(&right.source_id) {
                     Some(crate::source::DataSource::Relational { db, .. }) => db,
                     _ => {
@@ -238,13 +251,13 @@ impl FederatedEngine {
                 )))
             }
             FedPlan::Filter { input, exprs } => {
-                let i = self.build_operator(input, links)?;
+                let i = self.build_operator(input, schema, links)?;
                 Ok(Box::new(FilterOp::new(i, exprs.clone())))
             }
             FedPlan::Union(branches) => {
                 let ops = branches
                     .iter()
-                    .map(|b| self.build_operator(b, links))
+                    .map(|b| self.build_operator(b, schema, links))
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(Box::new(UnionOp::new(ops)))
             }

@@ -62,6 +62,7 @@ pub mod fedplan;
 pub mod lake;
 pub mod operators;
 pub mod planner;
+pub mod reference;
 pub mod results;
 pub mod selection;
 pub mod source;

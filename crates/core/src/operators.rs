@@ -7,13 +7,20 @@
 //! (agjoin): it consumes from both inputs in alternation and emits matches
 //! as soon as probes succeed, producing answers incrementally instead of
 //! blocking on a build phase.
+//!
+//! Solution mappings travel as [`SlotRow`]s: fixed-width arrays of
+//! [`fedlake_rdf::TermId`]s laid out by the query's [`RowSchema`] and
+//! interned in a query-scoped [`SharedInterner`]. Join keys, DISTINCT
+//! hashing and projection therefore operate on `u32` ids; only FILTER
+//! evaluation resolves ids back to terms, lazily, for value comparisons.
 
 use crate::error::FedError;
 use fedlake_netsim::{CostModel, SharedClock};
-use fedlake_rdf::Term;
-use fedlake_sparql::binding::{Row, Var};
+use fedlake_rdf::{SharedInterner, TermId};
+use fedlake_sparql::binding::{RowSchema, SlotRow};
 use fedlake_sparql::expr::Expr;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Engine-side work counters for one query execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -28,7 +35,8 @@ pub struct EngineStats {
     pub service_rows: u64,
 }
 
-/// Shared execution context: the clock, cost model and counters.
+/// Shared execution context: the clock, cost model, counters, and the
+/// query's row representation (slot layout plus term interner).
 #[derive(Debug)]
 pub struct ExecCtx {
     /// The simulation clock shared with every wrapper link.
@@ -37,42 +45,63 @@ pub struct ExecCtx {
     pub cost: CostModel,
     /// Accumulated counters.
     pub stats: EngineStats,
+    /// The query's slot layout, fixed at plan time.
+    pub schema: Arc<RowSchema>,
+    /// The query-scoped term interner shared with every wrapper stream.
+    pub interner: SharedInterner,
+}
+
+impl ExecCtx {
+    /// Creates a context for one query execution.
+    pub fn new(
+        clock: SharedClock,
+        cost: CostModel,
+        schema: Arc<RowSchema>,
+        interner: SharedInterner,
+    ) -> Self {
+        ExecCtx { clock, cost, stats: EngineStats::default(), schema, interner }
+    }
 }
 
 /// A pull-based operator.
 pub trait FedOp {
     /// Produces the next solution, advancing the clock by the work done.
-    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError>;
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<SlotRow>, FedError>;
 }
 
 /// A boxed operator (streams borrow the lake, hence the lifetime).
 pub type BoxedOp<'a> = Box<dyn FedOp + 'a>;
+
+fn key_of(row: &SlotRow, on_slots: &[usize]) -> Option<Box<[TermId]>> {
+    on_slots.iter().map(|&s| row.get(s)).collect()
+}
 
 /// The ANAPSID-style symmetric hash join.
 ///
 /// Both inputs are consumed in alternation; every arriving row is inserted
 /// into its side's hash table and immediately probed against the other
 /// side, so results stream out as soon as both matching rows have arrived.
+/// Keys are id arrays, so probing never compares strings.
 pub struct SymHashJoin<'a> {
     left: BoxedOp<'a>,
     right: BoxedOp<'a>,
-    on: Vec<Var>,
-    left_table: HashMap<Vec<Term>, Vec<Row>>,
-    right_table: HashMap<Vec<Term>, Vec<Row>>,
+    on_slots: Vec<usize>,
+    left_table: HashMap<Box<[TermId]>, Vec<SlotRow>>,
+    right_table: HashMap<Box<[TermId]>, Vec<SlotRow>>,
     left_done: bool,
     right_done: bool,
     pull_left: bool,
-    out: VecDeque<Row>,
+    out: VecDeque<SlotRow>,
 }
 
 impl<'a> SymHashJoin<'a> {
-    /// Creates a join of `left` and `right` on the shared variables `on`
-    /// (empty `on` degenerates to a cartesian product).
-    pub fn new(left: BoxedOp<'a>, right: BoxedOp<'a>, on: Vec<Var>) -> Self {
+    /// Creates a join of `left` and `right` on the slots `on_slots`
+    /// (empty degenerates to a cartesian product).
+    pub fn new(left: BoxedOp<'a>, right: BoxedOp<'a>, on_slots: Vec<usize>) -> Self {
         SymHashJoin {
             left,
             right,
-            on,
+            on_slots,
             left_table: HashMap::new(),
             right_table: HashMap::new(),
             left_done: false,
@@ -82,17 +111,10 @@ impl<'a> SymHashJoin<'a> {
         }
     }
 
-    fn key_of(&self, row: &Row) -> Option<Vec<Term>> {
-        self.on
-            .iter()
-            .map(|v| row.get(v).cloned())
-            .collect::<Option<Vec<_>>>()
-    }
-
-    fn insert_and_probe(&mut self, row: Row, from_left: bool, ctx: &mut ExecCtx) {
+    fn insert_and_probe(&mut self, row: SlotRow, from_left: bool, ctx: &mut ExecCtx) {
         ctx.stats.engine_join_probes += 1;
         ctx.clock.advance(ctx.cost.engine_join_time(1));
-        let Some(key) = self.key_of(&row) else {
+        let Some(key) = key_of(&row, &self.on_slots) else {
             // A row not binding every join variable can never match.
             return;
         };
@@ -114,7 +136,7 @@ impl<'a> SymHashJoin<'a> {
 }
 
 impl FedOp for SymHashJoin<'_> {
-    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<SlotRow>, FedError> {
         loop {
             if let Some(row) = self.out.pop_front() {
                 return Ok(Some(row));
@@ -153,25 +175,25 @@ impl FedOp for SymHashJoin<'_> {
 pub struct LeftHashJoin<'a> {
     left: BoxedOp<'a>,
     right: BoxedOp<'a>,
-    on: Vec<Var>,
-    left_rows: Vec<(Row, bool)>, // (row, matched)
-    left_table: HashMap<Vec<Term>, Vec<usize>>,
-    right_table: HashMap<Vec<Term>, Vec<Row>>,
+    on_slots: Vec<usize>,
+    left_rows: Vec<(SlotRow, bool)>, // (row, matched)
+    left_table: HashMap<Box<[TermId]>, Vec<usize>>,
+    right_table: HashMap<Box<[TermId]>, Vec<SlotRow>>,
     left_done: bool,
     right_done: bool,
     pull_left: bool,
-    out: VecDeque<Row>,
+    out: VecDeque<SlotRow>,
     flushed: bool,
 }
 
 impl<'a> LeftHashJoin<'a> {
     /// Creates a left join of `left` (required) and `right` (optional) on
-    /// the shared variables `on`.
-    pub fn new(left: BoxedOp<'a>, right: BoxedOp<'a>, on: Vec<Var>) -> Self {
+    /// the slots `on_slots`.
+    pub fn new(left: BoxedOp<'a>, right: BoxedOp<'a>, on_slots: Vec<usize>) -> Self {
         LeftHashJoin {
             left,
             right,
-            on,
+            on_slots,
             left_rows: Vec::new(),
             left_table: HashMap::new(),
             right_table: HashMap::new(),
@@ -183,18 +205,11 @@ impl<'a> LeftHashJoin<'a> {
         }
     }
 
-    fn key_of(&self, row: &Row) -> Option<Vec<Term>> {
-        self.on
-            .iter()
-            .map(|v| row.get(v).cloned())
-            .collect::<Option<Vec<_>>>()
-    }
-
-    fn take_left(&mut self, row: Row, ctx: &mut ExecCtx) {
+    fn take_left(&mut self, row: SlotRow, ctx: &mut ExecCtx) {
         ctx.stats.engine_join_probes += 1;
         ctx.clock.advance(ctx.cost.engine_join_time(1));
         let idx = self.left_rows.len();
-        let key = self.key_of(&row);
+        let key = key_of(&row, &self.on_slots);
         let mut matched = false;
         if let Some(key) = &key {
             if let Some(matches) = self.right_table.get(key) {
@@ -213,10 +228,10 @@ impl<'a> LeftHashJoin<'a> {
         self.left_rows.push((row, matched));
     }
 
-    fn take_right(&mut self, row: Row, ctx: &mut ExecCtx) {
+    fn take_right(&mut self, row: SlotRow, ctx: &mut ExecCtx) {
         ctx.stats.engine_join_probes += 1;
         ctx.clock.advance(ctx.cost.engine_join_time(1));
-        let Some(key) = self.key_of(&row) else { return };
+        let Some(key) = key_of(&row, &self.on_slots) else { return };
         if let Some(left_idxs) = self.left_table.get(&key) {
             for &i in left_idxs {
                 let (lrow, matched) = &mut self.left_rows[i];
@@ -232,7 +247,7 @@ impl<'a> LeftHashJoin<'a> {
 }
 
 impl FedOp for LeftHashJoin<'_> {
-    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<SlotRow>, FedError> {
         loop {
             if let Some(row) = self.out.pop_front() {
                 return Ok(Some(row));
@@ -272,7 +287,9 @@ impl FedOp for LeftHashJoin<'_> {
     }
 }
 
-/// Engine-level conjunctive filter.
+/// Engine-level conjunctive filter. Evaluation resolves ids to terms
+/// lazily through the query interner only where a value comparison needs
+/// them.
 pub struct FilterOp<'a> {
     input: BoxedOp<'a>,
     exprs: Vec<Expr>,
@@ -286,12 +303,15 @@ impl<'a> FilterOp<'a> {
 }
 
 impl FedOp for FilterOp<'_> {
-    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<SlotRow>, FedError> {
         while let Some(row) = self.input.next(ctx)? {
             ctx.stats.engine_filter_evals += self.exprs.len() as u64;
             ctx.clock
                 .advance(ctx.cost.engine_filter_time(self.exprs.len() as u64));
-            if self.exprs.iter().all(|e| e.test(&row)) {
+            let schema = Arc::clone(&ctx.schema);
+            let dict = ctx.interner.lock();
+            if self.exprs.iter().all(|e| e.test_slots(&row, &schema, &dict)) {
+                drop(dict);
                 return Ok(Some(row));
             }
         }
@@ -312,7 +332,7 @@ impl<'a> UnionOp<'a> {
 }
 
 impl FedOp for UnionOp<'_> {
-    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<SlotRow>, FedError> {
         while let Some(front) = self.branches.front_mut() {
             match front.next(ctx)? {
                 Some(row) => return Ok(Some(row)),
@@ -325,43 +345,50 @@ impl FedOp for UnionOp<'_> {
     }
 }
 
-/// Projection to the query's selected variables.
+/// Projection to the query's selected variables: a slot remap that copies
+/// the kept ids into a fresh all-unbound row of the same width.
 pub struct ProjectOp<'a> {
     input: BoxedOp<'a>,
-    vars: Vec<Var>,
+    keep_slots: Vec<usize>,
 }
 
 impl<'a> ProjectOp<'a> {
-    /// Creates a projection.
-    pub fn new(input: BoxedOp<'a>, vars: Vec<Var>) -> Self {
-        ProjectOp { input, vars }
+    /// Creates a projection keeping only `keep_slots`.
+    pub fn new(input: BoxedOp<'a>, keep_slots: Vec<usize>) -> Self {
+        ProjectOp { input, keep_slots }
     }
 }
 
 impl FedOp for ProjectOp<'_> {
-    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<SlotRow>, FedError> {
         Ok(self.input.next(ctx)?.map(|row| {
             ctx.clock.advance(ctx.cost.engine_row_time(1));
-            row.project(&self.vars)
+            let mut out = SlotRow::unbound(ctx.schema.len());
+            for &s in &self.keep_slots {
+                if let Some(id) = row.get(s) {
+                    out.set(s, id);
+                }
+            }
+            out
         }))
     }
 }
 
-/// Streaming duplicate elimination.
+/// Streaming duplicate elimination over fixed-width id arrays.
 pub struct DistinctOp<'a> {
     input: BoxedOp<'a>,
-    seen: std::collections::BTreeSet<Row>,
+    seen: HashSet<SlotRow>,
 }
 
 impl<'a> DistinctOp<'a> {
     /// Creates a distinct operator.
     pub fn new(input: BoxedOp<'a>) -> Self {
-        DistinctOp { input, seen: std::collections::BTreeSet::new() }
+        DistinctOp { input, seen: HashSet::new() }
     }
 }
 
 impl FedOp for DistinctOp<'_> {
-    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<SlotRow>, FedError> {
         while let Some(row) = self.input.next(ctx)? {
             ctx.clock.advance(ctx.cost.engine_row_time(1));
             if self.seen.insert(row.clone()) {
@@ -374,18 +401,18 @@ impl FedOp for DistinctOp<'_> {
 
 /// A pre-materialized input (used in tests and by the sort path).
 pub struct RowsOp {
-    rows: VecDeque<Row>,
+    rows: VecDeque<SlotRow>,
 }
 
 impl RowsOp {
     /// Wraps a row vector.
-    pub fn new(rows: Vec<Row>) -> Self {
+    pub fn new(rows: Vec<SlotRow>) -> Self {
         RowsOp { rows: rows.into() }
     }
 }
 
 impl FedOp for RowsOp {
-    fn next(&mut self, _ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+    fn next(&mut self, _ctx: &mut ExecCtx) -> Result<Option<SlotRow>, FedError> {
         Ok(self.rows.pop_front())
     }
 }
@@ -394,21 +421,38 @@ impl FedOp for RowsOp {
 mod tests {
     use super::*;
     use fedlake_netsim::clock::shared_virtual;
+    use fedlake_rdf::Term;
+    use fedlake_sparql::binding::{encode_row, Row, Var};
     use fedlake_sparql::expr::CmpOp;
 
+    const VARS: [&str; 5] = ["a", "b", "j", "n", "x"];
+
     fn ctx() -> ExecCtx {
-        ExecCtx { clock: shared_virtual(), cost: CostModel::default(), stats: EngineStats::default() }
+        ExecCtx::new(
+            shared_virtual(),
+            CostModel::default(),
+            Arc::new(RowSchema::new(VARS.map(Var::new))),
+            SharedInterner::new(),
+        )
     }
 
-    fn row(pairs: &[(&str, &str)]) -> Row {
+    fn enc(ctx: &ExecCtx, row: &Row) -> SlotRow {
+        encode_row(row, &ctx.schema, &mut ctx.interner.lock())
+    }
+
+    fn row(ctx: &ExecCtx, pairs: &[(&str, &str)]) -> SlotRow {
         let mut r = Row::new();
         for (v, t) in pairs {
             r.bind(Var::new(*v), Term::iri(format!("http://x/{t}")));
         }
-        r
+        enc(ctx, &r)
     }
 
-    fn drain(op: &mut dyn FedOp, ctx: &mut ExecCtx) -> Vec<Row> {
+    fn slot(name: &str) -> usize {
+        VARS.iter().position(|v| *v == name).unwrap()
+    }
+
+    fn drain(op: &mut dyn FedOp, ctx: &mut ExecCtx) -> Vec<SlotRow> {
         let mut out = Vec::new();
         while let Some(r) = op.next(ctx).unwrap() {
             out.push(r);
@@ -418,47 +462,49 @@ mod tests {
 
     #[test]
     fn sym_hash_join_matches() {
+        let mut c = ctx();
         let left = RowsOp::new(vec![
-            row(&[("a", "1"), ("j", "x")]),
-            row(&[("a", "2"), ("j", "y")]),
+            row(&c, &[("a", "1"), ("j", "x")]),
+            row(&c, &[("a", "2"), ("j", "y")]),
         ]);
         let right = RowsOp::new(vec![
-            row(&[("b", "3"), ("j", "x")]),
-            row(&[("b", "4"), ("j", "z")]),
+            row(&c, &[("b", "3"), ("j", "x")]),
+            row(&c, &[("b", "4"), ("j", "z")]),
         ]);
-        let mut j = SymHashJoin::new(Box::new(left), Box::new(right), vec![Var::new("j")]);
-        let mut c = ctx();
+        let mut j = SymHashJoin::new(Box::new(left), Box::new(right), vec![slot("j")]);
         let out = drain(&mut j, &mut c);
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].len(), 3);
+        assert_eq!(out[0].bound_count(), 3);
         assert!(c.stats.engine_join_probes >= 4);
         assert!(c.clock.now() > std::time::Duration::ZERO);
     }
 
     #[test]
     fn sym_hash_join_duplicates() {
-        let left = RowsOp::new(vec![row(&[("a", "1"), ("j", "x")]); 2]);
-        let right = RowsOp::new(vec![row(&[("b", "2"), ("j", "x")]); 3]);
-        let mut j = SymHashJoin::new(Box::new(left), Box::new(right), vec![Var::new("j")]);
-        assert_eq!(drain(&mut j, &mut ctx()).len(), 6);
+        let mut c = ctx();
+        let left = RowsOp::new(vec![row(&c, &[("a", "1"), ("j", "x")]); 2]);
+        let right = RowsOp::new(vec![row(&c, &[("b", "2"), ("j", "x")]); 3]);
+        let mut j = SymHashJoin::new(Box::new(left), Box::new(right), vec![slot("j")]);
+        assert_eq!(drain(&mut j, &mut c).len(), 6);
     }
 
     #[test]
     fn empty_on_is_cartesian() {
-        let left = RowsOp::new(vec![row(&[("a", "1")]), row(&[("a", "2")])]);
-        let right = RowsOp::new(vec![row(&[("b", "3")]), row(&[("b", "4")])]);
+        let mut c = ctx();
+        let left = RowsOp::new(vec![row(&c, &[("a", "1")]), row(&c, &[("a", "2")])]);
+        let right = RowsOp::new(vec![row(&c, &[("b", "3")]), row(&c, &[("b", "4")])]);
         let mut j = SymHashJoin::new(Box::new(left), Box::new(right), Vec::new());
-        assert_eq!(drain(&mut j, &mut ctx()).len(), 4);
+        assert_eq!(drain(&mut j, &mut c).len(), 4);
     }
 
     #[test]
     fn join_emits_before_inputs_drain() {
         // With matching first rows on both sides, the first answer must be
         // available after two pulls — not after both inputs are exhausted.
-        let left = RowsOp::new(vec![row(&[("j", "x"), ("a", "1")]); 50]);
-        let right = RowsOp::new(vec![row(&[("j", "x"), ("b", "1")]); 50]);
-        let mut j = SymHashJoin::new(Box::new(left), Box::new(right), vec![Var::new("j")]);
         let mut c = ctx();
+        let left = RowsOp::new(vec![row(&c, &[("j", "x"), ("a", "1")]); 50]);
+        let right = RowsOp::new(vec![row(&c, &[("j", "x"), ("b", "1")]); 50]);
+        let mut j = SymHashJoin::new(Box::new(left), Box::new(right), vec![slot("j")]);
         let first = j.next(&mut c).unwrap();
         assert!(first.is_some());
         // Only two probes were needed for the first answer.
@@ -467,50 +513,54 @@ mod tests {
 
     #[test]
     fn left_join_keeps_unmatched_left_rows() {
+        let mut c = ctx();
         let left = RowsOp::new(vec![
-            row(&[("a", "1"), ("j", "x")]),
-            row(&[("a", "2"), ("j", "z")]), // no right match
+            row(&c, &[("a", "1"), ("j", "x")]),
+            row(&c, &[("a", "2"), ("j", "z")]), // no right match
         ]);
-        let right = RowsOp::new(vec![row(&[("b", "3"), ("j", "x")])]);
-        let mut j = LeftHashJoin::new(Box::new(left), Box::new(right), vec![Var::new("j")]);
-        let out = drain(&mut j, &mut ctx());
+        let right = RowsOp::new(vec![row(&c, &[("b", "3"), ("j", "x")])]);
+        let mut j = LeftHashJoin::new(Box::new(left), Box::new(right), vec![slot("j")]);
+        let out = drain(&mut j, &mut c);
         assert_eq!(out.len(), 2);
-        let matched: Vec<&Row> = out.iter().filter(|r| r.len() == 3).collect();
-        let unmatched: Vec<&Row> = out.iter().filter(|r| r.len() == 2).collect();
+        let matched: Vec<&SlotRow> = out.iter().filter(|r| r.bound_count() == 3).collect();
+        let unmatched: Vec<&SlotRow> = out.iter().filter(|r| r.bound_count() == 2).collect();
         assert_eq!(matched.len(), 1);
         assert_eq!(unmatched.len(), 1);
-        assert!(!unmatched[0].is_bound(&Var::new("b")));
+        assert!(!unmatched[0].is_bound(slot("b")));
     }
 
     #[test]
     fn left_join_multiple_matches_expand() {
-        let left = RowsOp::new(vec![row(&[("a", "1"), ("j", "x")])]);
+        let mut c = ctx();
+        let left = RowsOp::new(vec![row(&c, &[("a", "1"), ("j", "x")])]);
         let right = RowsOp::new(vec![
-            row(&[("b", "2"), ("j", "x")]),
-            row(&[("b", "3"), ("j", "x")]),
+            row(&c, &[("b", "2"), ("j", "x")]),
+            row(&c, &[("b", "3"), ("j", "x")]),
         ]);
-        let mut j = LeftHashJoin::new(Box::new(left), Box::new(right), vec![Var::new("j")]);
-        let out = drain(&mut j, &mut ctx());
+        let mut j = LeftHashJoin::new(Box::new(left), Box::new(right), vec![slot("j")]);
+        let out = drain(&mut j, &mut c);
         // The matched left row expands to both matches; no bare copy.
         assert_eq!(out.len(), 2);
-        assert!(out.iter().all(|r| r.len() == 3));
+        assert!(out.iter().all(|r| r.bound_count() == 3));
     }
 
     #[test]
     fn left_join_with_empty_right_passes_everything() {
-        let left = RowsOp::new(vec![row(&[("a", "1"), ("j", "x")]); 3]);
+        let mut c = ctx();
+        let left = RowsOp::new(vec![row(&c, &[("a", "1"), ("j", "x")]); 3]);
         let right = RowsOp::new(Vec::new());
-        let mut j = LeftHashJoin::new(Box::new(left), Box::new(right), vec![Var::new("j")]);
-        let out = drain(&mut j, &mut ctx());
+        let mut j = LeftHashJoin::new(Box::new(left), Box::new(right), vec![slot("j")]);
+        let out = drain(&mut j, &mut c);
         assert_eq!(out.len(), 3);
-        assert!(out.iter().all(|r| r.len() == 2));
+        assert!(out.iter().all(|r| r.bound_count() == 2));
     }
 
     #[test]
     fn filter_op_counts_evals() {
+        let mut c = ctx();
         let input = RowsOp::new(vec![
-            Row::new().with("n", Term::integer(1)),
-            Row::new().with("n", Term::integer(5)),
+            enc(&c, &Row::new().with("n", Term::integer(1))),
+            enc(&c, &Row::new().with("n", Term::integer(5))),
         ]);
         let expr = Expr::Cmp(
             Box::new(Expr::Var(Var::new("n"))),
@@ -518,7 +568,6 @@ mod tests {
             Box::new(Expr::Const(Term::integer(3))),
         );
         let mut f = FilterOp::new(Box::new(input), vec![expr]);
-        let mut c = ctx();
         let out = drain(&mut f, &mut c);
         assert_eq!(out.len(), 1);
         assert_eq!(c.stats.engine_filter_evals, 2);
@@ -526,30 +575,33 @@ mod tests {
 
     #[test]
     fn union_concatenates() {
-        let a = RowsOp::new(vec![row(&[("x", "1")])]);
-        let b = RowsOp::new(vec![row(&[("x", "2")]), row(&[("x", "3")])]);
+        let mut c = ctx();
+        let a = RowsOp::new(vec![row(&c, &[("x", "1")])]);
+        let b = RowsOp::new(vec![row(&c, &[("x", "2")]), row(&c, &[("x", "3")])]);
         let mut u = UnionOp::new(vec![Box::new(a), Box::new(b)]);
-        assert_eq!(drain(&mut u, &mut ctx()).len(), 3);
+        assert_eq!(drain(&mut u, &mut c).len(), 3);
     }
 
     #[test]
     fn project_and_distinct() {
+        let mut c = ctx();
         let input = RowsOp::new(vec![
-            row(&[("a", "1"), ("b", "7")]),
-            row(&[("a", "1"), ("b", "8")]),
+            row(&c, &[("a", "1"), ("b", "7")]),
+            row(&c, &[("a", "1"), ("b", "8")]),
         ]);
-        let p = ProjectOp::new(Box::new(input), vec![Var::new("a")]);
+        let p = ProjectOp::new(Box::new(input), vec![slot("a")]);
         let mut d = DistinctOp::new(Box::new(p));
-        let out = drain(&mut d, &mut ctx());
+        let out = drain(&mut d, &mut c);
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].len(), 1);
+        assert_eq!(out[0].bound_count(), 1);
     }
 
     #[test]
     fn join_skips_rows_missing_join_var() {
-        let left = RowsOp::new(vec![row(&[("a", "1")])]); // no ?j
-        let right = RowsOp::new(vec![row(&[("j", "x")])]);
-        let mut j = SymHashJoin::new(Box::new(left), Box::new(right), vec![Var::new("j")]);
-        assert!(drain(&mut j, &mut ctx()).is_empty());
+        let mut c = ctx();
+        let left = RowsOp::new(vec![row(&c, &[("a", "1")])]); // no ?j
+        let right = RowsOp::new(vec![row(&c, &[("j", "x")])]);
+        let mut j = SymHashJoin::new(Box::new(left), Box::new(right), vec![slot("j")]);
+        assert!(drain(&mut j, &mut c).is_empty());
     }
 }

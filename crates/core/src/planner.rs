@@ -33,9 +33,10 @@ use crate::translate::{
 use fedlake_mapping::TableMapping;
 use fedlake_relational::TableSchema;
 use fedlake_sparql::ast::{OrderKey, SelectQuery};
-use fedlake_sparql::binding::Var;
+use fedlake_sparql::binding::{RowSchema, Var};
 use fedlake_sparql::expr::Expr;
 use fedlake_rdf::Term;
+use std::sync::Arc;
 
 /// A fully planned query: the federated plan plus the solution modifiers
 /// the engine applies on top.
@@ -43,8 +44,11 @@ use fedlake_rdf::Term;
 pub struct PlannedQuery {
     /// The federated execution plan.
     pub plan: FedPlan,
+    /// The slot layout every operator of this query shares: one slot per
+    /// variable the pattern or the projection mentions.
+    pub schema: Arc<RowSchema>,
     /// Projected variables.
-    pub projection: Vec<Var>,
+    pub projection: Arc<[Var]>,
     /// `DISTINCT`.
     pub distinct: bool,
     /// `ORDER BY` keys.
@@ -75,9 +79,15 @@ pub fn plan_query(
 ) -> Result<PlannedQuery, FedError> {
     let dec = decompose_as(query, config.decomposition)?;
     let plan = plan_tree(&dec, lake, config)?;
+    let projection = query.effective_projection();
+    // The schema covers every variable an operator may bind or project.
+    let schema = Arc::new(RowSchema::new(
+        query.pattern.vars().into_iter().chain(projection.iter().cloned()),
+    ));
     Ok(PlannedQuery {
         plan,
-        projection: query.effective_projection(),
+        schema,
+        projection: projection.into(),
         distinct: query.distinct,
         order_by: query.order_by.clone(),
         limit: query.limit,

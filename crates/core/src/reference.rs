@@ -1,0 +1,560 @@
+//! Reference executor over term-materialized rows.
+//!
+//! This module keeps the pre-interning row representation — solution
+//! mappings as [`Row`] (a `BTreeMap<Var, Term>`) — runnable next to the
+//! slot-based engine. It exists for two reasons:
+//!
+//! 1. **Equivalence testing**: [`FederatedEngine::execute_planned_reference`]
+//!    executes the same [`PlannedQuery`] through `Row`-based engine
+//!    operators while sharing the slot-based wrapper streams (rows are
+//!    decoded at the service boundary and re-encoded under a bind join),
+//!    so link traffic and SQL counts match the interned engine by
+//!    construction, and the engine-level counters are mirrored
+//!    operation-for-operation. Any divergence in answers or stats between
+//!    the two executors is a bug in the interned representation.
+//! 2. **Benchmarking**: the `bench_compare` binary measures the old
+//!    representation's join-probe / distinct / projection cost against
+//!    slot rows on identical inputs.
+//!
+//! The operators here are intentionally a faithful copy of the seed
+//! engine's semantics, including where the clock advances and which
+//! counters increment — do not "optimize" them.
+
+use crate::engine::{FederatedEngine, FedResult, FedStats};
+use crate::error::FedError;
+use crate::fedplan::FedPlan;
+use crate::lake::DataLake;
+use crate::operators::{BoxedOp, ExecCtx, FedOp};
+use crate::planner::PlannedQuery;
+use crate::trace::AnswerTrace;
+use crate::wrapper::{links_for, open_service, total_traffic};
+use fedlake_netsim::clock::{shared_real, shared_virtual};
+use fedlake_netsim::Link;
+use fedlake_rdf::{SharedInterner, Term};
+use fedlake_sparql::binding::{decode_row, encode_row, Row, SlotRow, Var};
+use fedlake_sparql::eval::sort_rows;
+use fedlake_sparql::expr::Expr;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+/// A pull-based operator over term-materialized rows.
+pub trait RefOp {
+    /// Produces the next solution, advancing the clock by the work done.
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError>;
+}
+
+/// A boxed reference operator.
+pub type BoxedRefOp<'a> = Box<dyn RefOp + 'a>;
+
+/// Decodes a slot-based stream (a wrapper service or bind join) into
+/// term rows at the source boundary.
+pub struct DecodeOp<'a> {
+    input: BoxedOp<'a>,
+}
+
+impl<'a> DecodeOp<'a> {
+    /// Wraps a slot-based operator.
+    pub fn new(input: BoxedOp<'a>) -> Self {
+        DecodeOp { input }
+    }
+}
+
+impl RefOp for DecodeOp<'_> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+        Ok(self.input.next(ctx)?.map(|r| {
+            let dict = ctx.interner.lock();
+            decode_row(&r, &ctx.schema, &dict)
+        }))
+    }
+}
+
+/// Encodes a term-row stream back into slot rows, so the shared
+/// [`crate::wrapper::BindJoinOp`] can consume a reference-side left input.
+pub struct EncodeOp<'a> {
+    input: BoxedRefOp<'a>,
+}
+
+impl<'a> EncodeOp<'a> {
+    /// Wraps a reference operator.
+    pub fn new(input: BoxedRefOp<'a>) -> Self {
+        EncodeOp { input }
+    }
+}
+
+impl FedOp for EncodeOp<'_> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<SlotRow>, FedError> {
+        Ok(self.input.next(ctx)?.map(|r| {
+            let schema = Arc::clone(&ctx.schema);
+            encode_row(&r, &schema, &mut ctx.interner.lock())
+        }))
+    }
+}
+
+fn key_of(row: &Row, on: &[Var]) -> Option<Vec<Term>> {
+    on.iter().map(|v| row.get(v).cloned()).collect()
+}
+
+/// The seed symmetric hash join: keys are term vectors, rows are B-tree
+/// maps, merging compares full terms.
+pub struct SymHashJoinRef<'a> {
+    left: BoxedRefOp<'a>,
+    right: BoxedRefOp<'a>,
+    on: Vec<Var>,
+    left_table: HashMap<Vec<Term>, Vec<Row>>,
+    right_table: HashMap<Vec<Term>, Vec<Row>>,
+    left_done: bool,
+    right_done: bool,
+    pull_left: bool,
+    out: VecDeque<Row>,
+}
+
+impl<'a> SymHashJoinRef<'a> {
+    /// Creates a join of `left` and `right` on `on`.
+    pub fn new(left: BoxedRefOp<'a>, right: BoxedRefOp<'a>, on: Vec<Var>) -> Self {
+        SymHashJoinRef {
+            left,
+            right,
+            on,
+            left_table: HashMap::new(),
+            right_table: HashMap::new(),
+            left_done: false,
+            right_done: false,
+            pull_left: true,
+            out: VecDeque::new(),
+        }
+    }
+
+    fn insert_and_probe(&mut self, row: Row, from_left: bool, ctx: &mut ExecCtx) {
+        ctx.stats.engine_join_probes += 1;
+        ctx.clock.advance(ctx.cost.engine_join_time(1));
+        let Some(key) = key_of(&row, &self.on) else {
+            return;
+        };
+        let (own, other) = if from_left {
+            (&mut self.left_table, &self.right_table)
+        } else {
+            (&mut self.right_table, &self.left_table)
+        };
+        if let Some(matches) = other.get(&key) {
+            for m in matches {
+                if let Some(merged) = row.merge(m) {
+                    ctx.clock.advance(ctx.cost.engine_row_time(1));
+                    self.out.push_back(merged);
+                }
+            }
+        }
+        own.entry(key).or_default().push(row);
+    }
+}
+
+impl RefOp for SymHashJoinRef<'_> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+        loop {
+            if let Some(row) = self.out.pop_front() {
+                return Ok(Some(row));
+            }
+            if self.left_done && self.right_done {
+                return Ok(None);
+            }
+            let take_left = if self.left_done {
+                false
+            } else if self.right_done {
+                true
+            } else {
+                self.pull_left
+            };
+            self.pull_left = !self.pull_left;
+            if take_left {
+                match self.left.next(ctx)? {
+                    Some(row) => self.insert_and_probe(row, true, ctx),
+                    None => self.left_done = true,
+                }
+            } else {
+                match self.right.next(ctx)? {
+                    Some(row) => self.insert_and_probe(row, false, ctx),
+                    None => self.right_done = true,
+                }
+            }
+        }
+    }
+}
+
+/// The seed streaming left join.
+pub struct LeftHashJoinRef<'a> {
+    left: BoxedRefOp<'a>,
+    right: BoxedRefOp<'a>,
+    on: Vec<Var>,
+    left_rows: Vec<(Row, bool)>,
+    left_table: HashMap<Vec<Term>, Vec<usize>>,
+    right_table: HashMap<Vec<Term>, Vec<Row>>,
+    left_done: bool,
+    right_done: bool,
+    pull_left: bool,
+    out: VecDeque<Row>,
+    flushed: bool,
+}
+
+impl<'a> LeftHashJoinRef<'a> {
+    /// Creates a left join of `left` (required) and `right` (optional).
+    pub fn new(left: BoxedRefOp<'a>, right: BoxedRefOp<'a>, on: Vec<Var>) -> Self {
+        LeftHashJoinRef {
+            left,
+            right,
+            on,
+            left_rows: Vec::new(),
+            left_table: HashMap::new(),
+            right_table: HashMap::new(),
+            left_done: false,
+            right_done: false,
+            pull_left: true,
+            out: VecDeque::new(),
+            flushed: false,
+        }
+    }
+
+    fn take_left(&mut self, row: Row, ctx: &mut ExecCtx) {
+        ctx.stats.engine_join_probes += 1;
+        ctx.clock.advance(ctx.cost.engine_join_time(1));
+        let idx = self.left_rows.len();
+        let key = key_of(&row, &self.on);
+        let mut matched = false;
+        if let Some(key) = &key {
+            if let Some(matches) = self.right_table.get(key) {
+                for m in matches {
+                    if let Some(merged) = row.merge(m) {
+                        matched = true;
+                        ctx.clock.advance(ctx.cost.engine_row_time(1));
+                        self.out.push_back(merged);
+                    }
+                }
+            }
+            self.left_table.entry(key.clone()).or_default().push(idx);
+        }
+        self.left_rows.push((row, matched));
+    }
+
+    fn take_right(&mut self, row: Row, ctx: &mut ExecCtx) {
+        ctx.stats.engine_join_probes += 1;
+        ctx.clock.advance(ctx.cost.engine_join_time(1));
+        let Some(key) = key_of(&row, &self.on) else { return };
+        if let Some(left_idxs) = self.left_table.get(&key) {
+            for &i in left_idxs {
+                let (lrow, matched) = &mut self.left_rows[i];
+                if let Some(merged) = lrow.merge(&row) {
+                    *matched = true;
+                    ctx.clock.advance(ctx.cost.engine_row_time(1));
+                    self.out.push_back(merged);
+                }
+            }
+        }
+        self.right_table.entry(key).or_default().push(row);
+    }
+}
+
+impl RefOp for LeftHashJoinRef<'_> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+        loop {
+            if let Some(row) = self.out.pop_front() {
+                return Ok(Some(row));
+            }
+            if self.left_done && self.right_done {
+                if !self.flushed {
+                    self.flushed = true;
+                    for (row, matched) in &self.left_rows {
+                        if !matched {
+                            self.out.push_back(row.clone());
+                        }
+                    }
+                    continue;
+                }
+                return Ok(None);
+            }
+            let take_left = if self.left_done {
+                false
+            } else if self.right_done {
+                true
+            } else {
+                self.pull_left
+            };
+            self.pull_left = !self.pull_left;
+            if take_left {
+                match self.left.next(ctx)? {
+                    Some(row) => self.take_left(row, ctx),
+                    None => self.left_done = true,
+                }
+            } else {
+                match self.right.next(ctx)? {
+                    Some(row) => self.take_right(row, ctx),
+                    None => self.right_done = true,
+                }
+            }
+        }
+    }
+}
+
+/// The seed conjunctive filter over term rows.
+pub struct FilterRefOp<'a> {
+    input: BoxedRefOp<'a>,
+    exprs: Vec<Expr>,
+}
+
+impl<'a> FilterRefOp<'a> {
+    /// Creates a filter over `input`.
+    pub fn new(input: BoxedRefOp<'a>, exprs: Vec<Expr>) -> Self {
+        FilterRefOp { input, exprs }
+    }
+}
+
+impl RefOp for FilterRefOp<'_> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+        while let Some(row) = self.input.next(ctx)? {
+            ctx.stats.engine_filter_evals += self.exprs.len() as u64;
+            ctx.clock
+                .advance(ctx.cost.engine_filter_time(self.exprs.len() as u64));
+            if self.exprs.iter().all(|e| e.test(&row)) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// The seed union.
+pub struct UnionRefOp<'a> {
+    branches: VecDeque<BoxedRefOp<'a>>,
+}
+
+impl<'a> UnionRefOp<'a> {
+    /// Creates a union of `branches`.
+    pub fn new(branches: Vec<BoxedRefOp<'a>>) -> Self {
+        UnionRefOp { branches: branches.into() }
+    }
+}
+
+impl RefOp for UnionRefOp<'_> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+        while let Some(front) = self.branches.front_mut() {
+            match front.next(ctx)? {
+                Some(row) => return Ok(Some(row)),
+                None => {
+                    self.branches.pop_front();
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// The seed projection: rebuilds a B-tree row with only the kept vars.
+pub struct ProjectRefOp<'a> {
+    input: BoxedRefOp<'a>,
+    keep: Vec<Var>,
+}
+
+impl<'a> ProjectRefOp<'a> {
+    /// Creates a projection to `keep`.
+    pub fn new(input: BoxedRefOp<'a>, keep: Vec<Var>) -> Self {
+        ProjectRefOp { input, keep }
+    }
+}
+
+impl RefOp for ProjectRefOp<'_> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+        Ok(self.input.next(ctx)?.map(|row| {
+            ctx.clock.advance(ctx.cost.engine_row_time(1));
+            let mut out = Row::new();
+            for v in &self.keep {
+                if let Some(t) = row.get(v) {
+                    out.bind(v.clone(), t.clone());
+                }
+            }
+            out
+        }))
+    }
+}
+
+/// The seed duplicate elimination: hashes whole term rows.
+pub struct DistinctRefOp<'a> {
+    input: BoxedRefOp<'a>,
+    seen: HashSet<Row>,
+}
+
+impl<'a> DistinctRefOp<'a> {
+    /// Creates a distinct operator.
+    pub fn new(input: BoxedRefOp<'a>) -> Self {
+        DistinctRefOp { input, seen: HashSet::new() }
+    }
+}
+
+impl RefOp for DistinctRefOp<'_> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+        while let Some(row) = self.input.next(ctx)? {
+            ctx.clock.advance(ctx.cost.engine_row_time(1));
+            if self.seen.insert(row.clone()) {
+                return Ok(Some(row));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// A pre-materialized term-row input (tests and benches).
+pub struct RowsRefOp {
+    rows: VecDeque<Row>,
+}
+
+impl RowsRefOp {
+    /// Wraps a row vector.
+    pub fn new(rows: Vec<Row>) -> Self {
+        RowsRefOp { rows: rows.into() }
+    }
+}
+
+impl RefOp for RowsRefOp {
+    fn next(&mut self, _ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+        Ok(self.rows.pop_front())
+    }
+}
+
+fn build_ref_operator<'a>(
+    lake: &'a DataLake,
+    config: &crate::config::PlanConfig,
+    plan: &FedPlan,
+    links: &HashMap<String, Arc<Link>>,
+) -> Result<BoxedRefOp<'a>, FedError> {
+    match plan {
+        FedPlan::Service(node) => {
+            let link = links
+                .get(&node.source_id)
+                .ok_or_else(|| FedError::Internal("missing link".into()))?;
+            let op = open_service(node, lake, Arc::clone(link), config.rows_per_message)?;
+            Ok(Box::new(DecodeOp::new(op)))
+        }
+        FedPlan::Join { left, right, on } => {
+            let l = build_ref_operator(lake, config, left, links)?;
+            let r = build_ref_operator(lake, config, right, links)?;
+            Ok(Box::new(SymHashJoinRef::new(l, r, on.clone())))
+        }
+        FedPlan::LeftJoin { left, right, on } => {
+            let l = build_ref_operator(lake, config, left, links)?;
+            let r = build_ref_operator(lake, config, right, links)?;
+            Ok(Box::new(LeftHashJoinRef::new(l, r, on.clone())))
+        }
+        FedPlan::BindJoin { left, right, batch_size } => {
+            let l = build_ref_operator(lake, config, left, links)?;
+            let db = match lake.source(&right.source_id) {
+                Some(crate::source::DataSource::Relational { db, .. }) => db,
+                _ => {
+                    return Err(FedError::Internal(format!(
+                        "bind join target {} is not relational",
+                        right.source_id
+                    )))
+                }
+            };
+            let link = links
+                .get(&right.source_id)
+                .ok_or_else(|| FedError::Internal("missing link".into()))?;
+            let bind = crate::wrapper::BindJoinOp::new(
+                Box::new(EncodeOp::new(l)),
+                db,
+                right.clone(),
+                Arc::clone(link),
+                config.rows_per_message,
+                *batch_size,
+            );
+            Ok(Box::new(DecodeOp::new(Box::new(bind))))
+        }
+        FedPlan::Filter { input, exprs } => {
+            let i = build_ref_operator(lake, config, input, links)?;
+            Ok(Box::new(FilterRefOp::new(i, exprs.clone())))
+        }
+        FedPlan::Union(branches) => {
+            let ops = branches
+                .iter()
+                .map(|b| build_ref_operator(lake, config, b, links))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Box::new(UnionRefOp::new(ops)))
+        }
+    }
+}
+
+impl FederatedEngine {
+    /// Executes an already-planned query through the reference (term-row)
+    /// engine operators. Produces a [`FedResult`] with the same stats
+    /// layout as [`FederatedEngine::execute_planned`]; used by the
+    /// representation-equivalence suite and `bench_compare`.
+    pub fn execute_planned_reference(
+        &self,
+        planned: &PlannedQuery,
+    ) -> Result<FedResult, FedError> {
+        let config = self.config();
+        let clock = if config.real_time { shared_real() } else { shared_virtual() };
+        let links = links_for(
+            self.lake(),
+            config.network,
+            Arc::clone(&clock),
+            config.cost,
+            config.seed,
+        );
+        let mut ctx = ExecCtx::new(
+            Arc::clone(&clock),
+            config.cost,
+            Arc::clone(&planned.schema),
+            SharedInterner::new(),
+        );
+
+        let mut op = build_ref_operator(self.lake(), config, &planned.plan, &links)?;
+        op = Box::new(ProjectRefOp::new(op, planned.projection.to_vec()));
+        if planned.distinct {
+            op = Box::new(DistinctRefOp::new(op));
+        }
+
+        let mut trace = AnswerTrace::new();
+        let mut rows: Vec<Row> = Vec::new();
+        let unordered_limit = planned.order_by.is_empty().then_some(()).and(planned.limit);
+        let want = unordered_limit.map(|l| l + planned.offset);
+        while let Some(row) = op.next(&mut ctx)? {
+            trace.record(clock.now());
+            rows.push(row);
+            if want.is_some_and(|w| rows.len() >= w) {
+                break;
+            }
+        }
+        trace.complete(clock.now());
+
+        if !planned.order_by.is_empty() {
+            sort_rows(&mut rows, &planned.order_by);
+        }
+        if planned.offset > 0 {
+            rows.drain(..planned.offset.min(rows.len()));
+        }
+        if let Some(l) = planned.limit {
+            rows.truncate(l);
+        }
+
+        let (messages, rows_transferred, network_delay) = total_traffic(&links);
+        let stats = FedStats {
+            plan_label: config.mode.label(),
+            network: config.network.name,
+            execution_time: trace.total_time(),
+            first_answer: trace.first_answer(),
+            answers: rows.len() as u64,
+            messages,
+            rows_transferred,
+            network_delay,
+            sql_queries: ctx.stats.sql_queries,
+            engine_filter_evals: ctx.stats.engine_filter_evals,
+            engine_join_probes: ctx.stats.engine_join_probes,
+            services: planned.plan.service_count(),
+            engine_operators: planned.plan.engine_operator_count(),
+            merged_services: planned.plan.merged_service_count(),
+        };
+        Ok(FedResult {
+            vars: Arc::clone(&planned.projection),
+            rows,
+            trace,
+            stats,
+            explain: crate::explain::explain_plan(&planned.plan),
+        })
+    }
+}

@@ -8,6 +8,10 @@
 //! shared clock by a sampled latency (via [`Link`]); the source's own
 //! computation advances it by the cost model's price for the work the
 //! relational engine reports.
+//!
+//! Wrappers are the encode boundary of the slot-row representation: lifted
+//! terms are interned into the query-scoped dictionary here, so everything
+//! downstream of a wrapper handles `u32` ids only.
 
 use crate::error::FedError;
 use crate::fedplan::{NaiveJoin, ServiceKind, ServiceNode, SqlRequest};
@@ -18,8 +22,9 @@ use crate::translate::{sql_single, Lift, OutputBinding, StarPart};
 use fedlake_mapping::lift::{term_to_value, value_key, value_to_term};
 use fedlake_netsim::cost::fedlake_relational_cost;
 use fedlake_netsim::Link;
+use fedlake_rdf::{Dictionary, TermId};
 use fedlake_relational::{Database, ResultSet};
-use fedlake_sparql::binding::Row;
+use fedlake_sparql::binding::{encode_row, Row, RowSchema, SlotRow};
 use fedlake_sparql::eval::eval_bgp;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -87,13 +92,21 @@ pub fn convert_cost(c: &fedlake_relational::CostStats) -> fedlake_relational_cos
     }
 }
 
-/// Lifts a SQL result set into solution mappings.
-pub fn lift_result(rs: &ResultSet, outputs: &[OutputBinding]) -> Vec<Row> {
+/// Lifts a SQL result set directly into slot rows, interning each lifted
+/// term. The slot of each output column is resolved once, not per row.
+pub fn lift_result(
+    rs: &ResultSet,
+    outputs: &[OutputBinding],
+    schema: &RowSchema,
+    dict: &mut Dictionary,
+) -> Vec<SlotRow> {
+    let slots: Vec<Option<usize>> = outputs.iter().map(|ob| schema.slot(&ob.var)).collect();
     rs.rows
         .iter()
         .map(|row| {
-            let mut out = Row::new();
+            let mut out = SlotRow::unbound(schema.len());
             for (i, ob) in outputs.iter().enumerate() {
+                let Some(slot) = slots[i] else { continue };
                 let v = &row[i];
                 if v.is_null() {
                     continue;
@@ -104,7 +117,7 @@ pub fn lift_result(rs: &ResultSet, outputs: &[OutputBinding]) -> Vec<Row> {
                     }
                     Lift::Literal(dt) => value_to_term(v, *dt),
                 };
-                out.bind(ob.var.clone(), term);
+                out.set(slot, dict.intern(term));
             }
             out
         })
@@ -113,20 +126,20 @@ pub fn lift_result(rs: &ResultSet, outputs: &[OutputBinding]) -> Vec<Row> {
 
 /// Shared message-batched delivery of a materialized result.
 struct Delivery {
-    rows: VecDeque<Row>,
+    rows: VecDeque<SlotRow>,
     batch_left: usize,
     empty_notified: bool,
 }
 
 impl Delivery {
-    fn new(rows: Vec<Row>) -> Self {
+    fn new(rows: Vec<SlotRow>) -> Self {
         Delivery { rows: rows.into(), batch_left: 0, empty_notified: false }
     }
 
     /// Pulls the next row, transferring a message when the current batch
     /// is exhausted. Returns `None` when drained (after the empty-result
     /// notification message when there were no rows at all).
-    fn pull(&mut self, link: &Link, rows_per_message: usize) -> Option<Row> {
+    fn pull(&mut self, link: &Link, rows_per_message: usize) -> Option<SlotRow> {
         if self.rows.is_empty() {
             if !self.empty_notified {
                 self.empty_notified = true;
@@ -156,7 +169,7 @@ struct SqlStream<'a> {
 }
 
 impl FedOp for SqlStream<'_> {
-    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<SlotRow>, FedError> {
         if self.state.is_none() {
             // Ship the query (one request message) and let the source
             // compute; its work is priced by the cost model.
@@ -164,7 +177,8 @@ impl FedOp for SqlStream<'_> {
             self.link.transfer_message(0);
             let rs = self.db.query(&self.sql)?;
             ctx.clock.advance(ctx.cost.rdb_time(&convert_cost(&rs.cost)));
-            let rows = lift_result(&rs, &self.outputs);
+            let rows =
+                lift_result(&rs, &self.outputs, &ctx.schema, &mut ctx.interner.lock());
             ctx.stats.service_rows += rows.len() as u64;
             self.state = Some(Delivery::new(rows));
         }
@@ -184,7 +198,7 @@ struct SparqlStream<'a> {
 }
 
 impl FedOp for SparqlStream<'_> {
-    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<SlotRow>, FedError> {
         if self.state.is_none() {
             self.link.transfer_message(0);
             let rows = eval_bgp(&self.star.triples, self.graph, vec![Row::new()]);
@@ -197,7 +211,13 @@ impl FedOp for SparqlStream<'_> {
                     .sparql_time(self.star.triples.len(), rows.len() as u64),
             );
             ctx.stats.service_rows += rows.len() as u64;
-            self.state = Some(Delivery::new(rows));
+            let mut dict = ctx.interner.lock();
+            let encoded: Vec<SlotRow> = rows
+                .iter()
+                .map(|r| encode_row(r, &ctx.schema, &mut dict))
+                .collect();
+            drop(dict);
+            self.state = Some(Delivery::new(encoded));
         }
         let delivery = self.state.as_mut().expect("initialized above");
         Ok(delivery.pull(&self.link, self.rows_per_message))
@@ -219,14 +239,23 @@ struct NaiveStream<'a> {
 }
 
 struct NaiveState {
-    outer: VecDeque<Row>,
+    outer: VecDeque<SlotRow>,
     buffer: Delivery,
     produced_any: bool,
 }
 
 impl NaiveStream<'_> {
-    fn inner_rows(&self, outer_row: &Row, ctx: &mut ExecCtx) -> Result<Vec<Row>, FedError> {
-        let Some(term) = outer_row.get(&self.join.outer_var) else {
+    fn inner_rows(
+        &self,
+        outer_row: &SlotRow,
+        ctx: &mut ExecCtx,
+    ) -> Result<Vec<SlotRow>, FedError> {
+        let term = ctx
+            .schema
+            .slot(&self.join.outer_var)
+            .and_then(|s| outer_row.get(s))
+            .and_then(|id| ctx.interner.resolve(id));
+        let Some(term) = term else {
             return Ok(Vec::new());
         };
         let key = match &self.join.extract {
@@ -237,7 +266,7 @@ impl NaiveStream<'_> {
                     None => return Ok(Vec::new()),
                 }
             }
-            None => term_to_value(term),
+            None => term_to_value(&term),
         };
         let mut part = self.inner.clone();
         part.wheres
@@ -247,7 +276,7 @@ impl NaiveStream<'_> {
         self.link.transfer_message(0); // the per-binding request round trip
         let rs = self.db.query(&q.sql)?;
         ctx.clock.advance(ctx.cost.rdb_time(&convert_cost(&rs.cost)));
-        let rows = lift_result(&rs, &q.outputs);
+        let rows = lift_result(&rs, &q.outputs, &ctx.schema, &mut ctx.interner.lock());
         ctx.stats.service_rows += rows.len() as u64;
         Ok(rows
             .into_iter()
@@ -257,13 +286,14 @@ impl NaiveStream<'_> {
 }
 
 impl FedOp for NaiveStream<'_> {
-    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<SlotRow>, FedError> {
         if self.state.is_none() {
             ctx.stats.sql_queries += 1;
             self.link.transfer_message(0);
             let rs = self.db.query(&self.outer_sql)?;
             ctx.clock.advance(ctx.cost.rdb_time(&convert_cost(&rs.cost)));
-            let outer = lift_result(&rs, &self.outer_outputs);
+            let outer =
+                lift_result(&rs, &self.outer_outputs, &ctx.schema, &mut ctx.interner.lock());
             ctx.stats.service_rows += outer.len() as u64;
             self.state = Some(NaiveState {
                 outer: outer.into(),
@@ -311,7 +341,7 @@ pub struct BindJoinOp<'a> {
     rows_per_message: usize,
     batch_size: usize,
     left_done: bool,
-    out: VecDeque<Row>,
+    out: VecDeque<SlotRow>,
 }
 
 impl<'a> BindJoinOp<'a> {
@@ -337,22 +367,24 @@ impl<'a> BindJoinOp<'a> {
         }
     }
 
-    fn key_of(&self, row: &Row) -> Option<fedlake_relational::Value> {
-        let term = row.get(&self.target.join_var)?;
+    fn key_of(&self, id: TermId, ctx: &ExecCtx) -> Option<fedlake_relational::Value> {
+        let term = ctx.interner.resolve(id)?;
         match &self.target.extract {
             Some(tmpl) => {
                 let iri = term.as_iri()?;
                 tmpl.extract(iri).map(fedlake_relational::Value::Text)
             }
-            None => Some(term_to_value(term)),
+            None => Some(term_to_value(&term)),
         }
     }
 
-    fn ship_batch(&mut self, batch: Vec<Row>, ctx: &mut ExecCtx) -> Result<(), FedError> {
+    fn ship_batch(&mut self, batch: Vec<SlotRow>, ctx: &mut ExecCtx) -> Result<(), FedError> {
+        let jslot = ctx.schema.slot(&self.target.join_var);
         // Distinct keys of the batch.
         let mut keys: Vec<fedlake_relational::Value> = Vec::new();
         for row in &batch {
-            if let Some(k) = self.key_of(row) {
+            let Some(id) = jslot.and_then(|s| row.get(s)) else { continue };
+            if let Some(k) = self.key_of(id, ctx) {
                 if !keys.contains(&k) {
                     keys.push(k);
                 }
@@ -374,22 +406,23 @@ impl<'a> BindJoinOp<'a> {
         self.link.transfer_message(0); // the parameterized request
         let rs = self.db.query(&q.sql)?;
         ctx.clock.advance(ctx.cost.rdb_time(&convert_cost(&rs.cost)));
-        let rows = lift_result(&rs, &q.outputs);
+        let rows = lift_result(&rs, &q.outputs, &ctx.schema, &mut ctx.interner.lock());
         ctx.stats.service_rows += rows.len() as u64;
         self.link.transfer_rows(rows.len(), self.rows_per_message);
-        // Probe: hash the fetched right rows by join key, merge per left.
-        let mut by_key: std::collections::HashMap<fedlake_rdf::Term, Vec<Row>> =
+        // Probe: hash the fetched right rows by join-key id; same interner
+        // on both sides makes id equality term equality.
+        let mut by_key: std::collections::HashMap<TermId, Vec<SlotRow>> =
             std::collections::HashMap::new();
         for r in rows {
-            if let Some(t) = r.get(&self.target.join_var) {
-                by_key.entry(t.clone()).or_default().push(r);
+            if let Some(id) = jslot.and_then(|s| r.get(s)) {
+                by_key.entry(id).or_default().push(r);
             }
         }
         for lrow in &batch {
             ctx.stats.engine_join_probes += 1;
             ctx.clock.advance(ctx.cost.engine_join_time(1));
-            let Some(term) = lrow.get(&self.target.join_var) else { continue };
-            if let Some(matches) = by_key.get(term) {
+            let Some(id) = jslot.and_then(|s| lrow.get(s)) else { continue };
+            if let Some(matches) = by_key.get(&id) {
                 for m in matches {
                     if let Some(merged) = lrow.merge(m) {
                         ctx.clock.advance(ctx.cost.engine_row_time(1));
@@ -403,7 +436,7 @@ impl<'a> BindJoinOp<'a> {
 }
 
 impl FedOp for BindJoinOp<'_> {
-    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<SlotRow>, FedError> {
         loop {
             if let Some(row) = self.out.pop_front() {
                 return Ok(Some(row));
@@ -430,7 +463,7 @@ impl FedOp for BindJoinOp<'_> {
 }
 
 /// A convenience used by tests and the engine: drains an operator fully.
-pub fn drain(op: &mut dyn FedOp, ctx: &mut ExecCtx) -> Result<Vec<Row>, FedError> {
+pub fn drain(op: &mut dyn FedOp, ctx: &mut ExecCtx) -> Result<Vec<SlotRow>, FedError> {
     let mut out = Vec::new();
     while let Some(row) = op.next(ctx)? {
         out.push(row);
@@ -486,6 +519,8 @@ mod tests {
     use fedlake_mapping::{DatasetMapping, IriTemplate, TableMapping};
     use fedlake_netsim::clock::shared_virtual;
     use fedlake_netsim::{CostModel, NetworkProfile};
+    use fedlake_rdf::SharedInterner;
+    use fedlake_sparql::binding::{decode_row, Var};
     use fedlake_sparql::parser::parse_query;
 
     fn lake() -> DataLake {
@@ -531,12 +566,18 @@ mod tests {
         lake
     }
 
-    fn ctx(clock: fedlake_netsim::SharedClock) -> ExecCtx {
-        ExecCtx {
+    fn ctx(clock: fedlake_netsim::SharedClock, vars: &[&str]) -> ExecCtx {
+        ExecCtx::new(
             clock,
-            cost: CostModel::default(),
-            stats: crate::operators::EngineStats::default(),
-        }
+            CostModel::default(),
+            Arc::new(RowSchema::new(vars.iter().map(|v| Var::new(*v)))),
+            SharedInterner::new(),
+        )
+    }
+
+    fn decode(c: &ExecCtx, rows: &[SlotRow]) -> Vec<Row> {
+        let dict = c.interner.lock();
+        rows.iter().map(|r| decode_row(r, &c.schema, &dict)).collect()
     }
 
     #[test]
@@ -573,11 +614,12 @@ mod tests {
             7,
         ));
         let mut op = open_service(&node, &lake, Arc::clone(&link), 1).unwrap();
-        let mut c = ctx(clock);
+        let mut c = ctx(clock, &["g", "l"]);
         let rows = drain(op.as_mut(), &mut c).unwrap();
         assert_eq!(rows.len(), 5);
-        assert!(rows[0]
-            .get(&fedlake_sparql::binding::Var::new("g"))
+        let decoded = decode(&c, &rows);
+        assert!(decoded[0]
+            .get(&Var::new("g"))
             .unwrap()
             .as_iri()
             .unwrap()
@@ -610,7 +652,7 @@ mod tests {
             7,
         ));
         let mut op = open_service(&node, &lake, Arc::clone(&link), 1).unwrap();
-        let mut c = ctx(clock);
+        let mut c = ctx(clock, &["g"]);
         assert!(drain(op.as_mut(), &mut c).unwrap().is_empty());
         // Request + empty answer.
         assert_eq!(link.stats().messages, 2);
@@ -651,7 +693,7 @@ mod tests {
             1,
         ));
         let mut op = open_service(&node, &lake, link, 1).unwrap();
-        let mut c = ctx(clock);
+        let mut c = ctx(clock, &["s", "o"]);
         let rows = drain(op.as_mut(), &mut c).unwrap();
         assert_eq!(rows.len(), 1);
     }
@@ -687,7 +729,7 @@ mod tests {
                     outer,
                     inner,
                     join: NaiveJoin {
-                        outer_var: fedlake_sparql::binding::Var::new("d"),
+                        outer_var: Var::new("d"),
                         inner_col: "id".into(),
                         extract: Some(IriTemplate::new("http://d/disease/{}")),
                     },
@@ -704,15 +746,16 @@ mod tests {
             3,
         ));
         let mut op = open_service(&node, &lake, Arc::clone(&link), 1).unwrap();
-        let mut c = ctx(clock);
+        let mut c = ctx(clock, &["g", "l", "d", "n"]);
         let rows = drain(op.as_mut(), &mut c).unwrap();
         // Every gene has a disease with a name.
         assert_eq!(rows.len(), 5);
         // 1 outer + 5 inner queries.
         assert_eq!(c.stats.sql_queries, 6);
         // Rows bind variables from both stars.
-        assert!(rows[0].is_bound(&fedlake_sparql::binding::Var::new("n")));
-        assert!(rows[0].is_bound(&fedlake_sparql::binding::Var::new("l")));
+        let decoded = decode(&c, &rows);
+        assert!(decoded[0].is_bound(&Var::new("n")));
+        assert!(decoded[0].is_bound(&Var::new("l")));
     }
 
     #[test]

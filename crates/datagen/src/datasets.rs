@@ -12,9 +12,8 @@ use crate::vocab::{class, entity_template, pred, shared};
 use crate::LakeConfig;
 use fedlake_mapping::{DatasetMapping, IriTemplate, TableMapping};
 use fedlake_relational::stats::column_stats;
+use fedlake_prng::Prng;
 use fedlake_relational::{Database, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Builds one dataset by id. Panics on unknown ids (the caller iterates
 /// [`crate::DATASET_IDS`]).
@@ -50,13 +49,13 @@ pub fn drug_count(config: &LakeConfig) -> usize {
     config.rows(1200)
 }
 
-fn rng_for(config: &LakeConfig, dataset: &str) -> StdRng {
+fn rng_for(config: &LakeConfig, dataset: &str) -> Prng {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in dataset.bytes() {
         h ^= b as u64;
         h = h.wrapping_mul(0x100_0000_01b3);
     }
-    StdRng::seed_from_u64(config.seed ^ h)
+    Prng::seed_from_u64(config.seed ^ h)
 }
 
 /// Creates a selection index only when the paper's 15 % rule allows it.
@@ -76,7 +75,7 @@ fn join_index(db: &mut Database, table: &str, col: &str) {
         .expect("join index creation");
 }
 
-fn pick<'a, R: Rng>(rng: &mut R, weighted: &[(&'a str, u32)]) -> &'a str {
+fn pick<'a>(rng: &mut Prng, weighted: &[(&'a str, u32)]) -> &'a str {
     let total: u32 = weighted.iter().map(|(_, w)| w).sum();
     let mut roll = rng.gen_range(0..total);
     for (v, w) in weighted {
@@ -116,7 +115,7 @@ fn chebi(config: &LakeConfig) -> (Database, DatasetMapping) {
     let n = config.rows(2000);
     for i in 0..n {
         let status = pick(&mut rng, &[("checked", 60), ("submitted", 30), ("obsolete", 10)]);
-        let charge = rng.gen_range(-3..=3);
+        let charge = rng.gen_range(-3i64..=3);
         let mass = rng.gen_range(50.0..900.0f64);
         // Low-selectivity suffixes: Q1 filters on "acid", which keeps most
         // rows — the regime where engine-side filtering beats RDB-side.
@@ -323,7 +322,7 @@ fn diseasome_content(config: &LakeConfig) -> DiseasomeContent {
             format!("d{i}"),
             format!("disease-{i} {kind}"),
             cls,
-            rng.gen_range(1..200),
+            rng.gen_range(1i64..200),
         ));
     }
     let ng = gene_count(config);
@@ -575,7 +574,7 @@ fn tcga(config: &LakeConfig) -> (Database, DatasetMapping) {
             vec![
                 Value::text(format!("p{i}")),
                 Value::text(pick(&mut rng, &[("female", 52), ("male", 48)])),
-                Value::Int(rng.gen_range(20..90)),
+                Value::Int(rng.gen_range(20i64..90)),
                 Value::text(pick(
                     &mut rng,
                     &[("lung", 20), ("breast", 20), ("colon", 15), ("prostate", 15), ("skin", 10), ("brain", 10), ("kidney", 10)],
@@ -759,7 +758,7 @@ fn medicare(config: &LakeConfig) -> (Database, DatasetMapping) {
                 Value::text(format!("rx{i}")),
                 Value::text(format!("pr{}", rng.gen_range(0..np))),
                 Value::text(format!("dr{}", rng.gen_range(0..ndr))),
-                Value::Int(rng.gen_range(1..500)),
+                Value::Int(rng.gen_range(1i64..500)),
             ],
         )
         .expect("medicare insert");

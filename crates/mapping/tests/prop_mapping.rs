@@ -1,67 +1,100 @@
-//! Property-based tests for the mapping layer: IRI template round-trips
-//! over arbitrary keys, and the value↔term lifting bijection.
+//! Randomized tests for the mapping layer: IRI template round-trips over
+//! hostile keys, and the value↔term lifting bijection. Deterministically
+//! seeded via the in-repo PRNG.
 
 use fedlake_mapping::lift::{term_to_value, value_key, value_to_term};
 use fedlake_mapping::IriTemplate;
+use fedlake_prng::Prng;
 use fedlake_relational::{DataType, Value};
-use proptest::prelude::*;
 
-proptest! {
-    /// apply ∘ extract is the identity for any non-empty key, including
-    /// keys full of IRI-hostile characters.
-    #[test]
-    fn template_roundtrip(key in ".{1,40}") {
-        let t = IriTemplate::new("http://lake/entity/{}");
+/// IRI-hostile characters mixed with plain ones.
+const POOL: &[char] = &[
+    'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '"', '<', '>', '\n', '\t', '%', '/', '{', '}',
+    '#', '?', 'é', '✓',
+];
+
+fn rand_key(rng: &mut Prng, min: usize, max: usize) -> String {
+    let len = rng.gen_range(min..=max);
+    (0..len).map(|_| POOL[rng.gen_range(0..POOL.len())]).collect()
+}
+
+fn rand_safe_key(rng: &mut Prng, min: usize, max: usize) -> String {
+    const SAFE: &[char] = &['a', 'Z', '0', '9', ' ', '/', '%'];
+    let len = rng.gen_range(min..=max);
+    (0..len).map(|_| SAFE[rng.gen_range(0..SAFE.len())]).collect()
+}
+
+/// apply ∘ extract is the identity for any non-empty key, including keys
+/// full of IRI-hostile characters.
+#[test]
+fn template_roundtrip() {
+    let mut rng = Prng::seed_from_u64(0x3a99_0001);
+    let t = IriTemplate::new("http://lake/entity/{}");
+    for _ in 0..256 {
+        let key = rand_key(&mut rng, 1, 40);
         let iri = t.apply(&key);
         // The minted IRI must be safe: no spaces, quotes or angle brackets.
-        prop_assert!(!iri.contains([' ', '"', '<', '>', '\n', '\t']), "unsafe IRI {iri}");
+        assert!(!iri.contains([' ', '"', '<', '>', '\n', '\t']), "unsafe IRI {iri}");
         let extracted = t.extract(&iri);
-        prop_assert_eq!(extracted.as_deref(), Some(key.as_str()));
+        assert_eq!(extracted.as_deref(), Some(key.as_str()));
     }
+}
 
-    /// Templates with suffixes round-trip too.
-    #[test]
-    fn suffixed_template_roundtrip(key in "[a-zA-Z0-9 /%]{1,20}") {
-        let t = IriTemplate::new("http://lake/e/{}.html");
+/// Templates with suffixes round-trip too.
+#[test]
+fn suffixed_template_roundtrip() {
+    let mut rng = Prng::seed_from_u64(0x3a99_0002);
+    let t = IriTemplate::new("http://lake/e/{}.html");
+    for _ in 0..256 {
+        let key = rand_safe_key(&mut rng, 1, 20);
         let iri = t.apply(&key);
-        prop_assert!(iri.ends_with(".html"));
+        assert!(iri.ends_with(".html"));
         let extracted = t.extract(&iri);
-        prop_assert_eq!(extracted.as_deref(), Some(key.as_str()));
+        assert_eq!(extracted.as_deref(), Some(key.as_str()));
     }
+}
 
-    /// Two distinct keys never mint the same IRI (injectivity).
-    #[test]
-    fn template_is_injective(a in ".{1,20}", b in ".{1,20}") {
-        prop_assume!(a != b);
-        let t = IriTemplate::new("http://lake/entity/{}");
-        prop_assert_ne!(t.apply(&a), t.apply(&b));
+/// Two distinct keys never mint the same IRI (injectivity).
+#[test]
+fn template_is_injective() {
+    let mut rng = Prng::seed_from_u64(0x3a99_0003);
+    let t = IriTemplate::new("http://lake/entity/{}");
+    for _ in 0..256 {
+        let a = rand_key(&mut rng, 1, 20);
+        let b = rand_key(&mut rng, 1, 20);
+        if a == b {
+            continue;
+        }
+        assert_ne!(t.apply(&a), t.apply(&b));
     }
+}
 
-    /// Lifting a relational value to a term and lowering it back is the
-    /// identity for type-consistent values.
-    #[test]
-    fn lift_lower_roundtrip(
-        pick in 0u8..4,
-        i in any::<i64>(),
-        d in -1e12f64..1e12,
-        s in ".{0,30}",
-        b in any::<bool>(),
-    ) {
-        let (v, dt) = match pick {
-            0 => (Value::Int(i), DataType::Int),
-            1 => (Value::Double(d), DataType::Double),
-            2 => (Value::Text(s.clone()), DataType::Text),
-            _ => (Value::Bool(b), DataType::Bool),
+/// Lifting a relational value to a term and lowering it back is the
+/// identity for type-consistent values.
+#[test]
+fn lift_lower_roundtrip() {
+    let mut rng = Prng::seed_from_u64(0x3a99_0004);
+    for _ in 0..256 {
+        let (v, dt) = match rng.gen_range(0..4) {
+            0 => (Value::Int(rng.next_u64() as i64), DataType::Int),
+            1 => (Value::Double(rng.gen_range(-1e12..1e12)), DataType::Double),
+            2 => (Value::Text(rand_key(&mut rng, 0, 30)), DataType::Text),
+            _ => (Value::Bool(rng.gen_bool(0.5)), DataType::Bool),
         };
         let term = value_to_term(&v, dt);
-        prop_assert_eq!(term_to_value(&term), v);
+        assert_eq!(term_to_value(&term), v);
     }
+}
 
-    /// `value_key` never loses information for text keys (it is the raw
-    /// string) and is stable for numerics.
-    #[test]
-    fn value_key_stability(s in ".{0,30}", i in any::<i64>()) {
-        prop_assert_eq!(value_key(&Value::Text(s.clone())), s);
-        prop_assert_eq!(value_key(&Value::Int(i)), i.to_string());
+/// `value_key` never loses information for text keys (it is the raw
+/// string) and is stable for numerics.
+#[test]
+fn value_key_stability() {
+    let mut rng = Prng::seed_from_u64(0x3a99_0005);
+    for _ in 0..256 {
+        let s = rand_key(&mut rng, 0, 30);
+        let i = rng.next_u64() as i64;
+        assert_eq!(value_key(&Value::Text(s.clone())), s);
+        assert_eq!(value_key(&Value::Int(i)), i.to_string());
     }
 }

@@ -2,10 +2,11 @@
 //!
 //! The paper draws per-message latencies from `numpy.random.gamma(α, β)`
 //! (shape/scale parameterization, mean `α·β`). This module implements the
-//! Marsaglia–Tsang (2000) squeeze method on top of `rand`, avoiding an
-//! extra dependency while matching numpy's parameterization.
+//! Marsaglia–Tsang (2000) squeeze method on top of the in-repo splitmix64
+//! generator, avoiding an external dependency while matching numpy's
+//! parameterization.
 
-use rand::Rng;
+use fedlake_prng::Prng;
 
 /// A gamma(shape `alpha`, scale `beta`) sampler; mean is `alpha * beta`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,7 +36,7 @@ impl GammaSampler {
     }
 
     /// Draws one sample.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+    pub fn sample(&self, rng: &mut Prng) -> f64 {
         if self.alpha < 1.0 {
             // Boost: gamma(α) = gamma(α+1) · U^{1/α}.
             let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
@@ -46,7 +47,7 @@ impl GammaSampler {
 }
 
 /// Marsaglia–Tsang for shape ≥ 1, scale 1.
-fn sample_mt<R: Rng + ?Sized>(alpha: f64, rng: &mut R) -> f64 {
+fn sample_mt(alpha: f64, rng: &mut Prng) -> f64 {
     debug_assert!(alpha >= 1.0);
     let d = alpha - 1.0 / 3.0;
     let c = 1.0 / (9.0 * d).sqrt();
@@ -70,7 +71,7 @@ fn sample_mt<R: Rng + ?Sized>(alpha: f64, rng: &mut R) -> f64 {
 }
 
 /// One standard-normal draw via Box–Muller.
-pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+pub fn standard_normal(rng: &mut Prng) -> f64 {
     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
@@ -79,12 +80,10 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn moments(alpha: f64, beta: f64, n: usize) -> (f64, f64) {
         let g = GammaSampler::new(alpha, beta);
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Prng::seed_from_u64(42);
         let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
@@ -122,7 +121,7 @@ mod tests {
     #[test]
     fn samples_are_positive() {
         let g = GammaSampler::new(1.0, 0.3);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Prng::seed_from_u64(7);
         for _ in 0..10_000 {
             assert!(g.sample(&mut rng) > 0.0);
         }
@@ -131,8 +130,8 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let g = GammaSampler::new(3.0, 1.5);
-        let mut a = StdRng::seed_from_u64(1);
-        let mut b = StdRng::seed_from_u64(1);
+        let mut a = Prng::seed_from_u64(1);
+        let mut b = Prng::seed_from_u64(1);
         for _ in 0..100 {
             assert_eq!(g.sample(&mut a), g.sample(&mut b));
         }
@@ -146,7 +145,7 @@ mod tests {
 
     #[test]
     fn normal_moments() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Prng::seed_from_u64(3);
         let n = 200_000;
         let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / n as f64;

@@ -8,9 +8,8 @@
 use crate::clock::SharedClock;
 use crate::cost::CostModel;
 use crate::profile::NetworkProfile;
+use fedlake_prng::Prng;
 use parking_lot_shim::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::time::Duration;
 
 // `parking_lot` is only linked by crates that already depend on it; keep
@@ -55,7 +54,7 @@ pub struct Link {
 
 #[derive(Debug)]
 struct LinkState {
-    rng: StdRng,
+    rng: Prng,
     stats: LinkStats,
 }
 
@@ -66,7 +65,7 @@ impl Link {
             profile,
             clock,
             cost,
-            state: Mutex::new(LinkState { rng: StdRng::seed_from_u64(seed), stats: LinkStats::default() }),
+            state: Mutex::new(LinkState { rng: Prng::seed_from_u64(seed), stats: LinkStats::default() }),
         }
     }
 

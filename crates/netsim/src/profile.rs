@@ -1,7 +1,7 @@
 //! The four network settings of the paper's experiment (§3).
 
 use crate::gamma::GammaSampler;
-use rand::Rng;
+use fedlake_prng::Prng;
 use std::fmt;
 use std::time::Duration;
 
@@ -35,7 +35,7 @@ impl DelayModel {
     }
 
     /// Draws one per-message delay.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+    pub fn sample(&self, rng: &mut Prng) -> Duration {
         let ms = match self {
             DelayModel::None => 0.0,
             DelayModel::Gamma { alpha, beta_ms } => {
@@ -107,8 +107,6 @@ impl fmt::Display for NetworkProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn paper_profile_means() {
@@ -128,7 +126,7 @@ mod tests {
 
     #[test]
     fn no_delay_samples_zero() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Prng::seed_from_u64(1);
         assert_eq!(
             NetworkProfile::NO_DELAY.delay.sample(&mut rng),
             Duration::ZERO
@@ -137,7 +135,7 @@ mod tests {
 
     #[test]
     fn gamma_sampling_mean_close() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Prng::seed_from_u64(1);
         let n = 50_000;
         let total: Duration = (0..n)
             .map(|_| NetworkProfile::GAMMA3.delay.sample(&mut rng))
@@ -148,7 +146,7 @@ mod tests {
 
     #[test]
     fn constant_model() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Prng::seed_from_u64(1);
         let d = DelayModel::Constant { ms: 2.0 };
         assert_eq!(d.sample(&mut rng), Duration::from_millis(2));
         assert_eq!(d.mean_ms(), 2.0);

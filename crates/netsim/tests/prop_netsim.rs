@@ -1,62 +1,66 @@
-//! Property-based tests for the network simulation: sampler positivity
-//! and scaling laws, link accounting invariants, and virtual-clock
-//! arithmetic.
+//! Randomized tests for the network simulation: sampler positivity and
+//! scaling laws, link accounting invariants, and virtual-clock
+//! arithmetic. Deterministically seeded via the in-repo PRNG.
 
 use fedlake_netsim::clock::shared_virtual;
 use fedlake_netsim::{CostModel, DelayModel, GammaSampler, Link, NetworkProfile};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use fedlake_prng::Prng;
 use std::sync::Arc;
 use std::time::Duration;
 
-proptest! {
-    /// Gamma samples are always strictly positive and finite.
-    #[test]
-    fn gamma_samples_positive(
-        alpha in 0.1f64..20.0,
-        beta in 0.01f64..10.0,
-        seed in any::<u64>(),
-    ) {
+/// Gamma samples are always strictly positive and finite.
+#[test]
+fn gamma_samples_positive() {
+    let mut meta = Prng::seed_from_u64(0x4e75_0001);
+    for _ in 0..48 {
+        let alpha = meta.gen_range(0.1f64..20.0);
+        let beta = meta.gen_range(0.01f64..10.0);
+        let seed = meta.next_u64();
         let g = GammaSampler::new(alpha, beta);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Prng::seed_from_u64(seed);
         for _ in 0..200 {
             let x = g.sample(&mut rng);
-            prop_assert!(x.is_finite());
-            prop_assert!(x > 0.0, "sample {x} for α={alpha}, β={beta}");
+            assert!(x.is_finite());
+            assert!(x > 0.0, "sample {x} for α={alpha}, β={beta}");
         }
     }
+}
 
-    /// Scaling law: gamma(α, c·β) has the same distribution as
-    /// c · gamma(α, β); with identical RNG streams the samples relate by
-    /// exactly the scale factor.
-    #[test]
-    fn gamma_scale_linearity(
-        alpha in 0.5f64..10.0,
-        beta in 0.1f64..5.0,
-        c in 0.1f64..10.0,
-        seed in any::<u64>(),
-    ) {
+/// Scaling law: gamma(α, c·β) has the same distribution as
+/// c · gamma(α, β); with identical RNG streams the samples relate by
+/// exactly the scale factor.
+#[test]
+fn gamma_scale_linearity() {
+    let mut meta = Prng::seed_from_u64(0x4e75_0002);
+    for _ in 0..64 {
+        let alpha = meta.gen_range(0.5f64..10.0);
+        let beta = meta.gen_range(0.1f64..5.0);
+        let c = meta.gen_range(0.1f64..10.0);
+        let seed = meta.next_u64();
         let g1 = GammaSampler::new(alpha, beta);
         let g2 = GammaSampler::new(alpha, beta * c);
-        let mut r1 = StdRng::seed_from_u64(seed);
-        let mut r2 = StdRng::seed_from_u64(seed);
+        let mut r1 = Prng::seed_from_u64(seed);
+        let mut r2 = Prng::seed_from_u64(seed);
         for _ in 0..50 {
             let a = g1.sample(&mut r1) * c;
             let b = g2.sample(&mut r2);
-            prop_assert!((a - b).abs() <= a.abs() * 1e-12 + 1e-12);
+            assert!((a - b).abs() <= a.abs() * 1e-12 + 1e-12);
         }
     }
+}
 
-    /// Link accounting: messages and rows add up, delay is zero exactly
-    /// for the NoDelay profile, and the clock never runs backwards.
-    #[test]
-    fn link_accounting(
-        batches in prop::collection::vec(0usize..50, 1..20),
-        profile_pick in 0usize..4,
-        seed in any::<u64>(),
-    ) {
-        let profile = NetworkProfile::ALL[profile_pick];
+/// Link accounting: messages and rows add up, delay is zero exactly for
+/// the NoDelay profile, and the clock never runs backwards.
+#[test]
+fn link_accounting() {
+    let mut meta = Prng::seed_from_u64(0x4e75_0003);
+    for _ in 0..64 {
+        let batches: Vec<usize> = {
+            let n = meta.gen_range(1usize..20);
+            (0..n).map(|_| meta.gen_range(0usize..50)).collect()
+        };
+        let profile = NetworkProfile::ALL[meta.gen_range(0usize..4)];
+        let seed = meta.next_u64();
         let clock = shared_virtual();
         let link = Link::new(profile, Arc::clone(&clock), CostModel::default(), seed);
         let mut last = Duration::ZERO;
@@ -65,28 +69,30 @@ proptest! {
             link.transfer_message(n);
             total_rows += n as u64;
             let now = clock.now();
-            prop_assert!(now >= last);
+            assert!(now >= last);
             last = now;
         }
         let stats = link.stats();
-        prop_assert_eq!(stats.messages, batches.len() as u64);
-        prop_assert_eq!(stats.rows, total_rows);
+        assert_eq!(stats.messages, batches.len() as u64);
+        assert_eq!(stats.rows, total_rows);
         if profile.name == "NoDelay" {
-            prop_assert_eq!(stats.delay, Duration::ZERO);
+            assert_eq!(stats.delay, Duration::ZERO);
         } else {
-            prop_assert!(stats.delay > Duration::ZERO);
+            assert!(stats.delay > Duration::ZERO);
         }
         // The clock includes the non-latency transfer cost too.
-        prop_assert!(clock.now() >= stats.delay);
+        assert!(clock.now() >= stats.delay);
     }
+}
 
-    /// transfer_rows(n, batch) sends ceil(n/batch) messages (or exactly
-    /// one empty message for n = 0) and exactly n rows.
-    #[test]
-    fn batching_message_count(
-        total in 0usize..500,
-        batch in 1usize..64,
-    ) {
+/// transfer_rows(n, batch) sends ceil(n/batch) messages (or exactly one
+/// empty message for n = 0) and exactly n rows.
+#[test]
+fn batching_message_count() {
+    let mut meta = Prng::seed_from_u64(0x4e75_0004);
+    for _ in 0..128 {
+        let total = meta.gen_range(0usize..500);
+        let batch = meta.gen_range(1usize..64);
         let clock = shared_virtual();
         let link = Link::new(
             NetworkProfile::GAMMA1,
@@ -97,29 +103,38 @@ proptest! {
         link.transfer_rows(total, batch);
         let stats = link.stats();
         let expected = if total == 0 { 1 } else { total.div_ceil(batch) as u64 };
-        prop_assert_eq!(stats.messages, expected);
-        prop_assert_eq!(stats.rows, total as u64);
+        assert_eq!(stats.messages, expected);
+        assert_eq!(stats.rows, total as u64);
     }
+}
 
-    /// The mean of a DelayModel matches its analytic value.
-    #[test]
-    fn delay_model_mean(ms in 0.0f64..10.0) {
+/// The mean of a DelayModel matches its analytic value.
+#[test]
+fn delay_model_mean() {
+    let mut meta = Prng::seed_from_u64(0x4e75_0005);
+    for _ in 0..128 {
+        let ms = meta.gen_range(0.0f64..10.0);
         let c = DelayModel::Constant { ms };
-        prop_assert_eq!(c.mean_ms(), ms);
+        assert_eq!(c.mean_ms(), ms);
         let g = DelayModel::Gamma { alpha: 2.0, beta_ms: ms.max(0.01) };
-        prop_assert!((g.mean_ms() - 2.0 * ms.max(0.01)).abs() < 1e-12);
+        assert!((g.mean_ms() - 2.0 * ms.max(0.01)).abs() < 1e-12);
     }
+}
 
-    /// Cost-model time conversions are monotone in their counters.
-    #[test]
-    fn cost_model_monotonicity(a in 0u64..100_000, b in 0u64..100_000) {
-        use fedlake_netsim::cost::fedlake_relational_cost::CostStats;
+/// Cost-model time conversions are monotone in their counters.
+#[test]
+fn cost_model_monotonicity() {
+    use fedlake_netsim::cost::fedlake_relational_cost::CostStats;
+    let mut meta = Prng::seed_from_u64(0x4e75_0006);
+    for _ in 0..128 {
+        let a = meta.gen_range(0u64..100_000);
+        let b = meta.gen_range(0u64..100_000);
         let m = CostModel::default();
         let (lo, hi) = (a.min(b), a.max(b));
         let t_lo = m.rdb_time(&CostStats { rows_scanned: lo, ..Default::default() });
         let t_hi = m.rdb_time(&CostStats { rows_scanned: hi, ..Default::default() });
-        prop_assert!(t_lo <= t_hi);
-        prop_assert!(m.engine_filter_time(lo) <= m.engine_filter_time(hi));
-        prop_assert!(m.message_time(lo as usize) <= m.message_time(hi as usize));
+        assert!(t_lo <= t_hi);
+        assert!(m.engine_filter_time(lo) <= m.engine_filter_time(hi));
+        assert!(m.message_time(lo as usize) <= m.message_time(hi as usize));
     }
 }

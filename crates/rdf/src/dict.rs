@@ -7,12 +7,17 @@
 
 use crate::term::Term;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// A compact identifier for an interned RDF term.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TermId(pub u32);
 
 impl TermId {
+    /// Sentinel for "no term": an unbound slot in a solution mapping.
+    /// Never allocated by [`Dictionary::intern`].
+    pub const UNBOUND: TermId = TermId(u32::MAX);
+
     /// The raw index value.
     pub fn index(self) -> usize {
         self.0 as usize
@@ -40,7 +45,9 @@ impl Dictionary {
         if let Some(&id) = self.ids.get(&term) {
             return id;
         }
-        let id = TermId(u32::try_from(self.terms.len()).expect("dictionary overflow"));
+        let raw = u32::try_from(self.terms.len()).expect("dictionary overflow");
+        assert!(raw != u32::MAX, "dictionary overflow");
+        let id = TermId(raw);
         self.terms.push(term.clone());
         self.ids.insert(term, id);
         id
@@ -72,6 +79,51 @@ impl Dictionary {
             .iter()
             .enumerate()
             .map(|(i, t)| (TermId(i as u32), t))
+    }
+}
+
+/// A query-scoped, append-only term interner shareable across operators
+/// and source boundaries.
+///
+/// Every wrapper stream and engine operator participating in one query
+/// execution holds a clone, so a term arriving from any source maps to the
+/// same [`TermId`] everywhere — which is what lets joins compare raw ids.
+/// Ids are never recycled: the interner only grows for the lifetime of the
+/// query and is dropped wholesale when execution finishes.
+#[derive(Debug, Default, Clone)]
+pub struct SharedInterner {
+    inner: Arc<Mutex<Dictionary>>,
+}
+
+impl SharedInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Locks the underlying dictionary (non-poisoning).
+    pub fn lock(&self) -> MutexGuard<'_, Dictionary> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Interns `term`, returning its query-wide id.
+    pub fn intern(&self, term: Term) -> TermId {
+        self.lock().intern(term)
+    }
+
+    /// Resolves an id back to an owned term.
+    pub fn resolve(&self, id: TermId) -> Option<Term> {
+        self.lock().term(id).cloned()
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True when no term has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
     }
 }
 
@@ -131,5 +183,23 @@ mod tests {
         d.intern(Term::iri("b"));
         let pairs: Vec<_> = d.iter().map(|(id, t)| (id.index(), t.clone())).collect();
         assert_eq!(pairs, vec![(0, Term::iri("a")), (1, Term::iri("b"))]);
+    }
+
+    #[test]
+    fn shared_interner_agrees_across_clones() {
+        let a = SharedInterner::new();
+        let b = a.clone();
+        let id_a = a.intern(Term::iri("http://x/a"));
+        let id_b = b.intern(Term::iri("http://x/a"));
+        assert_eq!(id_a, id_b);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.resolve(id_a), Some(Term::iri("http://x/a")));
+    }
+
+    #[test]
+    fn unbound_sentinel_never_resolves() {
+        let i = SharedInterner::new();
+        i.intern(Term::iri("a"));
+        assert_eq!(i.resolve(TermId::UNBOUND), None);
     }
 }

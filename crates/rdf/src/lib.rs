@@ -33,7 +33,7 @@ pub mod ntriples;
 pub mod term;
 pub mod vocab;
 
-pub use dict::{Dictionary, TermId};
+pub use dict::{Dictionary, SharedInterner, TermId};
 pub use error::RdfError;
 pub use graph::{Graph, TriplePattern};
 pub use term::{Literal, Term};

@@ -1,45 +1,59 @@
-//! Property-based tests for the triple store: index agreement, pattern
-//! matching vs. naive filtering, and N-Triples round-trips.
+//! Randomized tests for the triple store: index agreement, pattern
+//! matching vs. naive filtering, and N-Triples round-trips. Inputs are
+//! generated from a seeded in-repo PRNG so every run explores the same
+//! (large) case set deterministically.
 
+use fedlake_prng::Prng;
 use fedlake_rdf::{ntriples, Graph, Literal, Term, TriplePattern};
-use proptest::prelude::*;
 
-/// A small universe of term components so collisions (and therefore matches)
-/// are frequent.
-fn arb_term() -> impl Strategy<Value = Term> {
-    prop_oneof![
-        (0u8..8).prop_map(|i| Term::iri(format!("http://example.org/r{i}"))),
-        (0u8..4).prop_map(|i| Term::blank(format!("b{i}"))),
-        (0u8..6).prop_map(|i| Term::literal(format!("lit{i}"))),
-        (-3i64..3).prop_map(Term::integer),
-        ("[a-z]{0,3}", 0u8..2)
-            .prop_map(|(s, l)| Term::Literal(Literal::lang_tagged(s, format!("l{l}")))),
-    ]
+/// A small universe of term components so collisions (and therefore
+/// matches) are frequent.
+fn arb_term(rng: &mut Prng) -> Term {
+    match rng.gen_range(0..5) {
+        0 => Term::iri(format!("http://example.org/r{}", rng.gen_range(0u8..8))),
+        1 => Term::blank(format!("b{}", rng.gen_range(0u8..4))),
+        2 => Term::literal(format!("lit{}", rng.gen_range(0u8..6))),
+        3 => Term::integer(rng.gen_range(-3i64..3)),
+        _ => {
+            let len = rng.gen_range(0usize..4);
+            let s: String = (0..len)
+                .map(|_| (b'a' + rng.gen_range(0u8..26)) as char)
+                .collect();
+            Term::Literal(Literal::lang_tagged(s, format!("l{}", rng.gen_range(0u8..2))))
+        }
+    }
 }
 
-fn arb_triples() -> impl Strategy<Value = Vec<(Term, Term, Term)>> {
-    prop::collection::vec((arb_term(), arb_term(), arb_term()), 0..60)
+fn arb_triples(rng: &mut Prng) -> Vec<(Term, Term, Term)> {
+    let n = rng.gen_range(0usize..60);
+    (0..n)
+        .map(|_| (arb_term(rng), arb_term(rng), arb_term(rng)))
+        .collect()
 }
 
-proptest! {
-    /// Any pattern answered via an index must equal naive filtering over all
-    /// triples.
-    #[test]
-    fn pattern_matching_agrees_with_full_scan(
-        triples in arb_triples(),
-        pick in (any::<u16>(), any::<bool>(), any::<bool>(), any::<bool>()),
-    ) {
+/// Any pattern answered via an index must equal naive filtering over all
+/// triples.
+#[test]
+fn pattern_matching_agrees_with_full_scan() {
+    let mut rng = Prng::seed_from_u64(0x9a7e_0001);
+    for _ in 0..128 {
+        let triples = arb_triples(&mut rng);
         let mut g = Graph::new();
         for (s, p, o) in &triples {
             g.insert_terms(s.clone(), p.clone(), o.clone());
         }
         let all: Vec<_> = g.iter().collect();
         // Derive a pattern from a random existing triple (if any).
-        let (idx, bs, bp, bo) = pick;
+        let (idx, bs, bp, bo) = (
+            rng.gen_range(0u32..u32::MAX) as usize,
+            rng.gen_bool(0.5),
+            rng.gen_bool(0.5),
+            rng.gen_bool(0.5),
+        );
         let pattern = if all.is_empty() {
             TriplePattern::any()
         } else {
-            let t = all[idx as usize % all.len()];
+            let t = all[idx % all.len()];
             TriplePattern {
                 s: bs.then_some(t.s),
                 p: bp.then_some(t.p),
@@ -50,12 +64,16 @@ proptest! {
             g.match_pattern(&pattern).into_iter().collect();
         let naive: std::collections::BTreeSet<_> =
             all.iter().copied().filter(|t| pattern.matches(t)).collect();
-        prop_assert_eq!(via_index, naive);
+        assert_eq!(via_index, naive);
     }
+}
 
-    /// Insert/remove keeps all three indexes consistent.
-    #[test]
-    fn remove_restores_previous_state(triples in arb_triples()) {
+/// Insert/remove keeps all three indexes consistent.
+#[test]
+fn remove_restores_previous_state() {
+    let mut rng = Prng::seed_from_u64(0x9a7e_0002);
+    for _ in 0..128 {
+        let triples = arb_triples(&mut rng);
         let mut g = Graph::new();
         let mut inserted = Vec::new();
         for (s, p, o) in &triples {
@@ -67,25 +85,23 @@ proptest! {
         for t in &removed {
             g.remove(*t);
         }
-        prop_assert!(g.len() <= full_len);
+        assert!(g.len() <= full_len);
         for t in &removed {
-            prop_assert!(!g.contains(*t));
+            assert!(!g.contains(*t));
             // All three index-backed access paths must agree it is gone.
-            prop_assert!(!g
-                .match_pattern(&TriplePattern::any().with_s(t.s))
-                .contains(t));
-            prop_assert!(!g
-                .match_pattern(&TriplePattern::any().with_p(t.p))
-                .contains(t));
-            prop_assert!(!g
-                .match_pattern(&TriplePattern::any().with_o(t.o))
-                .contains(t));
+            assert!(!g.match_pattern(&TriplePattern::any().with_s(t.s)).contains(t));
+            assert!(!g.match_pattern(&TriplePattern::any().with_p(t.p)).contains(t));
+            assert!(!g.match_pattern(&TriplePattern::any().with_o(t.o)).contains(t));
         }
     }
+}
 
-    /// serialize ∘ parse is the identity on graphs (up to triple set).
-    #[test]
-    fn ntriples_roundtrip(triples in arb_triples()) {
+/// serialize ∘ parse is the identity on graphs (up to triple set).
+#[test]
+fn ntriples_roundtrip() {
+    let mut rng = Prng::seed_from_u64(0x9a7e_0003);
+    for _ in 0..128 {
+        let triples = arb_triples(&mut rng);
         let mut g = Graph::new();
         for (s, p, o) in &triples {
             // N-Triples requires IRI/blank subjects and IRI predicates.
@@ -101,10 +117,10 @@ proptest! {
         }
         let doc = ntriples::serialize(&g);
         let g2 = ntriples::parse(&doc).unwrap();
-        prop_assert_eq!(g.len(), g2.len());
+        assert_eq!(g.len(), g2.len());
         let set1: std::collections::BTreeSet<String> = doc.lines().map(String::from).collect();
         let doc2 = ntriples::serialize(&g2);
         let set2: std::collections::BTreeSet<String> = doc2.lines().map(String::from).collect();
-        prop_assert_eq!(set1, set2);
+        assert_eq!(set1, set2);
     }
 }

@@ -1,26 +1,39 @@
-//! Property-based tests for the relational engine: whatever access paths
-//! and join algorithms the optimizer picks, the answers must equal a naive
+//! Randomized tests for the relational engine: whatever access paths and
+//! join algorithms the optimizer picks, the answers must equal a naive
 //! reference evaluation, and indexes must never change results.
+//! Deterministically seeded via the in-repo PRNG.
 
+use fedlake_prng::Prng;
 use fedlake_relational::sql::ast::{Operand, Predicate, SqlCmpOp, Statement};
 use fedlake_relational::sql::parse;
 use fedlake_relational::{Column, DataType, Database, TableSchema, Value};
-use proptest::prelude::*;
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
 
 /// A small value universe so predicates hit often.
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        3 => (0i64..20).prop_map(Value::Int),
-        2 => (0u8..8).prop_map(|i| Value::text(format!("v{i}"))),
-        1 => Just(Value::Null),
-        1 => (0u8..10).prop_map(|i| Value::Double(i as f64 / 2.0)),
-    ]
+fn arb_value(rng: &mut Prng) -> Value {
+    match rng.gen_range(0..7) {
+        0..=2 => Value::Int(rng.gen_range(0i64..20)),
+        3 | 4 => Value::text(format!("v{}", rng.gen_range(0u8..8))),
+        5 => Value::Null,
+        _ => Value::Double(rng.gen_range(0u8..10) as f64 / 2.0),
+    }
 }
 
-fn arb_rows() -> impl Strategy<Value = Vec<(i64, Value, Value)>> {
-    prop::collection::vec((0i64..1000, arb_value(), arb_value()), 0..50)
+fn arb_non_null(rng: &mut Prng) -> Value {
+    loop {
+        let v = arb_value(rng);
+        if !v.is_null() {
+            return v;
+        }
+    }
+}
+
+fn arb_rows(rng: &mut Prng) -> Vec<(i64, Value, Value)> {
+    let n = rng.gen_range(0usize..50);
+    (0..n)
+        .map(|_| (rng.gen_range(0i64..1000), arb_value(rng), arb_value(rng)))
+        .collect()
 }
 
 #[derive(Debug, Clone)]
@@ -31,24 +44,29 @@ enum Pred {
     In(Vec<Value>),
 }
 
-fn arb_pred() -> impl Strategy<Value = (usize, Pred)> {
-    let op = prop_oneof![
-        Just(SqlCmpOp::Eq),
-        Just(SqlCmpOp::Ne),
-        Just(SqlCmpOp::Lt),
-        Just(SqlCmpOp::Le),
-        Just(SqlCmpOp::Gt),
-        Just(SqlCmpOp::Ge),
+fn arb_pred(rng: &mut Prng) -> (usize, Pred) {
+    const OPS: [SqlCmpOp; 6] = [
+        SqlCmpOp::Eq,
+        SqlCmpOp::Ne,
+        SqlCmpOp::Lt,
+        SqlCmpOp::Le,
+        SqlCmpOp::Gt,
+        SqlCmpOp::Ge,
     ];
-    let pred = prop_oneof![
-        4 => (op, arb_value().prop_filter("non-null literal", |v| !v.is_null()))
-            .prop_map(|(o, v)| Pred::Cmp(o, v)),
-        1 => "[v%_0-9]{0,3}".prop_map(Pred::Like),
-        1 => any::<bool>().prop_map(Pred::IsNull),
-        1 => prop::collection::vec(arb_value().prop_filter("non-null", |v| !v.is_null()), 1..4)
-            .prop_map(Pred::In),
-    ];
-    ((1usize..3), pred)
+    let pred = match rng.gen_range(0..7) {
+        0..=3 => Pred::Cmp(OPS[rng.gen_range(0..OPS.len())], arb_non_null(rng)),
+        4 => {
+            const PAT: &[char] = &['v', '%', '_', '0', '9'];
+            let len = rng.gen_range(0usize..4);
+            Pred::Like((0..len).map(|_| PAT[rng.gen_range(0..PAT.len())]).collect())
+        }
+        5 => Pred::IsNull(rng.gen_bool(0.5)),
+        _ => {
+            let n = rng.gen_range(1usize..4);
+            Pred::In((0..n).map(|_| arb_non_null(rng)).collect())
+        }
+    };
+    (rng.gen_range(1usize..3), pred)
 }
 
 fn build_db(rows: &[(i64, Value, Value)], with_indexes: bool) -> Database {
@@ -122,14 +140,15 @@ fn eval_ref(p: &Pred, v: &Value) -> bool {
     }
 }
 
-proptest! {
-    /// Executing a filtered SELECT must equal naive row filtering, with
-    /// and without a secondary index — and the two engines must agree.
-    #[test]
-    fn select_matches_reference_and_indexes_do_not_change_answers(
-        rows in arb_rows(),
-        preds in prop::collection::vec(arb_pred(), 0..3),
-    ) {
+/// Executing a filtered SELECT must equal naive row filtering, with and
+/// without a secondary index — and the two engines must agree.
+#[test]
+fn select_matches_reference_and_indexes_do_not_change_answers() {
+    let mut rng = Prng::seed_from_u64(0x59_1001);
+    for _ in 0..96 {
+        let rows = arb_rows(&mut rng);
+        let n_preds = rng.gen_range(0usize..3);
+        let preds: Vec<(usize, Pred)> = (0..n_preds).map(|_| arb_pred(&mut rng)).collect();
         let plain = build_db(&rows, false);
         let indexed = build_db(&rows, true);
         // Build the statement through the public AST by parsing a base
@@ -163,14 +182,18 @@ proptest! {
             r_plain.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
         let got_indexed: BTreeSet<i64> =
             r_indexed.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
-        prop_assert_eq!(&got_plain, &expected);
-        prop_assert_eq!(&got_indexed, &expected);
+        assert_eq!(got_plain, expected);
+        assert_eq!(got_indexed, expected);
     }
+}
 
-    /// Join answers are independent of which join algorithm the optimizer
-    /// picks (INLJ when indexed, hash otherwise).
-    #[test]
-    fn join_algorithms_agree(rows in arb_rows()) {
+/// Join answers are independent of which join algorithm the optimizer
+/// picks (INLJ when indexed, hash otherwise).
+#[test]
+fn join_algorithms_agree() {
+    let mut rng = Prng::seed_from_u64(0x59_1002);
+    for _ in 0..96 {
+        let rows = arb_rows(&mut rng);
         let build = |with_fk_index: bool| {
             let mut db = Database::new("j");
             db.execute("CREATE TABLE l (id INT PRIMARY KEY, k TEXT)").unwrap();
@@ -203,28 +226,28 @@ proptest! {
         };
         let a = hash_db.query(sql).unwrap();
         let b = inlj_db.query(sql).unwrap();
-        prop_assert_eq!(to_set(&a), to_set(&b));
-        // NULL keys never join.
-        for (x, y) in to_set(&a) {
-            let lrow = hash_db.table("l").unwrap();
-            let _ = (x, y, lrow);
-        }
+        assert_eq!(to_set(&a), to_set(&b));
     }
+}
 
-    /// ORDER BY produces a total, stable order consistent with the value
-    /// ordering, and LIMIT is a prefix of it.
-    #[test]
-    fn order_by_and_limit(rows in arb_rows(), limit in 0usize..20) {
+/// ORDER BY produces a total, stable order consistent with the value
+/// ordering, and LIMIT is a prefix of it.
+#[test]
+fn order_by_and_limit() {
+    let mut rng = Prng::seed_from_u64(0x59_1003);
+    for _ in 0..96 {
+        let rows = arb_rows(&mut rng);
+        let limit = rng.gen_range(0usize..20);
         let db = build_db(&rows, false);
         let all = db.query("SELECT id, a FROM t ORDER BY a, id").unwrap();
         for w in all.rows.windows(2) {
             let ka = (&w[0][1], w[0][0].as_i64().unwrap());
             let kb = (&w[1][1], w[1][0].as_i64().unwrap());
-            prop_assert!(ka <= kb, "rows out of order: {ka:?} > {kb:?}");
+            assert!(ka <= kb, "rows out of order: {ka:?} > {kb:?}");
         }
         let limited = db
             .query(&format!("SELECT id, a FROM t ORDER BY a, id LIMIT {limit}"))
             .unwrap();
-        prop_assert_eq!(&all.rows[..limit.min(all.rows.len())], &limited.rows[..]);
+        assert_eq!(&all.rows[..limit.min(all.rows.len())], &limited.rows[..]);
     }
 }

@@ -1,13 +1,16 @@
 //! Solution mappings.
 //!
-//! A [`Row`] maps variables to RDF terms. Rows are the currency of every
-//! operator in the workspace: the local SPARQL evaluator, the federated
-//! engine's adaptive operators and the wrappers all produce and consume
-//! them. Terms are stored by value (not dictionary ids) because rows cross
-//! source boundaries where dictionaries differ.
+//! A [`Row`] maps variables to RDF terms by value; it is the external
+//! currency at API boundaries (final results, the local SPARQL evaluator).
+//! Inside the federated engine, solution mappings travel as [`SlotRow`]s:
+//! fixed-width arrays of [`TermId`]s laid out by a per-query [`RowSchema`]
+//! and interned in a query-scoped dictionary shared across all sources.
+//! Operators then hash and compare `u32` ids instead of strings, and only
+//! materialize full [`Term`]s at the result boundary (or lazily inside
+//! FILTER value comparisons).
 
-use fedlake_rdf::Term;
-use std::collections::BTreeMap;
+use fedlake_rdf::{Dictionary, Term, TermId};
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
@@ -150,6 +153,151 @@ impl fmt::Display for Row {
 /// A multiset of solution mappings.
 pub type Rows = Vec<Row>;
 
+/// The slot layout of one query: every variable the query can bind, in a
+/// stable order, with a reverse index for O(1) variable → slot lookup.
+///
+/// Built once at plan time and shared by `Arc` across all operators of one
+/// execution, so per-row work never touches variable names.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RowSchema {
+    vars: Vec<Var>,
+    index: HashMap<Var, usize>,
+}
+
+impl RowSchema {
+    /// Builds a schema from `vars`, deduplicating while preserving first
+    /// occurrence order.
+    pub fn new(vars: impl IntoIterator<Item = Var>) -> Self {
+        let mut schema = RowSchema::default();
+        for v in vars {
+            if !schema.index.contains_key(&v) {
+                schema.index.insert(v.clone(), schema.vars.len());
+                schema.vars.push(v);
+            }
+        }
+        schema
+    }
+
+    /// The slot index of `var`, if the schema knows it.
+    pub fn slot(&self, var: &Var) -> Option<usize> {
+        self.index.get(var).copied()
+    }
+
+    /// All variables in slot order.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True when the schema has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Resolves a list of variables to slot indices, skipping variables the
+    /// schema does not know (they can never be bound, so an operator keyed
+    /// on them sees only unbound values either way).
+    pub fn slots_of(&self, vars: &[Var]) -> Vec<usize> {
+        vars.iter().filter_map(|v| self.slot(v)).collect()
+    }
+}
+
+/// A dictionary-encoded solution mapping: one [`TermId`] per schema slot,
+/// with [`TermId::UNBOUND`] marking unbound variables.
+///
+/// Equality and hashing are plain `u32`-array operations, which is what
+/// makes join probes and DISTINCT dedup cheap.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotRow {
+    slots: Box<[TermId]>,
+}
+
+impl SlotRow {
+    /// A row of `width` unbound slots.
+    pub fn unbound(width: usize) -> Self {
+        SlotRow { slots: vec![TermId::UNBOUND; width].into_boxed_slice() }
+    }
+
+    /// The id in `slot`, or `None` when unbound.
+    pub fn get(&self, slot: usize) -> Option<TermId> {
+        match self.slots[slot] {
+            TermId::UNBOUND => None,
+            id => Some(id),
+        }
+    }
+
+    /// Binds `slot` to `id`.
+    pub fn set(&mut self, slot: usize, id: TermId) {
+        self.slots[slot] = id;
+    }
+
+    /// True when `slot` holds a term.
+    pub fn is_bound(&self, slot: usize) -> bool {
+        self.slots[slot] != TermId::UNBOUND
+    }
+
+    /// The raw slot array (unbound slots hold [`TermId::UNBOUND`]).
+    pub fn slots(&self) -> &[TermId] {
+        &self.slots
+    }
+
+    /// Number of bound slots.
+    pub fn bound_count(&self) -> usize {
+        self.slots.iter().filter(|id| **id != TermId::UNBOUND).count()
+    }
+
+    /// Merges two rows of the same width; `None` when a slot is bound to
+    /// different ids on both sides. Id equality is term equality because
+    /// both rows encode through the same query-scoped interner.
+    pub fn merge(&self, other: &SlotRow) -> Option<SlotRow> {
+        debug_assert_eq!(self.slots.len(), other.slots.len());
+        let mut out = self.clone();
+        for (slot, &id) in other.slots.iter().enumerate() {
+            if id == TermId::UNBOUND {
+                continue;
+            }
+            match out.slots[slot] {
+                TermId::UNBOUND => out.slots[slot] = id,
+                existing if existing == id => {}
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Encodes a [`Row`] into schema slots, interning each term. Variables the
+/// schema does not know are dropped (the schema covers every variable the
+/// query can bind, so this only loses bindings no operator can see).
+pub fn encode_row(row: &Row, schema: &RowSchema, dict: &mut Dictionary) -> SlotRow {
+    let mut out = SlotRow::unbound(schema.len());
+    for (v, t) in row.iter() {
+        if let Some(slot) = schema.slot(v) {
+            out.set(slot, dict.intern(t.clone()));
+        }
+    }
+    out
+}
+
+/// Materializes a [`SlotRow`] back into a variable → term mapping.
+///
+/// Panics when a bound id is missing from `dict`; encode and decode must
+/// use the same query-scoped dictionary.
+pub fn decode_row(row: &SlotRow, schema: &RowSchema, dict: &Dictionary) -> Row {
+    let mut out = Row::new();
+    for (slot, v) in schema.vars().iter().enumerate() {
+        if let Some(id) = row.get(slot) {
+            let term = dict.term(id).expect("slot id interned in this query's dictionary");
+            out.bind(v.clone(), term.clone());
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,5 +360,59 @@ mod tests {
         let b = Row::new().with("x", t("a"));
         assert!(a.compatible(&b));
         assert_eq!(a.merge(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn schema_dedups_preserving_order() {
+        let s = RowSchema::new(["x", "y", "x", "z"].map(Var::new));
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.slot(&Var::new("x")), Some(0));
+        assert_eq!(s.slot(&Var::new("y")), Some(1));
+        assert_eq!(s.slot(&Var::new("z")), Some(2));
+        assert_eq!(s.slot(&Var::new("w")), None);
+        assert_eq!(s.slots_of(&[Var::new("z"), Var::new("w"), Var::new("x")]), vec![2, 0]);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = RowSchema::new(["x", "y", "z"].map(Var::new));
+        let mut dict = Dictionary::new();
+        let row = Row::new().with("x", t("a")).with("z", t("c"));
+        let enc = encode_row(&row, &s, &mut dict);
+        assert!(enc.is_bound(0));
+        assert!(!enc.is_bound(1));
+        assert_eq!(enc.bound_count(), 2);
+        assert_eq!(decode_row(&enc, &s, &dict), row);
+    }
+
+    #[test]
+    fn slot_merge_matches_row_merge() {
+        let s = RowSchema::new(["x", "y", "z"].map(Var::new));
+        let mut dict = Dictionary::new();
+        let a = Row::new().with("x", t("a")).with("y", t("b"));
+        let b = Row::new().with("y", t("b")).with("z", t("c"));
+        let c = Row::new().with("y", t("other"));
+        let (ea, eb, ec) = (
+            encode_row(&a, &s, &mut dict),
+            encode_row(&b, &s, &mut dict),
+            encode_row(&c, &s, &mut dict),
+        );
+        let merged = ea.merge(&eb).unwrap();
+        assert_eq!(decode_row(&merged, &s, &dict), a.merge(&b).unwrap());
+        assert!(ea.merge(&ec).is_none());
+        assert!(a.merge(&c).is_none());
+    }
+
+    #[test]
+    fn slot_rows_hash_and_compare_by_id() {
+        let s = RowSchema::new(["x"].map(Var::new));
+        let mut dict = Dictionary::new();
+        let a = encode_row(&Row::new().with("x", t("a")), &s, &mut dict);
+        let b = encode_row(&Row::new().with("x", t("a")), &s, &mut dict);
+        let c = encode_row(&Row::new().with("x", t("b")), &s, &mut dict);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let set: std::collections::HashSet<SlotRow> = [a, b, c].into_iter().collect();
+        assert_eq!(set.len(), 2);
     }
 }

@@ -5,10 +5,49 @@
 //! (e.g. comparing a string to an IRI with `<`) yields `Err`, which a
 //! `FILTER` treats as `false`.
 
-use crate::binding::{Row, Var};
-use fedlake_rdf::{Literal, Term};
+use crate::binding::{Row, RowSchema, SlotRow, Var};
+use fedlake_rdf::{Dictionary, Literal, Term};
 use std::cmp::Ordering;
 use std::fmt;
+
+/// How the evaluator resolves a variable reference. The same expression
+/// tree evaluates over classic [`Row`]s and over dictionary-encoded
+/// [`SlotRow`]s; only the lookup differs, and slot evaluation touches the
+/// dictionary lazily — exactly when an expression needs a term's value.
+trait VarSource {
+    fn term(&self, v: &Var) -> Option<Term>;
+    fn is_bound(&self, v: &Var) -> bool;
+}
+
+struct RowSource<'a>(&'a Row);
+
+impl VarSource for RowSource<'_> {
+    fn term(&self, v: &Var) -> Option<Term> {
+        self.0.get(v).cloned()
+    }
+
+    fn is_bound(&self, v: &Var) -> bool {
+        self.0.is_bound(v)
+    }
+}
+
+struct SlotSource<'a> {
+    row: &'a SlotRow,
+    schema: &'a RowSchema,
+    dict: &'a Dictionary,
+}
+
+impl VarSource for SlotSource<'_> {
+    fn term(&self, v: &Var) -> Option<Term> {
+        let slot = self.schema.slot(v)?;
+        let id = self.row.get(slot)?;
+        self.dict.term(id).cloned()
+    }
+
+    fn is_bound(&self, v: &Var) -> bool {
+        self.schema.slot(v).is_some_and(|s| self.row.is_bound(s))
+    }
+}
 
 /// Binary comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -191,16 +230,30 @@ fn compare(a: &Value, b: &Value) -> Result<Ordering, String> {
 impl Expr {
     /// Evaluates the expression against a solution mapping.
     pub fn eval(&self, row: &Row) -> Result<Value, String> {
+        self.eval_with(&RowSource(row))
+    }
+
+    /// Evaluates against a slot row, resolving ids through the query
+    /// dictionary only where a term's value is actually needed.
+    pub fn eval_slots(
+        &self,
+        row: &SlotRow,
+        schema: &RowSchema,
+        dict: &Dictionary,
+    ) -> Result<Value, String> {
+        self.eval_with(&SlotSource { row, schema, dict })
+    }
+
+    fn eval_with<S: VarSource>(&self, src: &S) -> Result<Value, String> {
         match self {
-            Expr::Var(v) => row
-                .get(v)
-                .cloned()
+            Expr::Var(v) => src
+                .term(v)
                 .map(Value::Term)
                 .ok_or_else(|| format!("unbound variable {v}")),
             Expr::Const(t) => Ok(Value::Term(t.clone())),
             Expr::Cmp(a, op, b) => {
-                let va = a.eval(row)?;
-                let vb = b.eval(row)?;
+                let va = a.eval_with(src)?;
+                let vb = b.eval_with(src)?;
                 // `=`/`!=` on non-numeric terms is term equality.
                 if matches!(op, CmpOp::Eq | CmpOp::Ne) {
                     if let (Value::Term(x), Value::Term(y)) = (&va, &vb) {
@@ -213,8 +266,8 @@ impl Expr {
                 Ok(Value::Bool(op.test(compare(&va, &vb)?)))
             }
             Expr::Arith(a, op, b) => {
-                let x = as_num(&a.eval(row)?).ok_or("non-numeric operand")?;
-                let y = as_num(&b.eval(row)?).ok_or("non-numeric operand")?;
+                let x = as_num(&a.eval_with(src)?).ok_or("non-numeric operand")?;
+                let y = as_num(&b.eval_with(src)?).ok_or("non-numeric operand")?;
                 let r = match op {
                     ArithOp::Add => x + y,
                     ArithOp::Sub => x - y,
@@ -230,8 +283,8 @@ impl Expr {
             }
             Expr::And(a, b) => {
                 // SPARQL logical-and: false dominates errors.
-                let va = a.eval(row).and_then(|v| v.ebv());
-                let vb = b.eval(row).and_then(|v| v.ebv());
+                let va = a.eval_with(src).and_then(|v| v.ebv());
+                let vb = b.eval_with(src).and_then(|v| v.ebv());
                 match (va, vb) {
                     (Ok(false), _) | (_, Ok(false)) => Ok(Value::Bool(false)),
                     (Ok(true), Ok(true)) => Ok(Value::Bool(true)),
@@ -240,40 +293,40 @@ impl Expr {
             }
             Expr::Or(a, b) => {
                 // SPARQL logical-or: true dominates errors.
-                let va = a.eval(row).and_then(|v| v.ebv());
-                let vb = b.eval(row).and_then(|v| v.ebv());
+                let va = a.eval_with(src).and_then(|v| v.ebv());
+                let vb = b.eval_with(src).and_then(|v| v.ebv());
                 match (va, vb) {
                     (Ok(true), _) | (_, Ok(true)) => Ok(Value::Bool(true)),
                     (Ok(false), Ok(false)) => Ok(Value::Bool(false)),
                     (Err(e), _) | (_, Err(e)) => Err(e),
                 }
             }
-            Expr::Not(e) => Ok(Value::Bool(!e.eval(row)?.ebv()?)),
-            Expr::Bound(v) => Ok(Value::Bool(row.is_bound(v))),
+            Expr::Not(e) => Ok(Value::Bool(!e.eval_with(src)?.ebv()?)),
+            Expr::Bound(v) => Ok(Value::Bool(src.is_bound(v))),
             Expr::Regex(e, pattern) => {
-                let s = as_str(&e.eval(row)?).ok_or("REGEX on non-string")?;
+                let s = as_str(&e.eval_with(src)?).ok_or("REGEX on non-string")?;
                 Ok(Value::Bool(simple_regex_match(&s, pattern)))
             }
             Expr::Contains(a, b) => {
-                let s = as_str(&a.eval(row)?).ok_or("CONTAINS on non-string")?;
-                let n = as_str(&b.eval(row)?).ok_or("CONTAINS needle non-string")?;
+                let s = as_str(&a.eval_with(src)?).ok_or("CONTAINS on non-string")?;
+                let n = as_str(&b.eval_with(src)?).ok_or("CONTAINS needle non-string")?;
                 Ok(Value::Bool(s.contains(&n)))
             }
             Expr::StrStarts(a, b) => {
-                let s = as_str(&a.eval(row)?).ok_or("STRSTARTS on non-string")?;
-                let n = as_str(&b.eval(row)?).ok_or("STRSTARTS needle non-string")?;
+                let s = as_str(&a.eval_with(src)?).ok_or("STRSTARTS on non-string")?;
+                let n = as_str(&b.eval_with(src)?).ok_or("STRSTARTS needle non-string")?;
                 Ok(Value::Bool(s.starts_with(&n)))
             }
             Expr::StrEnds(a, b) => {
-                let s = as_str(&a.eval(row)?).ok_or("STRENDS on non-string")?;
-                let n = as_str(&b.eval(row)?).ok_or("STRENDS needle non-string")?;
+                let s = as_str(&a.eval_with(src)?).ok_or("STRENDS on non-string")?;
+                let n = as_str(&b.eval_with(src)?).ok_or("STRENDS needle non-string")?;
                 Ok(Value::Bool(s.ends_with(&n)))
             }
             Expr::Str(e) => {
-                let v = e.eval(row)?;
+                let v = e.eval_with(src)?;
                 Ok(Value::Str(as_str(&v).ok_or("STR of boolean")?))
             }
-            Expr::Lang(e) => match e.eval(row)? {
+            Expr::Lang(e) => match e.eval_with(src)? {
                 Value::Term(Term::Literal(l)) => Ok(Value::Str(l.lang.unwrap_or_default())),
                 _ => Err("LANG of non-literal".into()),
             },
@@ -284,6 +337,13 @@ impl Expr {
     /// `false`, per SPARQL semantics.
     pub fn test(&self, row: &Row) -> bool {
         self.eval(row).and_then(|v| v.ebv()).unwrap_or(false)
+    }
+
+    /// [`Expr::test`] over a slot row.
+    pub fn test_slots(&self, row: &SlotRow, schema: &RowSchema, dict: &Dictionary) -> bool {
+        self.eval_slots(row, schema, dict)
+            .and_then(|v| v.ebv())
+            .unwrap_or(false)
     }
 
     /// All variables mentioned by the expression.
@@ -515,6 +575,35 @@ mod tests {
         // Joins of two variables are not instantiations.
         assert!(!Expr::Cmp(var("a"), CmpOp::Eq, var("b")).is_simple_instantiation());
         assert!(!Expr::Bound(Var::new("a")).is_simple_instantiation());
+    }
+
+    #[test]
+    fn slot_eval_matches_row_eval() {
+        use crate::binding::{encode_row, RowSchema};
+        let r = row();
+        let schema = RowSchema::new(["n", "s", "i", "missing"].map(Var::new));
+        let mut dict = Dictionary::new();
+        let slots = encode_row(&r, &schema, &mut dict);
+        let exprs = [
+            Expr::Cmp(var("n"), CmpOp::Eq, int(5)),
+            Expr::Cmp(var("n"), CmpOp::Lt, int(6)),
+            // Numerically equal but lexically distinct: ids differ, yet
+            // `=` must still hold — the id path may not shortcut this.
+            Expr::Cmp(var("n"), CmpOp::Eq, Box::new(Expr::Const(Term::double(5.0)))),
+            Expr::Cmp(var("s"), CmpOp::Eq, s("Homo sapiens")),
+            Expr::Contains(var("s"), s("sapiens")),
+            Expr::Bound(Var::new("n")),
+            Expr::Bound(Var::new("missing")),
+            Expr::Cmp(var("missing"), CmpOp::Eq, int(1)),
+            Expr::Regex(var("s"), "^Homo".into()),
+        ];
+        for e in exprs {
+            assert_eq!(
+                e.test(&r),
+                e.test_slots(&slots, &schema, &dict),
+                "expr {e} disagrees between representations"
+            );
+        }
     }
 
     #[test]

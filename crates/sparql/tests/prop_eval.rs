@@ -1,14 +1,14 @@
-//! Property-based tests for the SPARQL evaluator: the optimized BGP
+//! Randomized tests for the SPARQL evaluator: the optimized BGP
 //! evaluation (greedy pattern ordering + index nested loops) must agree
 //! with a naive reference join, and solution modifiers must obey their
-//! algebraic laws.
+//! algebraic laws. Deterministically seeded via the in-repo PRNG.
 
+use fedlake_prng::Prng;
 use fedlake_rdf::{Graph, Term};
 use fedlake_sparql::ast::{TriplePattern, VarOrTerm};
 use fedlake_sparql::binding::{Row, Var};
 use fedlake_sparql::eval::{eval_bgp, evaluate};
 use fedlake_sparql::parser::parse_query;
-use proptest::prelude::*;
 use std::collections::BTreeMap;
 
 fn term_pool() -> Vec<Term> {
@@ -22,19 +22,23 @@ fn term_pool() -> Vec<Term> {
     pool
 }
 
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    prop::collection::vec((0usize..6, 0usize..4, 0usize..9), 0..50).prop_map(|triples| {
-        let pool = term_pool();
-        let mut g = Graph::new();
-        for (s, p, o) in triples {
-            g.insert_terms(
-                pool[s].clone(),
-                Term::iri(format!("http://x/p{p}")),
-                pool[o].clone(),
-            );
-        }
-        g
-    })
+fn arb_graph(rng: &mut Prng) -> Graph {
+    let pool = term_pool();
+    let mut g = Graph::new();
+    let n = rng.gen_range(0usize..50);
+    for _ in 0..n {
+        let (s, p, o) = (
+            rng.gen_range(0usize..6),
+            rng.gen_range(0usize..4),
+            rng.gen_range(0usize..9),
+        );
+        g.insert_terms(
+            pool[s].clone(),
+            Term::iri(format!("http://x/p{p}")),
+            pool[o].clone(),
+        );
+    }
+    g
 }
 
 /// A pattern position: variable (from a pool of 4) or a pool constant.
@@ -44,15 +48,19 @@ enum Pos {
     Const(usize),
 }
 
-fn arb_pos(var_weight: u32) -> impl Strategy<Value = Pos> {
-    prop_oneof![
-        var_weight => (0u8..4).prop_map(Pos::Var),
-        1 => (0usize..9).prop_map(Pos::Const),
-    ]
+fn arb_pos(rng: &mut Prng, var_weight: u32) -> Pos {
+    if rng.gen_range(0..(var_weight + 1)) < var_weight {
+        Pos::Var(rng.gen_range(0u8..4))
+    } else {
+        Pos::Const(rng.gen_range(0usize..9))
+    }
 }
 
-fn arb_bgp() -> impl Strategy<Value = Vec<(Pos, usize, Pos)>> {
-    prop::collection::vec((arb_pos(3), 0usize..4, arb_pos(2)), 1..4)
+fn arb_bgp(rng: &mut Prng) -> Vec<(Pos, usize, Pos)> {
+    let n = rng.gen_range(1usize..4);
+    (0..n)
+        .map(|_| (arb_pos(rng, 3), rng.gen_range(0usize..4), arb_pos(rng, 2)))
+        .collect()
 }
 
 fn to_patterns(bgp: &[(Pos, usize, Pos)]) -> Vec<TriplePattern> {
@@ -121,21 +129,29 @@ fn multiset(rows: &[Row]) -> BTreeMap<String, usize> {
     m
 }
 
-proptest! {
-    /// The optimized BGP evaluation equals the naive reference, as a
-    /// multiset (SPARQL bag semantics).
-    #[test]
-    fn bgp_matches_reference(g in arb_graph(), bgp in arb_bgp()) {
+/// The optimized BGP evaluation equals the naive reference, as a multiset
+/// (SPARQL bag semantics).
+#[test]
+fn bgp_matches_reference() {
+    let mut rng = Prng::seed_from_u64(0x59a1_0001);
+    for _ in 0..128 {
+        let g = arb_graph(&mut rng);
+        let bgp = arb_bgp(&mut rng);
         let patterns = to_patterns(&bgp);
         let optimized = eval_bgp(&patterns, &g, vec![Row::new()]);
         let reference = reference_bgp(&patterns, &g);
-        prop_assert_eq!(multiset(&optimized), multiset(&reference));
+        assert_eq!(multiset(&optimized), multiset(&reference));
     }
+}
 
-    /// DISTINCT is idempotent and never increases cardinality; LIMIT n
-    /// returns at most n rows and a prefix of the unlimited ordered result.
-    #[test]
-    fn modifier_laws(g in arb_graph(), limit in 0usize..10) {
+/// DISTINCT is idempotent and never increases cardinality; LIMIT n
+/// returns at most n rows and a prefix of the unlimited ordered result.
+#[test]
+fn modifier_laws() {
+    let mut rng = Prng::seed_from_u64(0x59a1_0002);
+    for _ in 0..64 {
+        let g = arb_graph(&mut rng);
+        let limit = rng.gen_range(0usize..10);
         let q = "SELECT ?a ?b WHERE { ?a <http://x/p0> ?b }";
         let plain = evaluate(&parse_query(q).unwrap(), &g).unwrap();
         let distinct = evaluate(
@@ -143,10 +159,10 @@ proptest! {
             &g,
         )
         .unwrap();
-        prop_assert!(distinct.len() <= plain.len());
+        assert!(distinct.len() <= plain.len());
         let mut seen = std::collections::BTreeSet::new();
         for r in &distinct {
-            prop_assert!(seen.insert(r.clone()), "DISTINCT produced a duplicate");
+            assert!(seen.insert(r.clone()), "DISTINCT produced a duplicate");
         }
 
         let ordered = evaluate(
@@ -162,27 +178,24 @@ proptest! {
             &g,
         )
         .unwrap();
-        prop_assert!(limited.len() <= limit);
-        prop_assert_eq!(&ordered[..limited.len()], &limited[..]);
+        assert!(limited.len() <= limit);
+        assert_eq!(&ordered[..limited.len()], &limited[..]);
     }
+}
 
-    /// Projection only ever removes bindings and keeps cardinality.
-    #[test]
-    fn projection_law(g in arb_graph()) {
-        let full = evaluate(
-            &parse_query("SELECT * WHERE { ?a ?p ?b }").unwrap(),
-            &g,
-        )
-        .unwrap();
-        let projected = evaluate(
-            &parse_query("SELECT ?a WHERE { ?a ?p ?b }").unwrap(),
-            &g,
-        )
-        .unwrap();
-        prop_assert_eq!(full.len(), projected.len());
+/// Projection only ever removes bindings and keeps cardinality.
+#[test]
+fn projection_law() {
+    let mut rng = Prng::seed_from_u64(0x59a1_0003);
+    for _ in 0..64 {
+        let g = arb_graph(&mut rng);
+        let full = evaluate(&parse_query("SELECT * WHERE { ?a ?p ?b }").unwrap(), &g).unwrap();
+        let projected =
+            evaluate(&parse_query("SELECT ?a WHERE { ?a ?p ?b }").unwrap(), &g).unwrap();
+        assert_eq!(full.len(), projected.len());
         for r in &projected {
-            prop_assert!(r.len() <= 1);
-            prop_assert!(r.vars().all(|v| v == &Var::new("a")));
+            assert!(r.len() <= 1);
+            assert!(r.vars().all(|v| v == &Var::new("a")));
         }
     }
 }
@@ -210,16 +223,8 @@ fn pattern_order_invariance() {
     .unwrap();
     let f = evaluate(&forward, &g).unwrap();
     let b = evaluate(&backward, &g).unwrap();
-    assert_eq!(multiset_pub(&f), multiset_pub(&b));
+    assert_eq!(multiset(&f), multiset(&b));
     assert_eq!(f.len(), 10);
-}
-
-fn multiset_pub(rows: &[Row]) -> BTreeMap<String, usize> {
-    let mut m = BTreeMap::new();
-    for r in rows {
-        *m.entry(r.to_string()).or_insert(0) += 1;
-    }
-    m
 }
 
 /// Seeding eval_bgp with existing bindings must behave like a join with

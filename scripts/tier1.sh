@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: offline release build, full test suite, clippy clean.
+# Run from anywhere; operates on the repository that contains this script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release (offline) =="
+cargo build --release --offline --workspace --all-targets
+
+echo "== cargo test -q (offline) =="
+cargo test -q --offline --workspace
+
+echo "== cargo clippy -D warnings (offline) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "tier-1: OK"

@@ -1,6 +1,6 @@
-//! Property-based federation tests: random lakes, random star queries,
-//! every plan mode and network — federated answers must always equal the
-//! lifted-graph oracle.
+//! Randomized federation tests: random lakes, random star queries, every
+//! plan mode and network — federated answers must always equal the
+//! lifted-graph oracle. Deterministically seeded via the in-repo PRNG.
 
 use fedlake::core::{
     DataLake, DataSource, FederatedEngine, FilterPlacement, PlanConfig, PlanMode,
@@ -10,7 +10,7 @@ use fedlake::netsim::NetworkProfile;
 use fedlake::relational::{Database, Value};
 use fedlake::sparql::eval::evaluate;
 use fedlake::sparql::parser::parse_query;
-use proptest::prelude::*;
+use fedlake_prng::Prng;
 use std::collections::BTreeSet;
 
 const V: &str = "http://p/v/";
@@ -23,13 +23,19 @@ struct LakeSpec {
     fk_indexed: bool,
 }
 
-fn arb_lake() -> impl Strategy<Value = LakeSpec> {
-    (
-        prop::collection::vec((0u8..40, prop::option::of(0u8..6), prop::option::of(0u8..8)), 0..30),
-        prop::collection::vec((0u8..8, prop::option::of(0u8..5)), 0..10),
-        any::<bool>(),
-    )
-        .prop_map(|(genes, diseases, fk_indexed)| LakeSpec { genes, diseases, fk_indexed })
+fn arb_lake(rng: &mut Prng) -> LakeSpec {
+    let opt = |rng: &mut Prng, range: std::ops::Range<u8>| {
+        rng.gen_bool(0.8).then(|| rng.gen_range(range))
+    };
+    let n_genes = rng.gen_range(0usize..30);
+    let genes = (0..n_genes)
+        .map(|_| (rng.gen_range(0u8..40), opt(rng, 0..6), opt(rng, 0..8)))
+        .collect();
+    let n_diseases = rng.gen_range(0usize..10);
+    let diseases = (0..n_diseases)
+        .map(|_| (rng.gen_range(0u8..8), opt(rng, 0..5)))
+        .collect();
+    LakeSpec { genes, diseases, fk_indexed: rng.gen_bool(0.5) }
 }
 
 fn build(spec: &LakeSpec) -> DataLake {
@@ -129,21 +135,20 @@ fn answers(rows: &[fedlake::sparql::Row]) -> BTreeSet<String> {
     rows.iter().map(|r| r.to_string()).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+/// The federation invariant: any plan mode, any network, any lake — the
+/// answers equal the local evaluation over the lifted graph.
+#[test]
+fn federated_answers_equal_oracle() {
+    let mut rng = Prng::seed_from_u64(0xfed0_0001);
+    for _ in 0..64 {
+        let spec = arb_lake(&mut rng);
+        let shape = rng.gen_range(0u8..7);
+        let filter_val = rng.gen_range(0u8..8);
+        let mode_pick = rng.gen_range(0u8..5);
+        let net_pick = rng.gen_range(0u8..4);
+        let bind_join = rng.gen_bool(0.5);
+        let batch = rng.gen_range(1usize..9);
 
-    /// The federation invariant: any plan mode, any network, any lake —
-    /// the answers equal the local evaluation over the lifted graph.
-    #[test]
-    fn federated_answers_equal_oracle(
-        spec in arb_lake(),
-        shape in 0u8..7,
-        filter_val in 0u8..8,
-        mode_pick in 0u8..5,
-        net_pick in 0u8..4,
-        bind_join in any::<bool>(),
-        batch in 1usize..9,
-    ) {
         let lake = build(&spec);
         let sparql = query_text(shape, filter_val);
         let parsed = parse_query(&sparql).unwrap();
@@ -164,7 +169,7 @@ proptest! {
         }
         let engine = FederatedEngine::new(lake, cfg);
         let result = engine.execute_sparql(&sparql).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             answers(&result.rows),
             expected,
             "shape {} mode {} network {}\nplan:\n{}",
@@ -174,15 +179,17 @@ proptest! {
             result.explain
         );
     }
+}
 
-    /// Execution-time monotonicity: a slower network never makes a plan
-    /// faster (same plan, same data, same seed).
-    #[test]
-    fn slower_network_never_speeds_up(
-        spec in arb_lake(),
-        shape in 0u8..5,
-        mode_pick in 0u8..2,
-    ) {
+/// Execution-time monotonicity: a slower network never makes a plan
+/// faster (same plan, same data, same seed).
+#[test]
+fn slower_network_never_speeds_up() {
+    let mut rng = Prng::seed_from_u64(0xfed0_0002);
+    for _ in 0..32 {
+        let spec = arb_lake(&mut rng);
+        let shape = rng.gen_range(0u8..5);
+        let mode_pick = rng.gen_range(0u8..2);
         let lake = build(&spec);
         let sparql = query_text(shape, 1);
         let mode = if mode_pick == 0 { PlanMode::Unaware } else { PlanMode::AWARE };
@@ -197,7 +204,7 @@ proptest! {
         let baseline = time_at(NetworkProfile::NO_DELAY);
         for network in [NetworkProfile::GAMMA1, NetworkProfile::GAMMA2, NetworkProfile::GAMMA3] {
             let t = time_at(network);
-            prop_assert!(
+            assert!(
                 t >= baseline,
                 "{} at {} took {t:?}, under the NoDelay baseline {baseline:?}",
                 mode.label(),
