@@ -70,6 +70,14 @@ impl Shell {
                     result.stats.network,
                     result.stats.messages
                 );
+                if result.stats.degraded || result.stats.retries > 0 {
+                    println!(
+                        "-- faults: {} retries, degraded: {}, per-source failures: {:?}",
+                        result.stats.retries,
+                        result.stats.degraded,
+                        result.stats.source_failures
+                    );
+                }
             }
         }
     }

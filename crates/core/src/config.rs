@@ -1,7 +1,56 @@
-//! Planner configuration: plan modes, heuristics, network setting.
+//! Planner configuration: plan modes, heuristics, network setting, and
+//! the executor's fault/retry/deadline behaviour.
 
 use crate::decompose::DecompositionStrategy;
-use fedlake_netsim::{CostModel, NetworkProfile};
+use fedlake_netsim::{CostModel, FaultPlan, NetworkProfile};
+use std::time::Duration;
+
+/// Retry behaviour of the wrapper streams when a link message attempt
+/// fails (see [`fedlake_netsim::FaultPlan`]).
+///
+/// Every failed attempt charges the receiver's detection `timeout` to the
+/// simulated clock; every retry additionally charges an exponentially
+/// growing backoff (`backoff`, `2*backoff`, `4*backoff`, …), so retries
+/// are visible in answer traces exactly like the network delays they
+/// react to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per message, the first try included (min 1).
+    pub max_attempts: u32,
+    /// Simulated time the receiver waits before declaring an attempt
+    /// failed; charged once per failed attempt.
+    pub timeout: Duration,
+    /// Base backoff before re-issuing; doubles with every further retry.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            timeout: Duration::from_millis(10),
+            backoff: Duration::from_millis(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, immediate failure).
+    pub fn no_retries() -> Self {
+        RetryPolicy { max_attempts: 1, ..Default::default() }
+    }
+
+    /// The attempt budget, never below one.
+    pub fn attempts(&self) -> u32 {
+        self.max_attempts.max(1)
+    }
+
+    /// The backoff charged after the failed attempt `attempt` (0-based):
+    /// `backoff * 2^attempt`, saturating.
+    pub fn backoff_after(&self, attempt: u32) -> Duration {
+        self.backoff.saturating_mul(1u32.checked_shl(attempt.min(16)).unwrap_or(u32::MAX))
+    }
+}
 
 /// How merged (Heuristic 1) sub-queries are translated to SQL.
 ///
@@ -136,6 +185,17 @@ pub struct PlanConfig {
     pub seed: u64,
     /// Use a real (sleeping) clock instead of the virtual clock.
     pub real_time: bool,
+    /// Fault schedule injected on every wrapper link ([`FaultPlan::NONE`]
+    /// keeps the links reliable, as in the paper's experiment).
+    pub faults: FaultPlan,
+    /// Retry behaviour when a link attempt fails.
+    pub retry: RetryPolicy,
+    /// Per-query deadline on the simulated clock; `None` disables it.
+    pub deadline: Option<Duration>,
+    /// Graceful degradation: when a source becomes unavailable (or the
+    /// deadline fires) return the answers produced so far with
+    /// `FedStats::degraded` set, instead of failing the whole query.
+    pub degraded_ok: bool,
 }
 
 impl Default for PlanConfig {
@@ -150,6 +210,10 @@ impl Default for PlanConfig {
             rows_per_message: 1,
             seed: 0xFED_1A4E,
             real_time: false,
+            faults: FaultPlan::NONE,
+            retry: RetryPolicy::default(),
+            deadline: None,
+            degraded_ok: false,
         }
     }
 }
@@ -198,6 +262,25 @@ mod tests {
         assert!(!c.real_time);
         assert_eq!(c.merge_translation, MergeTranslation::Optimized);
         assert_eq!(c.decomposition, DecompositionStrategy::StarShaped);
+        assert!(!c.faults.is_active(), "default links are reliable");
+        assert_eq!(c.deadline, None);
+        assert!(!c.degraded_ok);
+    }
+
+    #[test]
+    fn retry_policy_backoff_doubles() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            timeout: Duration::from_millis(10),
+            backoff: Duration::from_millis(2),
+        };
+        assert_eq!(p.backoff_after(0), Duration::from_millis(2));
+        assert_eq!(p.backoff_after(1), Duration::from_millis(4));
+        assert_eq!(p.backoff_after(3), Duration::from_millis(16));
+        // Saturates instead of overflowing for absurd attempt counts.
+        assert!(p.backoff_after(200) > Duration::from_secs(1));
+        assert_eq!(RetryPolicy::no_retries().attempts(), 1);
+        assert_eq!(RetryPolicy { max_attempts: 0, ..p }.attempts(), 1);
     }
 
     #[test]

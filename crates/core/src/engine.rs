@@ -9,7 +9,7 @@ use crate::operators::{
 };
 use crate::planner::{plan_query, PlannedQuery};
 use crate::trace::AnswerTrace;
-use crate::wrapper::{links_for, open_service, total_traffic};
+use crate::wrapper::{links_for, open_service, source_failures, total_traffic};
 use fedlake_netsim::clock::{shared_real, shared_virtual};
 use fedlake_netsim::Link;
 use fedlake_rdf::SharedInterner;
@@ -17,7 +17,7 @@ use fedlake_sparql::ast::SelectQuery;
 use fedlake_sparql::binding::{decode_row, Row, RowSchema, SlotRow, Var};
 use fedlake_sparql::eval::sort_rows;
 use fedlake_sparql::parser::parse_query;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -52,6 +52,15 @@ pub struct FedStats {
     pub engine_operators: usize,
     /// Services carrying a pushed-down (merged) join.
     pub merged_services: usize,
+    /// Link-message retries issued by the wrapper streams.
+    pub retries: u64,
+    /// Faulted link attempts per source (drops + truncations + outage
+    /// hits); empty on a fault-free run.
+    pub source_failures: BTreeMap<String, u64>,
+    /// The query degraded: a source became unavailable (or the deadline
+    /// fired) and, with [`crate::config::PlanConfig::degraded_ok`] set,
+    /// the answers are the partial set produced up to that point.
+    pub degraded: bool,
 }
 
 /// The result of executing one federated query.
@@ -128,13 +137,15 @@ impl FederatedEngine {
             Arc::clone(&clock),
             self.config.cost,
             self.config.seed,
+            self.config.faults,
         );
         let mut ctx = ExecCtx::new(
             Arc::clone(&clock),
             self.config.cost,
             Arc::clone(&planned.schema),
             SharedInterner::new(),
-        );
+        )
+        .with_retry(self.config.retry);
 
         let mut op = self.build_operator(&planned.plan, &planned.schema, &links)?;
         // Solution modifiers around the streaming pipeline. The projection
@@ -146,15 +157,41 @@ impl FederatedEngine {
 
         let mut trace = AnswerTrace::new();
         let mut slot_rows: Vec<SlotRow> = Vec::new();
+        let mut degraded = false;
         let unordered_limit = planned.order_by.is_empty().then_some(()).and(planned.limit);
         let want = unordered_limit.map(|l| l + planned.offset);
-        while let Some(row) = op.next(&mut ctx)? {
-            trace.record(clock.now());
-            slot_rows.push(row);
-            // Without ORDER BY, LIMIT can stop pulling early — the
-            // streaming behaviour ANAPSID's operators enable.
-            if want.is_some_and(|w| slot_rows.len() >= w) {
-                break;
+        loop {
+            // The deadline is cooperative: it is checked between answers,
+            // so one pull can overshoot it before the query fails (or
+            // degrades to the partial answer set).
+            if let Some(d) = self.config.deadline {
+                if clock.now() >= d {
+                    if !self.config.degraded_ok {
+                        return Err(FedError::Timeout(d));
+                    }
+                    degraded = true;
+                    break;
+                }
+            }
+            match op.next(&mut ctx) {
+                Ok(Some(row)) => {
+                    trace.record(clock.now());
+                    slot_rows.push(row);
+                    // Without ORDER BY, LIMIT can stop pulling early — the
+                    // streaming behaviour ANAPSID's operators enable.
+                    if want.is_some_and(|w| slot_rows.len() >= w) {
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(e @ (FedError::SourceUnavailable { .. } | FedError::Timeout(_))) => {
+                    if !self.config.degraded_ok {
+                        return Err(e);
+                    }
+                    degraded = true;
+                    break;
+                }
+                Err(e) => return Err(e),
             }
         }
         trace.complete(clock.now());
@@ -194,6 +231,9 @@ impl FederatedEngine {
             services: planned.plan.service_count(),
             engine_operators: planned.plan.engine_operator_count(),
             merged_services: planned.plan.merged_service_count(),
+            retries: ctx.stats.retries,
+            source_failures: source_failures(&links),
+            degraded,
         };
         Ok(FedResult {
             vars: Arc::clone(&planned.projection),
@@ -214,7 +254,7 @@ impl FederatedEngine {
             FedPlan::Service(node) => {
                 let link = links
                     .get(&node.source_id)
-                    .ok_or_else(|| FedError::Internal("missing link".into()))?;
+                    .ok_or_else(|| FedError::NoSuchSource(node.source_id.clone()))?;
                 open_service(node, &self.lake, Arc::clone(link), self.config.rows_per_message)
             }
             FedPlan::Join { left, right, on } => {
@@ -240,7 +280,7 @@ impl FederatedEngine {
                 };
                 let link = links
                     .get(&right.source_id)
-                    .ok_or_else(|| FedError::Internal("missing link".into()))?;
+                    .ok_or_else(|| FedError::NoSuchSource(right.source_id.clone()))?;
                 Ok(Box::new(crate::wrapper::BindJoinOp::new(
                     l,
                     db,

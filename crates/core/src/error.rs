@@ -1,6 +1,7 @@
 //! Error types for the federated engine.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Errors raised while decomposing, planning or executing a federated
 /// query.
@@ -12,6 +13,18 @@ pub enum FedError {
     Sql(fedlake_relational::SqlError),
     /// No source in the lake can answer a star-shaped sub-query.
     NoSourceFor(String),
+    /// A plan references a source id the lake does not contain.
+    NoSuchSource(String),
+    /// A source stopped answering within the retry budget: every attempt
+    /// of some message failed (drops, truncations or an outage).
+    SourceUnavailable {
+        /// The failing source's id.
+        source: String,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// The per-query deadline elapsed before the query completed.
+    Timeout(Duration),
     /// The query uses a feature the federated planner does not support.
     Unsupported(String),
     /// Planner/executor internal error.
@@ -25,6 +38,15 @@ impl fmt::Display for FedError {
             FedError::Sql(e) => write!(f, "{e}"),
             FedError::NoSourceFor(ssq) => {
                 write!(f, "no source can answer sub-query over {ssq}")
+            }
+            FedError::NoSuchSource(id) => {
+                write!(f, "no source with id {id} in the lake")
+            }
+            FedError::SourceUnavailable { source, attempts } => {
+                write!(f, "source {source} unavailable after {attempts} attempts")
+            }
+            FedError::Timeout(d) => {
+                write!(f, "query deadline of {:?} exceeded", d)
             }
             FedError::Unsupported(m) => write!(f, "unsupported in federation: {m}"),
             FedError::Internal(m) => write!(f, "internal error: {m}"),
@@ -57,5 +79,16 @@ mod tests {
         let e: FedError = fedlake_relational::SqlError::UnknownTable("t".into()).into();
         assert!(e.to_string().contains('t'));
         assert!(FedError::NoSourceFor("?s".into()).to_string().contains("?s"));
+    }
+
+    #[test]
+    fn fault_variant_display() {
+        let e = FedError::NoSuchSource("drugbank".into());
+        assert!(e.to_string().contains("drugbank"));
+        let e = FedError::SourceUnavailable { source: "sider".into(), attempts: 4 };
+        assert!(e.to_string().contains("sider"));
+        assert!(e.to_string().contains('4'));
+        let e = FedError::Timeout(Duration::from_secs(30));
+        assert!(e.to_string().contains("deadline"));
     }
 }

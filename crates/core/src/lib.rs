@@ -70,9 +70,12 @@ pub mod trace;
 pub mod translate;
 pub mod wrapper;
 
-pub use config::{EngineJoin, FilterPlacement, MergeTranslation, PlanConfig, PlanMode};
+pub use config::{
+    EngineJoin, FilterPlacement, MergeTranslation, PlanConfig, PlanMode, RetryPolicy,
+};
 pub use decompose::DecompositionStrategy;
-pub use engine::{FedResult, FederatedEngine};
+pub use engine::{FedResult, FedStats, FederatedEngine};
+pub use fedlake_netsim::{FaultPlan, LinkFault};
 pub use error::FedError;
 pub use lake::DataLake;
 pub use source::DataSource;

@@ -33,6 +33,8 @@ pub struct EngineStats {
     pub sql_queries: u64,
     /// Rows retrieved from all services.
     pub service_rows: u64,
+    /// Message attempts re-issued after a link fault.
+    pub retries: u64,
 }
 
 /// Shared execution context: the clock, cost model, counters, and the
@@ -49,17 +51,33 @@ pub struct ExecCtx {
     pub schema: Arc<RowSchema>,
     /// The query-scoped term interner shared with every wrapper stream.
     pub interner: SharedInterner,
+    /// Retry behaviour of the wrapper streams when a link attempt fails.
+    pub retry: crate::config::RetryPolicy,
 }
 
 impl ExecCtx {
-    /// Creates a context for one query execution.
+    /// Creates a context for one query execution with the default retry
+    /// policy (use [`ExecCtx::with_retry`] to override).
     pub fn new(
         clock: SharedClock,
         cost: CostModel,
         schema: Arc<RowSchema>,
         interner: SharedInterner,
     ) -> Self {
-        ExecCtx { clock, cost, stats: EngineStats::default(), schema, interner }
+        ExecCtx {
+            clock,
+            cost,
+            stats: EngineStats::default(),
+            schema,
+            interner,
+            retry: crate::config::RetryPolicy::default(),
+        }
+    }
+
+    /// Sets the retry policy wrapper streams consult.
+    pub fn with_retry(mut self, retry: crate::config::RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 }
 

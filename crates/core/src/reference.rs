@@ -27,7 +27,7 @@ use crate::lake::DataLake;
 use crate::operators::{BoxedOp, ExecCtx, FedOp};
 use crate::planner::PlannedQuery;
 use crate::trace::AnswerTrace;
-use crate::wrapper::{links_for, open_service, total_traffic};
+use crate::wrapper::{links_for, open_service, source_failures, total_traffic};
 use fedlake_netsim::clock::{shared_real, shared_virtual};
 use fedlake_netsim::Link;
 use fedlake_rdf::{SharedInterner, Term};
@@ -426,7 +426,7 @@ fn build_ref_operator<'a>(
         FedPlan::Service(node) => {
             let link = links
                 .get(&node.source_id)
-                .ok_or_else(|| FedError::Internal("missing link".into()))?;
+                .ok_or_else(|| FedError::NoSuchSource(node.source_id.clone()))?;
             let op = open_service(node, lake, Arc::clone(link), config.rows_per_message)?;
             Ok(Box::new(DecodeOp::new(op)))
         }
@@ -453,7 +453,7 @@ fn build_ref_operator<'a>(
             };
             let link = links
                 .get(&right.source_id)
-                .ok_or_else(|| FedError::Internal("missing link".into()))?;
+                .ok_or_else(|| FedError::NoSuchSource(right.source_id.clone()))?;
             let bind = crate::wrapper::BindJoinOp::new(
                 Box::new(EncodeOp::new(l)),
                 db,
@@ -495,13 +495,15 @@ impl FederatedEngine {
             Arc::clone(&clock),
             config.cost,
             config.seed,
+            config.faults,
         );
         let mut ctx = ExecCtx::new(
             Arc::clone(&clock),
             config.cost,
             Arc::clone(&planned.schema),
             SharedInterner::new(),
-        );
+        )
+        .with_retry(config.retry);
 
         let mut op = build_ref_operator(self.lake(), config, &planned.plan, &links)?;
         op = Box::new(ProjectRefOp::new(op, planned.projection.to_vec()));
@@ -511,13 +513,38 @@ impl FederatedEngine {
 
         let mut trace = AnswerTrace::new();
         let mut rows: Vec<Row> = Vec::new();
+        let mut degraded = false;
         let unordered_limit = planned.order_by.is_empty().then_some(()).and(planned.limit);
         let want = unordered_limit.map(|l| l + planned.offset);
-        while let Some(row) = op.next(&mut ctx)? {
-            trace.record(clock.now());
-            rows.push(row);
-            if want.is_some_and(|w| rows.len() >= w) {
-                break;
+        loop {
+            // Mirror of the interned engine's cooperative deadline and
+            // degradation handling (see `execute_planned`).
+            if let Some(d) = config.deadline {
+                if clock.now() >= d {
+                    if !config.degraded_ok {
+                        return Err(FedError::Timeout(d));
+                    }
+                    degraded = true;
+                    break;
+                }
+            }
+            match op.next(&mut ctx) {
+                Ok(Some(row)) => {
+                    trace.record(clock.now());
+                    rows.push(row);
+                    if want.is_some_and(|w| rows.len() >= w) {
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(e @ (FedError::SourceUnavailable { .. } | FedError::Timeout(_))) => {
+                    if !config.degraded_ok {
+                        return Err(e);
+                    }
+                    degraded = true;
+                    break;
+                }
+                Err(e) => return Err(e),
             }
         }
         trace.complete(clock.now());
@@ -548,6 +575,9 @@ impl FederatedEngine {
             services: planned.plan.service_count(),
             engine_operators: planned.plan.engine_operator_count(),
             merged_services: planned.plan.merged_service_count(),
+            retries: ctx.stats.retries,
+            source_failures: source_failures(&links),
+            degraded,
         };
         Ok(FedResult {
             vars: Arc::clone(&planned.projection),

@@ -77,7 +77,9 @@ impl AnswerTrace {
         out
     }
 
-    /// Downsamples the trace to at most `n` points (for plotting).
+    /// Downsamples the trace to roughly `n` points for plotting (at most
+    /// `n + 1`: the final point is always kept). `n == 0` disables
+    /// downsampling and returns the full trace.
     pub fn downsample(&self, n: usize) -> Vec<(Duration, u64)> {
         if self.points.len() <= n || n == 0 {
             return self.points.clone();
@@ -151,6 +153,50 @@ mod tests {
         assert_eq!(t.first_answer(), None);
         assert_eq!(t.total_time(), Duration::ZERO);
         assert_eq!(t.answers_at(ms(5)), 0);
+    }
+
+    #[test]
+    fn answers_at_edge_cases() {
+        // A timestamp shared by the very first answers: the probe must
+        // see all of them, and anything earlier must see none.
+        let mut t = AnswerTrace::new();
+        t.record(ms(4));
+        t.record(ms(4));
+        t.record(ms(4));
+        assert_eq!(t.answers_at(ms(3)), 0);
+        assert_eq!(t.answers_at(Duration::ZERO), 0);
+        assert_eq!(t.answers_at(ms(4)), 3);
+        assert_eq!(t.answers_at(ms(4) + Duration::from_nanos(1)), 3);
+        // A single-point trace behaves the same way.
+        let mut one = AnswerTrace::new();
+        one.record(ms(7));
+        assert_eq!(one.answers_at(ms(6)), 0);
+        assert_eq!(one.answers_at(ms(7)), 1);
+        assert_eq!(one.answers_at(ms(8)), 1);
+    }
+
+    #[test]
+    fn downsample_edge_cases() {
+        // Empty traces downsample to nothing at any budget.
+        let empty = AnswerTrace::new();
+        assert!(empty.downsample(0).is_empty());
+        assert!(empty.downsample(16).is_empty());
+        let mut t = AnswerTrace::new();
+        for i in 0..100 {
+            t.record(ms(i));
+        }
+        // n == 0 disables downsampling.
+        assert_eq!(t.downsample(0).len(), 100);
+        // A budget at or above the trace length returns it untouched.
+        assert_eq!(t.downsample(100).len(), 100);
+        assert_eq!(t.downsample(1000), t.points().to_vec());
+        // n == 1 keeps the first point plus the appended final point.
+        assert_eq!(t.downsample(1), vec![(ms(0), 1), (ms(99), 100)]);
+        // Downsampled points are a monotone subsequence of the trace.
+        let d = t.downsample(7);
+        assert!(d.len() <= 8);
+        assert!(d.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
+        assert!(d.iter().all(|p| t.points().contains(p)));
     }
 
     #[test]

@@ -39,7 +39,8 @@ pub fn open_service<'a>(
 ) -> Result<BoxedOp<'a>, FedError> {
     let source = lake
         .source(&node.source_id)
-        .ok_or_else(|| FedError::Internal(format!("source {} missing", node.source_id)))?;
+        .ok_or_else(|| FedError::NoSuchSource(node.source_id.clone()))?;
+    let source_id = node.source_id.clone();
     match (&node.kind, source) {
         (ServiceKind::Sparql { star, filters }, DataSource::Sparql { graph, .. }) => {
             Ok(Box::new(SparqlStream {
@@ -47,6 +48,7 @@ pub fn open_service<'a>(
                 star: star.clone(),
                 filters: filters.clone(),
                 link,
+                source_id,
                 rows_per_message,
                 state: None,
             }))
@@ -57,6 +59,7 @@ pub fn open_service<'a>(
                 sql: q.sql.clone(),
                 outputs: q.outputs.clone(),
                 link,
+                source_id,
                 rows_per_message,
                 state: None,
             })),
@@ -67,6 +70,7 @@ pub fn open_service<'a>(
                 inner: inner.clone(),
                 join: join.clone(),
                 link,
+                source_id,
                 rows_per_message,
                 state: None,
             })),
@@ -76,6 +80,63 @@ pub fn open_service<'a>(
             src.id()
         ))),
     }
+}
+
+/// Transfers one message over `link`, retrying per the context's
+/// [`crate::config::RetryPolicy`]. Every failed attempt charges the
+/// detection timeout to the simulated clock; every retry additionally
+/// charges the exponential backoff. Exhausting the attempt budget yields
+/// [`FedError::SourceUnavailable`].
+pub fn transfer_with_retry(
+    link: &Link,
+    source_id: &str,
+    rows: usize,
+    ctx: &mut ExecCtx,
+) -> Result<(), FedError> {
+    let policy = ctx.retry;
+    let budget = policy.attempts();
+    for attempt in 0..budget {
+        match link.try_transfer_message(rows) {
+            Ok(()) => return Ok(()),
+            Err(_fault) => {
+                // The receiver waited `timeout` before concluding the
+                // attempt failed, whatever the failure mode was.
+                ctx.clock.advance(policy.timeout);
+                if attempt + 1 == budget {
+                    return Err(FedError::SourceUnavailable {
+                        source: source_id.to_string(),
+                        attempts: budget,
+                    });
+                }
+                ctx.stats.retries += 1;
+                ctx.clock.advance(policy.backoff_after(attempt));
+            }
+        }
+    }
+    unreachable!("loop returns on success or on the final attempt")
+}
+
+/// Transfers `total_rows` rows in messages of `rows_per_message`, retrying
+/// each message per the context's policy. An empty result still costs one
+/// (empty) message, mirroring [`Link::transfer_rows`].
+pub fn transfer_rows_with_retry(
+    link: &Link,
+    source_id: &str,
+    total_rows: usize,
+    rows_per_message: usize,
+    ctx: &mut ExecCtx,
+) -> Result<(), FedError> {
+    assert!(rows_per_message > 0, "message size must be positive");
+    if total_rows == 0 {
+        return transfer_with_retry(link, source_id, 0, ctx);
+    }
+    let mut remaining = total_rows;
+    while remaining > 0 {
+        let n = remaining.min(rows_per_message);
+        transfer_with_retry(link, source_id, n, ctx)?;
+        remaining -= n;
+    }
+    Ok(())
 }
 
 /// Converts the relational engine's counters to the netsim mirror type.
@@ -136,25 +197,31 @@ impl Delivery {
         Delivery { rows: rows.into(), batch_left: 0, empty_notified: false }
     }
 
-    /// Pulls the next row, transferring a message when the current batch
-    /// is exhausted. Returns `None` when drained (after the empty-result
-    /// notification message when there were no rows at all).
-    fn pull(&mut self, link: &Link, rows_per_message: usize) -> Option<SlotRow> {
+    /// Pulls the next row, transferring a message (with retries) when the
+    /// current batch is exhausted. Returns `None` when drained (after the
+    /// empty-result notification message when there were no rows at all).
+    fn pull(
+        &mut self,
+        link: &Link,
+        source_id: &str,
+        rows_per_message: usize,
+        ctx: &mut ExecCtx,
+    ) -> Result<Option<SlotRow>, FedError> {
         if self.rows.is_empty() {
             if !self.empty_notified {
                 self.empty_notified = true;
-                link.transfer_message(0);
+                transfer_with_retry(link, source_id, 0, ctx)?;
             }
-            return None;
+            return Ok(None);
         }
         if self.batch_left == 0 {
             let n = self.rows.len().min(rows_per_message);
-            link.transfer_message(n);
+            transfer_with_retry(link, source_id, n, ctx)?;
             self.batch_left = n;
         }
         self.batch_left -= 1;
         self.empty_notified = true;
-        self.rows.pop_front()
+        Ok(self.rows.pop_front())
     }
 }
 
@@ -164,6 +231,7 @@ struct SqlStream<'a> {
     sql: String,
     outputs: Vec<OutputBinding>,
     link: Arc<Link>,
+    source_id: String,
     rows_per_message: usize,
     state: Option<Delivery>,
 }
@@ -171,10 +239,10 @@ struct SqlStream<'a> {
 impl FedOp for SqlStream<'_> {
     fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<SlotRow>, FedError> {
         if self.state.is_none() {
-            // Ship the query (one request message) and let the source
-            // compute; its work is priced by the cost model.
+            // Ship the query (one request message, retried on faults) and
+            // let the source compute; its work is priced by the cost model.
             ctx.stats.sql_queries += 1;
-            self.link.transfer_message(0);
+            transfer_with_retry(&self.link, &self.source_id, 0, ctx)?;
             let rs = self.db.query(&self.sql)?;
             ctx.clock.advance(ctx.cost.rdb_time(&convert_cost(&rs.cost)));
             let rows =
@@ -183,7 +251,7 @@ impl FedOp for SqlStream<'_> {
             self.state = Some(Delivery::new(rows));
         }
         let delivery = self.state.as_mut().expect("initialized above");
-        Ok(delivery.pull(&self.link, self.rows_per_message))
+        delivery.pull(&self.link, &self.source_id, self.rows_per_message, ctx)
     }
 }
 
@@ -193,6 +261,7 @@ struct SparqlStream<'a> {
     star: crate::decompose::StarSubquery,
     filters: Vec<fedlake_sparql::expr::Expr>,
     link: Arc<Link>,
+    source_id: String,
     rows_per_message: usize,
     state: Option<Delivery>,
 }
@@ -200,7 +269,7 @@ struct SparqlStream<'a> {
 impl FedOp for SparqlStream<'_> {
     fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<SlotRow>, FedError> {
         if self.state.is_none() {
-            self.link.transfer_message(0);
+            transfer_with_retry(&self.link, &self.source_id, 0, ctx)?;
             let rows = eval_bgp(&self.star.triples, self.graph, vec![Row::new()]);
             let rows: Vec<Row> = rows
                 .into_iter()
@@ -220,7 +289,7 @@ impl FedOp for SparqlStream<'_> {
             self.state = Some(Delivery::new(encoded));
         }
         let delivery = self.state.as_mut().expect("initialized above");
-        Ok(delivery.pull(&self.link, self.rows_per_message))
+        delivery.pull(&self.link, &self.source_id, self.rows_per_message, ctx)
     }
 }
 
@@ -234,6 +303,7 @@ struct NaiveStream<'a> {
     inner: StarPart,
     join: NaiveJoin,
     link: Arc<Link>,
+    source_id: String,
     rows_per_message: usize,
     state: Option<NaiveState>,
 }
@@ -273,7 +343,8 @@ impl NaiveStream<'_> {
             .push(format!("{}.{} = {key}", part.alias, self.join.inner_col));
         let q = sql_single(&part);
         ctx.stats.sql_queries += 1;
-        self.link.transfer_message(0); // the per-binding request round trip
+        // The per-binding request round trip.
+        transfer_with_retry(&self.link, &self.source_id, 0, ctx)?;
         let rs = self.db.query(&q.sql)?;
         ctx.clock.advance(ctx.cost.rdb_time(&convert_cost(&rs.cost)));
         let rows = lift_result(&rs, &q.outputs, &ctx.schema, &mut ctx.interner.lock());
@@ -289,7 +360,7 @@ impl FedOp for NaiveStream<'_> {
     fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<SlotRow>, FedError> {
         if self.state.is_none() {
             ctx.stats.sql_queries += 1;
-            self.link.transfer_message(0);
+            transfer_with_retry(&self.link, &self.source_id, 0, ctx)?;
             let rs = self.db.query(&self.outer_sql)?;
             ctx.clock.advance(ctx.cost.rdb_time(&convert_cost(&rs.cost)));
             let outer =
@@ -304,7 +375,12 @@ impl FedOp for NaiveStream<'_> {
         loop {
             let state = self.state.as_mut().expect("initialized above");
             if !state.buffer.rows.is_empty() {
-                let row = state.buffer.pull(&self.link, self.rows_per_message);
+                let row = state.buffer.pull(
+                    &self.link,
+                    &self.source_id,
+                    self.rows_per_message,
+                    ctx,
+                )?;
                 if row.is_some() {
                     state.produced_any = true;
                     return Ok(row);
@@ -315,12 +391,12 @@ impl FedOp for NaiveStream<'_> {
                 let state = self.state.as_mut().expect("initialized");
                 if !state.produced_any && !state.buffer.empty_notified {
                     state.buffer.empty_notified = true;
-                    self.link.transfer_message(0);
+                    transfer_with_retry(&self.link, &self.source_id, 0, ctx)?;
                 }
                 return Ok(None);
             };
             // Retrieving the next outer binding is itself a message.
-            self.link.transfer_message(1);
+            transfer_with_retry(&self.link, &self.source_id, 1, ctx)?;
             let merged = self.inner_rows(&outer_row, ctx)?;
             let state = self.state.as_mut().expect("initialized");
             state.buffer = Delivery::new(merged);
@@ -338,6 +414,7 @@ pub struct BindJoinOp<'a> {
     db: &'a Database,
     target: crate::fedplan::BindTarget,
     link: Arc<Link>,
+    source_id: String,
     rows_per_message: usize,
     batch_size: usize,
     left_done: bool,
@@ -355,11 +432,13 @@ impl<'a> BindJoinOp<'a> {
         rows_per_message: usize,
         batch_size: usize,
     ) -> Self {
+        let source_id = target.source_id.clone();
         BindJoinOp {
             left,
             db,
             target,
             link,
+            source_id,
             rows_per_message,
             batch_size: batch_size.max(1),
             left_done: false,
@@ -403,12 +482,19 @@ impl<'a> BindJoinOp<'a> {
         ));
         let q = sql_single(&part);
         ctx.stats.sql_queries += 1;
-        self.link.transfer_message(0); // the parameterized request
+        // The parameterized request.
+        transfer_with_retry(&self.link, &self.source_id, 0, ctx)?;
         let rs = self.db.query(&q.sql)?;
         ctx.clock.advance(ctx.cost.rdb_time(&convert_cost(&rs.cost)));
         let rows = lift_result(&rs, &q.outputs, &ctx.schema, &mut ctx.interner.lock());
         ctx.stats.service_rows += rows.len() as u64;
-        self.link.transfer_rows(rows.len(), self.rows_per_message);
+        transfer_rows_with_retry(
+            &self.link,
+            &self.source_id,
+            rows.len(),
+            self.rows_per_message,
+            ctx,
+        )?;
         // Probe: hash the fetched right rows by join-key id; same interner
         // on both sides makes id equality term equality.
         let mut by_key: std::collections::HashMap<TermId, Vec<SlotRow>> =
@@ -472,13 +558,15 @@ pub fn drain(op: &mut dyn FedOp, ctx: &mut ExecCtx) -> Result<Vec<SlotRow>, FedE
 }
 
 /// Creates one link per source, each with its own deterministic RNG
-/// stream derived from the base seed.
+/// stream derived from the base seed. The same fault plan is injected on
+/// every link ([`FaultPlan::NONE`] keeps them reliable).
 pub fn links_for(
     lake: &DataLake,
     profile: fedlake_netsim::NetworkProfile,
     clock: fedlake_netsim::SharedClock,
     cost: fedlake_netsim::CostModel,
     seed: u64,
+    faults: fedlake_netsim::FaultPlan,
 ) -> std::collections::HashMap<String, Arc<Link>> {
     lake.sources()
         .iter()
@@ -486,13 +574,28 @@ pub fn links_for(
         .map(|(i, s)| {
             (
                 s.id().to_string(),
-                Arc::new(Link::new(
+                Arc::new(Link::with_faults(
                     profile,
                     Arc::clone(&clock),
                     cost,
                     seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    faults,
                 )),
             )
+        })
+        .collect()
+}
+
+/// Per-source fault counts (drops + truncations + outage hits) across a
+/// link map. Sources that never failed do not appear.
+pub fn source_failures(
+    links: &std::collections::HashMap<String, Arc<Link>>,
+) -> std::collections::BTreeMap<String, u64> {
+    links
+        .iter()
+        .filter_map(|(id, l)| {
+            let f = l.stats().faults();
+            (f > 0).then(|| (id.clone(), f))
         })
         .collect()
 }
@@ -759,6 +862,57 @@ mod tests {
     }
 
     #[test]
+    fn retry_recovers_from_transient_faults() {
+        let clock = shared_virtual();
+        // Attempts 0 and 1 hit the outage; attempt 2 succeeds.
+        let plan = fedlake_netsim::FaultPlan {
+            outage_after: Some(0),
+            outage_len: 2,
+            ..fedlake_netsim::FaultPlan::NONE
+        };
+        let link = Link::with_faults(
+            NetworkProfile::NO_DELAY,
+            Arc::clone(&clock),
+            CostModel::default(),
+            1,
+            plan,
+        );
+        let mut c = ctx(Arc::clone(&clock), &["x"]);
+        transfer_with_retry(&link, "s", 1, &mut c).unwrap();
+        assert_eq!(c.stats.retries, 2);
+        let s = link.stats();
+        assert_eq!((s.messages, s.outage_faults), (1, 2));
+        // Two detection timeouts (10 ms each) plus backoff 2 ms + 4 ms.
+        assert!(c.clock.now() >= Duration::from_millis(26));
+    }
+
+    #[test]
+    fn exhausted_retry_budget_is_source_unavailable() {
+        let clock = shared_virtual();
+        let plan = fedlake_netsim::FaultPlan {
+            outage_after: Some(0),
+            outage_len: u64::MAX,
+            ..fedlake_netsim::FaultPlan::NONE
+        };
+        let link = Link::with_faults(
+            NetworkProfile::NO_DELAY,
+            Arc::clone(&clock),
+            CostModel::default(),
+            1,
+            plan,
+        );
+        let mut c = ctx(clock, &["x"]);
+        c.retry = crate::config::RetryPolicy { max_attempts: 3, ..Default::default() };
+        let err = transfer_with_retry(&link, "s", 1, &mut c).unwrap_err();
+        assert_eq!(
+            err,
+            FedError::SourceUnavailable { source: "s".into(), attempts: 3 }
+        );
+        assert_eq!(c.stats.retries, 2);
+        assert_eq!(link.stats().messages, 0);
+    }
+
+    #[test]
     fn links_are_deterministic_and_distinct() {
         let lake = lake();
         let clock = shared_virtual();
@@ -768,6 +922,7 @@ mod tests {
             clock,
             CostModel::default(),
             42,
+            fedlake_netsim::FaultPlan::NONE,
         );
         assert_eq!(links.len(), 1);
         let (m, r, d) = total_traffic(&links);

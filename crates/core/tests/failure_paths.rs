@@ -112,6 +112,36 @@ fn ground_subject_not_matching_template_errors() {
 }
 
 #[test]
+fn plan_against_missing_source_yields_no_such_source() {
+    let mapping = DatasetMapping::new("src").with_table(
+        TableMapping::new(
+            "gene",
+            format!("{V}Gene"),
+            IriTemplate::new("http://f/gene/{}"),
+            "id",
+        )
+        .with_literal("label", &format!("{V}label")),
+    );
+    let engine = engine_with(mapping);
+    let ast = fedlake_sparql::parser::parse_query(&format!(
+        "SELECT ?l WHERE {{ ?g <{V}label> ?l }}"
+    ))
+    .unwrap();
+    let planned = engine.plan(&ast).unwrap();
+    // The plan names source "src"; an engine over a lake without it must
+    // fail with the typed error, not a panic or an opaque string.
+    let empty = FederatedEngine::new(
+        DataLake::new(),
+        PlanConfig::aware(NetworkProfile::NO_DELAY),
+    );
+    let err = empty.execute_planned(&planned).unwrap_err();
+    assert!(matches!(err, FedError::NoSuchSource(ref id) if id == "src"), "{err}");
+    assert!(err.to_string().contains("src"), "{err}");
+    let err = empty.execute_planned_reference(&planned).unwrap_err();
+    assert!(matches!(err, FedError::NoSuchSource(ref id) if id == "src"), "{err}");
+}
+
+#[test]
 fn parse_errors_surface_as_sparql_errors() {
     let mapping = DatasetMapping::new("src").with_table(
         TableMapping::new(

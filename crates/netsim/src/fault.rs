@@ -1,0 +1,141 @@
+//! Deterministic fault injection for simulated links.
+//!
+//! The paper's network settings only make links *slow*; this module makes
+//! them *unreliable* as well, in the way real federation engines (FedX,
+//! ANAPSID) must cope with: messages are lost, payloads arrive truncated,
+//! latency spikes, and sources suffer outages lasting several messages.
+//!
+//! Faults are driven by the same seeded [`fedlake_prng`] stream as the
+//! link's latency sampling, so a `(seed, FaultPlan)` pair fully determines
+//! the fault schedule: identical runs observe identical faults at
+//! identical attempts, which is what makes chaos testing reproducible.
+//! A link with [`FaultPlan::NONE`] consumes exactly the same RNG stream as
+//! a pre-fault link, so fault-free runs are bit-identical to the seed
+//! behaviour.
+
+use std::fmt;
+
+/// A fault observed on one message attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFault {
+    /// The message was lost in transit; the receiver times out waiting.
+    Dropped,
+    /// The message arrived but its payload was truncated and is unusable.
+    /// Unlike a drop, the transit delay was already paid.
+    Truncated,
+    /// The source is down and does not answer at all.
+    SourceDown,
+}
+
+impl fmt::Display for LinkFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkFault::Dropped => write!(f, "message dropped"),
+            LinkFault::Truncated => write!(f, "result stream truncated"),
+            LinkFault::SourceDown => write!(f, "source outage"),
+        }
+    }
+}
+
+/// A per-link fault schedule.
+///
+/// Probabilities apply independently per message attempt, in priority
+/// order drop > truncate > spike (a single uniform draw is partitioned,
+/// so at most one fires per attempt). The outage window is positional:
+/// attempts `outage_after .. outage_after + outage_len` fail with
+/// [`LinkFault::SourceDown`] regardless of the probabilistic faults, which
+/// models an N-message outage whose recoverability depends on the retry
+/// policy's attempt budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability a message attempt is dropped in transit.
+    pub drop_prob: f64,
+    /// Probability a message attempt arrives truncated.
+    pub truncate_prob: f64,
+    /// Probability a message attempt suffers a latency spike.
+    pub spike_prob: f64,
+    /// Multiplier applied to the sampled delay during a spike.
+    pub spike_factor: f64,
+    /// Attempt index (0-based, per link) at which the source goes down.
+    pub outage_after: Option<u64>,
+    /// Number of consecutive attempts that fail during the outage.
+    pub outage_len: u64,
+}
+
+impl FaultPlan {
+    /// No faults: the link behaves exactly like a pre-fault link.
+    pub const NONE: FaultPlan = FaultPlan {
+        drop_prob: 0.0,
+        truncate_prob: 0.0,
+        spike_prob: 0.0,
+        spike_factor: 1.0,
+        outage_after: None,
+        outage_len: 0,
+    };
+
+    /// True when any fault can ever fire. Inactive plans skip the
+    /// per-attempt fault draw entirely, preserving the RNG stream.
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0
+            || self.truncate_prob > 0.0
+            || self.spike_prob > 0.0
+            || (self.outage_after.is_some() && self.outage_len > 0)
+    }
+
+    /// True when `attempt` falls inside the outage window.
+    pub fn in_outage(&self, attempt: u64) -> bool {
+        match self.outage_after {
+            Some(start) => attempt >= start && attempt - start < self.outage_len,
+            None => false,
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::NONE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive() {
+        assert!(!FaultPlan::NONE.is_active());
+        assert!(!FaultPlan::default().is_active());
+        assert!(!FaultPlan::NONE.in_outage(0));
+    }
+
+    #[test]
+    fn any_probability_activates() {
+        assert!(FaultPlan { drop_prob: 0.1, ..FaultPlan::NONE }.is_active());
+        assert!(FaultPlan { truncate_prob: 0.1, ..FaultPlan::NONE }.is_active());
+        assert!(FaultPlan { spike_prob: 0.1, ..FaultPlan::NONE }.is_active());
+        assert!(FaultPlan {
+            outage_after: Some(0),
+            outage_len: 1,
+            ..FaultPlan::NONE
+        }
+        .is_active());
+        // A zero-length outage never fires.
+        assert!(!FaultPlan { outage_after: Some(0), ..FaultPlan::NONE }.is_active());
+    }
+
+    #[test]
+    fn outage_window_is_half_open() {
+        let p = FaultPlan { outage_after: Some(3), outage_len: 2, ..FaultPlan::NONE };
+        assert!(!p.in_outage(2));
+        assert!(p.in_outage(3));
+        assert!(p.in_outage(4));
+        assert!(!p.in_outage(5));
+    }
+
+    #[test]
+    fn fault_display() {
+        assert_eq!(LinkFault::Dropped.to_string(), "message dropped");
+        assert_eq!(LinkFault::Truncated.to_string(), "result stream truncated");
+        assert_eq!(LinkFault::SourceDown.to_string(), "source outage");
+    }
+}

@@ -20,12 +20,14 @@
 
 pub mod clock;
 pub mod cost;
+pub mod fault;
 pub mod gamma;
 pub mod link;
 pub mod profile;
 
 pub use clock::{Clock, SharedClock};
 pub use cost::CostModel;
+pub use fault::{FaultPlan, LinkFault};
 pub use gamma::GammaSampler;
 pub use link::Link;
 pub use profile::{DelayModel, NetworkProfile};

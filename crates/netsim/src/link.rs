@@ -7,6 +7,7 @@
 
 use crate::clock::SharedClock;
 use crate::cost::CostModel;
+use crate::fault::{FaultPlan, LinkFault};
 use crate::profile::NetworkProfile;
 use fedlake_prng::Prng;
 use parking_lot_shim::Mutex;
@@ -33,12 +34,30 @@ mod parking_lot_shim {
 /// Accumulated link statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkStats {
-    /// Messages transferred.
+    /// Messages transferred successfully.
     pub messages: u64,
     /// Rows transferred.
     pub rows: u64,
     /// Total simulated network delay injected.
     pub delay: Duration,
+    /// Transfer attempts, successful or not (only counted while a fault
+    /// plan is active; equals `messages` + the fault counters then).
+    pub attempts: u64,
+    /// Attempts lost in transit.
+    pub dropped: u64,
+    /// Attempts that arrived truncated.
+    pub truncated: u64,
+    /// Attempts swallowed by a source outage.
+    pub outage_faults: u64,
+    /// Successful transfers that suffered a latency spike.
+    pub spikes: u64,
+}
+
+impl LinkStats {
+    /// Failed attempts of any kind.
+    pub fn faults(&self) -> u64 {
+        self.dropped + self.truncated + self.outage_faults
+    }
 }
 
 /// A link from the engine to one source, with its own RNG stream so runs
@@ -47,6 +66,8 @@ pub struct LinkStats {
 pub struct Link {
     /// The network setting this link simulates.
     pub profile: NetworkProfile,
+    /// The fault schedule this link injects.
+    pub faults: FaultPlan,
     clock: SharedClock,
     cost: CostModel,
     state: Mutex<LinkState>,
@@ -59,27 +80,86 @@ struct LinkState {
 }
 
 impl Link {
-    /// Creates a link over `clock` with a deterministic RNG stream.
+    /// Creates a fault-free link over `clock` with a deterministic RNG
+    /// stream.
     pub fn new(profile: NetworkProfile, clock: SharedClock, cost: CostModel, seed: u64) -> Self {
+        Self::with_faults(profile, clock, cost, seed, FaultPlan::NONE)
+    }
+
+    /// Creates a link that additionally injects `faults`.
+    pub fn with_faults(
+        profile: NetworkProfile,
+        clock: SharedClock,
+        cost: CostModel,
+        seed: u64,
+        faults: FaultPlan,
+    ) -> Self {
         Link {
             profile,
+            faults,
             clock,
             cost,
             state: Mutex::new(LinkState { rng: Prng::seed_from_u64(seed), stats: LinkStats::default() }),
         }
     }
 
-    /// Simulates the transfer of one message carrying `rows` rows:
-    /// advances the clock by a sampled latency plus the fixed per-message
-    /// cost, and records the traffic.
-    pub fn transfer_message(&self, rows: usize) {
+    /// Attempts the transfer of one message carrying `rows` rows.
+    ///
+    /// On success the clock advances by the sampled latency (possibly
+    /// spiked) plus the fixed per-message cost and the traffic is
+    /// recorded. On failure the attempt is recorded and the fault is
+    /// returned; a truncated attempt still pays its transit delay, a drop
+    /// or outage costs no link time (the *receiver's* detection timeout is
+    /// the retry policy's concern, not the link's).
+    pub fn try_transfer_message(&self, rows: usize) -> Result<(), LinkFault> {
         let mut st = self.state.lock();
-        let delay = self.profile.delay.sample(&mut st.rng);
+        let mut spike = false;
+        if self.faults.is_active() {
+            let attempt = st.stats.attempts;
+            st.stats.attempts += 1;
+            if self.faults.in_outage(attempt) {
+                st.stats.outage_faults += 1;
+                return Err(LinkFault::SourceDown);
+            }
+            let u = st.rng.next_f64();
+            if u < self.faults.drop_prob {
+                st.stats.dropped += 1;
+                return Err(LinkFault::Dropped);
+            }
+            if u < self.faults.drop_prob + self.faults.truncate_prob {
+                st.stats.truncated += 1;
+                let delay = self.profile.delay.sample(&mut st.rng);
+                st.stats.delay += delay;
+                drop(st);
+                self.clock.advance(delay + self.cost.message_time(rows));
+                return Err(LinkFault::Truncated);
+            }
+            spike = u
+                < self.faults.drop_prob + self.faults.truncate_prob + self.faults.spike_prob;
+        }
+        let mut delay = self.profile.delay.sample(&mut st.rng);
+        if spike {
+            st.stats.spikes += 1;
+            delay = Duration::from_nanos(
+                (delay.as_nanos() as f64 * self.faults.spike_factor.max(0.0)) as u64,
+            );
+        }
         st.stats.messages += 1;
         st.stats.rows += rows as u64;
         st.stats.delay += delay;
         drop(st);
         self.clock.advance(delay + self.cost.message_time(rows));
+        Ok(())
+    }
+
+    /// Simulates the transfer of one message carrying `rows` rows:
+    /// advances the clock by a sampled latency plus the fixed per-message
+    /// cost, and records the traffic. Panics on an injected fault — use
+    /// [`Link::try_transfer_message`] on links with an active fault plan.
+    pub fn transfer_message(&self, rows: usize) {
+        if let Err(f) = self.try_transfer_message(rows) {
+            panic!("unhandled link fault ({f}); use try_transfer_message");
+        }
     }
 
     /// Simulates transferring `total_rows` rows in messages of
@@ -175,5 +255,93 @@ mod tests {
         fast.transfer_rows(500, 1);
         slow.transfer_rows(500, 1);
         assert!(slow.clock().now() > fast.clock().now());
+    }
+
+    fn faulty(profile: NetworkProfile, plan: FaultPlan) -> Link {
+        Link::with_faults(profile, shared_virtual(), CostModel::default(), 99, plan)
+    }
+
+    #[test]
+    fn outage_fails_exact_window() {
+        let plan = FaultPlan { outage_after: Some(2), outage_len: 3, ..FaultPlan::NONE };
+        let l = faulty(NetworkProfile::GAMMA1, plan);
+        let mut results = Vec::new();
+        for _ in 0..7 {
+            results.push(l.try_transfer_message(1).is_ok());
+        }
+        assert_eq!(results, [true, true, false, false, false, true, true]);
+        let s = l.stats();
+        assert_eq!(s.attempts, 7);
+        assert_eq!(s.messages, 4);
+        assert_eq!(s.outage_faults, 3);
+        assert_eq!(s.faults(), 3);
+    }
+
+    #[test]
+    fn drops_are_deterministic_and_cost_no_link_time() {
+        let plan = FaultPlan { drop_prob: 0.5, ..FaultPlan::NONE };
+        let a = faulty(NetworkProfile::NO_DELAY, plan);
+        let b = faulty(NetworkProfile::NO_DELAY, plan);
+        let ra: Vec<bool> = (0..64).map(|_| a.try_transfer_message(1).is_ok()).collect();
+        let rb: Vec<bool> = (0..64).map(|_| b.try_transfer_message(1).is_ok()).collect();
+        assert_eq!(ra, rb, "identical seeds must observe identical faults");
+        let s = a.stats();
+        assert!(s.dropped > 0, "p=0.5 over 64 attempts must drop something");
+        assert_eq!(s.messages + s.dropped, 64);
+        // NoDelay + only drops: clock time comes from delivered messages only.
+        assert_eq!(a.clock().now(), CostModel::default().message_time(1) * s.messages as u32);
+    }
+
+    #[test]
+    fn truncation_pays_transit_delay() {
+        let plan = FaultPlan { truncate_prob: 1.0, ..FaultPlan::NONE };
+        let l = faulty(NetworkProfile::GAMMA3, plan);
+        assert_eq!(l.try_transfer_message(5), Err(LinkFault::Truncated));
+        let s = l.stats();
+        assert_eq!(s.truncated, 1);
+        assert_eq!(s.messages, 0);
+        assert!(s.delay > Duration::ZERO, "a truncated message still paid its delay");
+        assert!(l.clock().now() > Duration::ZERO);
+    }
+
+    #[test]
+    fn spikes_inflate_delay_deterministically() {
+        let plan = FaultPlan { spike_prob: 1.0, spike_factor: 10.0, ..FaultPlan::NONE };
+        let spiked = faulty(NetworkProfile::GAMMA2, plan);
+        let plain = link(NetworkProfile::GAMMA2);
+        for _ in 0..32 {
+            spiked.transfer_message(1);
+            plain.transfer_message(1);
+        }
+        assert_eq!(spiked.stats().spikes, 32);
+        // The spiked link consumes one extra fault draw per message, so the
+        // streams differ; still, a 10x factor must dominate the variance.
+        assert!(spiked.stats().delay > plain.stats().delay * 3);
+        // And identical seeds with identical plans stay identical.
+        let again = faulty(NetworkProfile::GAMMA2, plan);
+        for _ in 0..32 {
+            again.transfer_message(1);
+        }
+        assert_eq!(again.stats(), spiked.stats());
+    }
+
+    #[test]
+    fn inactive_plan_preserves_rng_stream() {
+        // A link with FaultPlan::NONE must behave bit-identically to a
+        // pre-fault link: no extra RNG draws, identical clock.
+        let a = link(NetworkProfile::GAMMA3);
+        let b = faulty(NetworkProfile::GAMMA3, FaultPlan::NONE);
+        a.transfer_rows(100, 7);
+        b.transfer_rows(100, 7);
+        assert_eq!(a.clock().now(), b.clock().now());
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(b.stats().attempts, 0, "inactive plans do not count attempts");
+    }
+
+    #[test]
+    #[should_panic(expected = "unhandled link fault")]
+    fn infallible_transfer_panics_on_fault() {
+        let plan = FaultPlan { outage_after: Some(0), outage_len: 1, ..FaultPlan::NONE };
+        faulty(NetworkProfile::NO_DELAY, plan).transfer_message(1);
     }
 }

@@ -3,10 +3,21 @@
 //! arithmetic. Deterministically seeded via the in-repo PRNG.
 
 use fedlake_netsim::clock::shared_virtual;
-use fedlake_netsim::{CostModel, DelayModel, GammaSampler, Link, NetworkProfile};
+use fedlake_netsim::{CostModel, DelayModel, FaultPlan, GammaSampler, Link, NetworkProfile};
 use fedlake_prng::Prng;
 use std::sync::Arc;
 use std::time::Duration;
+
+fn random_fault_plan(rng: &mut Prng) -> FaultPlan {
+    FaultPlan {
+        drop_prob: rng.gen_range(0.0..0.4),
+        truncate_prob: rng.gen_range(0.0..0.3),
+        spike_prob: rng.gen_range(0.0..0.3),
+        spike_factor: rng.gen_range(0.0..20.0),
+        outage_after: rng.gen_bool(0.5).then(|| rng.gen_range(0u64..40)),
+        outage_len: rng.gen_range(0u64..10),
+    }
+}
 
 /// Gamma samples are always strictly positive and finite.
 #[test]
@@ -105,6 +116,62 @@ fn batching_message_count() {
         let expected = if total == 0 { 1 } else { total.div_ceil(batch) as u64 };
         assert_eq!(stats.messages, expected);
         assert_eq!(stats.rows, total as u64);
+    }
+}
+
+/// Fault accounting: on an active plan every attempt is counted exactly
+/// once, as either a delivered message or one of the fault kinds, and the
+/// clock never falls behind the injected delay.
+#[test]
+fn fault_accounting_invariant() {
+    let mut meta = Prng::seed_from_u64(0x4e75_0007);
+    for _ in 0..64 {
+        let plan = random_fault_plan(&mut meta);
+        let n = meta.gen_range(1usize..120);
+        let profile = NetworkProfile::ALL[meta.gen_range(0usize..4)];
+        let seed = meta.next_u64();
+        let clock = shared_virtual();
+        let link =
+            Link::with_faults(profile, Arc::clone(&clock), CostModel::default(), seed, plan);
+        let mut delivered = 0u64;
+        for _ in 0..n {
+            if link.try_transfer_message(meta.gen_range(0usize..5)).is_ok() {
+                delivered += 1;
+            }
+        }
+        let s = link.stats();
+        if plan.is_active() {
+            assert_eq!(s.attempts, n as u64);
+        } else {
+            assert_eq!(s.attempts, 0);
+        }
+        assert_eq!(s.messages, delivered);
+        if plan.is_active() {
+            assert_eq!(s.attempts, s.messages + s.faults());
+        } else {
+            assert_eq!(s.faults(), 0);
+        }
+        assert!(clock.now() >= s.delay);
+    }
+}
+
+/// Determinism: a `(seed, plan)` pair fully determines the fault schedule
+/// and the accumulated stats.
+#[test]
+fn fault_schedules_are_deterministic() {
+    let mut meta = Prng::seed_from_u64(0x4e75_0008);
+    for _ in 0..48 {
+        let plan = random_fault_plan(&mut meta);
+        let profile = NetworkProfile::ALL[meta.gen_range(0usize..4)];
+        let seed = meta.next_u64();
+        let mk = || {
+            Link::with_faults(profile, shared_virtual(), CostModel::default(), seed, plan)
+        };
+        let (a, b) = (mk(), mk());
+        let ra: Vec<_> = (0..96).map(|i| a.try_transfer_message(i % 4)).collect();
+        let rb: Vec<_> = (0..96).map(|i| b.try_transfer_message(i % 4)).collect();
+        assert_eq!(ra, rb);
+        assert_eq!(a.stats(), b.stats());
     }
 }
 

@@ -10,6 +10,12 @@ cargo build --release --offline --workspace --all-targets
 echo "== cargo test -q (offline) =="
 cargo test -q --offline --workspace
 
+# Seeded chaos suite: CHAOS_ITERS fault schedules per query/profile cell.
+# The default (32) is the gate; raise for soak runs, e.g.
+#   CHAOS_ITERS=512 scripts/tier1.sh
+echo "== chaos suite (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
+CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
+
 echo "== cargo clippy -D warnings (offline) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

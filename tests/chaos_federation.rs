@@ -1,0 +1,221 @@
+//! Seeded chaos suite: the federated engine under deterministic fault
+//! injection.
+//!
+//! For every experiment query and network profile, `CHAOS_ITERS` randomly
+//! generated fault schedules (message drops, truncated result streams,
+//! latency spikes, N-message outages) are injected on all wrapper links.
+//! A schedule the retry policy can absorb must not change the answers:
+//! the sorted SPARQL CSV serialization is byte-identical to the fault-free
+//! run. A schedule it cannot absorb must fail with
+//! [`FedError::SourceUnavailable`] or [`FedError::Timeout`] — never a
+//! panic, never silently wrong answers. Re-running any schedule with the
+//! same seed reproduces the exact same [`fedlake_core::FedStats`].
+//!
+//! `CHAOS_ITERS` defaults to 32 (the tier-1 gate); raise it for soak runs,
+//! e.g. `CHAOS_ITERS=256 cargo test --test chaos_federation`.
+
+use fedlake_core::{
+    FaultPlan, FedError, FedResult, FederatedEngine, PlanConfig, PlanMode, RetryPolicy,
+};
+use fedlake_datagen::{build_lake_with, workload, LakeConfig};
+use fedlake_netsim::NetworkProfile;
+use fedlake_prng::Prng;
+use fedlake_sparql::parser::parse_query;
+use std::time::Duration;
+
+/// FNV-1a, to derive one independent meta-seed per (query, profile) cell.
+fn mix(s: &str) -> u64 {
+    s.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x100_0000_01b3))
+}
+
+fn chaos_iters() -> u64 {
+    std::env::var("CHAOS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+/// Answers as sorted SPARQL CSV — the byte-comparable canonical form.
+fn sorted_csv(r: &FedResult) -> String {
+    let mut rows = r.rows.clone();
+    rows.sort_by_cached_key(|row| row.to_string());
+    fedlake_core::results::to_sparql_csv(&r.vars, &rows)
+}
+
+/// A random fault schedule the retry policy (6 attempts) can usually
+/// absorb: moderate probabilities, outages shorter than the budget.
+fn random_plan(rng: &mut Prng) -> FaultPlan {
+    FaultPlan {
+        drop_prob: rng.gen_range(0.0..0.10),
+        truncate_prob: rng.gen_range(0.0..0.08),
+        spike_prob: rng.gen_range(0.0..0.20),
+        spike_factor: rng.gen_range(1.0..12.0),
+        outage_after: (rng.gen_range(0.0f64..1.0) < 0.5)
+            .then(|| rng.gen_range(0u64..200)),
+        outage_len: rng.gen_range(0u64..4),
+    }
+}
+
+fn retry() -> RetryPolicy {
+    RetryPolicy { max_attempts: 6, ..Default::default() }
+}
+
+/// The tentpole property: for Q1–Q5 × all network profiles × CHAOS_ITERS
+/// seeded fault schedules, a run that completes returns byte-identical
+/// answers to the fault-free baseline, and a run that fails does so with a
+/// fault error. Every 8th schedule is re-executed to pin determinism.
+#[test]
+fn recoverable_faults_preserve_answers() {
+    let iters = chaos_iters();
+    let lake_cfg = LakeConfig { scale: 0.05, ..Default::default() };
+    for q in workload::experiment_queries() {
+        let lake = build_lake_with(&lake_cfg, q.datasets);
+        let ast = parse_query(&q.sparql).unwrap();
+        for network in NetworkProfile::ALL {
+            let mut config = PlanConfig::new(PlanMode::AWARE, network);
+            config.retry = retry();
+            let mut engine = FederatedEngine::new(lake.clone(), config);
+            let planned = engine.plan(&ast).unwrap();
+            let baseline = engine.execute_planned(&planned).unwrap();
+            let label = |i| format!("{}/{}/schedule {i}", q.id, network.name);
+            assert!(
+                !baseline.stats.degraded
+                    && baseline.stats.retries == 0
+                    && baseline.stats.source_failures.is_empty(),
+                "{}: fault-free baseline saw faults",
+                label(-1i64)
+            );
+            let baseline_csv = sorted_csv(&baseline);
+            // One meta-stream per (query, profile) cell keeps schedules
+            // independent of iteration count and of the other cells.
+            let mut rng =
+                Prng::seed_from_u64(0xC4A0_5000 ^ mix(q.id) ^ mix(network.name).rotate_left(17));
+            let mut recovered = 0u64;
+            for i in 0..iters {
+                let mut c = config;
+                c.faults = random_plan(&mut rng);
+                c.seed = rng.next_u64();
+                engine.set_config(c);
+                match engine.execute_planned(&planned) {
+                    Ok(r) => {
+                        assert_eq!(
+                            sorted_csv(&r),
+                            baseline_csv,
+                            "{}: recovered answers diverge ({c:?})",
+                            label(i as i64)
+                        );
+                        assert!(!r.stats.degraded, "{}: degraded without opt-in", label(i as i64));
+                        recovered += 1;
+                        if i % 8 == 0 {
+                            let again = engine.execute_planned(&planned).unwrap();
+                            assert_eq!(
+                                again.stats,
+                                r.stats,
+                                "{}: same seed, different stats",
+                                label(i as i64)
+                            );
+                        }
+                    }
+                    Err(FedError::SourceUnavailable { .. }) | Err(FedError::Timeout(_)) => {}
+                    Err(e) => panic!("{}: unexpected error kind: {e}", label(i as i64)),
+                }
+            }
+            // The schedules are tuned to be mostly absorbable; a suite
+            // where most runs fail would not be testing recovery.
+            assert!(
+                recovered * 2 >= iters,
+                "{}/{}: only {recovered}/{iters} schedules recovered",
+                q.id,
+                network.name
+            );
+        }
+    }
+}
+
+/// An outage longer than the whole attempt budget is unrecoverable: the
+/// strict mode fails with `SourceUnavailable` naming the source and the
+/// exhausted budget; degraded mode returns the partial (here: empty)
+/// answer set with accurate per-source failure accounting.
+#[test]
+fn unrecoverable_outage_fails_cleanly_or_degrades() {
+    let q = workload::q1(); // single source: "chebi"
+    let lake = build_lake_with(&LakeConfig { scale: 0.05, ..Default::default() }, q.datasets);
+    let mut config = PlanConfig::aware(NetworkProfile::GAMMA1);
+    config.retry = retry();
+    config.faults = FaultPlan {
+        outage_after: Some(0),
+        outage_len: u64::MAX,
+        ..FaultPlan::NONE
+    };
+    let engine = FederatedEngine::new(lake.clone(), config);
+    let err = engine.execute_sparql(&q.sparql).unwrap_err();
+    match err {
+        FedError::SourceUnavailable { ref source, attempts } => {
+            assert_eq!(source, "chebi");
+            assert_eq!(attempts, config.retry.max_attempts);
+        }
+        other => panic!("expected SourceUnavailable, got {other}"),
+    }
+
+    config.degraded_ok = true;
+    let engine = FederatedEngine::new(lake, config);
+    let r = engine.execute_sparql(&q.sparql).unwrap();
+    assert!(r.stats.degraded);
+    assert!(r.rows.is_empty(), "nothing was delivered before the outage");
+    // Accounting: every attempt of the one failed message hit the outage,
+    // and all but the last were retries.
+    assert_eq!(
+        r.stats.source_failures.get("chebi").copied(),
+        Some(config.retry.max_attempts as u64)
+    );
+    assert_eq!(r.stats.retries, (config.retry.max_attempts - 1) as u64);
+}
+
+/// The per-query deadline: strict mode yields `Timeout`, degraded mode
+/// keeps the answers produced before the deadline and flags the result.
+#[test]
+fn deadline_times_out_or_degrades() {
+    let q = workload::q1();
+    let lake = build_lake_with(&LakeConfig { scale: 0.05, ..Default::default() }, q.datasets);
+    let baseline =
+        FederatedEngine::new(lake.clone(), PlanConfig::aware(NetworkProfile::GAMMA2))
+            .execute_sparql(&q.sparql)
+            .unwrap();
+    assert!(baseline.stats.answers > 1, "Q1 must produce several answers");
+
+    let mut config = PlanConfig::aware(NetworkProfile::GAMMA2);
+    config.deadline = Some(Duration::from_micros(1));
+    let engine = FederatedEngine::new(lake.clone(), config);
+    match engine.execute_sparql(&q.sparql) {
+        Err(FedError::Timeout(d)) => assert_eq!(d, Duration::from_micros(1)),
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+
+    config.degraded_ok = true;
+    let engine = FederatedEngine::new(lake, config);
+    let r = engine.execute_sparql(&q.sparql).unwrap();
+    assert!(r.stats.degraded);
+    assert!(
+        r.stats.answers < baseline.stats.answers,
+        "a 1µs deadline on a gamma network must cut the answer set"
+    );
+    assert_eq!(r.rows.len() as u64, r.stats.answers);
+}
+
+/// A deadline generous enough for the whole query changes nothing.
+#[test]
+fn slack_deadline_is_invisible() {
+    let q = workload::q2();
+    let lake = build_lake_with(&LakeConfig { scale: 0.05, ..Default::default() }, q.datasets);
+    let plain = FederatedEngine::new(lake.clone(), PlanConfig::aware(NetworkProfile::GAMMA1))
+        .execute_sparql(&q.sparql)
+        .unwrap();
+    let mut config = PlanConfig::aware(NetworkProfile::GAMMA1);
+    config.deadline = Some(Duration::from_secs(3600));
+    config.degraded_ok = true;
+    let bounded = FederatedEngine::new(lake, config).execute_sparql(&q.sparql).unwrap();
+    assert!(!bounded.stats.degraded);
+    assert_eq!(sorted_csv(&bounded), sorted_csv(&plain));
+    assert_eq!(bounded.stats.execution_time, plain.stats.execution_time);
+}

@@ -6,7 +6,7 @@
 //! construction — this suite pins that down and additionally checks the
 //! engine-side operator counters that are mirrored by hand.
 
-use fedlake_core::{FedResult, FederatedEngine, PlanConfig, PlanMode};
+use fedlake_core::{FaultPlan, FedResult, FederatedEngine, PlanConfig, PlanMode, RetryPolicy};
 use fedlake_datagen::{build_lake_with, workload, LakeConfig};
 use fedlake_netsim::NetworkProfile;
 use fedlake_sparql::parser::parse_query;
@@ -33,6 +33,9 @@ fn assert_equivalent(label: &str, a: &FedResult, b: &FedResult) {
     assert_eq!(sa.network_delay, sb.network_delay, "{label}: network_delay");
     assert_eq!(sa.execution_time, sb.execution_time, "{label}: execution_time");
     assert_eq!(sa.plan_label, sb.plan_label, "{label}: plan_label");
+    assert_eq!(sa.retries, sb.retries, "{label}: retries");
+    assert_eq!(sa.source_failures, sb.source_failures, "{label}: source_failures");
+    assert_eq!(sa.degraded, sb.degraded, "{label}: degraded");
 }
 
 fn run_suite(mode: PlanMode, mode_name: &str) {
@@ -61,6 +64,48 @@ fn interned_rows_match_reference_unaware() {
 #[test]
 fn interned_rows_match_reference_aware() {
     run_suite(PlanMode::AWARE, "aware");
+}
+
+/// Parity must also hold with fault injection and retries active: the two
+/// executors share the wrapper streams, so they see the same fault
+/// decisions, issue the same retries and — when the budget is exhausted —
+/// fail with the same error.
+#[test]
+fn interned_rows_match_reference_with_faults() {
+    let lake_cfg = LakeConfig { scale: 0.1, ..Default::default() };
+    let faults = FaultPlan {
+        drop_prob: 0.08,
+        truncate_prob: 0.05,
+        spike_prob: 0.10,
+        spike_factor: 8.0,
+        outage_after: Some(40),
+        outage_len: 2,
+    };
+    for q in workload::experiment_queries() {
+        let lake = build_lake_with(&lake_cfg, q.datasets);
+        let ast = parse_query(&q.sparql).unwrap();
+        for network in [NetworkProfile::NO_DELAY, NetworkProfile::GAMMA2] {
+            let mut config = PlanConfig::new(PlanMode::AWARE, network);
+            config.faults = faults;
+            config.retry = RetryPolicy { max_attempts: 6, ..Default::default() };
+            let engine = FederatedEngine::new(lake.clone(), config);
+            let planned = engine.plan(&ast).unwrap();
+            let label = format!("{}/faults/{}", q.id, network.name);
+            let interned = engine.execute_planned(&planned);
+            let reference = engine.execute_planned_reference(&planned);
+            match (interned, reference) {
+                (Ok(a), Ok(b)) => {
+                    assert_equivalent(&label, &a, &b);
+                    assert!(
+                        a.stats.retries > 0 || a.stats.source_failures.is_empty(),
+                        "{label}: faults without retries"
+                    );
+                }
+                (Err(a), Err(b)) => assert_eq!(a, b, "{label}: errors diverge"),
+                (a, b) => panic!("{label}: outcomes diverge: {a:?} vs {b:?}"),
+            }
+        }
+    }
 }
 
 #[test]
