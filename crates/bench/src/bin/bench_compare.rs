@@ -239,4 +239,89 @@ fn main() {
     json.push_str("  ]\n}\n");
     std::fs::write("BENCH_rows.json", &json).expect("write BENCH_rows.json");
     println!("\nwrote BENCH_rows.json");
+
+    overlap_section();
+}
+
+/// Serialized vs overlapped schedule: simulated `execution_time` /
+/// `first_answer` per workload query under every network profile. The
+/// simulated clock is deterministic, so each cell is a single run, and the
+/// answer sets are asserted byte-identical before timings are reported.
+/// Emits `BENCH_overlap.json`.
+fn overlap_section() {
+    let lake_cfg = LakeConfig { scale: 0.2, ..Default::default() };
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let sorted = |rows: &[Row]| {
+        let mut v: Vec<String> = rows.iter().map(|r| r.to_string()).collect();
+        v.sort();
+        v
+    };
+
+    println!("\n== overlapped source I/O (simulated ms, serialized vs overlapped) ==");
+    let mut json = String::from(
+        "{\n  \"benchmark\": \"overlapped_source_io\",\n  \"units\": \"simulated ms\",\n  \"cases\": [\n",
+    );
+    let mut first_case = true;
+    for q in workload::experiment_queries() {
+        let lake = build_lake_with(&lake_cfg, q.datasets);
+        let ast = fedlake_sparql::parser::parse_query(&q.sparql).unwrap();
+        for network in NetworkProfile::ALL {
+            let ser_cfg = PlanConfig::new(PlanMode::Unaware, network);
+            let mut ovl_cfg = ser_cfg;
+            ovl_cfg.overlap = true;
+            let ser_engine = FederatedEngine::new(lake.clone(), ser_cfg);
+            let planned = ser_engine.plan(&ast).unwrap();
+            let ser = ser_engine.execute_planned(&planned).unwrap();
+            let ovl = FederatedEngine::new(lake.clone(), ovl_cfg)
+                .execute_planned(&planned)
+                .unwrap();
+            assert_eq!(
+                sorted(&ser.rows),
+                sorted(&ovl.rows),
+                "{}/{}: schedules must agree on answers",
+                q.id,
+                network.name
+            );
+            let services = planned.plan.service_count();
+            if services > 1 && network.delay.mean_ms() > 0.0 {
+                assert!(
+                    ovl.stats.execution_time < ser.stats.execution_time,
+                    "{}/{}: {services} services must overlap",
+                    q.id,
+                    network.name
+                );
+            }
+            let (st, ot) = (ms(ser.stats.execution_time), ms(ovl.stats.execution_time));
+            let (sf, of) = (
+                ser.stats.first_answer.map(ms).unwrap_or(0.0),
+                ovl.stats.first_answer.map(ms).unwrap_or(0.0),
+            );
+            println!(
+                "{:<4} {:<8} services {:>2}  exec {:>9.3} -> {:>9.3}  first {:>9.3} -> {:>9.3}  speedup {:>5.2}x",
+                q.id, network.name, services, st, ot, sf, of,
+                if ot > 0.0 { st / ot } else { 1.0 }
+            );
+            if !first_case {
+                json.push_str(",\n");
+            }
+            first_case = false;
+            json.push_str(&format!(
+                "    {{\"query\": \"{}\", \"network\": \"{}\", \"services\": {}, \
+                 \"serialized_ms\": {:.6}, \"overlapped_ms\": {:.6}, \
+                 \"serialized_first_ms\": {:.6}, \"overlapped_first_ms\": {:.6}, \
+                 \"speedup\": {:.3}}}",
+                q.id,
+                network.name,
+                services,
+                st,
+                ot,
+                sf,
+                of,
+                if ot > 0.0 { st / ot } else { 1.0 }
+            ));
+        }
+    }
+    json.push_str("\n  ]\n}\n");
+    std::fs::write("BENCH_overlap.json", &json).expect("write BENCH_overlap.json");
+    println!("\nwrote BENCH_overlap.json");
 }

@@ -192,6 +192,12 @@ pub struct PlanConfig {
     pub retry: RetryPolicy,
     /// Per-query deadline on the simulated clock; `None` disables it.
     pub deadline: Option<Duration>,
+    /// Overlapped source I/O: drive the plan with the event scheduler so
+    /// independent sources transfer concurrently. `false` keeps the
+    /// serialized schedule (one transfer at a time, as in the paper's
+    /// single-threaded wrapper loop). Answers are identical either way;
+    /// only the simulated timing differs.
+    pub overlap: bool,
     /// Graceful degradation: when a source becomes unavailable (or the
     /// deadline fires) return the answers produced so far with
     /// `FedStats::degraded` set, instead of failing the whole query.
@@ -213,6 +219,7 @@ impl Default for PlanConfig {
             faults: FaultPlan::NONE,
             retry: RetryPolicy::default(),
             deadline: None,
+            overlap: false,
             degraded_ok: false,
         }
     }

@@ -84,12 +84,34 @@ pub struct FedResult {
 pub struct FederatedEngine {
     lake: DataLake,
     config: PlanConfig,
+    /// Per-source fault overrides layered over `config.faults` (which
+    /// stays the uniform default so [`PlanConfig`] remains `Copy`).
+    fault_overrides: BTreeMap<String, fedlake_netsim::FaultPlan>,
 }
 
 impl FederatedEngine {
     /// Creates an engine over `lake` with `config`.
     pub fn new(lake: DataLake, config: PlanConfig) -> Self {
-        FederatedEngine { lake, config }
+        FederatedEngine { lake, config, fault_overrides: BTreeMap::new() }
+    }
+
+    /// Overrides the fault plan for one source id; other sources keep the
+    /// uniform plan from [`PlanConfig::faults`].
+    pub fn set_source_faults(
+        &mut self,
+        source_id: impl Into<String>,
+        plan: fedlake_netsim::FaultPlan,
+    ) {
+        self.fault_overrides.insert(source_id.into(), plan);
+    }
+
+    /// The full fault schedule: the uniform default plus any per-source
+    /// overrides.
+    pub fn fault_plans(&self) -> fedlake_netsim::FaultPlans {
+        fedlake_netsim::FaultPlans {
+            default: self.config.faults,
+            overrides: self.fault_overrides.clone(),
+        }
     }
 
     /// The lake this engine federates.
@@ -137,7 +159,7 @@ impl FederatedEngine {
             Arc::clone(&clock),
             self.config.cost,
             self.config.seed,
-            self.config.faults,
+            &self.fault_plans(),
         );
         let mut ctx = ExecCtx::new(
             Arc::clone(&clock),
@@ -173,8 +195,18 @@ impl FederatedEngine {
                     break;
                 }
             }
-            match op.next(&mut ctx) {
-                Ok(Some(row)) => {
+            // Overlapped runs poll the plan and advance the clock to the
+            // next scheduled completion when every branch is waiting on
+            // in-flight I/O; serialized runs map the blocking pull onto
+            // the same three-way step.
+            let step = if self.config.overlap {
+                op.poll_next(&mut ctx)
+            } else {
+                op.next(&mut ctx)
+                    .map(|o| o.map_or(crate::operators::Poll::Done, crate::operators::Poll::Ready))
+            };
+            match step {
+                Ok(crate::operators::Poll::Ready(row)) => {
                     trace.record(clock.now());
                     slot_rows.push(row);
                     // Without ORDER BY, LIMIT can stop pulling early — the
@@ -183,7 +215,20 @@ impl FederatedEngine {
                         break;
                     }
                 }
-                Ok(None) => break,
+                Ok(crate::operators::Poll::Pending(ev)) => {
+                    // A due event must be consumed by the poll that saw
+                    // it; surfacing one here means an operator forgot to
+                    // complete it and time would stand still.
+                    if clock.is_virtual() && ev.time <= clock.now() {
+                        return Err(FedError::Internal(format!(
+                            "scheduler stalled: pending event at {:?} is not in the future (now {:?})",
+                            ev.time,
+                            clock.now()
+                        )));
+                    }
+                    clock.advance_to(ev.time);
+                }
+                Ok(crate::operators::Poll::Done) => break,
                 Err(e @ (FedError::SourceUnavailable { .. } | FedError::Timeout(_))) => {
                     if !self.config.degraded_ok {
                         return Err(e);

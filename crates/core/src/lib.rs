@@ -75,7 +75,7 @@ pub use config::{
 };
 pub use decompose::DecompositionStrategy;
 pub use engine::{FedResult, FedStats, FederatedEngine};
-pub use fedlake_netsim::{FaultPlan, LinkFault};
+pub use fedlake_netsim::{FaultPlan, FaultPlans, LinkFault};
 pub use error::FedError;
 pub use lake::DataLake;
 pub use source::DataSource;

@@ -15,7 +15,7 @@
 //! evaluation resolves ids back to terms, lazily, for value comparisons.
 
 use crate::error::FedError;
-use fedlake_netsim::{CostModel, SharedClock};
+use fedlake_netsim::{CostModel, EventQueue, EventTime, SharedClock};
 use fedlake_rdf::{SharedInterner, TermId};
 use fedlake_sparql::binding::{RowSchema, SlotRow};
 use fedlake_sparql::expr::Expr;
@@ -53,6 +53,9 @@ pub struct ExecCtx {
     pub interner: SharedInterner,
     /// Retry behaviour of the wrapper streams when a link attempt fails.
     pub retry: crate::config::RetryPolicy,
+    /// The discrete-event schedule of in-flight source work (overlapped
+    /// execution only; stays empty under the serialized schedule).
+    pub sched: EventQueue,
 }
 
 impl ExecCtx {
@@ -71,6 +74,7 @@ impl ExecCtx {
             schema,
             interner,
             retry: crate::config::RetryPolicy::default(),
+            sched: EventQueue::new(),
         }
     }
 
@@ -81,10 +85,46 @@ impl ExecCtx {
     }
 }
 
+/// The outcome of one non-blocking pull (the overlapped schedule's
+/// currency). Generic so the reference executor can reuse it for its
+/// term-row currency.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Poll<T> {
+    /// A solution is available now.
+    Ready(T),
+    /// No solution yet: the earliest event that could unblock this
+    /// operator completes at the carried [`EventTime`] (strictly in the
+    /// future — a due event is consumed by the poll that observes it).
+    Pending(EventTime),
+    /// The stream is exhausted.
+    Done,
+}
+
+/// The smaller of two optional pending events.
+pub(crate) fn earlier(a: Option<EventTime>, b: EventTime) -> Option<EventTime> {
+    Some(match a {
+        Some(a) => a.min(b),
+        None => b,
+    })
+}
+
 /// A pull-based operator.
 pub trait FedOp {
     /// Produces the next solution, advancing the clock by the work done.
     fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<SlotRow>, FedError>;
+
+    /// Non-blocking pull for the overlapped schedule: either yields a row,
+    /// reports the earliest in-flight event it is waiting on, or is done.
+    ///
+    /// The default delegates to [`FedOp::next`], which is correct only for
+    /// operators that never wait on source I/O (pre-materialized inputs);
+    /// every operator above a wrapper stream overrides this.
+    fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<SlotRow>, FedError> {
+        Ok(match self.next(ctx)? {
+            Some(row) => Poll::Ready(row),
+            None => Poll::Done,
+        })
+    }
 }
 
 /// A boxed operator (streams borrow the lake, hence the lifetime).
@@ -181,6 +221,61 @@ impl FedOp for SymHashJoin<'_> {
                 match self.right.next(ctx)? {
                     Some(row) => self.insert_and_probe(row, false, ctx),
                     None => self.right_done = true,
+                }
+            }
+        }
+    }
+
+    /// ANAPSID's adaptivity proper: instead of strict alternation, consume
+    /// from *whichever* input has a row ready at the current virtual time,
+    /// and only report Pending when both inputs are stalled on in-flight
+    /// transfers.
+    fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<SlotRow>, FedError> {
+        loop {
+            if let Some(row) = self.out.pop_front() {
+                return Ok(Poll::Ready(row));
+            }
+            if self.left_done && self.right_done {
+                return Ok(Poll::Done);
+            }
+            let mut progressed = false;
+            let mut wait: Option<EventTime> = None;
+            if !self.left_done {
+                match self.left.poll_next(ctx)? {
+                    Poll::Ready(row) => {
+                        self.insert_and_probe(row, true, ctx);
+                        progressed = true;
+                    }
+                    Poll::Pending(ev) => wait = earlier(wait, ev),
+                    Poll::Done => {
+                        self.left_done = true;
+                        progressed = true;
+                    }
+                }
+            }
+            if !self.right_done {
+                match self.right.poll_next(ctx)? {
+                    Poll::Ready(row) => {
+                        self.insert_and_probe(row, false, ctx);
+                        progressed = true;
+                    }
+                    Poll::Pending(ev) => wait = earlier(wait, ev),
+                    Poll::Done => {
+                        self.right_done = true;
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed {
+                if let Some(ev) = wait {
+                    // The second child's poll can advance the clock past an
+                    // event the first child reported earlier in this round
+                    // (e.g. a filter charging for discarded rows). A due
+                    // event must be consumed by its owner, so go around
+                    // again instead of surfacing a stale Pending.
+                    if ev.time > ctx.clock.now() {
+                        return Ok(Poll::Pending(ev));
+                    }
                 }
             }
         }
@@ -303,6 +398,66 @@ impl FedOp for LeftHashJoin<'_> {
             }
         }
     }
+
+    fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<SlotRow>, FedError> {
+        loop {
+            if let Some(row) = self.out.pop_front() {
+                return Ok(Poll::Ready(row));
+            }
+            if self.left_done && self.right_done {
+                if !self.flushed {
+                    self.flushed = true;
+                    for (row, matched) in &self.left_rows {
+                        if !matched {
+                            self.out.push_back(row.clone());
+                        }
+                    }
+                    continue;
+                }
+                return Ok(Poll::Done);
+            }
+            let mut progressed = false;
+            let mut wait: Option<EventTime> = None;
+            if !self.left_done {
+                match self.left.poll_next(ctx)? {
+                    Poll::Ready(row) => {
+                        self.take_left(row, ctx);
+                        progressed = true;
+                    }
+                    Poll::Pending(ev) => wait = earlier(wait, ev),
+                    Poll::Done => {
+                        self.left_done = true;
+                        progressed = true;
+                    }
+                }
+            }
+            if !self.right_done {
+                match self.right.poll_next(ctx)? {
+                    Poll::Ready(row) => {
+                        self.take_right(row, ctx);
+                        progressed = true;
+                    }
+                    Poll::Pending(ev) => wait = earlier(wait, ev),
+                    Poll::Done => {
+                        self.right_done = true;
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed {
+                if let Some(ev) = wait {
+                    // The second child's poll can advance the clock past an
+                    // event the first child reported earlier in this round
+                    // (e.g. a filter charging for discarded rows). A due
+                    // event must be consumed by its owner, so go around
+                    // again instead of surfacing a stale Pending.
+                    if ev.time > ctx.clock.now() {
+                        return Ok(Poll::Pending(ev));
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Engine-level conjunctive filter. Evaluation resolves ids to terms
@@ -335,6 +490,26 @@ impl FedOp for FilterOp<'_> {
         }
         Ok(None)
     }
+
+    fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<SlotRow>, FedError> {
+        loop {
+            match self.input.poll_next(ctx)? {
+                Poll::Ready(row) => {
+                    ctx.stats.engine_filter_evals += self.exprs.len() as u64;
+                    ctx.clock
+                        .advance(ctx.cost.engine_filter_time(self.exprs.len() as u64));
+                    let schema = Arc::clone(&ctx.schema);
+                    let dict = ctx.interner.lock();
+                    if self.exprs.iter().all(|e| e.test_slots(&row, &schema, &dict)) {
+                        drop(dict);
+                        return Ok(Poll::Ready(row));
+                    }
+                }
+                Poll::Pending(ev) => return Ok(Poll::Pending(ev)),
+                Poll::Done => return Ok(Poll::Done),
+            }
+        }
+    }
 }
 
 /// Union: drains its branches in order (sources answer independently).
@@ -361,6 +536,44 @@ impl FedOp for UnionOp<'_> {
         }
         Ok(None)
     }
+
+    /// Overlapped: emit from whichever branch is ready first instead of
+    /// draining branches in order.
+    fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<SlotRow>, FedError> {
+        loop {
+            if self.branches.is_empty() {
+                return Ok(Poll::Done);
+            }
+            let mut wait: Option<EventTime> = None;
+            let mut i = 0;
+            let mut progressed = false;
+            while i < self.branches.len() {
+                match self.branches[i].poll_next(ctx)? {
+                    Poll::Ready(row) => return Ok(Poll::Ready(row)),
+                    Poll::Pending(ev) => {
+                        wait = earlier(wait, ev);
+                        i += 1;
+                    }
+                    Poll::Done => {
+                        self.branches.remove(i);
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed {
+                if let Some(ev) = wait {
+                    // The second child's poll can advance the clock past an
+                    // event the first child reported earlier in this round
+                    // (e.g. a filter charging for discarded rows). A due
+                    // event must be consumed by its owner, so go around
+                    // again instead of surfacing a stale Pending.
+                    if ev.time > ctx.clock.now() {
+                        return Ok(Poll::Pending(ev));
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Projection to the query's selected variables: a slot remap that copies
@@ -377,18 +590,33 @@ impl<'a> ProjectOp<'a> {
     }
 }
 
+impl ProjectOp<'_> {
+    fn remap(&self, row: SlotRow, ctx: &mut ExecCtx) -> SlotRow {
+        ctx.clock.advance(ctx.cost.engine_row_time(1));
+        let mut out = SlotRow::unbound(ctx.schema.len());
+        for &s in &self.keep_slots {
+            if let Some(id) = row.get(s) {
+                out.set(s, id);
+            }
+        }
+        out
+    }
+}
+
 impl FedOp for ProjectOp<'_> {
     fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<SlotRow>, FedError> {
-        Ok(self.input.next(ctx)?.map(|row| {
-            ctx.clock.advance(ctx.cost.engine_row_time(1));
-            let mut out = SlotRow::unbound(ctx.schema.len());
-            for &s in &self.keep_slots {
-                if let Some(id) = row.get(s) {
-                    out.set(s, id);
-                }
-            }
-            out
-        }))
+        match self.input.next(ctx)? {
+            Some(row) => Ok(Some(self.remap(row, ctx))),
+            None => Ok(None),
+        }
+    }
+
+    fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<SlotRow>, FedError> {
+        Ok(match self.input.poll_next(ctx)? {
+            Poll::Ready(row) => Poll::Ready(self.remap(row, ctx)),
+            Poll::Pending(ev) => Poll::Pending(ev),
+            Poll::Done => Poll::Done,
+        })
     }
 }
 
@@ -414,6 +642,21 @@ impl FedOp for DistinctOp<'_> {
             }
         }
         Ok(None)
+    }
+
+    fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<SlotRow>, FedError> {
+        loop {
+            match self.input.poll_next(ctx)? {
+                Poll::Ready(row) => {
+                    ctx.clock.advance(ctx.cost.engine_row_time(1));
+                    if self.seen.insert(row.clone()) {
+                        return Ok(Poll::Ready(row));
+                    }
+                }
+                Poll::Pending(ev) => return Ok(Poll::Pending(ev)),
+                Poll::Done => return Ok(Poll::Done),
+            }
+        }
     }
 }
 

@@ -24,12 +24,12 @@ use crate::engine::{FederatedEngine, FedResult, FedStats};
 use crate::error::FedError;
 use crate::fedplan::FedPlan;
 use crate::lake::DataLake;
-use crate::operators::{BoxedOp, ExecCtx, FedOp};
+use crate::operators::{earlier, BoxedOp, ExecCtx, FedOp, Poll};
 use crate::planner::PlannedQuery;
 use crate::trace::AnswerTrace;
 use crate::wrapper::{links_for, open_service, source_failures, total_traffic};
 use fedlake_netsim::clock::{shared_real, shared_virtual};
-use fedlake_netsim::Link;
+use fedlake_netsim::{EventTime, Link};
 use fedlake_rdf::{SharedInterner, Term};
 use fedlake_sparql::binding::{decode_row, encode_row, Row, SlotRow, Var};
 use fedlake_sparql::eval::sort_rows;
@@ -41,6 +41,16 @@ use std::sync::Arc;
 pub trait RefOp {
     /// Produces the next solution, advancing the clock by the work done.
     fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError>;
+
+    /// Non-blocking pull, mirroring [`FedOp::poll_next`]. The default
+    /// delegates to [`RefOp::next`]; operators above a wrapper stream
+    /// override it so the overlapped schedule reaches the sources.
+    fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<Row>, FedError> {
+        Ok(match self.next(ctx)? {
+            Some(row) => Poll::Ready(row),
+            None => Poll::Done,
+        })
+    }
 }
 
 /// A boxed reference operator.
@@ -66,6 +76,17 @@ impl RefOp for DecodeOp<'_> {
             decode_row(&r, &ctx.schema, &dict)
         }))
     }
+
+    fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<Row>, FedError> {
+        Ok(match self.input.poll_next(ctx)? {
+            Poll::Ready(r) => {
+                let dict = ctx.interner.lock();
+                Poll::Ready(decode_row(&r, &ctx.schema, &dict))
+            }
+            Poll::Pending(ev) => Poll::Pending(ev),
+            Poll::Done => Poll::Done,
+        })
+    }
 }
 
 /// Encodes a term-row stream back into slot rows, so the shared
@@ -87,6 +108,17 @@ impl FedOp for EncodeOp<'_> {
             let schema = Arc::clone(&ctx.schema);
             encode_row(&r, &schema, &mut ctx.interner.lock())
         }))
+    }
+
+    fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<SlotRow>, FedError> {
+        Ok(match self.input.poll_next(ctx)? {
+            Poll::Ready(r) => {
+                let schema = Arc::clone(&ctx.schema);
+                Poll::Ready(encode_row(&r, &schema, &mut ctx.interner.lock()))
+            }
+            Poll::Pending(ev) => Poll::Pending(ev),
+            Poll::Done => Poll::Done,
+        })
     }
 }
 
@@ -173,6 +205,59 @@ impl RefOp for SymHashJoinRef<'_> {
                 match self.right.next(ctx)? {
                     Some(row) => self.insert_and_probe(row, false, ctx),
                     None => self.right_done = true,
+                }
+            }
+        }
+    }
+
+    /// Mirror of the interned [`crate::operators::SymHashJoin::poll_next`]:
+    /// consume from whichever input is ready, Pending only when both stall.
+    fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<Row>, FedError> {
+        loop {
+            if let Some(row) = self.out.pop_front() {
+                return Ok(Poll::Ready(row));
+            }
+            if self.left_done && self.right_done {
+                return Ok(Poll::Done);
+            }
+            let mut progressed = false;
+            let mut wait: Option<EventTime> = None;
+            if !self.left_done {
+                match self.left.poll_next(ctx)? {
+                    Poll::Ready(row) => {
+                        self.insert_and_probe(row, true, ctx);
+                        progressed = true;
+                    }
+                    Poll::Pending(ev) => wait = earlier(wait, ev),
+                    Poll::Done => {
+                        self.left_done = true;
+                        progressed = true;
+                    }
+                }
+            }
+            if !self.right_done {
+                match self.right.poll_next(ctx)? {
+                    Poll::Ready(row) => {
+                        self.insert_and_probe(row, false, ctx);
+                        progressed = true;
+                    }
+                    Poll::Pending(ev) => wait = earlier(wait, ev),
+                    Poll::Done => {
+                        self.right_done = true;
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed {
+                if let Some(ev) = wait {
+                    // The second child's poll can advance the clock past an
+                    // event the first child reported earlier in this round
+                    // (e.g. a filter charging for discarded rows). A due
+                    // event must be consumed by its owner, so go around
+                    // again instead of surfacing a stale Pending.
+                    if ev.time > ctx.clock.now() {
+                        return Ok(Poll::Pending(ev));
+                    }
                 }
             }
         }
@@ -290,6 +375,67 @@ impl RefOp for LeftHashJoinRef<'_> {
             }
         }
     }
+
+    /// Mirror of the interned [`crate::operators::LeftHashJoin::poll_next`].
+    fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<Row>, FedError> {
+        loop {
+            if let Some(row) = self.out.pop_front() {
+                return Ok(Poll::Ready(row));
+            }
+            if self.left_done && self.right_done {
+                if !self.flushed {
+                    self.flushed = true;
+                    for (row, matched) in &self.left_rows {
+                        if !matched {
+                            self.out.push_back(row.clone());
+                        }
+                    }
+                    continue;
+                }
+                return Ok(Poll::Done);
+            }
+            let mut progressed = false;
+            let mut wait: Option<EventTime> = None;
+            if !self.left_done {
+                match self.left.poll_next(ctx)? {
+                    Poll::Ready(row) => {
+                        self.take_left(row, ctx);
+                        progressed = true;
+                    }
+                    Poll::Pending(ev) => wait = earlier(wait, ev),
+                    Poll::Done => {
+                        self.left_done = true;
+                        progressed = true;
+                    }
+                }
+            }
+            if !self.right_done {
+                match self.right.poll_next(ctx)? {
+                    Poll::Ready(row) => {
+                        self.take_right(row, ctx);
+                        progressed = true;
+                    }
+                    Poll::Pending(ev) => wait = earlier(wait, ev),
+                    Poll::Done => {
+                        self.right_done = true;
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed {
+                if let Some(ev) = wait {
+                    // The second child's poll can advance the clock past an
+                    // event the first child reported earlier in this round
+                    // (e.g. a filter charging for discarded rows). A due
+                    // event must be consumed by its owner, so go around
+                    // again instead of surfacing a stale Pending.
+                    if ev.time > ctx.clock.now() {
+                        return Ok(Poll::Pending(ev));
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// The seed conjunctive filter over term rows.
@@ -317,6 +463,23 @@ impl RefOp for FilterRefOp<'_> {
         }
         Ok(None)
     }
+
+    fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<Row>, FedError> {
+        loop {
+            match self.input.poll_next(ctx)? {
+                Poll::Ready(row) => {
+                    ctx.stats.engine_filter_evals += self.exprs.len() as u64;
+                    ctx.clock
+                        .advance(ctx.cost.engine_filter_time(self.exprs.len() as u64));
+                    if self.exprs.iter().all(|e| e.test(&row)) {
+                        return Ok(Poll::Ready(row));
+                    }
+                }
+                Poll::Pending(ev) => return Ok(Poll::Pending(ev)),
+                Poll::Done => return Ok(Poll::Done),
+            }
+        }
+    }
 }
 
 /// The seed union.
@@ -343,6 +506,44 @@ impl RefOp for UnionRefOp<'_> {
         }
         Ok(None)
     }
+
+    /// Mirror of the interned [`crate::operators::UnionOp::poll_next`]:
+    /// emit from whichever branch is ready first.
+    fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<Row>, FedError> {
+        loop {
+            if self.branches.is_empty() {
+                return Ok(Poll::Done);
+            }
+            let mut wait: Option<EventTime> = None;
+            let mut i = 0;
+            let mut progressed = false;
+            while i < self.branches.len() {
+                match self.branches[i].poll_next(ctx)? {
+                    Poll::Ready(row) => return Ok(Poll::Ready(row)),
+                    Poll::Pending(ev) => {
+                        wait = earlier(wait, ev);
+                        i += 1;
+                    }
+                    Poll::Done => {
+                        self.branches.remove(i);
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed {
+                if let Some(ev) = wait {
+                    // The second child's poll can advance the clock past an
+                    // event the first child reported earlier in this round
+                    // (e.g. a filter charging for discarded rows). A due
+                    // event must be consumed by its owner, so go around
+                    // again instead of surfacing a stale Pending.
+                    if ev.time > ctx.clock.now() {
+                        return Ok(Poll::Pending(ev));
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// The seed projection: rebuilds a B-tree row with only the kept vars.
@@ -358,18 +559,30 @@ impl<'a> ProjectRefOp<'a> {
     }
 }
 
+impl ProjectRefOp<'_> {
+    fn remap(&self, row: Row, ctx: &mut ExecCtx) -> Row {
+        ctx.clock.advance(ctx.cost.engine_row_time(1));
+        let mut out = Row::new();
+        for v in &self.keep {
+            if let Some(t) = row.get(v) {
+                out.bind(v.clone(), t.clone());
+            }
+        }
+        out
+    }
+}
+
 impl RefOp for ProjectRefOp<'_> {
     fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
-        Ok(self.input.next(ctx)?.map(|row| {
-            ctx.clock.advance(ctx.cost.engine_row_time(1));
-            let mut out = Row::new();
-            for v in &self.keep {
-                if let Some(t) = row.get(v) {
-                    out.bind(v.clone(), t.clone());
-                }
-            }
-            out
-        }))
+        Ok(self.input.next(ctx)?.map(|row| self.remap(row, ctx)))
+    }
+
+    fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<Row>, FedError> {
+        Ok(match self.input.poll_next(ctx)? {
+            Poll::Ready(row) => Poll::Ready(self.remap(row, ctx)),
+            Poll::Pending(ev) => Poll::Pending(ev),
+            Poll::Done => Poll::Done,
+        })
     }
 }
 
@@ -395,6 +608,21 @@ impl RefOp for DistinctRefOp<'_> {
             }
         }
         Ok(None)
+    }
+
+    fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<Row>, FedError> {
+        loop {
+            match self.input.poll_next(ctx)? {
+                Poll::Ready(row) => {
+                    ctx.clock.advance(ctx.cost.engine_row_time(1));
+                    if self.seen.insert(row.clone()) {
+                        return Ok(Poll::Ready(row));
+                    }
+                }
+                Poll::Pending(ev) => return Ok(Poll::Pending(ev)),
+                Poll::Done => return Ok(Poll::Done),
+            }
+        }
     }
 }
 
@@ -495,7 +723,7 @@ impl FederatedEngine {
             Arc::clone(&clock),
             config.cost,
             config.seed,
-            config.faults,
+            &self.fault_plans(),
         );
         let mut ctx = ExecCtx::new(
             Arc::clone(&clock),
@@ -528,15 +756,32 @@ impl FederatedEngine {
                     break;
                 }
             }
-            match op.next(&mut ctx) {
-                Ok(Some(row)) => {
+            let step = if config.overlap {
+                op.poll_next(&mut ctx)
+            } else {
+                op.next(&mut ctx).map(|o| o.map_or(Poll::Done, Poll::Ready))
+            };
+            match step {
+                Ok(Poll::Ready(row)) => {
                     trace.record(clock.now());
                     rows.push(row);
                     if want.is_some_and(|w| rows.len() >= w) {
                         break;
                     }
                 }
-                Ok(None) => break,
+                Ok(Poll::Pending(ev)) => {
+                    // Same stall guard as the interned executor: a due
+                    // event surfacing here means time would stand still.
+                    if clock.is_virtual() && ev.time <= clock.now() {
+                        return Err(FedError::Internal(format!(
+                            "scheduler stalled: pending event at {:?} is not in the future (now {:?})",
+                            ev.time,
+                            clock.now()
+                        )));
+                    }
+                    clock.advance_to(ev.time);
+                }
+                Ok(Poll::Done) => break,
                 Err(e @ (FedError::SourceUnavailable { .. } | FedError::Timeout(_))) => {
                     if !config.degraded_ok {
                         return Err(e);

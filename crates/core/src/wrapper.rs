@@ -16,12 +16,12 @@
 use crate::error::FedError;
 use crate::fedplan::{NaiveJoin, ServiceKind, ServiceNode, SqlRequest};
 use crate::lake::DataLake;
-use crate::operators::{BoxedOp, ExecCtx, FedOp};
+use crate::operators::{BoxedOp, ExecCtx, FedOp, Poll};
 use crate::source::DataSource;
 use crate::translate::{sql_single, Lift, OutputBinding, StarPart};
 use fedlake_mapping::lift::{term_to_value, value_key, value_to_term};
 use fedlake_netsim::cost::fedlake_relational_cost;
-use fedlake_netsim::Link;
+use fedlake_netsim::{EventTime, Link};
 use fedlake_rdf::{Dictionary, TermId};
 use fedlake_relational::{Database, ResultSet};
 use fedlake_sparql::binding::{encode_row, Row, RowSchema, SlotRow};
@@ -51,6 +51,7 @@ pub fn open_service<'a>(
                 source_id,
                 rows_per_message,
                 state: None,
+                flight: None,
             }))
         }
         (ServiceKind::Sql { request, .. }, DataSource::Relational { db, .. }) => match request {
@@ -62,6 +63,7 @@ pub fn open_service<'a>(
                 source_id,
                 rows_per_message,
                 state: None,
+                flight: None,
             })),
             SqlRequest::MergedNaive { outer, inner, join } => Ok(Box::new(NaiveStream {
                 db,
@@ -73,6 +75,7 @@ pub fn open_service<'a>(
                 source_id,
                 rows_per_message,
                 state: None,
+                flight: None,
             })),
         },
         (kind, src) => Err(FedError::Internal(format!(
@@ -137,6 +140,72 @@ pub fn transfer_rows_with_retry(
         remaining -= n;
     }
     Ok(())
+}
+
+/// Schedules one message (with its full retry chain) on `link`'s private
+/// timeline starting no earlier than `start`: the overlapped-schedule
+/// counterpart of [`transfer_with_retry`]. Detection timeouts and backoffs
+/// become link occupancy instead of shared-clock advances, so one source's
+/// retries never stall another source's transfers. Returns the completion
+/// time on success; on an exhausted budget returns the failure time along
+/// with the error (the caller surfaces the error only once that time is
+/// due, mirroring when the serialized schedule would have observed it).
+pub fn schedule_transfer_with_retry(
+    link: &Link,
+    source_id: &str,
+    rows: usize,
+    start: Duration,
+    ctx: &mut ExecCtx,
+) -> Result<Duration, (Duration, FedError)> {
+    let policy = ctx.retry;
+    let budget = policy.attempts();
+    let mut at = start;
+    for attempt in 0..budget {
+        let (done, result) = link.schedule_message(rows, at);
+        match result {
+            Ok(()) => return Ok(done),
+            Err(_fault) => {
+                let failed_at = link.schedule_busy(policy.timeout, done);
+                if attempt + 1 == budget {
+                    return Err((
+                        failed_at,
+                        FedError::SourceUnavailable {
+                            source: source_id.to_string(),
+                            attempts: budget,
+                        },
+                    ));
+                }
+                ctx.stats.retries += 1;
+                at = link.schedule_busy(policy.backoff_after(attempt), failed_at);
+            }
+        }
+    }
+    unreachable!("loop returns on success or on the final attempt")
+}
+
+/// Schedules `total_rows` rows as a chain of messages of
+/// `rows_per_message` on `link`'s timeline; the overlapped counterpart of
+/// [`transfer_rows_with_retry`].
+pub fn schedule_rows_with_retry(
+    link: &Link,
+    source_id: &str,
+    total_rows: usize,
+    rows_per_message: usize,
+    start: Duration,
+    ctx: &mut ExecCtx,
+) -> Result<Duration, (Duration, FedError)> {
+    assert!(rows_per_message > 0, "message size must be positive");
+    if total_rows == 0 {
+        return schedule_transfer_with_retry(link, source_id, 0, start, ctx);
+    }
+    let mut at = start;
+    let mut remaining = total_rows;
+    while remaining > 0 {
+        let n = remaining.min(rows_per_message);
+        at = schedule_transfer_with_retry(link, source_id, n, at, ctx)?;
+        remaining -= n;
+    }
+    Ok(at)
 }
 
 /// Converts the relational engine's counters to the netsim mirror type.
@@ -225,6 +294,142 @@ impl Delivery {
     }
 }
 
+/// One message in flight on the overlapped schedule: the completion event
+/// plus the rows it carries (none for a request or an empty-result
+/// notification). `err` is set when the retry budget was exhausted; the
+/// error surfaces only once the failure time is due, exactly when the
+/// serialized schedule would have observed it.
+struct Flight {
+    ev: EventTime,
+    rows: Vec<SlotRow>,
+    err: Option<FedError>,
+}
+
+/// The overlapped counterpart of [`Delivery`]: a bounded prefetch queue
+/// with at most one message in flight on the link at a time. Rows become
+/// deliverable when their message's completion event is due; while a
+/// message is in the air the owner reports `Poll::Pending`, letting the
+/// engine drain *other* sources in the meantime.
+struct FlightDelivery {
+    rows: VecDeque<SlotRow>,
+    ready: VecDeque<SlotRow>,
+    inflight: Option<Flight>,
+    empty_notified: bool,
+}
+
+impl FlightDelivery {
+    fn new(rows: Vec<SlotRow>) -> Self {
+        FlightDelivery {
+            rows: rows.into(),
+            ready: VecDeque::new(),
+            inflight: None,
+            empty_notified: false,
+        }
+    }
+
+    /// A delivery whose empty-result notification is considered already
+    /// sent (the NaiveStream inner buffers: the per-binding round trip
+    /// was its own message).
+    fn pre_notified(rows: Vec<SlotRow>) -> Self {
+        FlightDelivery { empty_notified: true, ..FlightDelivery::new(rows) }
+    }
+
+    fn launch(
+        &mut self,
+        batch: Vec<SlotRow>,
+        n: usize,
+        link: &Link,
+        source_id: &str,
+        ctx: &mut ExecCtx,
+    ) {
+        let (time, err) =
+            match schedule_transfer_with_retry(link, source_id, n, ctx.clock.now(), ctx) {
+                Ok(done) => (done, None),
+                Err((t, e)) => (t, Some(e)),
+            };
+        self.inflight = Some(Flight { ev: ctx.sched.schedule(time), rows: batch, err });
+    }
+
+    /// Non-blocking pull mirroring [`Delivery::pull`]'s message protocol:
+    /// same message boundaries, same empty-result notification, same
+    /// retry accounting — only *when* the link time passes differs.
+    fn poll(
+        &mut self,
+        link: &Link,
+        source_id: &str,
+        rows_per_message: usize,
+        ctx: &mut ExecCtx,
+    ) -> Result<Poll<SlotRow>, FedError> {
+        loop {
+            if let Some(row) = self.ready.pop_front() {
+                self.empty_notified = true;
+                return Ok(Poll::Ready(row));
+            }
+            if let Some(f) = &self.inflight {
+                if f.ev.time > ctx.clock.now() {
+                    return Ok(Poll::Pending(f.ev));
+                }
+                let f = self.inflight.take().expect("checked above");
+                ctx.sched.complete(f.ev);
+                if let Some(e) = f.err {
+                    return Err(e);
+                }
+                self.ready.extend(f.rows);
+                continue;
+            }
+            if self.rows.is_empty() {
+                if !self.empty_notified {
+                    self.empty_notified = true;
+                    self.launch(Vec::new(), 0, link, source_id, ctx);
+                    continue;
+                }
+                return Ok(Poll::Done);
+            }
+            let n = self.rows.len().min(rows_per_message);
+            let batch: Vec<SlotRow> = self.rows.drain(..n).collect();
+            self.launch(batch, n, link, source_id, ctx);
+        }
+    }
+}
+
+/// The overlapped state of a one-shot service stream (SQL or SPARQL):
+/// first the request round trip plus the source-side evaluation complete
+/// as one scheduled event, then the result streams through a
+/// [`FlightDelivery`].
+enum SourceFlight {
+    Computing { ev: EventTime, rows: Vec<SlotRow>, err: Option<FedError> },
+    Delivering(FlightDelivery),
+}
+
+impl SourceFlight {
+    fn poll(
+        this: &mut Option<SourceFlight>,
+        link: &Link,
+        source_id: &str,
+        rows_per_message: usize,
+        ctx: &mut ExecCtx,
+    ) -> Result<Poll<SlotRow>, FedError> {
+        loop {
+            match this.as_mut().expect("launched before polling") {
+                SourceFlight::Computing { ev, rows, err } => {
+                    if ev.time > ctx.clock.now() {
+                        return Ok(Poll::Pending(*ev));
+                    }
+                    ctx.sched.complete(*ev);
+                    if let Some(e) = err.take() {
+                        return Err(e);
+                    }
+                    let rows = std::mem::take(rows);
+                    *this = Some(SourceFlight::Delivering(FlightDelivery::new(rows)));
+                }
+                SourceFlight::Delivering(d) => {
+                    return d.poll(link, source_id, rows_per_message, ctx);
+                }
+            }
+        }
+    }
+}
+
 /// Streams a single SQL request's answers.
 struct SqlStream<'a> {
     db: &'a Database,
@@ -234,6 +439,34 @@ struct SqlStream<'a> {
     source_id: String,
     rows_per_message: usize,
     state: Option<Delivery>,
+    flight: Option<SourceFlight>,
+}
+
+impl SqlStream<'_> {
+    /// Schedules the request round trip and the source's evaluation on
+    /// the link timeline — the overlapped mirror of the serialized
+    /// initialization in [`FedOp::next`], charge for charge.
+    fn launch(&self, ctx: &mut ExecCtx) -> Result<SourceFlight, FedError> {
+        ctx.stats.sql_queries += 1;
+        match schedule_transfer_with_retry(&self.link, &self.source_id, 0, ctx.clock.now(), ctx)
+        {
+            Ok(done_req) => {
+                let rs = self.db.query(&self.sql)?;
+                let done = self
+                    .link
+                    .schedule_busy(ctx.cost.rdb_time(&convert_cost(&rs.cost)), done_req);
+                let rows =
+                    lift_result(&rs, &self.outputs, &ctx.schema, &mut ctx.interner.lock());
+                ctx.stats.service_rows += rows.len() as u64;
+                Ok(SourceFlight::Computing { ev: ctx.sched.schedule(done), rows, err: None })
+            }
+            Err((t, e)) => Ok(SourceFlight::Computing {
+                ev: ctx.sched.schedule(t),
+                rows: Vec::new(),
+                err: Some(e),
+            }),
+        }
+    }
 }
 
 impl FedOp for SqlStream<'_> {
@@ -253,6 +486,19 @@ impl FedOp for SqlStream<'_> {
         let delivery = self.state.as_mut().expect("initialized above");
         delivery.pull(&self.link, &self.source_id, self.rows_per_message, ctx)
     }
+
+    fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<SlotRow>, FedError> {
+        if self.flight.is_none() {
+            self.flight = Some(self.launch(ctx)?);
+        }
+        SourceFlight::poll(
+            &mut self.flight,
+            &self.link,
+            &self.source_id,
+            self.rows_per_message,
+            ctx,
+        )
+    }
 }
 
 /// Streams a SPARQL star's answers from an RDF source.
@@ -264,6 +510,39 @@ struct SparqlStream<'a> {
     source_id: String,
     rows_per_message: usize,
     state: Option<Delivery>,
+    flight: Option<SourceFlight>,
+}
+
+impl SparqlStream<'_> {
+    fn launch(&self, ctx: &mut ExecCtx) -> SourceFlight {
+        match schedule_transfer_with_retry(&self.link, &self.source_id, 0, ctx.clock.now(), ctx)
+        {
+            Ok(done_req) => {
+                let rows = eval_bgp(&self.star.triples, self.graph, vec![Row::new()]);
+                let rows: Vec<Row> = rows
+                    .into_iter()
+                    .filter(|r| self.filters.iter().all(|f| f.test(r)))
+                    .collect();
+                let done = self.link.schedule_busy(
+                    ctx.cost.sparql_time(self.star.triples.len(), rows.len() as u64),
+                    done_req,
+                );
+                ctx.stats.service_rows += rows.len() as u64;
+                let mut dict = ctx.interner.lock();
+                let encoded: Vec<SlotRow> = rows
+                    .iter()
+                    .map(|r| encode_row(r, &ctx.schema, &mut dict))
+                    .collect();
+                drop(dict);
+                SourceFlight::Computing { ev: ctx.sched.schedule(done), rows: encoded, err: None }
+            }
+            Err((t, e)) => SourceFlight::Computing {
+                ev: ctx.sched.schedule(t),
+                rows: Vec::new(),
+                err: Some(e),
+            },
+        }
+    }
 }
 
 impl FedOp for SparqlStream<'_> {
@@ -291,6 +570,19 @@ impl FedOp for SparqlStream<'_> {
         let delivery = self.state.as_mut().expect("initialized above");
         delivery.pull(&self.link, &self.source_id, self.rows_per_message, ctx)
     }
+
+    fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<SlotRow>, FedError> {
+        if self.flight.is_none() {
+            self.flight = Some(self.launch(ctx));
+        }
+        SourceFlight::poll(
+            &mut self.flight,
+            &self.link,
+            &self.source_id,
+            self.rows_per_message,
+            ctx,
+        )
+    }
 }
 
 /// The N+1 dependent join emulating Ontario's unoptimized merged-SQL
@@ -306,12 +598,47 @@ struct NaiveStream<'a> {
     source_id: String,
     rows_per_message: usize,
     state: Option<NaiveState>,
+    flight: Option<NaiveFlight>,
 }
 
 struct NaiveState {
     outer: VecDeque<SlotRow>,
     buffer: Delivery,
     produced_any: bool,
+}
+
+/// The overlapped state of the N+1 dependent join: outer bindings are
+/// consumed one at a time, each spawning a scheduled outer-binding message
+/// plus (when the key extracts) a scheduled inner round trip.
+struct NaiveFlight {
+    outer: VecDeque<SlotRow>,
+    buffer: FlightDelivery,
+    /// Whether any inner buffer was ever installed — the overlapped form
+    /// of the serialized `!produced_any && !buffer.empty_notified` test:
+    /// the final empty-result notification fires exactly when the outer
+    /// query returned no bindings at all.
+    installed_inner: bool,
+    stage: NaiveStage,
+}
+
+enum NaiveStage {
+    /// Waiting on a scheduled event; on completion `then` applies (unless
+    /// `err` was carried, which surfaces instead).
+    Waiting { ev: EventTime, then: NaiveNext, err: Option<FedError> },
+    /// The buffer is deliverable or the next outer binding is due.
+    Idle,
+    /// Everything delivered (and any final notification observed).
+    Finished,
+}
+
+enum NaiveNext {
+    /// The outer request + query completed: install the outer bindings.
+    Outer(Vec<SlotRow>),
+    /// An outer binding's message + inner round trip completed: the
+    /// merged rows become the next buffer.
+    Inner(Vec<SlotRow>),
+    /// The final empty-result notification arrived.
+    Notified,
 }
 
 impl NaiveStream<'_> {
@@ -353,6 +680,62 @@ impl NaiveStream<'_> {
             .into_iter()
             .filter_map(|r| outer_row.merge(&r))
             .collect())
+    }
+}
+
+/// Schedules one outer binding's inner round trip (the overlapped mirror
+/// of [`NaiveStream::inner_rows`]): an unextractable key costs no traffic,
+/// otherwise the parameterized request plus the source's evaluation land
+/// on the link timeline.
+#[allow(clippy::too_many_arguments)]
+fn schedule_naive_inner(
+    db: &Database,
+    inner: &StarPart,
+    join: &NaiveJoin,
+    link: &Link,
+    source_id: &str,
+    outer_row: &SlotRow,
+    start: Duration,
+    ctx: &mut ExecCtx,
+) -> Result<NaiveStage, FedError> {
+    fn wait(
+        ctx: &mut ExecCtx,
+        t: Duration,
+        rows: Vec<SlotRow>,
+        err: Option<FedError>,
+    ) -> NaiveStage {
+        NaiveStage::Waiting { ev: ctx.sched.schedule(t), then: NaiveNext::Inner(rows), err }
+    }
+    let term = ctx
+        .schema
+        .slot(&join.outer_var)
+        .and_then(|s| outer_row.get(s))
+        .and_then(|id| ctx.interner.resolve(id));
+    let Some(term) = term else {
+        return Ok(wait(ctx, start, Vec::new(), None));
+    };
+    let key = match &join.extract {
+        Some(tmpl) => match term.as_iri().and_then(|iri| tmpl.extract(iri)) {
+            Some(k) => fedlake_relational::Value::Text(k),
+            None => return Ok(wait(ctx, start, Vec::new(), None)),
+        },
+        None => term_to_value(&term),
+    };
+    let mut part = inner.clone();
+    part.wheres.push(format!("{}.{} = {key}", part.alias, join.inner_col));
+    let q = sql_single(&part);
+    ctx.stats.sql_queries += 1;
+    match schedule_transfer_with_retry(link, source_id, 0, start, ctx) {
+        Ok(t_req) => {
+            let rs = db.query(&q.sql)?;
+            let done = link.schedule_busy(ctx.cost.rdb_time(&convert_cost(&rs.cost)), t_req);
+            let rows = lift_result(&rs, &q.outputs, &ctx.schema, &mut ctx.interner.lock());
+            ctx.stats.service_rows += rows.len() as u64;
+            let merged: Vec<SlotRow> =
+                rows.into_iter().filter_map(|r| outer_row.merge(&r)).collect();
+            Ok(wait(ctx, done, merged, None))
+        }
+        Err((t, e)) => Ok(wait(ctx, t, Vec::new(), Some(e))),
     }
 }
 
@@ -403,6 +786,142 @@ impl FedOp for NaiveStream<'_> {
             state.buffer.empty_notified = true; // inner already messaged
         }
     }
+
+    fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<SlotRow>, FedError> {
+        if self.flight.is_none() {
+            ctx.stats.sql_queries += 1;
+            let stage = match schedule_transfer_with_retry(
+                &self.link,
+                &self.source_id,
+                0,
+                ctx.clock.now(),
+                ctx,
+            ) {
+                Ok(done_req) => {
+                    let rs = self.db.query(&self.outer_sql)?;
+                    let done = self
+                        .link
+                        .schedule_busy(ctx.cost.rdb_time(&convert_cost(&rs.cost)), done_req);
+                    let outer = lift_result(
+                        &rs,
+                        &self.outer_outputs,
+                        &ctx.schema,
+                        &mut ctx.interner.lock(),
+                    );
+                    ctx.stats.service_rows += outer.len() as u64;
+                    NaiveStage::Waiting {
+                        ev: ctx.sched.schedule(done),
+                        then: NaiveNext::Outer(outer),
+                        err: None,
+                    }
+                }
+                Err((t, e)) => NaiveStage::Waiting {
+                    ev: ctx.sched.schedule(t),
+                    then: NaiveNext::Outer(Vec::new()),
+                    err: Some(e),
+                },
+            };
+            self.flight = Some(NaiveFlight {
+                outer: VecDeque::new(),
+                buffer: FlightDelivery::pre_notified(Vec::new()),
+                installed_inner: false,
+                stage,
+            });
+        }
+        loop {
+            let flight = self.flight.as_mut().expect("initialized above");
+            match &mut flight.stage {
+                NaiveStage::Waiting { ev, then, err } => {
+                    if ev.time > ctx.clock.now() {
+                        return Ok(Poll::Pending(*ev));
+                    }
+                    ctx.sched.complete(*ev);
+                    if let Some(e) = err.take() {
+                        flight.stage = NaiveStage::Finished;
+                        return Err(e);
+                    }
+                    match std::mem::replace(then, NaiveNext::Notified) {
+                        NaiveNext::Outer(rows) => {
+                            flight.outer = rows.into();
+                            flight.stage = NaiveStage::Idle;
+                        }
+                        NaiveNext::Inner(rows) => {
+                            flight.buffer = FlightDelivery::pre_notified(rows);
+                            flight.stage = NaiveStage::Idle;
+                        }
+                        NaiveNext::Notified => flight.stage = NaiveStage::Finished,
+                    }
+                }
+                NaiveStage::Finished => return Ok(Poll::Done),
+                NaiveStage::Idle => {
+                    match flight.buffer.poll(
+                        &self.link,
+                        &self.source_id,
+                        self.rows_per_message,
+                        ctx,
+                    )? {
+                        Poll::Ready(row) => return Ok(Poll::Ready(row)),
+                        Poll::Pending(ev) => return Ok(Poll::Pending(ev)),
+                        Poll::Done => {}
+                    }
+                    match flight.outer.pop_front() {
+                        Some(outer_row) => {
+                            flight.installed_inner = true;
+                            // Retrieving the next outer binding is itself
+                            // a message; the inner round trip chains after.
+                            flight.stage = match schedule_transfer_with_retry(
+                                &self.link,
+                                &self.source_id,
+                                1,
+                                ctx.clock.now(),
+                                ctx,
+                            ) {
+                                Ok(t1) => schedule_naive_inner(
+                                    self.db,
+                                    &self.inner,
+                                    &self.join,
+                                    &self.link,
+                                    &self.source_id,
+                                    &outer_row,
+                                    t1,
+                                    ctx,
+                                )?,
+                                Err((t, e)) => NaiveStage::Waiting {
+                                    ev: ctx.sched.schedule(t),
+                                    then: NaiveNext::Inner(Vec::new()),
+                                    err: Some(e),
+                                },
+                            };
+                        }
+                        None => {
+                            if flight.installed_inner {
+                                flight.stage = NaiveStage::Finished;
+                            } else {
+                                // Empty outer result: the one empty-result
+                                // notification, then done.
+                                flight.installed_inner = true;
+                                let (t, err) = match schedule_transfer_with_retry(
+                                    &self.link,
+                                    &self.source_id,
+                                    0,
+                                    ctx.clock.now(),
+                                    ctx,
+                                ) {
+                                    Ok(t) => (t, None),
+                                    Err((t, e)) => (t, Some(e)),
+                                };
+                                flight.stage = NaiveStage::Waiting {
+                                    ev: ctx.sched.schedule(t),
+                                    then: NaiveNext::Notified,
+                                    err,
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// The engine-level dependent (bind) join: batches of left bindings are
@@ -419,6 +938,16 @@ pub struct BindJoinOp<'a> {
     batch_size: usize,
     left_done: bool,
     out: VecDeque<SlotRow>,
+    stage: BindStage,
+}
+
+/// The overlapped state of the bind join: batches gather from the left
+/// exactly as the serialized schedule would, then the shipped batch's
+/// request, source evaluation and result transfer fly as one scheduled
+/// chain; probing happens when the chain completes.
+enum BindStage {
+    Gather { batch: Vec<SlotRow> },
+    Flying { ev: EventTime, batch: Vec<SlotRow>, rows: Vec<SlotRow>, err: Option<FedError> },
 }
 
 impl<'a> BindJoinOp<'a> {
@@ -443,6 +972,7 @@ impl<'a> BindJoinOp<'a> {
             batch_size: batch_size.max(1),
             left_done: false,
             out: VecDeque::new(),
+            stage: BindStage::Gather { batch: Vec::new() },
         }
     }
 
@@ -457,11 +987,13 @@ impl<'a> BindJoinOp<'a> {
         }
     }
 
-    fn ship_batch(&mut self, batch: Vec<SlotRow>, ctx: &mut ExecCtx) -> Result<(), FedError> {
+    /// The batch's parameterized SQL, or `None` when no row binds an
+    /// extractable key (no traffic then — the batch can never match).
+    fn batch_query(&self, batch: &[SlotRow], ctx: &ExecCtx) -> Option<crate::translate::TranslatedQuery> {
         let jslot = ctx.schema.slot(&self.target.join_var);
         // Distinct keys of the batch.
         let mut keys: Vec<fedlake_relational::Value> = Vec::new();
-        for row in &batch {
+        for row in batch {
             let Some(id) = jslot.and_then(|s| row.get(s)) else { continue };
             if let Some(k) = self.key_of(id, ctx) {
                 if !keys.contains(&k) {
@@ -470,7 +1002,7 @@ impl<'a> BindJoinOp<'a> {
             }
         }
         if keys.is_empty() {
-            return Ok(());
+            return None;
         }
         let mut part = self.target.part.clone();
         let list: Vec<String> = keys.iter().map(|k| k.to_string()).collect();
@@ -480,7 +1012,40 @@ impl<'a> BindJoinOp<'a> {
             self.target.column,
             list.join(", ")
         ));
-        let q = sql_single(&part);
+        Some(sql_single(&part))
+    }
+
+    /// Probes the batch against the fetched right rows, charging the
+    /// engine-side join work; merged rows land in the output queue. Same
+    /// interner on both sides makes id equality term equality.
+    fn probe_batch(&mut self, batch: &[SlotRow], rows: Vec<SlotRow>, ctx: &mut ExecCtx) {
+        let jslot = ctx.schema.slot(&self.target.join_var);
+        let mut by_key: std::collections::HashMap<TermId, Vec<SlotRow>> =
+            std::collections::HashMap::new();
+        for r in rows {
+            if let Some(id) = jslot.and_then(|s| r.get(s)) {
+                by_key.entry(id).or_default().push(r);
+            }
+        }
+        for lrow in batch {
+            ctx.stats.engine_join_probes += 1;
+            ctx.clock.advance(ctx.cost.engine_join_time(1));
+            let Some(id) = jslot.and_then(|s| lrow.get(s)) else { continue };
+            if let Some(matches) = by_key.get(&id) {
+                for m in matches {
+                    if let Some(merged) = lrow.merge(m) {
+                        ctx.clock.advance(ctx.cost.engine_row_time(1));
+                        self.out.push_back(merged);
+                    }
+                }
+            }
+        }
+    }
+
+    fn ship_batch(&mut self, batch: Vec<SlotRow>, ctx: &mut ExecCtx) -> Result<(), FedError> {
+        let Some(q) = self.batch_query(&batch, ctx) else {
+            return Ok(());
+        };
         ctx.stats.sql_queries += 1;
         // The parameterized request.
         transfer_with_retry(&self.link, &self.source_id, 0, ctx)?;
@@ -495,28 +1060,61 @@ impl<'a> BindJoinOp<'a> {
             self.rows_per_message,
             ctx,
         )?;
-        // Probe: hash the fetched right rows by join-key id; same interner
-        // on both sides makes id equality term equality.
-        let mut by_key: std::collections::HashMap<TermId, Vec<SlotRow>> =
-            std::collections::HashMap::new();
-        for r in rows {
-            if let Some(id) = jslot.and_then(|s| r.get(s)) {
-                by_key.entry(id).or_default().push(r);
-            }
-        }
-        for lrow in &batch {
-            ctx.stats.engine_join_probes += 1;
-            ctx.clock.advance(ctx.cost.engine_join_time(1));
-            let Some(id) = jslot.and_then(|s| lrow.get(s)) else { continue };
-            if let Some(matches) = by_key.get(&id) {
-                for m in matches {
-                    if let Some(merged) = lrow.merge(m) {
-                        ctx.clock.advance(ctx.cost.engine_row_time(1));
-                        self.out.push_back(merged);
-                    }
+        self.probe_batch(&batch, rows, ctx);
+        Ok(())
+    }
+
+    /// Schedules a batch's request + evaluation + result transfer as one
+    /// chain on the link timeline; the probe happens at completion.
+    fn launch_batch(&mut self, batch: Vec<SlotRow>, ctx: &mut ExecCtx) -> Result<(), FedError> {
+        let Some(q) = self.batch_query(&batch, ctx) else {
+            self.stage = BindStage::Gather { batch: Vec::new() };
+            return Ok(());
+        };
+        ctx.stats.sql_queries += 1;
+        self.stage = match schedule_transfer_with_retry(
+            &self.link,
+            &self.source_id,
+            0,
+            ctx.clock.now(),
+            ctx,
+        ) {
+            Ok(t_req) => {
+                let rs = self.db.query(&q.sql)?;
+                let t_q = self
+                    .link
+                    .schedule_busy(ctx.cost.rdb_time(&convert_cost(&rs.cost)), t_req);
+                let rows = lift_result(&rs, &q.outputs, &ctx.schema, &mut ctx.interner.lock());
+                ctx.stats.service_rows += rows.len() as u64;
+                match schedule_rows_with_retry(
+                    &self.link,
+                    &self.source_id,
+                    rows.len(),
+                    self.rows_per_message,
+                    t_q,
+                    ctx,
+                ) {
+                    Ok(done) => BindStage::Flying {
+                        ev: ctx.sched.schedule(done),
+                        batch,
+                        rows,
+                        err: None,
+                    },
+                    Err((t, e)) => BindStage::Flying {
+                        ev: ctx.sched.schedule(t),
+                        batch,
+                        rows: Vec::new(),
+                        err: Some(e),
+                    },
                 }
             }
-        }
+            Err((t, e)) => BindStage::Flying {
+                ev: ctx.sched.schedule(t),
+                batch,
+                rows: Vec::new(),
+                err: Some(e),
+            },
+        };
         Ok(())
     }
 }
@@ -546,6 +1144,48 @@ impl FedOp for BindJoinOp<'_> {
             self.ship_batch(batch, ctx)?;
         }
     }
+
+    fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<SlotRow>, FedError> {
+        loop {
+            if let Some(row) = self.out.pop_front() {
+                return Ok(Poll::Ready(row));
+            }
+            match &mut self.stage {
+                BindStage::Flying { ev, batch, rows, err } => {
+                    if ev.time > ctx.clock.now() {
+                        return Ok(Poll::Pending(*ev));
+                    }
+                    let ev = *ev;
+                    let batch = std::mem::take(batch);
+                    let rows = std::mem::take(rows);
+                    let err = err.take();
+                    ctx.sched.complete(ev);
+                    self.stage = BindStage::Gather { batch: Vec::new() };
+                    if let Some(e) = err {
+                        return Err(e);
+                    }
+                    self.probe_batch(&batch, rows, ctx);
+                }
+                BindStage::Gather { batch } => {
+                    // Fill the batch from the left without shipping a
+                    // partial batch on Pending: batch composition (and so
+                    // link traffic) matches the serialized schedule.
+                    while !self.left_done && batch.len() < self.batch_size {
+                        match self.left.poll_next(ctx)? {
+                            Poll::Ready(row) => batch.push(row),
+                            Poll::Pending(ev) => return Ok(Poll::Pending(ev)),
+                            Poll::Done => self.left_done = true,
+                        }
+                    }
+                    if batch.is_empty() {
+                        return Ok(Poll::Done);
+                    }
+                    let batch = std::mem::take(batch);
+                    self.launch_batch(batch, ctx)?;
+                }
+            }
+        }
+    }
 }
 
 /// A convenience used by tests and the engine: drains an operator fully.
@@ -558,15 +1198,17 @@ pub fn drain(op: &mut dyn FedOp, ctx: &mut ExecCtx) -> Result<Vec<SlotRow>, FedE
 }
 
 /// Creates one link per source, each with its own deterministic RNG
-/// stream derived from the base seed. The same fault plan is injected on
-/// every link ([`FaultPlan::NONE`] keeps them reliable).
+/// stream derived from the base seed. Each link gets the fault plan the
+/// [`fedlake_netsim::FaultPlans`] resolves for its source id (the uniform
+/// default unless overridden), so a chaos schedule can target exactly one
+/// endpoint.
 pub fn links_for(
     lake: &DataLake,
     profile: fedlake_netsim::NetworkProfile,
     clock: fedlake_netsim::SharedClock,
     cost: fedlake_netsim::CostModel,
     seed: u64,
-    faults: fedlake_netsim::FaultPlan,
+    faults: &fedlake_netsim::FaultPlans,
 ) -> std::collections::HashMap<String, Arc<Link>> {
     lake.sources()
         .iter()
@@ -579,7 +1221,7 @@ pub fn links_for(
                     Arc::clone(&clock),
                     cost,
                     seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                    faults,
+                    faults.for_source(s.id()),
                 )),
             )
         })
@@ -922,7 +1564,7 @@ mod tests {
             clock,
             CostModel::default(),
             42,
-            fedlake_netsim::FaultPlan::NONE,
+            &fedlake_netsim::FaultPlans::default(),
         );
         assert_eq!(links.len(), 1);
         let (m, r, d) = total_traffic(&links);

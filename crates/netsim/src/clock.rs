@@ -48,6 +48,24 @@ impl Clock {
         }
     }
 
+    /// Advances the clock *to* absolute time `t` if `t` is in the future;
+    /// a clock never runs backwards, so an already-passed `t` is a no-op.
+    /// This is the discrete-event counterpart of [`Clock::advance`]: the
+    /// scheduler jumps to the next event's completion time.
+    pub fn advance_to(&self, t: Duration) {
+        match self {
+            Clock::Virtual(ns) => {
+                ns.fetch_max(t.as_nanos() as u64, Ordering::Relaxed);
+            }
+            Clock::Real(start) => {
+                let elapsed = start.elapsed();
+                if t > elapsed {
+                    std::thread::sleep(t - elapsed);
+                }
+            }
+        }
+    }
+
     /// True for virtual clocks.
     pub fn is_virtual(&self) -> bool {
         matches!(self, Clock::Virtual(_))
@@ -80,6 +98,27 @@ mod tests {
         assert_eq!(c.now(), Duration::from_millis(3_600_250));
         // An hour of simulated time must pass in well under a second.
         assert!(wall.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn advance_to_never_runs_backwards() {
+        let c = Clock::virtual_clock();
+        c.advance_to(Duration::from_millis(40));
+        assert_eq!(c.now(), Duration::from_millis(40));
+        // Jumping to an earlier time is a no-op.
+        c.advance_to(Duration::from_millis(10));
+        assert_eq!(c.now(), Duration::from_millis(40));
+        c.advance_to(Duration::from_millis(41));
+        assert_eq!(c.now(), Duration::from_millis(41));
+    }
+
+    #[test]
+    fn real_clock_advance_to_sleeps_remainder() {
+        let c = Clock::real_clock();
+        c.advance_to(Duration::from_millis(10));
+        assert!(c.now() >= Duration::from_millis(10));
+        // Already in the past: returns promptly.
+        c.advance_to(Duration::from_millis(1));
     }
 
     #[test]

@@ -97,6 +97,46 @@ impl Default for FaultPlan {
     }
 }
 
+/// Fault plans for a whole federation: a uniform default plus per-source
+/// overrides, so a chaos schedule can make exactly one endpoint flaky
+/// while the rest of the lake stays healthy.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlans {
+    /// Plan applied to every source without an override.
+    pub default: FaultPlan,
+    /// Per-source-id overrides (keyed by the lake's source ids).
+    pub overrides: std::collections::BTreeMap<String, FaultPlan>,
+}
+
+impl FaultPlans {
+    /// The same plan on every link (the pre-per-source behaviour).
+    pub fn uniform(plan: FaultPlan) -> Self {
+        FaultPlans { default: plan, overrides: std::collections::BTreeMap::new() }
+    }
+
+    /// Adds (or replaces) the plan for one source id.
+    pub fn with_source(mut self, source_id: impl Into<String>, plan: FaultPlan) -> Self {
+        self.overrides.insert(source_id.into(), plan);
+        self
+    }
+
+    /// The plan in effect for `source_id`.
+    pub fn for_source(&self, source_id: &str) -> FaultPlan {
+        self.overrides.get(source_id).copied().unwrap_or(self.default)
+    }
+
+    /// True when any source can ever observe a fault.
+    pub fn is_active(&self) -> bool {
+        self.default.is_active() || self.overrides.values().any(FaultPlan::is_active)
+    }
+}
+
+impl From<FaultPlan> for FaultPlans {
+    fn from(plan: FaultPlan) -> Self {
+        FaultPlans::uniform(plan)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,6 +170,18 @@ mod tests {
         assert!(p.in_outage(3));
         assert!(p.in_outage(4));
         assert!(!p.in_outage(5));
+    }
+
+    #[test]
+    fn plans_override_per_source() {
+        let flaky = FaultPlan { drop_prob: 0.5, ..FaultPlan::NONE };
+        let plans = FaultPlans::uniform(FaultPlan::NONE).with_source("tcga", flaky);
+        assert_eq!(plans.for_source("tcga"), flaky);
+        assert_eq!(plans.for_source("chebi"), FaultPlan::NONE);
+        assert!(plans.is_active());
+        assert!(!FaultPlans::default().is_active());
+        let uniform: FaultPlans = flaky.into();
+        assert_eq!(uniform.for_source("anything"), flaky);
     }
 
     #[test]

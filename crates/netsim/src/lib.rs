@@ -24,10 +24,12 @@ pub mod fault;
 pub mod gamma;
 pub mod link;
 pub mod profile;
+pub mod sched;
 
 pub use clock::{Clock, SharedClock};
 pub use cost::CostModel;
-pub use fault::{FaultPlan, LinkFault};
+pub use fault::{FaultPlan, FaultPlans, LinkFault};
 pub use gamma::GammaSampler;
 pub use link::Link;
 pub use profile::{DelayModel, NetworkProfile};
+pub use sched::{EventQueue, EventTime};

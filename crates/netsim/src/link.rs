@@ -77,6 +77,11 @@ pub struct Link {
 struct LinkState {
     rng: Prng,
     stats: LinkStats,
+    /// The link's private timeline for the overlapped schedule: the
+    /// absolute virtual time up to which this link is busy. Transfers
+    /// scheduled on a link queue behind each other here instead of
+    /// advancing the shared clock.
+    local: Duration,
 }
 
 impl Link {
@@ -99,7 +104,11 @@ impl Link {
             faults,
             clock,
             cost,
-            state: Mutex::new(LinkState { rng: Prng::seed_from_u64(seed), stats: LinkStats::default() }),
+            state: Mutex::new(LinkState {
+                rng: Prng::seed_from_u64(seed),
+                stats: LinkStats::default(),
+                local: Duration::ZERO,
+            }),
         }
     }
 
@@ -150,6 +159,84 @@ impl Link {
         drop(st);
         self.clock.advance(delay + self.cost.message_time(rows));
         Ok(())
+    }
+
+    /// Schedules the transfer of one message carrying `rows` rows on this
+    /// link's *private* timeline, starting no earlier than `start`, and
+    /// returns the absolute completion time plus the transfer outcome.
+    ///
+    /// This is the overlapped-schedule counterpart of
+    /// [`Link::try_transfer_message`]: it draws the *same* RNG values in
+    /// the same order and updates [`LinkStats`] identically (same fault
+    /// decisions, same counters, same delay attribution — delay is charged
+    /// once per attempt, exactly as in the serialized path), but instead of
+    /// advancing the shared clock it extends the link's local timeline.
+    /// Transfers on one link serialize behind each other (a link is one
+    /// connection); transfers on *different* links overlap in virtual time.
+    ///
+    /// A drop or outage completes at its begin time and occupies no link
+    /// time (detection is the receiver's timeout, charged by the retry
+    /// policy); a truncated message pays its transit like the serialized
+    /// path does.
+    pub fn schedule_message(&self, rows: usize, start: Duration) -> (Duration, Result<(), LinkFault>) {
+        let mut st = self.state.lock();
+        let begin = st.local.max(start);
+        let mut spike = false;
+        if self.faults.is_active() {
+            let attempt = st.stats.attempts;
+            st.stats.attempts += 1;
+            if self.faults.in_outage(attempt) {
+                st.stats.outage_faults += 1;
+                st.local = begin;
+                return (begin, Err(LinkFault::SourceDown));
+            }
+            let u = st.rng.next_f64();
+            if u < self.faults.drop_prob {
+                st.stats.dropped += 1;
+                st.local = begin;
+                return (begin, Err(LinkFault::Dropped));
+            }
+            if u < self.faults.drop_prob + self.faults.truncate_prob {
+                st.stats.truncated += 1;
+                let delay = self.profile.delay.sample(&mut st.rng);
+                st.stats.delay += delay;
+                let done = begin + delay + self.cost.message_time(rows);
+                st.local = done;
+                return (done, Err(LinkFault::Truncated));
+            }
+            spike = u
+                < self.faults.drop_prob + self.faults.truncate_prob + self.faults.spike_prob;
+        }
+        let mut delay = self.profile.delay.sample(&mut st.rng);
+        if spike {
+            st.stats.spikes += 1;
+            delay = Duration::from_nanos(
+                (delay.as_nanos() as f64 * self.faults.spike_factor.max(0.0)) as u64,
+            );
+        }
+        st.stats.messages += 1;
+        st.stats.rows += rows as u64;
+        st.stats.delay += delay;
+        let done = begin + delay + self.cost.message_time(rows);
+        st.local = done;
+        (done, Ok(()))
+    }
+
+    /// Schedules `work` of source-side compute (an RDB scan, a SPARQL
+    /// evaluation, a backoff wait) on this link's private timeline,
+    /// starting no earlier than `start`; returns the completion time. No
+    /// traffic is recorded — this is occupancy, not transfer.
+    pub fn schedule_busy(&self, work: Duration, start: Duration) -> Duration {
+        let mut st = self.state.lock();
+        let done = st.local.max(start) + work;
+        st.local = done;
+        done
+    }
+
+    /// The absolute time up to which this link's private timeline is
+    /// occupied (zero until the first `schedule_*` call).
+    pub fn local_time(&self) -> Duration {
+        self.state.lock().local
     }
 
     /// Simulates the transfer of one message carrying `rows` rows:
@@ -343,5 +430,57 @@ mod tests {
     fn infallible_transfer_panics_on_fault() {
         let plan = FaultPlan { outage_after: Some(0), outage_len: 1, ..FaultPlan::NONE };
         faulty(NetworkProfile::NO_DELAY, plan).transfer_message(1);
+    }
+
+    #[test]
+    fn scheduled_transfers_queue_on_the_local_timeline() {
+        let l = link(NetworkProfile::GAMMA2);
+        let (t1, r1) = l.schedule_message(5, Duration::ZERO);
+        assert_eq!(r1, Ok(()));
+        assert!(t1 > Duration::ZERO);
+        // A second transfer requested "at time zero" still queues behind
+        // the first: one link is one connection.
+        let (t2, r2) = l.schedule_message(5, Duration::ZERO);
+        assert_eq!(r2, Ok(()));
+        assert!(t2 > t1);
+        assert_eq!(l.local_time(), t2);
+        // The shared clock is untouched by scheduling.
+        assert_eq!(l.clock().now(), Duration::ZERO);
+    }
+
+    #[test]
+    fn scheduled_matches_serialized_draws_and_stats() {
+        let a = link(NetworkProfile::GAMMA3);
+        let b = link(NetworkProfile::GAMMA3);
+        let mut start = Duration::ZERO;
+        for i in 0..32 {
+            a.transfer_message(i % 4);
+            let (done, r) = b.schedule_message(i % 4, start);
+            assert_eq!(r, Ok(()));
+            start = done;
+        }
+        assert_eq!(a.stats(), b.stats());
+        // Back-to-back scheduling reproduces the serialized clock exactly.
+        assert_eq!(a.clock().now(), b.local_time());
+    }
+
+    #[test]
+    fn scheduled_drop_occupies_no_link_time() {
+        let plan = FaultPlan { drop_prob: 1.0, ..FaultPlan::NONE };
+        let l = faulty(NetworkProfile::GAMMA3, plan);
+        let start = Duration::from_millis(7);
+        let (done, r) = l.schedule_message(3, start);
+        assert_eq!(r, Err(LinkFault::Dropped));
+        assert_eq!(done, start, "a drop completes at its begin time");
+        assert_eq!(l.local_time(), start);
+    }
+
+    #[test]
+    fn scheduled_busy_extends_timeline_without_traffic() {
+        let l = link(NetworkProfile::GAMMA1);
+        let done = l.schedule_busy(Duration::from_millis(4), Duration::from_millis(10));
+        assert_eq!(done, Duration::from_millis(14));
+        assert_eq!(l.local_time(), done);
+        assert_eq!(l.stats().messages, 0);
     }
 }

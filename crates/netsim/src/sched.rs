@@ -1,0 +1,113 @@
+//! A deterministic discrete-event schedule.
+//!
+//! The overlapped executor does not use OS threads: concurrency is purely
+//! *temporal*. Every in-flight piece of source work (a message transfer, a
+//! backoff wait, a source-side query evaluation) is represented by an
+//! [`EventTime`] — the absolute virtual time at which it completes, plus a
+//! monotone sequence number allocated at scheduling time. The sequence
+//! number is the deterministic tie-break: two events completing at the
+//! same instant are ordered by who was scheduled first, so a run is fully
+//! determined by the seed regardless of iteration order elsewhere.
+//!
+//! [`EventQueue`] is deliberately minimal: the executor only ever needs
+//! "when is the *earliest* pending completion?" (to jump the clock when
+//! every input is stalled) — the per-operator state machines hold their own
+//! event handles and complete them when polled past their due time.
+
+use std::time::Duration;
+
+/// The completion instant of one scheduled event.
+///
+/// Ordered lexicographically by `(time, seq)`; `seq` is allocated
+/// monotonically by [`EventQueue::schedule`], making simultaneous events
+/// totally ordered in scheduling order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventTime {
+    /// Absolute virtual time at which the event completes.
+    pub time: Duration,
+    /// Scheduling sequence number (the deterministic tie-break).
+    pub seq: u64,
+}
+
+/// The set of pending events, with a monotone sequence counter.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    next_seq: u64,
+    pending: Vec<EventTime>,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Registers an event completing at absolute time `time` and returns
+    /// its handle. Handles are unique: `seq` never repeats.
+    pub fn schedule(&mut self, time: Duration) -> EventTime {
+        let ev = EventTime { time, seq: self.next_seq };
+        self.next_seq += 1;
+        self.pending.push(ev);
+        ev
+    }
+
+    /// Removes a completed (or abandoned) event. Tolerant of handles that
+    /// were already removed.
+    pub fn complete(&mut self, ev: EventTime) {
+        self.pending.retain(|p| *p != ev);
+    }
+
+    /// The earliest pending event, if any.
+    pub fn next_pending(&self) -> Option<EventTime> {
+        self.pending.iter().min().copied()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_time_then_seq() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Duration::from_millis(5));
+        let b = q.schedule(Duration::from_millis(5));
+        let c = q.schedule(Duration::from_millis(3));
+        assert!(c < a, "earlier time wins");
+        assert!(a < b, "equal times break by scheduling order");
+        assert_eq!(q.next_pending(), Some(c));
+    }
+
+    #[test]
+    fn complete_removes_and_is_tolerant() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Duration::from_millis(1));
+        let b = q.schedule(Duration::from_millis(2));
+        assert_eq!(q.len(), 2);
+        q.complete(a);
+        assert_eq!(q.next_pending(), Some(b));
+        q.complete(a); // double-complete: no-op
+        q.complete(b);
+        assert!(q.is_empty());
+        assert_eq!(q.next_pending(), None);
+    }
+
+    #[test]
+    fn seq_is_monotone_across_completions() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Duration::ZERO);
+        q.complete(a);
+        let b = q.schedule(Duration::ZERO);
+        assert!(b.seq > a.seq, "handles are never reused");
+    }
+}

@@ -175,6 +175,110 @@ fn fault_schedules_are_deterministic() {
     }
 }
 
+/// Schedule/serialize parity: running the same message sequence through
+/// `schedule_message` back-to-back must reproduce `try_transfer_message`
+/// draw-for-draw — identical fault outcomes, identical stats (including
+/// the injected delay, which is attributed once per attempt in both
+/// paths), and a local timeline equal to the serialized clock.
+#[test]
+fn scheduled_transfers_mirror_serialized_stats() {
+    let mut meta = Prng::seed_from_u64(0x4e75_0009);
+    for _ in 0..48 {
+        let plan = random_fault_plan(&mut meta);
+        let profile = NetworkProfile::ALL[meta.gen_range(0usize..4)];
+        let seed = meta.next_u64();
+        let serialized =
+            Link::with_faults(profile, shared_virtual(), CostModel::default(), seed, plan);
+        let scheduled =
+            Link::with_faults(profile, shared_virtual(), CostModel::default(), seed, plan);
+        let mut start = Duration::ZERO;
+        for i in 0..96usize {
+            let a = serialized.try_transfer_message(i % 4);
+            let (done, b) = scheduled.schedule_message(i % 4, start);
+            assert_eq!(a, b, "attempt {i}: fault outcomes diverge");
+            start = done;
+        }
+        assert_eq!(serialized.stats(), scheduled.stats());
+        // Drops and outages occupy no link time in either path, so the
+        // back-to-back timeline equals the serialized clock exactly.
+        assert_eq!(serialized.clock().now(), scheduled.local_time());
+    }
+}
+
+/// Delay attribution under retries: a dropped message contributes *no*
+/// network delay (the loss is paid as the receiver's timeout, not link
+/// delay), and each retried attempt that does transit — truncated or
+/// delivered — charges its sampled delay exactly once. A
+/// dropped-then-retried message therefore never double-counts.
+#[test]
+fn retried_drop_attributes_delay_once() {
+    // All attempts dropped: whatever the retry count, zero delay.
+    let all_drop = FaultPlan { drop_prob: 1.0, ..FaultPlan::NONE };
+    let l = Link::with_faults(
+        NetworkProfile::GAMMA3,
+        shared_virtual(),
+        CostModel::default(),
+        7,
+        all_drop,
+    );
+    let mut at = Duration::ZERO;
+    for _ in 0..8 {
+        assert!(l.try_transfer_message(3).is_err());
+        let (done, r) = l.schedule_message(3, at);
+        assert!(r.is_err());
+        at = done;
+    }
+    assert_eq!(l.stats().delay, Duration::ZERO, "dropped attempts must charge no delay");
+    assert_eq!(l.stats().dropped, 16);
+
+    // All attempts truncated: delay grows by exactly one sample per
+    // attempt — the serialized and scheduled halves of the same link see
+    // the same per-attempt charge, never a doubled one.
+    let all_trunc = FaultPlan { truncate_prob: 1.0, ..FaultPlan::NONE };
+    let l = Link::with_faults(
+        NetworkProfile::GAMMA3,
+        shared_virtual(),
+        CostModel::default(),
+        7,
+        all_trunc,
+    );
+    let mut prev = Duration::ZERO;
+    let mut at = Duration::ZERO;
+    for i in 0..8 {
+        let charged = if i % 2 == 0 {
+            assert!(l.try_transfer_message(3).is_err());
+            l.stats().delay
+        } else {
+            let (done, r) = l.schedule_message(3, at);
+            assert!(r.is_err());
+            at = done;
+            l.stats().delay
+        };
+        assert!(charged > prev, "attempt {i}: exactly one new delay sample expected");
+        prev = charged;
+    }
+    assert_eq!(l.stats().truncated, 8);
+
+    // Mixed drop-then-deliver retry chains: total delay equals the sum
+    // over transiting attempts only (messages + truncations), which the
+    // clock/timeline must dominate.
+    let mixed = FaultPlan { drop_prob: 0.5, truncate_prob: 0.2, ..FaultPlan::NONE };
+    let l = Link::with_faults(
+        NetworkProfile::GAMMA2,
+        shared_virtual(),
+        CostModel::default(),
+        11,
+        mixed,
+    );
+    for _ in 0..64 {
+        let _ = l.try_transfer_message(2);
+    }
+    let s = l.stats();
+    assert_eq!(s.attempts, 64);
+    assert!(s.dropped > 0, "p=0.5 over 64 attempts must drop something");
+    assert!(l.clock().now() >= s.delay);
+}
+
 /// The mean of a DelayModel matches its analytic value.
 #[test]
 fn delay_model_mean() {

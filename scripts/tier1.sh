@@ -10,11 +10,21 @@ cargo build --release --offline --workspace --all-targets
 echo "== cargo test -q (offline) =="
 cargo test -q --offline --workspace
 
-# Seeded chaos suite: CHAOS_ITERS fault schedules per query/profile cell.
-# The default (32) is the gate; raise for soak runs, e.g.
+# Scheduler equivalence: overlapped execution must be answer-identical to
+# serialized and strictly faster on multi-source queries with delay.
+echo "== overlap equivalence =="
+cargo test -q --offline --test overlap_equivalence
+
+# Seeded chaos suite: CHAOS_ITERS fault schedules per query/profile cell,
+# run under both schedules (FEDLAKE_OVERLAP=1 switches the suite to the
+# event-driven scheduler). The default (32) is the gate; raise for soak
+# runs, e.g.
 #   CHAOS_ITERS=512 scripts/tier1.sh
-echo "== chaos suite (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
+echo "== chaos suite, serialized (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
+
+echo "== chaos suite, overlapped (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
+FEDLAKE_OVERLAP=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
 
 echo "== cargo clippy -D warnings (offline) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings

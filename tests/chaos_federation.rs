@@ -36,6 +36,13 @@ fn chaos_iters() -> u64 {
         .unwrap_or(32)
 }
 
+/// `FEDLAKE_OVERLAP=1` runs the whole suite under the overlapped
+/// (event-driven) schedule; the default exercises the serialized one.
+/// tier-1 runs both: every chaos property must hold under either clock.
+fn overlap_mode() -> bool {
+    std::env::var("FEDLAKE_OVERLAP").is_ok_and(|v| v == "1")
+}
+
 /// Answers as sorted SPARQL CSV — the byte-comparable canonical form.
 fn sorted_csv(r: &FedResult) -> String {
     let mut rows = r.rows.clone();
@@ -75,6 +82,7 @@ fn recoverable_faults_preserve_answers() {
         for network in NetworkProfile::ALL {
             let mut config = PlanConfig::new(PlanMode::AWARE, network);
             config.retry = retry();
+            config.overlap = overlap_mode();
             let mut engine = FederatedEngine::new(lake.clone(), config);
             let planned = engine.plan(&ast).unwrap();
             let baseline = engine.execute_planned(&planned).unwrap();
@@ -143,6 +151,7 @@ fn unrecoverable_outage_fails_cleanly_or_degrades() {
     let lake = build_lake_with(&LakeConfig { scale: 0.05, ..Default::default() }, q.datasets);
     let mut config = PlanConfig::aware(NetworkProfile::GAMMA1);
     config.retry = retry();
+    config.overlap = overlap_mode();
     config.faults = FaultPlan {
         outage_after: Some(0),
         outage_len: u64::MAX,
@@ -185,6 +194,7 @@ fn deadline_times_out_or_degrades() {
     assert!(baseline.stats.answers > 1, "Q1 must produce several answers");
 
     let mut config = PlanConfig::aware(NetworkProfile::GAMMA2);
+    config.overlap = overlap_mode();
     config.deadline = Some(Duration::from_micros(1));
     let engine = FederatedEngine::new(lake.clone(), config);
     match engine.execute_sparql(&q.sparql) {
@@ -212,10 +222,77 @@ fn slack_deadline_is_invisible() {
         .execute_sparql(&q.sparql)
         .unwrap();
     let mut config = PlanConfig::aware(NetworkProfile::GAMMA1);
+    config.overlap = overlap_mode();
     config.deadline = Some(Duration::from_secs(3600));
     config.degraded_ok = true;
     let bounded = FederatedEngine::new(lake, config).execute_sparql(&q.sparql).unwrap();
     assert!(!bounded.stats.degraded);
     assert_eq!(sorted_csv(&bounded), sorted_csv(&plain));
     assert_eq!(bounded.stats.execution_time, plain.stats.execution_time);
+}
+
+/// Per-source fault plans: an outage targeted at exactly one endpoint of a
+/// two-source federation. A short outage the retry policy absorbs leaves
+/// the answers byte-identical to the fault-free run with failures charged
+/// only to the flaky source; an endless outage fails naming that source
+/// (or, degraded, returns the partial answers) while the healthy source
+/// keeps its link fault-free.
+#[test]
+fn targeted_outage_hits_only_the_flaky_source() {
+    let q = workload::q3(); // two sources: "linkedct" + "diseasome"
+    let lake = build_lake_with(&LakeConfig { scale: 0.05, ..Default::default() }, q.datasets);
+    let ast = parse_query(&q.sparql).unwrap();
+    let mut config = PlanConfig::aware(NetworkProfile::GAMMA1);
+    config.retry = retry();
+    config.overlap = overlap_mode();
+
+    let engine = FederatedEngine::new(lake.clone(), config);
+    let planned = engine.plan(&ast).unwrap();
+    let baseline = engine.execute_planned(&planned).unwrap();
+    assert!(baseline.stats.answers > 0, "Q3 must produce answers");
+
+    // Recoverable: a 3-message outage against a 6-attempt budget.
+    let mut engine = FederatedEngine::new(lake.clone(), config);
+    engine.set_source_faults(
+        "diseasome",
+        FaultPlan { outage_after: Some(0), outage_len: 3, ..FaultPlan::NONE },
+    );
+    let r = engine.execute_planned(&planned).unwrap();
+    assert_eq!(sorted_csv(&r), sorted_csv(&baseline), "recovered answers diverge");
+    assert_eq!(
+        r.stats.source_failures.keys().collect::<Vec<_>>(),
+        ["diseasome"],
+        "only the targeted source may fail"
+    );
+    assert_eq!(r.stats.source_failures["diseasome"], 3);
+    assert_eq!(r.stats.retries, 3);
+
+    // Unrecoverable: the targeted source never comes back.
+    let mut engine = FederatedEngine::new(lake.clone(), config);
+    engine.set_source_faults(
+        "diseasome",
+        FaultPlan { outage_after: Some(0), outage_len: u64::MAX, ..FaultPlan::NONE },
+    );
+    match engine.execute_planned(&planned).unwrap_err() {
+        FedError::SourceUnavailable { ref source, attempts } => {
+            assert_eq!(source, "diseasome");
+            assert_eq!(attempts, config.retry.max_attempts);
+        }
+        other => panic!("expected SourceUnavailable, got {other}"),
+    }
+
+    // Degraded: the healthy source's partial work survives.
+    config.degraded_ok = true;
+    let mut engine = FederatedEngine::new(lake, config);
+    engine.set_source_faults(
+        "diseasome",
+        FaultPlan { outage_after: Some(0), outage_len: u64::MAX, ..FaultPlan::NONE },
+    );
+    let r = engine.execute_planned(&planned).unwrap();
+    assert!(r.stats.degraded);
+    assert_eq!(
+        r.stats.source_failures.keys().collect::<Vec<_>>(),
+        ["diseasome"],
+        "the healthy source's link must stay fault-free"
+    );
 }

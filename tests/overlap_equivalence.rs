@@ -1,0 +1,141 @@
+//! Scheduler-equivalence suite: the overlapped (event-driven) schedule
+//! must return byte-identical answers, identical link traffic and
+//! identical SQL counts to the serialized schedule for every workload
+//! query and network profile — only the *timing* may differ, and it may
+//! only improve. The reference term-row executor must agree with the
+//! interned engine under the overlapped schedule too, so all four
+//! (schedule × representation) corners produce the same answer set.
+
+use fedlake_core::{FedResult, FederatedEngine, PlanConfig, PlanMode};
+use fedlake_datagen::{build_lake_with, workload, LakeConfig};
+use fedlake_netsim::NetworkProfile;
+use fedlake_sparql::parser::parse_query;
+
+fn sorted_rows(r: &FedResult) -> Vec<String> {
+    let mut v: Vec<String> = r.rows.iter().map(|row| row.to_string()).collect();
+    v.sort();
+    v
+}
+
+/// Everything except timing must be schedule-invariant.
+fn assert_same_answers(label: &str, ser: &FedResult, ovl: &FedResult) {
+    assert_eq!(sorted_rows(ser), sorted_rows(ovl), "{label}: answer rows diverge");
+    assert_eq!(ser.stats.answers, ovl.stats.answers, "{label}: answers");
+    assert_eq!(
+        ser.trace.count(),
+        ovl.trace.count(),
+        "{label}: trace answer counts"
+    );
+    assert_eq!(ser.stats.messages, ovl.stats.messages, "{label}: messages");
+    assert_eq!(
+        ser.stats.rows_transferred, ovl.stats.rows_transferred,
+        "{label}: rows_transferred"
+    );
+    assert_eq!(ser.stats.sql_queries, ovl.stats.sql_queries, "{label}: sql_queries");
+    assert_eq!(ser.stats.network_delay, ovl.stats.network_delay, "{label}: network_delay");
+    assert_eq!(ser.stats.retries, ovl.stats.retries, "{label}: retries");
+    assert_eq!(
+        ser.stats.source_failures, ovl.stats.source_failures,
+        "{label}: source_failures"
+    );
+}
+
+#[test]
+fn overlapped_schedule_is_answer_identical_and_no_slower() {
+    let lake_cfg = LakeConfig { scale: 0.1, ..Default::default() };
+    for mode in [PlanMode::Unaware, PlanMode::AWARE] {
+        for q in workload::experiment_queries() {
+            let lake = build_lake_with(&lake_cfg, q.datasets);
+            let ast = parse_query(&q.sparql).unwrap();
+            for network in NetworkProfile::ALL {
+                let ser_cfg = PlanConfig::new(mode, network);
+                let mut ovl_cfg = ser_cfg;
+                ovl_cfg.overlap = true;
+                let ser_engine = FederatedEngine::new(lake.clone(), ser_cfg);
+                let planned = ser_engine.plan(&ast).unwrap();
+                let ser = ser_engine.execute_planned(&planned).unwrap();
+                let ovl_engine = FederatedEngine::new(lake.clone(), ovl_cfg);
+                let ovl = ovl_engine.execute_planned(&planned).unwrap();
+
+                let label = format!("{}/{}/{}", q.id, ser.stats.plan_label, network.name);
+                assert!(ser.stats.answers > 0, "{label}: query returned no rows");
+                assert_same_answers(&label, &ser, &ovl);
+
+                // Overlap can only hide latency, never add it.
+                assert!(
+                    ovl.stats.execution_time <= ser.stats.execution_time,
+                    "{label}: overlapped slower ({:?} > {:?})",
+                    ovl.stats.execution_time,
+                    ser.stats.execution_time
+                );
+                let services = planned.plan.service_count();
+                if services == 1 {
+                    // A single source has nothing to overlap with: the
+                    // scheduled chain replays the serialized clock exactly.
+                    assert_eq!(
+                        ser.stats.execution_time, ovl.stats.execution_time,
+                        "{label}: single-service timing must match"
+                    );
+                    assert_eq!(
+                        ser.stats.first_answer, ovl.stats.first_answer,
+                        "{label}: single-service first answer must match"
+                    );
+                } else if network.delay.mean_ms() > 0.0 {
+                    // Independent sources with real latency must overlap:
+                    // the critical path is strictly shorter than the sum.
+                    assert!(
+                        ovl.stats.execution_time < ser.stats.execution_time,
+                        "{label}: {services} services under {} should overlap \
+                         ({:?} !< {:?})",
+                        network.name,
+                        ovl.stats.execution_time,
+                        ser.stats.execution_time
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The reference executor runs the same overlapped schedule through
+/// term-row operators: answers and traffic must match the interned engine
+/// corner-for-corner.
+#[test]
+fn reference_executor_agrees_under_overlap() {
+    let lake_cfg = LakeConfig { scale: 0.1, ..Default::default() };
+    for q in workload::experiment_queries() {
+        let lake = build_lake_with(&lake_cfg, q.datasets);
+        let ast = parse_query(&q.sparql).unwrap();
+        for network in [NetworkProfile::NO_DELAY, NetworkProfile::GAMMA2] {
+            let mut cfg = PlanConfig::new(PlanMode::AWARE, network);
+            cfg.overlap = true;
+            let engine = FederatedEngine::new(lake.clone(), cfg);
+            let planned = engine.plan(&ast).unwrap();
+            let interned = engine.execute_planned(&planned).unwrap();
+            let reference = engine.execute_planned_reference(&planned).unwrap();
+            let label = format!("{}/overlap-ref/{}", q.id, network.name);
+            assert_eq!(
+                sorted_rows(&interned),
+                sorted_rows(&reference),
+                "{label}: answer rows diverge"
+            );
+            assert_eq!(
+                interned.stats.execution_time, reference.stats.execution_time,
+                "{label}: execution_time"
+            );
+            assert_eq!(
+                interned.stats.first_answer, reference.stats.first_answer,
+                "{label}: first_answer"
+            );
+            assert_eq!(interned.stats.messages, reference.stats.messages, "{label}: messages");
+            assert_eq!(
+                interned.stats.network_delay, reference.stats.network_delay,
+                "{label}: network_delay"
+            );
+            assert_eq!(
+                interned.stats.sql_queries, reference.stats.sql_queries,
+                "{label}: sql_queries"
+            );
+        }
+    }
+}
