@@ -4,7 +4,14 @@
 //! lake_shell [--scale S] [--seed N] [--mode unaware|aware|h2]
 //!            [--network NoDelay|Gamma1|Gamma2|Gamma3]
 //!            [--format table|json|csv] [--query SPARQL]
+//!            [--analyze] [--trace-out FILE.json]
 //! ```
+//!
+//! `--analyze` turns tracing on and prints an `EXPLAIN ANALYZE` view of
+//! every executed query (the plan tree annotated with actual rows, times
+//! and per-link fault counts). `--trace-out FILE.json` records a Chrome
+//! trace-event file of the last executed query — load it at
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
 //!
 //! Without `--query`, reads queries from stdin: each query is terminated
 //! by a blank line (or EOF). Meta-commands: `.explain on|off`,
@@ -28,6 +35,8 @@ struct Shell {
     engine: FederatedEngine,
     format: Format,
     explain: bool,
+    analyze: bool,
+    trace_out: Option<std::path::PathBuf>,
 }
 
 fn parse_mode(s: &str) -> Option<PlanMode> {
@@ -52,6 +61,21 @@ impl Shell {
             Ok(result) => {
                 if self.explain {
                     println!("{}", result.explain);
+                }
+                if self.analyze {
+                    match result.explain_analyze() {
+                        Some(report) => println!("{report}"),
+                        None => eprintln!("--analyze: no trace recorded"),
+                    }
+                }
+                if let Some(path) = &self.trace_out {
+                    match result.chrome_trace() {
+                        Some(json) => match std::fs::write(path, json) {
+                            Ok(()) => eprintln!("trace written to {}", path.display()),
+                            Err(e) => eprintln!("--trace-out {}: {e}", path.display()),
+                        },
+                        None => eprintln!("--trace-out: no trace recorded"),
+                    }
                 }
                 match self.format {
                     Format::Json => println!("{}", result.to_json()),
@@ -132,6 +156,8 @@ fn main() -> ExitCode {
     let mut network = NetworkProfile::GAMMA1;
     let mut format = Format::Table;
     let mut one_shot: Option<String> = None;
+    let mut analyze = false;
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut next = |what: &str| {
@@ -163,11 +189,17 @@ fn main() -> ExitCode {
                 }
             }
             "--query" => one_shot = Some(next("--query")),
+            "--analyze" => analyze = true,
+            "--trace-out" => trace_out = Some(next("--trace-out").into()),
             "--help" | "-h" => {
                 println!(
                     "lake_shell [--scale S] [--seed N] [--mode unaware|aware|h2] \
                      [--network NoDelay|Gamma1|Gamma2|Gamma3] [--format table|json|csv] \
-                     [--query SPARQL]"
+                     [--query SPARQL] [--analyze] [--trace-out FILE.json]\n\n\
+                     --analyze            print EXPLAIN ANALYZE (plan tree with actual rows,\n\
+                     \x20                    times, messages and per-link fault counts)\n\
+                     --trace-out FILE     write a Chrome trace-event JSON of the executed\n\
+                     \x20                    query (chrome://tracing or ui.perfetto.dev)"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -180,8 +212,10 @@ fn main() -> ExitCode {
 
     eprintln!("building the ten-dataset lake (scale {scale}) …");
     let lake = build_lake(&LakeConfig { scale, seed, ..Default::default() });
-    let engine = FederatedEngine::new(lake, PlanConfig::new(mode, network));
-    let mut shell = Shell { engine, format, explain: false };
+    let mut cfg = PlanConfig::new(mode, network);
+    cfg.tracing = analyze || trace_out.is_some();
+    let engine = FederatedEngine::new(lake, cfg);
+    let mut shell = Shell { engine, format, explain: false, analyze, trace_out };
 
     if let Some(q) = one_shot {
         shell.run_query(&q);

@@ -202,6 +202,11 @@ pub struct PlanConfig {
     /// deadline fires) return the answers produced so far with
     /// `FedStats::degraded` set, instead of failing the whole query.
     pub degraded_ok: bool,
+    /// Record a deterministic trace of the execution: spans, metrics, the
+    /// analyzed plan and a Chrome trace, returned on
+    /// [`crate::FedResult::obs`]. Recording is passive — answers, stats
+    /// and RNG streams are byte-identical with it on or off.
+    pub tracing: bool,
 }
 
 impl Default for PlanConfig {
@@ -221,6 +226,7 @@ impl Default for PlanConfig {
             deadline: None,
             overlap: false,
             degraded_ok: false,
+            tracing: false,
         }
     }
 }
@@ -272,6 +278,7 @@ mod tests {
         assert!(!c.faults.is_active(), "default links are reliable");
         assert_eq!(c.deadline, None);
         assert!(!c.degraded_ok);
+        assert!(!c.tracing, "tracing is opt-in");
     }
 
     #[test]

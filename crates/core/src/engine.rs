@@ -63,6 +63,44 @@ pub struct FedStats {
     pub degraded: bool,
 }
 
+impl FedStats {
+    /// Assembles the statistics of one execution — the single constructor
+    /// both executors use, so they cannot silently diverge on a new field.
+    /// When tracing is on, [`crate::obs::TraceSink::finish`] mirrors every
+    /// field into the metrics registry, where the reconciliation tests
+    /// compare them against the recorded spans.
+    pub(crate) fn assemble(
+        config: &PlanConfig,
+        planned: &PlannedQuery,
+        links: &HashMap<String, Arc<Link>>,
+        engine_stats: &crate::operators::EngineStats,
+        trace: &AnswerTrace,
+        answers: u64,
+        degraded: bool,
+    ) -> FedStats {
+        let (messages, rows_transferred, network_delay) = total_traffic(links);
+        FedStats {
+            plan_label: config.mode.label(),
+            network: config.network.name,
+            execution_time: trace.total_time(),
+            first_answer: trace.first_answer(),
+            answers,
+            messages,
+            rows_transferred,
+            network_delay,
+            sql_queries: engine_stats.sql_queries,
+            engine_filter_evals: engine_stats.engine_filter_evals,
+            engine_join_probes: engine_stats.engine_join_probes,
+            services: planned.plan.service_count(),
+            engine_operators: planned.plan.engine_operator_count(),
+            merged_services: planned.plan.merged_service_count(),
+            retries: engine_stats.retries,
+            source_failures: source_failures(links),
+            degraded,
+        }
+    }
+}
+
 /// The result of executing one federated query.
 #[derive(Debug, Clone)]
 pub struct FedResult {
@@ -77,6 +115,20 @@ pub struct FedResult {
     pub stats: FedStats,
     /// Human-readable plan (Figure 1's comparison).
     pub explain: String,
+    /// The trace report, when [`PlanConfig::tracing`] was set.
+    pub obs: Option<crate::obs::TraceReport>,
+}
+
+impl FedResult {
+    /// The analyzed plan tree, when the run was traced.
+    pub fn explain_analyze(&self) -> Option<String> {
+        self.obs.as_ref().map(crate::obs::explain_analyze)
+    }
+
+    /// The Chrome trace-event JSON, when the run was traced.
+    pub fn chrome_trace(&self) -> Option<String> {
+        self.obs.as_ref().map(crate::obs::chrome_trace)
+    }
 }
 
 /// The federated SPARQL engine over a Semantic Data Lake.
@@ -153,6 +205,11 @@ impl FederatedEngine {
         } else {
             shared_virtual()
         };
+        let sink = if self.config.tracing {
+            crate::obs::TraceSink::recording()
+        } else {
+            crate::obs::TraceSink::disabled()
+        };
         let links = links_for(
             &self.lake,
             self.config.network,
@@ -160,6 +217,7 @@ impl FederatedEngine {
             self.config.cost,
             self.config.seed,
             &self.fault_plans(),
+            &sink,
         );
         let mut ctx = ExecCtx::new(
             Arc::clone(&clock),
@@ -167,9 +225,13 @@ impl FederatedEngine {
             Arc::clone(&planned.schema),
             SharedInterner::new(),
         )
-        .with_retry(self.config.retry);
+        .with_retry(self.config.retry)
+        .with_trace(sink.clone());
+        sink.begin_query(&planned.plan, &self.config.mode.label());
 
-        let mut op = self.build_operator(&planned.plan, &planned.schema, &links)?;
+        let mut next_node = 0u32;
+        let mut op =
+            self.build_operator(&planned.plan, &planned.schema, &links, &sink, &mut next_node)?;
         // Solution modifiers around the streaming pipeline. The projection
         // is a slot remap resolved once per execution, not per row.
         op = Box::new(ProjectOp::new(op, planned.schema.slots_of(&planned.projection)));
@@ -207,7 +269,7 @@ impl FederatedEngine {
             };
             match step {
                 Ok(crate::operators::Poll::Ready(row)) => {
-                    trace.record(clock.now());
+                    ctx.trace.record_answer(&mut trace, clock.now());
                     slot_rows.push(row);
                     // Without ORDER BY, LIMIT can stop pulling early — the
                     // streaming behaviour ANAPSID's operators enable.
@@ -260,60 +322,58 @@ impl FederatedEngine {
             rows.truncate(l);
         }
 
-        let (messages, rows_transferred, network_delay) = total_traffic(&links);
-        let stats = FedStats {
-            plan_label: self.config.mode.label(),
-            network: self.config.network.name,
-            execution_time: trace.total_time(),
-            first_answer: trace.first_answer(),
-            answers: rows.len() as u64,
-            messages,
-            rows_transferred,
-            network_delay,
-            sql_queries: ctx.stats.sql_queries,
-            engine_filter_evals: ctx.stats.engine_filter_evals,
-            engine_join_probes: ctx.stats.engine_join_probes,
-            services: planned.plan.service_count(),
-            engine_operators: planned.plan.engine_operator_count(),
-            merged_services: planned.plan.merged_service_count(),
-            retries: ctx.stats.retries,
-            source_failures: source_failures(&links),
+        let stats = FedStats::assemble(
+            &self.config,
+            planned,
+            &links,
+            &ctx.stats,
+            &trace,
+            rows.len() as u64,
             degraded,
-        };
+        );
+        let obs = sink.finish(&links, &stats);
         Ok(FedResult {
             vars: Arc::clone(&planned.projection),
             rows,
             trace,
             stats,
             explain: crate::explain::explain_plan(&planned.plan),
+            obs,
         })
     }
 
+    // Node ids are assigned pre-order (node before children, children
+    // left to right) — the same order `crate::obs::plan_nodes` walks, so a
+    // trace's node `i` is line `i` of the analyzed tree.
     fn build_operator<'a>(
         &'a self,
         plan: &FedPlan,
         schema: &RowSchema,
         links: &HashMap<String, Arc<Link>>,
+        sink: &crate::obs::TraceSink,
+        next_node: &mut u32,
     ) -> Result<BoxedOp<'a>, FedError> {
-        match plan {
+        let node = *next_node;
+        *next_node += 1;
+        let op: BoxedOp<'a> = match plan {
             FedPlan::Service(node) => {
                 let link = links
                     .get(&node.source_id)
                     .ok_or_else(|| FedError::NoSuchSource(node.source_id.clone()))?;
-                open_service(node, &self.lake, Arc::clone(link), self.config.rows_per_message)
+                open_service(node, &self.lake, Arc::clone(link), self.config.rows_per_message)?
             }
             FedPlan::Join { left, right, on } => {
-                let l = self.build_operator(left, schema, links)?;
-                let r = self.build_operator(right, schema, links)?;
-                Ok(Box::new(SymHashJoin::new(l, r, schema.slots_of(on))))
+                let l = self.build_operator(left, schema, links, sink, next_node)?;
+                let r = self.build_operator(right, schema, links, sink, next_node)?;
+                Box::new(SymHashJoin::new(l, r, schema.slots_of(on)))
             }
             FedPlan::LeftJoin { left, right, on } => {
-                let l = self.build_operator(left, schema, links)?;
-                let r = self.build_operator(right, schema, links)?;
-                Ok(Box::new(LeftHashJoin::new(l, r, schema.slots_of(on))))
+                let l = self.build_operator(left, schema, links, sink, next_node)?;
+                let r = self.build_operator(right, schema, links, sink, next_node)?;
+                Box::new(LeftHashJoin::new(l, r, schema.slots_of(on)))
             }
             FedPlan::BindJoin { left, right, batch_size } => {
-                let l = self.build_operator(left, schema, links)?;
+                let l = self.build_operator(left, schema, links, sink, next_node)?;
                 let db = match self.lake.source(&right.source_id) {
                     Some(crate::source::DataSource::Relational { db, .. }) => db,
                     _ => {
@@ -326,26 +386,31 @@ impl FederatedEngine {
                 let link = links
                     .get(&right.source_id)
                     .ok_or_else(|| FedError::NoSuchSource(right.source_id.clone()))?;
-                Ok(Box::new(crate::wrapper::BindJoinOp::new(
+                Box::new(crate::wrapper::BindJoinOp::new(
                     l,
                     db,
                     right.clone(),
                     Arc::clone(link),
                     self.config.rows_per_message,
                     *batch_size,
-                )))
+                ))
             }
             FedPlan::Filter { input, exprs } => {
-                let i = self.build_operator(input, schema, links)?;
-                Ok(Box::new(FilterOp::new(i, exprs.clone())))
+                let i = self.build_operator(input, schema, links, sink, next_node)?;
+                Box::new(FilterOp::new(i, exprs.clone()))
             }
             FedPlan::Union(branches) => {
                 let ops = branches
                     .iter()
-                    .map(|b| self.build_operator(b, schema, links))
+                    .map(|b| self.build_operator(b, schema, links, sink, next_node))
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(Box::new(UnionOp::new(ops)))
+                Box::new(UnionOp::new(ops))
             }
-        }
+        };
+        Ok(if sink.is_enabled() {
+            Box::new(crate::obs::span::SpanOp::new(op, node, sink.clone()))
+        } else {
+            op
+        })
     }
 }

@@ -16,74 +16,81 @@ pub fn explain_plan(plan: &FedPlan) -> String {
     out
 }
 
-fn indent(out: &mut String, depth: usize) {
+pub(crate) fn indent(out: &mut String, depth: usize) {
     for _ in 0..depth {
         out.push_str("  ");
     }
 }
 
-fn render(plan: &FedPlan, depth: usize, out: &mut String) {
-    indent(out, depth);
+/// The one-line description of a plan node (no children, no trailing
+/// newline) — shared by the static tree above and by
+/// [`crate::obs::explain_analyze`], so the analyzed tree annotates exactly
+/// the lines the plain EXPLAIN shows.
+pub(crate) fn node_line(plan: &FedPlan) -> String {
     match plan {
         FedPlan::Service(s) => match &s.kind {
-            ServiceKind::Sparql { star, filters } => {
-                out.push_str(&format!(
-                    "Service[{}] SPARQL star {} ({} patterns, {} filters)\n",
-                    s.source_id,
-                    star.subject,
-                    star.triples.len(),
-                    filters.len()
-                ));
-            }
+            ServiceKind::Sparql { star, filters } => format!(
+                "Service[{}] SPARQL star {} ({} patterns, {} filters)",
+                s.source_id,
+                star.subject,
+                star.triples.len(),
+                filters.len()
+            ),
             ServiceKind::Sql { request, covers } => {
                 let kind = match request {
                     SqlRequest::Single(_) => "SQL",
                     SqlRequest::MergedOptimized(_) => "SQL merged(optimized)",
                     SqlRequest::MergedNaive { .. } => "SQL merged(naive N+1)",
                 };
-                out.push_str(&format!(
-                    "Service[{}] {kind} covering {}\n",
-                    s.source_id,
-                    covers.join(", ")
-                ));
+                format!("Service[{}] {kind} covering {}", s.source_id, covers.join(", "))
+            }
+        },
+        FedPlan::Join { on, .. } => {
+            let vars: Vec<String> = on.iter().map(|v| v.to_string()).collect();
+            if vars.is_empty() {
+                "SymmetricHashJoin (cartesian)".to_string()
+            } else {
+                format!("SymmetricHashJoin on {}", vars.join(", "))
+            }
+        }
+        FedPlan::Filter { exprs, .. } => {
+            let fs: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+            format!("EngineFilter: {}", fs.join(" && "))
+        }
+        FedPlan::Union(_) => "Union".to_string(),
+        FedPlan::BindJoin { right, batch_size, .. } => format!(
+            "BindJoin on {} -> Service[{}] column {} (batches of {})",
+            right.join_var, right.source_id, right.column, batch_size
+        ),
+        FedPlan::LeftJoin { on, .. } => {
+            let vars: Vec<String> = on.iter().map(|v| v.to_string()).collect();
+            format!("LeftJoin (OPTIONAL) on {}", vars.join(", "))
+        }
+    }
+}
+
+fn render(plan: &FedPlan, depth: usize, out: &mut String) {
+    indent(out, depth);
+    out.push_str(&node_line(plan));
+    out.push('\n');
+    match plan {
+        FedPlan::Service(s) => {
+            if let ServiceKind::Sql { request, .. } = &s.kind {
                 indent(out, depth + 1);
                 out.push_str(&format!("query: {}\n", request.sql()));
             }
-        },
-        FedPlan::Join { left, right, on } => {
-            let vars: Vec<String> = on.iter().map(|v| v.to_string()).collect();
-            if vars.is_empty() {
-                out.push_str("SymmetricHashJoin (cartesian)\n");
-            } else {
-                out.push_str(&format!("SymmetricHashJoin on {}\n", vars.join(", ")));
-            }
+        }
+        FedPlan::Join { left, right, .. } | FedPlan::LeftJoin { left, right, .. } => {
             render(left, depth + 1, out);
             render(right, depth + 1, out);
         }
-        FedPlan::Filter { input, exprs } => {
-            let fs: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
-            out.push_str(&format!("EngineFilter: {}\n", fs.join(" && ")));
-            render(input, depth + 1, out);
-        }
+        FedPlan::Filter { input, .. } => render(input, depth + 1, out),
         FedPlan::Union(branches) => {
-            out.push_str("Union\n");
             for b in branches {
                 render(b, depth + 1, out);
             }
         }
-        FedPlan::BindJoin { left, right, batch_size } => {
-            out.push_str(&format!(
-                "BindJoin on {} -> Service[{}] column {} (batches of {})\n",
-                right.join_var, right.source_id, right.column, batch_size
-            ));
-            render(left, depth + 1, out);
-        }
-        FedPlan::LeftJoin { left, right, on } => {
-            let vars: Vec<String> = on.iter().map(|v| v.to_string()).collect();
-            out.push_str(&format!("LeftJoin (OPTIONAL) on {}\n", vars.join(", ")));
-            render(left, depth + 1, out);
-            render(right, depth + 1, out);
-        }
+        FedPlan::BindJoin { left, .. } => render(left, depth + 1, out),
     }
 }
 

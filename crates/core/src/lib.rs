@@ -60,6 +60,7 @@ pub mod error;
 pub mod explain;
 pub mod fedplan;
 pub mod lake;
+pub mod obs;
 pub mod operators;
 pub mod planner;
 pub mod reference;
@@ -78,5 +79,6 @@ pub use engine::{FedResult, FedStats, FederatedEngine};
 pub use fedlake_netsim::{FaultPlan, FaultPlans, LinkFault};
 pub use error::FedError;
 pub use lake::DataLake;
+pub use obs::{explain_analyze, chrome_trace, MetricsRegistry, TraceReport, TraceSink};
 pub use source::DataSource;
 pub use trace::AnswerTrace;

@@ -1,0 +1,152 @@
+//! `EXPLAIN ANALYZE`: the static plan tree annotated with what actually
+//! happened — per-operator row counts and simulated emit times, plus the
+//! link traffic, retries and faults of every source the node talked to.
+//!
+//! The node order here is the contract between the recorder and both
+//! executors: [`plan_nodes`] walks the plan in pre-order (node before
+//! children, children left to right, a bind join recursing only into its
+//! left input), and `build_operator` / `build_ref_operator` assign span
+//! node ids by incrementing a counter in exactly the same order, so node
+//! `i` in the report is line `i` of the analyzed tree.
+
+use crate::explain::{indent, node_line};
+use crate::fedplan::FedPlan;
+use crate::obs::span::TraceReport;
+use std::time::Duration;
+
+/// One plan node in pre-order: its tree depth, its EXPLAIN line, and the
+/// source it requests from (service and bind-join nodes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanNode {
+    /// Depth in the plan tree (root = 0).
+    pub depth: usize,
+    /// The node's EXPLAIN line (shared with [`crate::explain`]).
+    pub label: String,
+    /// The source this node sends requests to, when it is a leaf request.
+    pub source: Option<String>,
+}
+
+/// The plan's nodes in pre-order (the span node-id order).
+pub fn plan_nodes(plan: &FedPlan) -> Vec<PlanNode> {
+    let mut nodes = Vec::new();
+    walk(plan, 0, &mut nodes);
+    nodes
+}
+
+fn walk(plan: &FedPlan, depth: usize, nodes: &mut Vec<PlanNode>) {
+    let source = match plan {
+        FedPlan::Service(s) => Some(s.source_id.clone()),
+        FedPlan::BindJoin { right, .. } => Some(right.source_id.clone()),
+        _ => None,
+    };
+    nodes.push(PlanNode { depth, label: node_line(plan), source });
+    match plan {
+        FedPlan::Service(_) => {}
+        FedPlan::Join { left, right, .. } | FedPlan::LeftJoin { left, right, .. } => {
+            walk(left, depth + 1, nodes);
+            walk(right, depth + 1, nodes);
+        }
+        FedPlan::BindJoin { left, .. } => walk(left, depth + 1, nodes),
+        FedPlan::Filter { input, .. } => walk(input, depth + 1, nodes),
+        FedPlan::Union(branches) => {
+            for b in branches {
+                walk(b, depth + 1, nodes);
+            }
+        }
+    }
+}
+
+/// Milliseconds with fixed precision; deterministic for equal durations.
+pub(crate) fn fmt_ms(d: Duration) -> String {
+    format!("{:.3}ms", d.as_secs_f64() * 1e3)
+}
+
+fn fmt_opt(t: Option<Duration>) -> String {
+    t.map_or_else(|| "-".to_string(), fmt_ms)
+}
+
+/// Renders the analyzed plan tree of a traced execution.
+pub fn explain_analyze(report: &TraceReport) -> String {
+    let mut out = format!(
+        "# EXPLAIN ANALYZE ({}, {}): answers={}, exec={}, messages={}, rows transferred={}, retries={}\n",
+        report.plan_label,
+        report.network,
+        report.answers_total,
+        fmt_ms(report.total_time),
+        report.messages,
+        report.rows_transferred,
+        report.retries,
+    );
+    for node in &report.nodes {
+        indent(&mut out, node.depth);
+        out.push_str(&format!(
+            "{}  [rows={} first={} done={}]\n",
+            node.label,
+            node.rows_out,
+            fmt_opt(node.first),
+            fmt_opt(node.done),
+        ));
+        if let Some(source) = &node.source {
+            if let Some(s) = report.sources.get(source) {
+                indent(&mut out, node.depth + 1);
+                out.push_str(&format!(
+                    "link[{source}]: {} msgs, {} rows, delay={}, retries={}, faults={}\n",
+                    s.link.messages,
+                    s.link.rows,
+                    fmt_ms(s.link.delay),
+                    s.retries,
+                    s.link.faults(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fedplan::{ServiceKind, ServiceNode, SqlRequest};
+    use crate::translate::TranslatedQuery;
+    use fedlake_sparql::binding::Var;
+
+    fn service(id: &str) -> FedPlan {
+        FedPlan::Service(ServiceNode {
+            source_id: id.into(),
+            kind: ServiceKind::Sql {
+                request: SqlRequest::Single(TranslatedQuery {
+                    sql: format!("SELECT * FROM {id}"),
+                    outputs: Vec::new(),
+                }),
+                covers: vec!["?x".into()],
+            },
+            estimated_rows: 1.0,
+        })
+    }
+
+    #[test]
+    fn plan_nodes_are_preorder_with_sources() {
+        let plan = FedPlan::Join {
+            left: Box::new(service("a")),
+            right: Box::new(FedPlan::Filter {
+                input: Box::new(service("b")),
+                exprs: Vec::new(),
+            }),
+            on: vec![Var::new("x")],
+        };
+        let nodes = plan_nodes(&plan);
+        assert_eq!(nodes.len(), 4);
+        assert_eq!(nodes[0].depth, 0);
+        assert!(nodes[0].label.starts_with("SymmetricHashJoin"));
+        assert_eq!(nodes[1].source.as_deref(), Some("a"));
+        assert_eq!(nodes[2].depth, 1, "filter sits under the join");
+        assert_eq!(nodes[3].source.as_deref(), Some("b"));
+        assert_eq!(nodes[3].depth, 2);
+    }
+
+    #[test]
+    fn fmt_helpers_are_stable() {
+        assert_eq!(fmt_ms(Duration::from_micros(1500)), "1.500ms");
+        assert_eq!(fmt_opt(None), "-");
+    }
+}

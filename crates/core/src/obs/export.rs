@@ -1,0 +1,132 @@
+//! Chrome trace-event JSON export (Perfetto / `chrome://tracing`).
+//!
+//! One process (`fedlake`), one thread lane per span lane (`engine`, each
+//! `src:<id>`, each `op:<n> <name>`), lanes numbered in first-appearance
+//! order. Spans become `"ph":"X"` complete events; answers become
+//! `"ph":"i"` instants. Timestamps are microseconds with nanosecond
+//! fractions, formatted from the integer nanosecond count — no float
+//! round-tripping — so equal simulated times always export as equal bytes.
+
+use crate::obs::span::{Span, SpanKind, TraceReport};
+use std::time::Duration;
+
+/// Microseconds with three fractional digits, from integer nanos.
+fn fmt_us(d: Duration) -> String {
+    let ns = d.as_nanos();
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Minimal JSON string escape (quotes, backslashes, control characters).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn event(span: &Span, tid: usize, out: &mut String) {
+    let common = format!(
+        "\"name\":\"{}\",\"cat\":\"{}\",\"pid\":1,\"tid\":{tid},\"ts\":{}",
+        esc(&span.label),
+        span.kind.name(),
+        fmt_us(span.start),
+    );
+    let args = format!(
+        "\"args\":{{\"rows\":{},\"span\":{},\"parent\":{}}}",
+        span.rows,
+        span.id,
+        span.parent.map_or_else(|| "null".to_string(), |p| p.to_string()),
+    );
+    if span.kind == SpanKind::Answer {
+        out.push_str(&format!("{{{common},\"ph\":\"i\",\"s\":\"t\",{args}}}"));
+    } else {
+        out.push_str(&format!(
+            "{{{common},\"dur\":{},\"ph\":\"X\",{args}}}",
+            fmt_us(span.end.saturating_sub(span.start)),
+        ));
+    }
+}
+
+/// Serializes a traced execution as Chrome trace-event JSON.
+pub fn chrome_trace(report: &TraceReport) -> String {
+    // Lanes in first-appearance order; `tid` is 1-based.
+    let mut lanes: Vec<&str> = Vec::new();
+    for s in &report.spans {
+        if !lanes.iter().any(|l| *l == s.lane) {
+            lanes.push(&s.lane);
+        }
+    }
+    let tid_of = |lane: &str| lanes.iter().position(|l| *l == lane).unwrap_or(0) + 1;
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"fedlake\"}}",
+    );
+    for (i, lane) in lanes.iter().enumerate() {
+        out.push_str(&format!(
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            i + 1,
+            esc(lane),
+        ));
+    }
+    for span in &report.spans {
+        out.push_str(",\n");
+        event(span, tid_of(&span.lane), &mut out);
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamps_format_from_integer_nanos() {
+        assert_eq!(fmt_us(Duration::ZERO), "0.000");
+        assert_eq!(fmt_us(Duration::from_nanos(1)), "0.001");
+        assert_eq!(fmt_us(Duration::from_micros(1500)), "1500.000");
+        assert_eq!(fmt_us(Duration::from_nanos(1_234_567)), "1234.567");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(esc("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(esc("x\ny"), "x\\ny");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn spans_become_complete_events_and_answers_instants() {
+        let x = Span {
+            id: 0,
+            parent: None,
+            kind: SpanKind::Transfer,
+            lane: "src:a".into(),
+            label: "message (3 rows)".into(),
+            start: Duration::from_micros(10),
+            end: Duration::from_micros(25),
+            rows: 3,
+        };
+        let mut out = String::new();
+        event(&x, 2, &mut out);
+        assert!(out.contains("\"ph\":\"X\""));
+        assert!(out.contains("\"ts\":10.000"));
+        assert!(out.contains("\"dur\":15.000"));
+        assert!(out.contains("\"tid\":2"));
+        let i = Span { kind: SpanKind::Answer, end: x.start, ..x };
+        let mut out = String::new();
+        event(&i, 1, &mut out);
+        assert!(out.contains("\"ph\":\"i\""));
+        assert!(!out.contains("\"dur\""));
+    }
+}

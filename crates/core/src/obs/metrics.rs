@@ -1,0 +1,181 @@
+//! A registry of named metrics with deterministic iteration order.
+//!
+//! Counters, gauges and histograms accumulated during one traced
+//! execution. Keys are dotted paths (`link.chebi.messages`,
+//! `engine.join_probes`, `sched.queue_depth`); the registry is a
+//! `BTreeMap`, so rendering and export order is independent of insertion
+//! order — a requirement of the byte-identical-trace contract.
+
+use std::collections::BTreeMap;
+
+/// One metric value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Monotone event count.
+    Counter(u64),
+    /// Last-written value plus the maximum ever written.
+    Gauge {
+        /// Most recent value.
+        last: u64,
+        /// Largest value observed.
+        max: u64,
+    },
+    /// Distribution summary of observed samples.
+    Histogram {
+        /// Samples observed.
+        count: u64,
+        /// Sum of samples.
+        sum: u64,
+        /// Smallest sample.
+        min: u64,
+        /// Largest sample.
+        max: u64,
+    },
+}
+
+/// Named metrics for one execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    entries: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to the counter `name` (created at zero).
+    pub fn counter_add(&mut self, name: &str, v: u64) {
+        match self.entries.get_mut(name) {
+            Some(Metric::Counter(c)) => *c += v,
+            Some(other) => panic!("metric {name} is not a counter: {other:?}"),
+            None => {
+                self.entries.insert(name.to_string(), Metric::Counter(v));
+            }
+        }
+    }
+
+    /// Sets the gauge `name` to `v`, tracking its maximum.
+    pub fn gauge_set(&mut self, name: &str, v: u64) {
+        match self.entries.get_mut(name) {
+            Some(Metric::Gauge { last, max }) => {
+                *last = v;
+                *max = (*max).max(v);
+            }
+            Some(other) => panic!("metric {name} is not a gauge: {other:?}"),
+            None => {
+                self.entries.insert(name.to_string(), Metric::Gauge { last: v, max: v });
+            }
+        }
+    }
+
+    /// Records one sample `v` in the histogram `name`.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        match self.entries.get_mut(name) {
+            Some(Metric::Histogram { count, sum, min, max }) => {
+                *count += 1;
+                *sum += v;
+                *min = (*min).min(v);
+                *max = (*max).max(v);
+            }
+            Some(other) => panic!("metric {name} is not a histogram: {other:?}"),
+            None => {
+                self.entries
+                    .insert(name.to_string(), Metric::Histogram { count: 1, sum: v, min: v, max: v });
+            }
+        }
+    }
+
+    /// The metric named `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Metric> {
+        self.entries.get(name).copied()
+    }
+
+    /// The counter `name`, or zero when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.entries.get(name) {
+            Some(Metric::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// All metrics in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// One `name value` line per metric, in key order.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, metric) in self.iter() {
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("{name} {c}\n")),
+                Metric::Gauge { last, max } => {
+                    out.push_str(&format!("{name} last={last} max={max}\n"))
+                }
+                Metric::Histogram { count, sum, min, max } => out.push_str(&format!(
+                    "{name} count={count} sum={sum} min={min} max={max}\n"
+                )),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("a.b", 2);
+        m.counter_add("a.b", 3);
+        assert_eq!(m.get("a.b"), Some(Metric::Counter(5)));
+        assert_eq!(m.counter("a.b"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_track_max() {
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("depth", 3);
+        m.gauge_set("depth", 7);
+        m.gauge_set("depth", 2);
+        assert_eq!(m.get("depth"), Some(Metric::Gauge { last: 2, max: 7 }));
+    }
+
+    #[test]
+    fn histograms_summarize() {
+        let mut m = MetricsRegistry::new();
+        for v in [4, 1, 9] {
+            m.observe("h", v);
+        }
+        assert_eq!(m.get("h"), Some(Metric::Histogram { count: 3, sum: 14, min: 1, max: 9 }));
+    }
+
+    #[test]
+    fn render_is_sorted_regardless_of_insertion() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("z", 1);
+        a.counter_add("a", 1);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("a", 1);
+        b.counter_add("z", 1);
+        assert_eq!(a.render(), b.render());
+        assert!(a.render().starts_with("a 1\n"));
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,19 @@
+//! Observability: deterministic spans, metrics, and renderers.
+//!
+//! Everything here is driven by the simulated clock and recorded through a
+//! [`TraceSink`] threaded from the executors down into netsim, so one
+//! traced run yields: the span tree ([`span`]), a metrics registry
+//! ([`metrics`]), an annotated plan tree ([`analyze`]) and a
+//! Perfetto-loadable Chrome trace ([`export`]). The sink is a no-op when
+//! [`crate::PlanConfig::tracing`] is off, and recording is passive —
+//! enabling it never changes answers, stats, or RNG streams.
+
+pub mod analyze;
+pub mod export;
+pub mod metrics;
+pub mod span;
+
+pub use analyze::{explain_analyze, plan_nodes, PlanNode};
+pub use export::chrome_trace;
+pub use metrics::{Metric, MetricsRegistry};
+pub use span::{NodeReport, SourceReport, Span, SpanKind, TraceReport, TraceSink};

@@ -56,6 +56,9 @@ pub struct ExecCtx {
     /// The discrete-event schedule of in-flight source work (overlapped
     /// execution only; stays empty under the serialized schedule).
     pub sched: EventQueue,
+    /// The trace sink wrapper streams record spans into (disabled — a
+    /// single branch per hook — unless the config asks for tracing).
+    pub trace: crate::obs::TraceSink,
 }
 
 impl ExecCtx {
@@ -75,12 +78,23 @@ impl ExecCtx {
             interner,
             retry: crate::config::RetryPolicy::default(),
             sched: EventQueue::new(),
+            trace: crate::obs::TraceSink::disabled(),
         }
     }
 
     /// Sets the retry policy wrapper streams consult.
     pub fn with_retry(mut self, retry: crate::config::RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Installs a trace sink; an enabled sink also observes the event
+    /// queue's depth.
+    pub fn with_trace(mut self, trace: crate::obs::TraceSink) -> Self {
+        if let Some(obs) = trace.net_observer() {
+            self.sched.set_observer(obs);
+        }
+        self.trace = trace;
         self
     }
 }

@@ -27,7 +27,7 @@ use crate::lake::DataLake;
 use crate::operators::{earlier, BoxedOp, ExecCtx, FedOp, Poll};
 use crate::planner::PlannedQuery;
 use crate::trace::AnswerTrace;
-use crate::wrapper::{links_for, open_service, source_failures, total_traffic};
+use crate::wrapper::{links_for, open_service};
 use fedlake_netsim::clock::{shared_real, shared_virtual};
 use fedlake_netsim::{EventTime, Link};
 use fedlake_rdf::{SharedInterner, Term};
@@ -55,6 +55,36 @@ pub trait RefOp {
 
 /// A boxed reference operator.
 pub type BoxedRefOp<'a> = Box<dyn RefOp + 'a>;
+
+/// The reference-executor twin of [`crate::obs::span::SpanOp`]: counts a
+/// plan node's emissions into the trace sink. Installed only when tracing
+/// is enabled.
+struct SpanRefOp<'a> {
+    inner: BoxedRefOp<'a>,
+    node: u32,
+    sink: crate::obs::TraceSink,
+}
+
+impl RefOp for SpanRefOp<'_> {
+    fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<Row>, FedError> {
+        let r = self.inner.next(ctx)?;
+        match &r {
+            Some(_) => self.sink.node_emit(self.node, ctx.clock.now()),
+            None => self.sink.node_done(self.node, ctx.clock.now()),
+        }
+        Ok(r)
+    }
+
+    fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<Row>, FedError> {
+        let r = self.inner.poll_next(ctx)?;
+        match &r {
+            Poll::Ready(_) => self.sink.node_emit(self.node, ctx.clock.now()),
+            Poll::Done => self.sink.node_done(self.node, ctx.clock.now()),
+            Poll::Pending(_) => {}
+        }
+        Ok(r)
+    }
+}
 
 /// Decodes a slot-based stream (a wrapper service or bind join) into
 /// term rows at the source boundary.
@@ -644,32 +674,38 @@ impl RefOp for RowsRefOp {
     }
 }
 
+// Node ids are assigned pre-order, exactly as the interned engine's
+// `build_operator` does, so both executors report into the same node table.
 fn build_ref_operator<'a>(
     lake: &'a DataLake,
     config: &crate::config::PlanConfig,
     plan: &FedPlan,
     links: &HashMap<String, Arc<Link>>,
+    sink: &crate::obs::TraceSink,
+    next_node: &mut u32,
 ) -> Result<BoxedRefOp<'a>, FedError> {
-    match plan {
+    let node_id = *next_node;
+    *next_node += 1;
+    let op: BoxedRefOp<'a> = match plan {
         FedPlan::Service(node) => {
             let link = links
                 .get(&node.source_id)
                 .ok_or_else(|| FedError::NoSuchSource(node.source_id.clone()))?;
             let op = open_service(node, lake, Arc::clone(link), config.rows_per_message)?;
-            Ok(Box::new(DecodeOp::new(op)))
+            Box::new(DecodeOp::new(op))
         }
         FedPlan::Join { left, right, on } => {
-            let l = build_ref_operator(lake, config, left, links)?;
-            let r = build_ref_operator(lake, config, right, links)?;
-            Ok(Box::new(SymHashJoinRef::new(l, r, on.clone())))
+            let l = build_ref_operator(lake, config, left, links, sink, next_node)?;
+            let r = build_ref_operator(lake, config, right, links, sink, next_node)?;
+            Box::new(SymHashJoinRef::new(l, r, on.clone()))
         }
         FedPlan::LeftJoin { left, right, on } => {
-            let l = build_ref_operator(lake, config, left, links)?;
-            let r = build_ref_operator(lake, config, right, links)?;
-            Ok(Box::new(LeftHashJoinRef::new(l, r, on.clone())))
+            let l = build_ref_operator(lake, config, left, links, sink, next_node)?;
+            let r = build_ref_operator(lake, config, right, links, sink, next_node)?;
+            Box::new(LeftHashJoinRef::new(l, r, on.clone()))
         }
         FedPlan::BindJoin { left, right, batch_size } => {
-            let l = build_ref_operator(lake, config, left, links)?;
+            let l = build_ref_operator(lake, config, left, links, sink, next_node)?;
             let db = match lake.source(&right.source_id) {
                 Some(crate::source::DataSource::Relational { db, .. }) => db,
                 _ => {
@@ -690,20 +726,25 @@ fn build_ref_operator<'a>(
                 config.rows_per_message,
                 *batch_size,
             );
-            Ok(Box::new(DecodeOp::new(Box::new(bind))))
+            Box::new(DecodeOp::new(Box::new(bind)))
         }
         FedPlan::Filter { input, exprs } => {
-            let i = build_ref_operator(lake, config, input, links)?;
-            Ok(Box::new(FilterRefOp::new(i, exprs.clone())))
+            let i = build_ref_operator(lake, config, input, links, sink, next_node)?;
+            Box::new(FilterRefOp::new(i, exprs.clone()))
         }
         FedPlan::Union(branches) => {
             let ops = branches
                 .iter()
-                .map(|b| build_ref_operator(lake, config, b, links))
+                .map(|b| build_ref_operator(lake, config, b, links, sink, next_node))
                 .collect::<Result<Vec<_>, _>>()?;
-            Ok(Box::new(UnionRefOp::new(ops)))
+            Box::new(UnionRefOp::new(ops))
         }
-    }
+    };
+    Ok(if sink.is_enabled() {
+        Box::new(SpanRefOp { inner: op, node: node_id, sink: sink.clone() })
+    } else {
+        op
+    })
 }
 
 impl FederatedEngine {
@@ -717,6 +758,11 @@ impl FederatedEngine {
     ) -> Result<FedResult, FedError> {
         let config = self.config();
         let clock = if config.real_time { shared_real() } else { shared_virtual() };
+        let sink = if config.tracing {
+            crate::obs::TraceSink::recording()
+        } else {
+            crate::obs::TraceSink::disabled()
+        };
         let links = links_for(
             self.lake(),
             config.network,
@@ -724,6 +770,7 @@ impl FederatedEngine {
             config.cost,
             config.seed,
             &self.fault_plans(),
+            &sink,
         );
         let mut ctx = ExecCtx::new(
             Arc::clone(&clock),
@@ -731,9 +778,13 @@ impl FederatedEngine {
             Arc::clone(&planned.schema),
             SharedInterner::new(),
         )
-        .with_retry(config.retry);
+        .with_retry(config.retry)
+        .with_trace(sink.clone());
+        sink.begin_query(&planned.plan, &config.mode.label());
 
-        let mut op = build_ref_operator(self.lake(), config, &planned.plan, &links)?;
+        let mut next_node = 0u32;
+        let mut op =
+            build_ref_operator(self.lake(), config, &planned.plan, &links, &sink, &mut next_node)?;
         op = Box::new(ProjectRefOp::new(op, planned.projection.to_vec()));
         if planned.distinct {
             op = Box::new(DistinctRefOp::new(op));
@@ -763,7 +814,7 @@ impl FederatedEngine {
             };
             match step {
                 Ok(Poll::Ready(row)) => {
-                    trace.record(clock.now());
+                    ctx.trace.record_answer(&mut trace, clock.now());
                     rows.push(row);
                     if want.is_some_and(|w| rows.len() >= w) {
                         break;
@@ -804,32 +855,23 @@ impl FederatedEngine {
             rows.truncate(l);
         }
 
-        let (messages, rows_transferred, network_delay) = total_traffic(&links);
-        let stats = FedStats {
-            plan_label: config.mode.label(),
-            network: config.network.name,
-            execution_time: trace.total_time(),
-            first_answer: trace.first_answer(),
-            answers: rows.len() as u64,
-            messages,
-            rows_transferred,
-            network_delay,
-            sql_queries: ctx.stats.sql_queries,
-            engine_filter_evals: ctx.stats.engine_filter_evals,
-            engine_join_probes: ctx.stats.engine_join_probes,
-            services: planned.plan.service_count(),
-            engine_operators: planned.plan.engine_operator_count(),
-            merged_services: planned.plan.merged_service_count(),
-            retries: ctx.stats.retries,
-            source_failures: source_failures(&links),
+        let stats = FedStats::assemble(
+            config,
+            planned,
+            &links,
+            &ctx.stats,
+            &trace,
+            rows.len() as u64,
             degraded,
-        };
+        );
+        let obs = sink.finish(&links, &stats);
         Ok(FedResult {
             vars: Arc::clone(&planned.projection),
             rows,
             trace,
             stats,
             explain: crate::explain::explain_plan(&planned.plan),
+            obs,
         })
     }
 }

@@ -200,6 +200,43 @@ mod tests {
     }
 
     #[test]
+    fn csv_precision() {
+        // Microsecond precision survives the fixed 6-decimal format, and
+        // the full serialization is byte-stable (the trace invariants
+        // suite relies on trace exports being reproducible bytes).
+        let mut t = AnswerTrace::new();
+        t.record(Duration::from_nanos(1)); // below the printed precision
+        t.record(Duration::from_micros(1));
+        t.record(Duration::from_millis(1) + Duration::from_micros(234));
+        t.record(Duration::from_secs(3600));
+        assert_eq!(
+            t.to_csv(),
+            "time_s,answers\n0.000000,1\n0.000001,2\n0.001234,3\n3600.000000,4\n"
+        );
+        assert_eq!(AnswerTrace::new().to_csv(), "time_s,answers\n");
+    }
+
+    #[test]
+    fn downsample_preserves_envelope() {
+        // Downsampling keeps the first and last points, so the plotted
+        // curve starts and ends exactly where the real trace does — and
+        // every kept point still reports the true cumulative count.
+        let mut t = AnswerTrace::new();
+        for i in 0..357 {
+            t.record(ms(2 * i + 1));
+        }
+        for n in [1, 2, 3, 10, 356] {
+            let d = t.downsample(n);
+            assert!(d.len() <= n + 1, "budget {n} produced {} points", d.len());
+            assert_eq!(d.first(), t.points().first(), "budget {n} moved the start");
+            assert_eq!(d.last(), t.points().last(), "budget {n} lost the end");
+            for &(time, count) in &d {
+                assert_eq!(count, t.answers_at(time), "budget {n} broke a point");
+            }
+        }
+    }
+
+    #[test]
     fn downsample_keeps_last() {
         let mut t = AnswerTrace::new();
         for i in 0..1000 {

@@ -16,6 +16,7 @@
 use crate::error::FedError;
 use crate::fedplan::{NaiveJoin, ServiceKind, ServiceNode, SqlRequest};
 use crate::lake::DataLake;
+use crate::obs::SpanKind;
 use crate::operators::{BoxedOp, ExecCtx, FedOp, Poll};
 use crate::source::DataSource;
 use crate::translate::{sql_single, Lift, OutputBinding, StarPart};
@@ -105,6 +106,17 @@ pub fn transfer_with_retry(
                 // The receiver waited `timeout` before concluding the
                 // attempt failed, whatever the failure mode was.
                 ctx.clock.advance(policy.timeout);
+                if ctx.trace.is_enabled() {
+                    let now = ctx.clock.now();
+                    ctx.trace.source_span(
+                        SpanKind::Timeout,
+                        source_id,
+                        "detection timeout",
+                        now - policy.timeout,
+                        now,
+                        0,
+                    );
+                }
                 if attempt + 1 == budget {
                     return Err(FedError::SourceUnavailable {
                         source: source_id.to_string(),
@@ -113,6 +125,17 @@ pub fn transfer_with_retry(
                 }
                 ctx.stats.retries += 1;
                 ctx.clock.advance(policy.backoff_after(attempt));
+                if ctx.trace.is_enabled() {
+                    let now = ctx.clock.now();
+                    ctx.trace.source_span(
+                        SpanKind::Backoff,
+                        source_id,
+                        &format!("backoff before attempt {}", attempt + 2),
+                        now - policy.backoff_after(attempt),
+                        now,
+                        0,
+                    );
+                }
             }
         }
     }
@@ -166,6 +189,16 @@ pub fn schedule_transfer_with_retry(
             Ok(()) => return Ok(done),
             Err(_fault) => {
                 let failed_at = link.schedule_busy(policy.timeout, done);
+                if ctx.trace.is_enabled() {
+                    ctx.trace.source_span(
+                        SpanKind::Timeout,
+                        source_id,
+                        "detection timeout",
+                        done,
+                        failed_at,
+                        0,
+                    );
+                }
                 if attempt + 1 == budget {
                     return Err((
                         failed_at,
@@ -177,6 +210,16 @@ pub fn schedule_transfer_with_retry(
                 }
                 ctx.stats.retries += 1;
                 at = link.schedule_busy(policy.backoff_after(attempt), failed_at);
+                if ctx.trace.is_enabled() {
+                    ctx.trace.source_span(
+                        SpanKind::Backoff,
+                        source_id,
+                        &format!("backoff before attempt {}", attempt + 2),
+                        failed_at,
+                        at,
+                        0,
+                    );
+                }
             }
         }
     }
@@ -458,6 +501,16 @@ impl SqlStream<'_> {
                 let rows =
                     lift_result(&rs, &self.outputs, &ctx.schema, &mut ctx.interner.lock());
                 ctx.stats.service_rows += rows.len() as u64;
+                if ctx.trace.is_enabled() {
+                    ctx.trace.source_span(
+                        SpanKind::Compute,
+                        &self.source_id,
+                        "sql evaluation",
+                        done_req,
+                        done,
+                        rows.len() as u64,
+                    );
+                }
                 Ok(SourceFlight::Computing { ev: ctx.sched.schedule(done), rows, err: None })
             }
             Err((t, e)) => Ok(SourceFlight::Computing {
@@ -477,10 +530,22 @@ impl FedOp for SqlStream<'_> {
             ctx.stats.sql_queries += 1;
             transfer_with_retry(&self.link, &self.source_id, 0, ctx)?;
             let rs = self.db.query(&self.sql)?;
-            ctx.clock.advance(ctx.cost.rdb_time(&convert_cost(&rs.cost)));
+            let work = ctx.cost.rdb_time(&convert_cost(&rs.cost));
+            ctx.clock.advance(work);
             let rows =
                 lift_result(&rs, &self.outputs, &ctx.schema, &mut ctx.interner.lock());
             ctx.stats.service_rows += rows.len() as u64;
+            if ctx.trace.is_enabled() {
+                let now = ctx.clock.now();
+                ctx.trace.source_span(
+                    SpanKind::Compute,
+                    &self.source_id,
+                    "sql evaluation",
+                    now - work,
+                    now,
+                    rows.len() as u64,
+                );
+            }
             self.state = Some(Delivery::new(rows));
         }
         let delivery = self.state.as_mut().expect("initialized above");
@@ -528,6 +593,16 @@ impl SparqlStream<'_> {
                     done_req,
                 );
                 ctx.stats.service_rows += rows.len() as u64;
+                if ctx.trace.is_enabled() {
+                    ctx.trace.source_span(
+                        SpanKind::Compute,
+                        &self.source_id,
+                        "sparql evaluation",
+                        done_req,
+                        done,
+                        rows.len() as u64,
+                    );
+                }
                 let mut dict = ctx.interner.lock();
                 let encoded: Vec<SlotRow> = rows
                     .iter()
@@ -554,11 +629,22 @@ impl FedOp for SparqlStream<'_> {
                 .into_iter()
                 .filter(|r| self.filters.iter().all(|f| f.test(r)))
                 .collect();
-            ctx.clock.advance(
-                ctx.cost
-                    .sparql_time(self.star.triples.len(), rows.len() as u64),
-            );
+            let work = ctx
+                .cost
+                .sparql_time(self.star.triples.len(), rows.len() as u64);
+            ctx.clock.advance(work);
             ctx.stats.service_rows += rows.len() as u64;
+            if ctx.trace.is_enabled() {
+                let now = ctx.clock.now();
+                ctx.trace.source_span(
+                    SpanKind::Compute,
+                    &self.source_id,
+                    "sparql evaluation",
+                    now - work,
+                    now,
+                    rows.len() as u64,
+                );
+            }
             let mut dict = ctx.interner.lock();
             let encoded: Vec<SlotRow> = rows
                 .iter()
@@ -673,9 +759,21 @@ impl NaiveStream<'_> {
         // The per-binding request round trip.
         transfer_with_retry(&self.link, &self.source_id, 0, ctx)?;
         let rs = self.db.query(&q.sql)?;
-        ctx.clock.advance(ctx.cost.rdb_time(&convert_cost(&rs.cost)));
+        let work = ctx.cost.rdb_time(&convert_cost(&rs.cost));
+        ctx.clock.advance(work);
         let rows = lift_result(&rs, &q.outputs, &ctx.schema, &mut ctx.interner.lock());
         ctx.stats.service_rows += rows.len() as u64;
+        if ctx.trace.is_enabled() {
+            let now = ctx.clock.now();
+            ctx.trace.source_span(
+                SpanKind::Compute,
+                &self.source_id,
+                "sql evaluation (inner)",
+                now - work,
+                now,
+                rows.len() as u64,
+            );
+        }
         Ok(rows
             .into_iter()
             .filter_map(|r| outer_row.merge(&r))
@@ -731,6 +829,16 @@ fn schedule_naive_inner(
             let done = link.schedule_busy(ctx.cost.rdb_time(&convert_cost(&rs.cost)), t_req);
             let rows = lift_result(&rs, &q.outputs, &ctx.schema, &mut ctx.interner.lock());
             ctx.stats.service_rows += rows.len() as u64;
+            if ctx.trace.is_enabled() {
+                ctx.trace.source_span(
+                    SpanKind::Compute,
+                    source_id,
+                    "sql evaluation (inner)",
+                    t_req,
+                    done,
+                    rows.len() as u64,
+                );
+            }
             let merged: Vec<SlotRow> =
                 rows.into_iter().filter_map(|r| outer_row.merge(&r)).collect();
             Ok(wait(ctx, done, merged, None))
@@ -745,10 +853,22 @@ impl FedOp for NaiveStream<'_> {
             ctx.stats.sql_queries += 1;
             transfer_with_retry(&self.link, &self.source_id, 0, ctx)?;
             let rs = self.db.query(&self.outer_sql)?;
-            ctx.clock.advance(ctx.cost.rdb_time(&convert_cost(&rs.cost)));
+            let work = ctx.cost.rdb_time(&convert_cost(&rs.cost));
+            ctx.clock.advance(work);
             let outer =
                 lift_result(&rs, &self.outer_outputs, &ctx.schema, &mut ctx.interner.lock());
             ctx.stats.service_rows += outer.len() as u64;
+            if ctx.trace.is_enabled() {
+                let now = ctx.clock.now();
+                ctx.trace.source_span(
+                    SpanKind::Compute,
+                    &self.source_id,
+                    "sql evaluation (outer)",
+                    now - work,
+                    now,
+                    outer.len() as u64,
+                );
+            }
             self.state = Some(NaiveState {
                 outer: outer.into(),
                 buffer: Delivery::new(Vec::new()),
@@ -809,6 +929,16 @@ impl FedOp for NaiveStream<'_> {
                         &mut ctx.interner.lock(),
                     );
                     ctx.stats.service_rows += outer.len() as u64;
+                    if ctx.trace.is_enabled() {
+                        ctx.trace.source_span(
+                            SpanKind::Compute,
+                            &self.source_id,
+                            "sql evaluation (outer)",
+                            done_req,
+                            done,
+                            outer.len() as u64,
+                        );
+                    }
                     NaiveStage::Waiting {
                         ev: ctx.sched.schedule(done),
                         then: NaiveNext::Outer(outer),
@@ -1047,6 +1177,7 @@ impl<'a> BindJoinOp<'a> {
             return Ok(());
         };
         ctx.stats.sql_queries += 1;
+        let t0 = ctx.trace.is_enabled().then(|| ctx.clock.now());
         // The parameterized request.
         transfer_with_retry(&self.link, &self.source_id, 0, ctx)?;
         let rs = self.db.query(&q.sql)?;
@@ -1060,6 +1191,16 @@ impl<'a> BindJoinOp<'a> {
             self.rows_per_message,
             ctx,
         )?;
+        if let Some(t0) = t0 {
+            ctx.trace.source_span(
+                SpanKind::BindBatch,
+                &self.source_id,
+                &format!("bind batch ({} left rows)", batch.len()),
+                t0,
+                ctx.clock.now(),
+                rows.len() as u64,
+            );
+        }
         self.probe_batch(&batch, rows, ctx);
         Ok(())
     }
@@ -1072,13 +1213,9 @@ impl<'a> BindJoinOp<'a> {
             return Ok(());
         };
         ctx.stats.sql_queries += 1;
-        self.stage = match schedule_transfer_with_retry(
-            &self.link,
-            &self.source_id,
-            0,
-            ctx.clock.now(),
-            ctx,
-        ) {
+        let t0 = ctx.clock.now();
+        self.stage = match schedule_transfer_with_retry(&self.link, &self.source_id, 0, t0, ctx)
+        {
             Ok(t_req) => {
                 let rs = self.db.query(&q.sql)?;
                 let t_q = self
@@ -1094,12 +1231,24 @@ impl<'a> BindJoinOp<'a> {
                     t_q,
                     ctx,
                 ) {
-                    Ok(done) => BindStage::Flying {
-                        ev: ctx.sched.schedule(done),
-                        batch,
-                        rows,
-                        err: None,
-                    },
+                    Ok(done) => {
+                        if ctx.trace.is_enabled() {
+                            ctx.trace.source_span(
+                                SpanKind::BindBatch,
+                                &self.source_id,
+                                &format!("bind batch ({} left rows)", batch.len()),
+                                t0,
+                                done,
+                                rows.len() as u64,
+                            );
+                        }
+                        BindStage::Flying {
+                            ev: ctx.sched.schedule(done),
+                            batch,
+                            rows,
+                            err: None,
+                        }
+                    }
                     Err((t, e)) => BindStage::Flying {
                         ev: ctx.sched.schedule(t),
                         batch,
@@ -1209,21 +1358,23 @@ pub fn links_for(
     cost: fedlake_netsim::CostModel,
     seed: u64,
     faults: &fedlake_netsim::FaultPlans,
+    trace: &crate::obs::TraceSink,
 ) -> std::collections::HashMap<String, Arc<Link>> {
     lake.sources()
         .iter()
         .enumerate()
         .map(|(i, s)| {
-            (
-                s.id().to_string(),
-                Arc::new(Link::with_faults(
-                    profile,
-                    Arc::clone(&clock),
-                    cost,
-                    seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                    faults.for_source(s.id()),
-                )),
-            )
+            let mut link = Link::with_faults(
+                profile,
+                Arc::clone(&clock),
+                cost,
+                seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                faults.for_source(s.id()),
+            );
+            if let Some(obs) = trace.net_observer() {
+                link = link.with_observer(s.id(), obs);
+            }
+            (s.id().to_string(), Arc::new(link))
         })
         .collect()
 }
@@ -1565,6 +1716,7 @@ mod tests {
             CostModel::default(),
             42,
             &fedlake_netsim::FaultPlans::default(),
+            &crate::obs::TraceSink::disabled(),
         );
         assert_eq!(links.len(), 1);
         let (m, r, d) = total_traffic(&links);

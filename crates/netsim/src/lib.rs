@@ -23,6 +23,7 @@ pub mod cost;
 pub mod fault;
 pub mod gamma;
 pub mod link;
+pub mod obs;
 pub mod profile;
 pub mod sched;
 
@@ -31,5 +32,6 @@ pub use cost::CostModel;
 pub use fault::{FaultPlan, FaultPlans, LinkFault};
 pub use gamma::GammaSampler;
 pub use link::Link;
+pub use obs::NetObserver;
 pub use profile::{DelayModel, NetworkProfile};
 pub use sched::{EventQueue, EventTime};

@@ -8,9 +8,11 @@
 use crate::clock::SharedClock;
 use crate::cost::CostModel;
 use crate::fault::{FaultPlan, LinkFault};
+use crate::obs::NetObserver;
 use crate::profile::NetworkProfile;
 use fedlake_prng::Prng;
 use parking_lot_shim::Mutex;
+use std::sync::Arc;
 use std::time::Duration;
 
 // `parking_lot` is only linked by crates that already depend on it; keep
@@ -71,6 +73,10 @@ pub struct Link {
     clock: SharedClock,
     cost: CostModel,
     state: Mutex<LinkState>,
+    /// Label reported to the observer (usually the source id).
+    label: String,
+    /// Passive transfer observer; never influences outcomes or RNG.
+    observer: Option<Arc<dyn NetObserver>>,
 }
 
 #[derive(Debug)]
@@ -109,7 +115,23 @@ impl Link {
                 stats: LinkStats::default(),
                 local: Duration::ZERO,
             }),
+            label: String::new(),
+            observer: None,
         }
+    }
+
+    /// Attaches a passive transfer observer under `label`. The observer
+    /// is told about every attempt (serialized or scheduled) but cannot
+    /// perturb the link: outcomes, RNG draws, stats, and times are
+    /// identical with or without one.
+    pub fn with_observer(
+        mut self,
+        label: impl Into<String>,
+        observer: Arc<dyn NetObserver>,
+    ) -> Self {
+        self.label = label.into();
+        self.observer = Some(observer);
+        self
     }
 
     /// Attempts the transfer of one message carrying `rows` rows.
@@ -121,6 +143,18 @@ impl Link {
     /// or outage costs no link time (the *receiver's* detection timeout is
     /// the retry policy's concern, not the link's).
     pub fn try_transfer_message(&self, rows: usize) -> Result<(), LinkFault> {
+        let Some(observer) = &self.observer else {
+            return self.transfer_inner(rows);
+        };
+        let start = self.clock.now();
+        let result = self.transfer_inner(rows);
+        observer.on_transfer(&self.label, rows, start, self.clock.now(), result.err());
+        result
+    }
+
+    /// Serialized transfer body (shared by the observed and unobserved
+    /// paths); see [`Link::try_transfer_message`] for semantics.
+    fn transfer_inner(&self, rows: usize) -> Result<(), LinkFault> {
         let mut st = self.state.lock();
         let mut spike = false;
         if self.faults.is_active() {
@@ -179,6 +213,20 @@ impl Link {
     /// policy); a truncated message pays its transit like the serialized
     /// path does.
     pub fn schedule_message(&self, rows: usize, start: Duration) -> (Duration, Result<(), LinkFault>) {
+        let (begin, done, result) = self.schedule_inner(rows, start);
+        if let Some(observer) = &self.observer {
+            observer.on_transfer(&self.label, rows, begin, done, result.err());
+        }
+        (done, result)
+    }
+
+    /// Scheduled transfer body; returns `(begin, done, outcome)` so the
+    /// observed path can report the attempt's occupancy window.
+    fn schedule_inner(
+        &self,
+        rows: usize,
+        start: Duration,
+    ) -> (Duration, Duration, Result<(), LinkFault>) {
         let mut st = self.state.lock();
         let begin = st.local.max(start);
         let mut spike = false;
@@ -188,13 +236,13 @@ impl Link {
             if self.faults.in_outage(attempt) {
                 st.stats.outage_faults += 1;
                 st.local = begin;
-                return (begin, Err(LinkFault::SourceDown));
+                return (begin, begin, Err(LinkFault::SourceDown));
             }
             let u = st.rng.next_f64();
             if u < self.faults.drop_prob {
                 st.stats.dropped += 1;
                 st.local = begin;
-                return (begin, Err(LinkFault::Dropped));
+                return (begin, begin, Err(LinkFault::Dropped));
             }
             if u < self.faults.drop_prob + self.faults.truncate_prob {
                 st.stats.truncated += 1;
@@ -202,7 +250,7 @@ impl Link {
                 st.stats.delay += delay;
                 let done = begin + delay + self.cost.message_time(rows);
                 st.local = done;
-                return (done, Err(LinkFault::Truncated));
+                return (begin, done, Err(LinkFault::Truncated));
             }
             spike = u
                 < self.faults.drop_prob + self.faults.truncate_prob + self.faults.spike_prob;
@@ -219,7 +267,7 @@ impl Link {
         st.stats.delay += delay;
         let done = begin + delay + self.cost.message_time(rows);
         st.local = done;
-        (done, Ok(()))
+        (begin, done, Ok(()))
     }
 
     /// Schedules `work` of source-side compute (an RDB scan, a SPARQL
@@ -473,6 +521,66 @@ mod tests {
         assert_eq!(r, Err(LinkFault::Dropped));
         assert_eq!(done, start, "a drop completes at its begin time");
         assert_eq!(l.local_time(), start);
+    }
+
+    type TransferEvent = (String, usize, Duration, Duration, Option<LinkFault>);
+
+    #[derive(Debug, Default)]
+    struct Recorder {
+        events: Mutex<Vec<TransferEvent>>,
+    }
+
+    impl NetObserver for Recorder {
+        fn on_transfer(
+            &self,
+            link: &str,
+            rows: usize,
+            start: Duration,
+            end: Duration,
+            fault: Option<LinkFault>,
+        ) {
+            self.events.lock().push((link.to_string(), rows, start, end, fault));
+        }
+    }
+
+    #[test]
+    fn observer_is_passive_on_serialized_transfers() {
+        let plan = FaultPlan { drop_prob: 0.3, truncate_prob: 0.2, ..FaultPlan::NONE };
+        let plain = faulty(NetworkProfile::GAMMA2, plan);
+        let rec = Arc::new(Recorder::default());
+        let observed = faulty(NetworkProfile::GAMMA2, plan)
+            .with_observer("src", Arc::clone(&rec) as Arc<dyn NetObserver>);
+        for i in 0..48 {
+            let a = plain.try_transfer_message(i % 5);
+            let b = observed.try_transfer_message(i % 5);
+            assert_eq!(a, b, "observer must not change outcomes");
+        }
+        assert_eq!(plain.stats(), observed.stats());
+        assert_eq!(plain.clock().now(), observed.clock().now());
+        let events = rec.events.lock();
+        assert_eq!(events.len(), 48, "every attempt is reported");
+        let rows: u64 =
+            events.iter().filter(|e| e.4.is_none()).map(|e| e.1 as u64).sum();
+        assert_eq!(rows, observed.stats().rows, "successful rows reconcile");
+        for (label, _, start, end, _) in events.iter() {
+            assert_eq!(label, "src");
+            assert!(end >= start);
+        }
+    }
+
+    #[test]
+    fn observer_sees_scheduled_occupancy_windows() {
+        let rec = Arc::new(Recorder::default());
+        let l = link(NetworkProfile::GAMMA2)
+            .with_observer("src", Arc::clone(&rec) as Arc<dyn NetObserver>);
+        let (t1, _) = l.schedule_message(3, Duration::from_millis(2));
+        let (t2, _) = l.schedule_message(4, Duration::ZERO);
+        let events = rec.events.lock();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].2, Duration::from_millis(2), "begin honours start");
+        assert_eq!(events[0].3, t1);
+        assert_eq!(events[1].2, t1, "second transfer queues behind the first");
+        assert_eq!(events[1].3, t2);
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! every input is stalled) — the per-operator state machines hold their own
 //! event handles and complete them when polled past their due time.
 
+use crate::obs::NetObserver;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The completion instant of one scheduled event.
@@ -34,6 +36,8 @@ pub struct EventTime {
 pub struct EventQueue {
     next_seq: u64,
     pending: Vec<EventTime>,
+    /// Passive depth observer; reported after every schedule/complete.
+    observer: Option<Arc<dyn NetObserver>>,
 }
 
 impl EventQueue {
@@ -42,12 +46,25 @@ impl EventQueue {
         EventQueue::default()
     }
 
+    /// Attaches a passive observer that is told the pending-event count
+    /// after every mutation. Observers cannot affect the schedule.
+    pub fn set_observer(&mut self, observer: Arc<dyn NetObserver>) {
+        self.observer = Some(observer);
+    }
+
+    fn note_depth(&self) {
+        if let Some(o) = &self.observer {
+            o.on_queue_depth(self.pending.len());
+        }
+    }
+
     /// Registers an event completing at absolute time `time` and returns
     /// its handle. Handles are unique: `seq` never repeats.
     pub fn schedule(&mut self, time: Duration) -> EventTime {
         let ev = EventTime { time, seq: self.next_seq };
         self.next_seq += 1;
         self.pending.push(ev);
+        self.note_depth();
         ev
     }
 
@@ -55,6 +72,7 @@ impl EventQueue {
     /// were already removed.
     pub fn complete(&mut self, ev: EventTime) {
         self.pending.retain(|p| *p != ev);
+        self.note_depth();
     }
 
     /// The earliest pending event, if any.

@@ -26,6 +26,15 @@ CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
 echo "== chaos suite, overlapped (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
 FEDLAKE_OVERLAP=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
 
+# Observability: span-tree/reconciliation/determinism invariants of the
+# trace recorder, plus one chaos pass with tracing enabled — recording is
+# contractually passive, so every chaos property must hold unchanged.
+echo "== trace invariants =="
+cargo test -q --offline --test trace_invariants
+
+echo "== chaos suite, traced (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
+FEDLAKE_TRACE=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
+
 echo "== cargo clippy -D warnings (offline) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

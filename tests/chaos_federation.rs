@@ -43,6 +43,14 @@ fn overlap_mode() -> bool {
     std::env::var("FEDLAKE_OVERLAP").is_ok_and(|v| v == "1")
 }
 
+/// `FEDLAKE_TRACE=1` runs the whole suite with the span recorder enabled.
+/// Tracing is contractually passive, so every property must hold
+/// unchanged — tier-1 runs one chaos pass this way to pin the contract
+/// under fault injection.
+fn tracing_mode() -> bool {
+    std::env::var("FEDLAKE_TRACE").is_ok_and(|v| v == "1")
+}
+
 /// Answers as sorted SPARQL CSV — the byte-comparable canonical form.
 fn sorted_csv(r: &FedResult) -> String {
     let mut rows = r.rows.clone();
@@ -83,6 +91,7 @@ fn recoverable_faults_preserve_answers() {
             let mut config = PlanConfig::new(PlanMode::AWARE, network);
             config.retry = retry();
             config.overlap = overlap_mode();
+            config.tracing = tracing_mode();
             let mut engine = FederatedEngine::new(lake.clone(), config);
             let planned = engine.plan(&ast).unwrap();
             let baseline = engine.execute_planned(&planned).unwrap();
@@ -152,6 +161,7 @@ fn unrecoverable_outage_fails_cleanly_or_degrades() {
     let mut config = PlanConfig::aware(NetworkProfile::GAMMA1);
     config.retry = retry();
     config.overlap = overlap_mode();
+    config.tracing = tracing_mode();
     config.faults = FaultPlan {
         outage_after: Some(0),
         outage_len: u64::MAX,
@@ -195,6 +205,7 @@ fn deadline_times_out_or_degrades() {
 
     let mut config = PlanConfig::aware(NetworkProfile::GAMMA2);
     config.overlap = overlap_mode();
+    config.tracing = tracing_mode();
     config.deadline = Some(Duration::from_micros(1));
     let engine = FederatedEngine::new(lake.clone(), config);
     match engine.execute_sparql(&q.sparql) {
@@ -223,6 +234,7 @@ fn slack_deadline_is_invisible() {
         .unwrap();
     let mut config = PlanConfig::aware(NetworkProfile::GAMMA1);
     config.overlap = overlap_mode();
+    config.tracing = tracing_mode();
     config.deadline = Some(Duration::from_secs(3600));
     config.degraded_ok = true;
     let bounded = FederatedEngine::new(lake, config).execute_sparql(&q.sparql).unwrap();
@@ -245,6 +257,7 @@ fn targeted_outage_hits_only_the_flaky_source() {
     let mut config = PlanConfig::aware(NetworkProfile::GAMMA1);
     config.retry = retry();
     config.overlap = overlap_mode();
+    config.tracing = tracing_mode();
 
     let engine = FederatedEngine::new(lake.clone(), config);
     let planned = engine.plan(&ast).unwrap();

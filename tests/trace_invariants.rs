@@ -1,0 +1,291 @@
+//! Invariants of the deterministic trace recorder.
+//!
+//! Tracing must be **passive** (answers, stats and the answer trace are
+//! identical with it on or off), **deterministic** (the same seed and
+//! config produce byte-identical trace exports), and **reconciled** (the
+//! spans' row and message counts agree with `FedStats` and the per-link
+//! counters, so `EXPLAIN ANALYZE` never lies about the execution it
+//! annotates).
+
+use fedlake_core::obs::{Span, SpanKind};
+use fedlake_core::{FedResult, FederatedEngine, PlanConfig, PlanMode};
+use fedlake_datagen::{build_lake_with, workload, LakeConfig};
+use fedlake_netsim::{FaultPlan, NetworkProfile};
+use fedlake_sparql::parser::parse_query;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn run(q: &workload::WorkloadQuery, cfg: PlanConfig) -> FedResult {
+    let lake = build_lake_with(&LakeConfig { scale: 0.1, ..Default::default() }, q.datasets);
+    let engine = FederatedEngine::new(lake, cfg);
+    let ast = parse_query(&q.sparql).unwrap();
+    let planned = engine.plan(&ast).unwrap();
+    engine.execute_planned(&planned).unwrap()
+}
+
+fn traced(q: &workload::WorkloadQuery, mut cfg: PlanConfig) -> FedResult {
+    cfg.tracing = true;
+    run(q, cfg)
+}
+
+fn sorted_rows(r: &FedResult) -> Vec<String> {
+    let mut v: Vec<String> = r.rows.iter().map(|row| row.to_string()).collect();
+    v.sort();
+    v
+}
+
+/// Flaky-but-recoverable links: every fault is retried within the budget.
+fn recoverable_faults() -> FaultPlan {
+    FaultPlan { drop_prob: 0.2, truncate_prob: 0.1, ..FaultPlan::NONE }
+}
+
+/// Every span is well-formed: ends after it starts, has an existing
+/// parent (except the root), and lies inside its parent's envelope.
+fn assert_span_tree(label: &str, spans: &[Span]) {
+    assert!(!spans.is_empty(), "{label}: no spans recorded");
+    assert_eq!(spans[0].kind, SpanKind::Query, "{label}: span 0 is the root");
+    assert_eq!(spans[0].parent, None, "{label}: root has no parent");
+    for (i, s) in spans.iter().enumerate() {
+        assert_eq!(s.id as usize, i, "{label}: ids are list indices");
+        assert!(s.end >= s.start, "{label}: span {i} ({:?}) ends before it starts", s.kind);
+        match s.parent {
+            None => assert_eq!(i, 0, "{label}: only the root may be parentless"),
+            Some(p) => {
+                let p = &spans[p as usize];
+                assert!(
+                    s.start >= p.start && s.end <= p.end,
+                    "{label}: span {i} ({:?} {:?}..{:?}) outside parent {:?} ({:?}..{:?})",
+                    s.kind,
+                    s.start,
+                    s.end,
+                    p.kind,
+                    p.start,
+                    p.end
+                );
+            }
+        }
+    }
+    // Link activity on one lane happens on one timeline: transfer and
+    // fault spans are recorded in non-decreasing start order per lane.
+    let mut last: BTreeMap<&str, Duration> = BTreeMap::new();
+    for s in spans {
+        if !matches!(s.kind, SpanKind::Transfer | SpanKind::Fault) {
+            continue;
+        }
+        let prev = last.entry(s.lane.as_str()).or_insert(Duration::ZERO);
+        assert!(
+            s.start >= *prev,
+            "{label}: lane {} transfer at {:?} starts before previous {:?}",
+            s.lane,
+            s.start,
+            prev
+        );
+        *prev = s.start;
+    }
+}
+
+#[test]
+fn span_trees_are_well_formed_in_both_schedules() {
+    for q in &workload::experiment_queries() {
+        for overlap in [false, true] {
+            let mut cfg = PlanConfig::aware(NetworkProfile::GAMMA1);
+            cfg.overlap = overlap;
+            let r = traced(q, cfg);
+            let obs = r.obs.as_ref().expect("tracing enabled");
+            let label = format!("{}/overlap={overlap}", q.id);
+            assert_span_tree(&label, &obs.spans);
+            // Answer instants share the engine lane and never run backwards.
+            let mut prev = Duration::ZERO;
+            for s in obs.spans.iter().filter(|s| s.kind == SpanKind::Answer) {
+                assert!(s.start >= prev, "{label}: answer instants regress");
+                prev = s.start;
+            }
+        }
+    }
+}
+
+#[test]
+fn transfer_spans_reconcile_with_stats_and_links() {
+    for q in &workload::experiment_queries() {
+        for overlap in [false, true] {
+            let mut cfg = PlanConfig::aware(NetworkProfile::GAMMA1);
+            cfg.overlap = overlap;
+            let r = traced(q, cfg);
+            let obs = r.obs.as_ref().expect("tracing enabled");
+            let label = format!("{}/overlap={overlap}", q.id);
+
+            // Per-source successful-transfer spans sum to the link counters,
+            // and the totals match FedStats.
+            let mut rows_by_lane: BTreeMap<String, u64> = BTreeMap::new();
+            let mut msgs_by_lane: BTreeMap<String, u64> = BTreeMap::new();
+            for s in obs.spans.iter().filter(|s| s.kind == SpanKind::Transfer) {
+                *rows_by_lane.entry(s.lane.clone()).or_default() += s.rows;
+                *msgs_by_lane.entry(s.lane.clone()).or_default() += 1;
+            }
+            let mut rows_total = 0;
+            let mut msgs_total = 0;
+            for (source, report) in &obs.sources {
+                let lane = format!("src:{source}");
+                assert_eq!(
+                    rows_by_lane.get(&lane).copied().unwrap_or(0),
+                    report.link.rows,
+                    "{label}: {source} span rows vs link rows"
+                );
+                assert_eq!(
+                    msgs_by_lane.get(&lane).copied().unwrap_or(0),
+                    report.link.messages,
+                    "{label}: {source} span messages vs link messages"
+                );
+                rows_total += report.link.rows;
+                msgs_total += report.link.messages;
+            }
+            assert_eq!(rows_total, r.stats.rows_transferred, "{label}: rows_transferred");
+            assert_eq!(msgs_total, r.stats.messages, "{label}: messages");
+
+            // The metrics registry mirrors the engine stats.
+            assert_eq!(obs.metrics.counter("engine.answers"), r.stats.answers, "{label}");
+            assert_eq!(obs.metrics.counter("engine.messages"), r.stats.messages, "{label}");
+            assert_eq!(
+                obs.metrics.counter("engine.rows_transferred"),
+                r.stats.rows_transferred,
+                "{label}"
+            );
+            assert_eq!(obs.metrics.counter("engine.sql_queries"), r.stats.sql_queries, "{label}");
+
+            // The report totals are the stats totals.
+            assert_eq!(obs.answers_total, r.stats.answers, "{label}");
+            assert_eq!(obs.total_time, r.stats.execution_time, "{label}");
+        }
+    }
+}
+
+#[test]
+fn fault_spans_reconcile_under_chaos() {
+    let q = &workload::by_id("Q1").unwrap();
+    for overlap in [false, true] {
+        let mut cfg = PlanConfig::aware(NetworkProfile::GAMMA1);
+        cfg.overlap = overlap;
+        cfg.faults = recoverable_faults();
+        cfg.seed = 7;
+        let r = traced(q, cfg);
+        let obs = r.obs.as_ref().expect("tracing enabled");
+        let label = format!("Q1/chaos/overlap={overlap}");
+
+        let count = |kind: SpanKind| obs.spans.iter().filter(|s| s.kind == kind).count() as u64;
+        let faults_from_links: u64 = obs
+            .sources
+            .values()
+            .map(|s| s.link.dropped + s.link.truncated + s.link.outage_faults)
+            .sum();
+        assert!(faults_from_links > 0, "{label}: chaos config injected no faults");
+        assert_eq!(count(SpanKind::Fault), faults_from_links, "{label}: fault spans");
+        // Every faulted attempt is followed by a detection timeout; every
+        // retry (all but the budget-exhausting attempt) by a backoff.
+        assert_eq!(count(SpanKind::Timeout), faults_from_links, "{label}: timeout spans");
+        assert_eq!(count(SpanKind::Backoff), r.stats.retries, "{label}: backoff spans");
+        let retries_from_sources: u64 = obs.sources.values().map(|s| s.retries).sum();
+        assert_eq!(retries_from_sources, r.stats.retries, "{label}: per-source retries");
+    }
+}
+
+#[test]
+fn tracing_is_passive() {
+    for q in &workload::experiment_queries() {
+        for mode in [PlanMode::Unaware, PlanMode::AWARE] {
+            for network in NetworkProfile::ALL {
+                for overlap in [false, true] {
+                    let mut cfg = PlanConfig::new(mode, network);
+                    cfg.overlap = overlap;
+                    let off = run(q, cfg);
+                    let on = traced(q, cfg);
+                    let label =
+                        format!("{}/{}/{}/overlap={overlap}", q.id, mode.label(), network.name);
+                    assert!(off.obs.is_none(), "{label}: untraced run carries a report");
+                    assert!(on.obs.is_some(), "{label}: traced run lost its report");
+                    assert_eq!(sorted_rows(&off), sorted_rows(&on), "{label}: answers");
+                    assert_eq!(off.stats, on.stats, "{label}: stats");
+                    assert_eq!(off.trace, on.trace, "{label}: answer trace");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn same_seed_runs_export_identical_bytes() {
+    let q = &workload::by_id("Q2").unwrap();
+    for overlap in [false, true] {
+        for faulty in [false, true] {
+            let mut cfg = PlanConfig::aware(NetworkProfile::GAMMA2);
+            cfg.overlap = overlap;
+            if faulty {
+                cfg.faults = recoverable_faults();
+            }
+            let a = traced(q, cfg);
+            let b = traced(q, cfg);
+            let label = format!("Q2/overlap={overlap}/faulty={faulty}");
+            assert_eq!(
+                a.chrome_trace().unwrap(),
+                b.chrome_trace().unwrap(),
+                "{label}: chrome trace bytes diverge"
+            );
+            assert_eq!(
+                a.explain_analyze().unwrap(),
+                b.explain_analyze().unwrap(),
+                "{label}: explain analyze diverges"
+            );
+        }
+    }
+}
+
+#[test]
+fn explain_analyze_reports_the_stats() {
+    let q = &workload::by_id("Q1").unwrap();
+    let r = traced(q, PlanConfig::aware(NetworkProfile::GAMMA1));
+    let text = r.explain_analyze().unwrap();
+    assert!(text.contains(&format!("answers={}", r.stats.answers)), "{text}");
+    assert!(text.contains(&format!("messages={}", r.stats.messages)), "{text}");
+    assert!(
+        text.contains(&format!("rows transferred={}", r.stats.rows_transferred)),
+        "{text}"
+    );
+    // One annotated line per plan node, plus a link sub-line per source.
+    let obs = r.obs.as_ref().unwrap();
+    for node in &obs.nodes {
+        assert!(text.contains(&node.label), "missing node {:?} in:\n{text}", node.label);
+    }
+    for source in obs.sources.keys() {
+        assert!(text.contains(&format!("link[{source}]")), "{text}");
+    }
+}
+
+#[test]
+fn chrome_trace_has_a_lane_per_source() {
+    let q = &workload::by_id("Q4").unwrap();
+    let mut cfg = PlanConfig::aware(NetworkProfile::GAMMA1);
+    cfg.overlap = true;
+    let r = traced(q, cfg);
+    let json = r.chrome_trace().unwrap();
+    assert!(json.starts_with("{\"traceEvents\":[\n"), "header: {json:.40}");
+    assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}\n"), "footer");
+    // Cheap structural sanity: every line inside the array is an object,
+    // and braces/brackets balance.
+    assert_eq!(json.matches('{').count(), json.matches('}').count(), "unbalanced braces");
+    assert_eq!(json.matches('[').count(), json.matches(']').count(), "unbalanced brackets");
+    let obs = r.obs.as_ref().unwrap();
+    assert!(!obs.sources.is_empty());
+    for source in obs.sources.keys() {
+        let lane = format!("\"name\":\"src:{source}\"");
+        assert!(json.contains(&lane), "missing thread_name for {source}");
+        // …and that lane carries at least one complete event.
+        assert!(
+            obs.spans
+                .iter()
+                .any(|s| s.kind == SpanKind::Transfer && s.lane == format!("src:{source}")),
+            "no transfer span for {source}"
+        );
+    }
+    // Complete events and instants both made it out.
+    assert!(json.contains("\"ph\":\"X\""));
+    assert!(json.contains("\"ph\":\"i\""));
+}
