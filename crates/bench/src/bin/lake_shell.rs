@@ -5,6 +5,7 @@
 //!            [--network NoDelay|Gamma1|Gamma2|Gamma3]
 //!            [--format table|json|csv] [--query SPARQL]
 //!            [--analyze] [--trace-out FILE.json]
+//!            [--replicas N] [--outage ENDPOINT]
 //! ```
 //!
 //! `--analyze` turns tracing on and prints an `EXPLAIN ANALYZE` view of
@@ -13,12 +14,19 @@
 //! trace-event file of the last executed query — load it at
 //! `chrome://tracing` or <https://ui.perfetto.dev>.
 //!
+//! `--replicas N` replicates every source N ways (endpoints `id#r0` …),
+//! and `--outage ENDPOINT` (repeatable) puts an endless outage on one
+//! endpoint — together with `.explain on` they demonstrate replica
+//! failover and health-aware routing: the first query burns its retry
+//! budget on the dark replica and fails over; re-running it shows the
+//! planner routing to the healthy replica up front.
+//!
 //! Without `--query`, reads queries from stdin: each query is terminated
 //! by a blank line (or EOF). Meta-commands: `.explain on|off`,
 //! `.mode <m>`, `.network <n>`, `.workload <id>` (run a predefined
 //! workload query), `.quit`.
 
-use fedlake_core::{FederatedEngine, PlanConfig, PlanMode};
+use fedlake_core::{FaultPlan, FederatedEngine, PlanConfig, PlanMode};
 use fedlake_datagen::{build_lake, workload, LakeConfig};
 use fedlake_netsim::NetworkProfile;
 use std::io::{BufRead, Write};
@@ -158,6 +166,8 @@ fn main() -> ExitCode {
     let mut one_shot: Option<String> = None;
     let mut analyze = false;
     let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut replicas: u32 = 1;
+    let mut outages: Vec<String> = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut next = |what: &str| {
@@ -191,15 +201,27 @@ fn main() -> ExitCode {
             "--query" => one_shot = Some(next("--query")),
             "--analyze" => analyze = true,
             "--trace-out" => trace_out = Some(next("--trace-out").into()),
+            "--replicas" => {
+                replicas = next("--replicas").parse().unwrap_or_else(|_| {
+                    eprintln!("bad --replicas");
+                    std::process::exit(2);
+                })
+            }
+            "--outage" => outages.push(next("--outage")),
             "--help" | "-h" => {
                 println!(
                     "lake_shell [--scale S] [--seed N] [--mode unaware|aware|h2] \
                      [--network NoDelay|Gamma1|Gamma2|Gamma3] [--format table|json|csv] \
-                     [--query SPARQL] [--analyze] [--trace-out FILE.json]\n\n\
+                     [--query SPARQL] [--analyze] [--trace-out FILE.json] \
+                     [--replicas N] [--outage ENDPOINT]\n\n\
                      --analyze            print EXPLAIN ANALYZE (plan tree with actual rows,\n\
                      \x20                    times, messages and per-link fault counts)\n\
                      --trace-out FILE     write a Chrome trace-event JSON of the executed\n\
-                     \x20                    query (chrome://tracing or ui.perfetto.dev)"
+                     \x20                    query (chrome://tracing or ui.perfetto.dev)\n\
+                     --replicas N         replicate every source N ways (endpoints id#r0 …)\n\
+                     --outage ENDPOINT    endless outage on one endpoint (repeatable);\n\
+                     \x20                    with --replicas, queries fail over and the\n\
+                     \x20                    planner learns to route around it"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -211,10 +233,29 @@ fn main() -> ExitCode {
     }
 
     eprintln!("building the ten-dataset lake (scale {scale}) …");
-    let lake = build_lake(&LakeConfig { scale, seed, ..Default::default() });
+    let mut lake = build_lake(&LakeConfig { scale, seed, ..Default::default() });
+    if replicas > 1 {
+        let ids: Vec<String> = lake.sources().iter().map(|s| s.id().to_string()).collect();
+        for id in ids {
+            lake.set_replicas(id, replicas);
+        }
+        eprintln!("every source replicated {replicas} ways");
+    }
     let mut cfg = PlanConfig::new(mode, network);
     cfg.tracing = analyze || trace_out.is_some();
-    let engine = FederatedEngine::new(lake, cfg);
+    let mut engine = FederatedEngine::new(lake, cfg);
+    for endpoint in &outages {
+        engine.set_source_faults(
+            endpoint.clone(),
+            FaultPlan {
+                outage_after: Some(0),
+                outage_len: u64::MAX,
+                ..FaultPlan::NONE
+            },
+        );
+        eprintln!("endless outage injected on {endpoint}");
+    }
+    let engine = engine;
     let mut shell = Shell { engine, format, explain: false, analyze, trace_out };
 
     if let Some(q) = one_shot {

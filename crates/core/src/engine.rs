@@ -3,13 +3,14 @@
 use crate::config::PlanConfig;
 use crate::error::FedError;
 use crate::fedplan::FedPlan;
+use crate::health::{HealthView, SourceHealth};
 use crate::lake::DataLake;
 use crate::operators::{
     BoxedOp, DistinctOp, ExecCtx, FilterOp, LeftHashJoin, ProjectOp, SymHashJoin, UnionOp,
 };
-use crate::planner::{plan_query, PlannedQuery};
+use crate::planner::{plan_query_with_health, PlannedQuery};
 use crate::trace::AnswerTrace;
-use crate::wrapper::{links_for, open_service, source_failures, total_traffic};
+use crate::wrapper::{links_for, open_service, route_for, source_failures, total_traffic};
 use fedlake_netsim::clock::{shared_real, shared_virtual};
 use fedlake_netsim::Link;
 use fedlake_rdf::SharedInterner;
@@ -139,12 +140,31 @@ pub struct FederatedEngine {
     /// Per-source fault overrides layered over `config.faults` (which
     /// stays the uniform default so [`PlanConfig`] remains `Copy`).
     fault_overrides: BTreeMap<String, fedlake_netsim::FaultPlan>,
+    /// Correlated-outage groups layered over the per-source plans.
+    outage_groups: Vec<fedlake_netsim::OutageGroup>,
+    /// Session health registry: per-endpoint counters fed by every
+    /// execution's link stats, consulted at plan time for replica routing
+    /// and degraded-source demotion.
+    health: SourceHealth,
+    /// Failures at which an endpoint counts as degraded for planning.
+    health_threshold: u64,
 }
+
+/// Failures before the planner treats an endpoint as degraded — two full
+/// default retry budgets, so one unlucky message cannot demote a source.
+const DEFAULT_HEALTH_THRESHOLD: u64 = 8;
 
 impl FederatedEngine {
     /// Creates an engine over `lake` with `config`.
     pub fn new(lake: DataLake, config: PlanConfig) -> Self {
-        FederatedEngine { lake, config, fault_overrides: BTreeMap::new() }
+        FederatedEngine {
+            lake,
+            config,
+            fault_overrides: BTreeMap::new(),
+            outage_groups: Vec::new(),
+            health: SourceHealth::new(),
+            health_threshold: DEFAULT_HEALTH_THRESHOLD,
+        }
     }
 
     /// Overrides the fault plan for one source id; other sources keep the
@@ -157,12 +177,36 @@ impl FederatedEngine {
         self.fault_overrides.insert(source_id.into(), plan);
     }
 
+    /// Adds a correlated-outage group: every member endpoint (or every
+    /// replica of a member logical source) goes dark over the same seeded
+    /// window, on top of its own fault plan.
+    pub fn add_outage_group(&mut self, group: fedlake_netsim::OutageGroup) {
+        self.outage_groups.push(group);
+    }
+
+    /// Sets the failure count at which the planner treats an endpoint as
+    /// degraded (default 8).
+    pub fn set_health_threshold(&mut self, threshold: u64) {
+        self.health_threshold = threshold;
+    }
+
+    /// The session's health registry (fed after every execution).
+    pub fn health(&self) -> &SourceHealth {
+        &self.health
+    }
+
+    /// The planner's view of session health.
+    fn health_view(&self) -> HealthView {
+        HealthView { endpoints: self.health.snapshot(), threshold: self.health_threshold }
+    }
+
     /// The full fault schedule: the uniform default plus any per-source
-    /// overrides.
+    /// overrides plus the correlated-outage groups.
     pub fn fault_plans(&self) -> fedlake_netsim::FaultPlans {
         fedlake_netsim::FaultPlans {
             default: self.config.faults,
             overrides: self.fault_overrides.clone(),
+            groups: self.outage_groups.clone(),
         }
     }
 
@@ -181,9 +225,10 @@ impl FederatedEngine {
         self.config = config;
     }
 
-    /// Plans a query without executing it.
+    /// Plans a query without executing it, consulting the session's
+    /// health registry for replica routing and degraded-source demotion.
     pub fn plan(&self, query: &SelectQuery) -> Result<PlannedQuery, FedError> {
-        plan_query(query, &self.lake, &self.config)
+        plan_query_with_health(query, &self.lake, &self.config, &self.health_view())
     }
 
     /// Parses, plans and executes a SPARQL query.
@@ -226,6 +271,7 @@ impl FederatedEngine {
             SharedInterner::new(),
         )
         .with_retry(self.config.retry)
+        .with_deadline(self.config.deadline)
         .with_trace(sink.clone());
         sink.begin_query(&planned.plan, &self.config.mode.label());
 
@@ -241,7 +287,8 @@ impl FederatedEngine {
 
         let mut trace = AnswerTrace::new();
         let mut slot_rows: Vec<SlotRow> = Vec::new();
-        let mut degraded = false;
+        // Sources skipped at plan time already make the answer partial.
+        let mut degraded = !planned.skipped_sources.is_empty();
         let unordered_limit = planned.order_by.is_empty().then_some(()).and(planned.limit);
         let want = unordered_limit.map(|l| l + planned.offset);
         loop {
@@ -322,6 +369,10 @@ impl FederatedEngine {
             rows.truncate(l);
         }
 
+        // Feed this execution's link counters into the session health
+        // registry: the next plan() call routes around what failed here.
+        self.health.record_links(&links);
+
         let stats = FedStats::assemble(
             &self.config,
             planned,
@@ -357,10 +408,8 @@ impl FederatedEngine {
         *next_node += 1;
         let op: BoxedOp<'a> = match plan {
             FedPlan::Service(node) => {
-                let link = links
-                    .get(&node.source_id)
-                    .ok_or_else(|| FedError::NoSuchSource(node.source_id.clone()))?;
-                open_service(node, &self.lake, Arc::clone(link), self.config.rows_per_message)?
+                let route = route_for(&node.source_id, &node.route, links)?;
+                open_service(node, &self.lake, route, self.config.rows_per_message)?
             }
             FedPlan::Join { left, right, on } => {
                 let l = self.build_operator(left, schema, links, sink, next_node)?;
@@ -383,14 +432,12 @@ impl FederatedEngine {
                         )))
                     }
                 };
-                let link = links
-                    .get(&right.source_id)
-                    .ok_or_else(|| FedError::NoSuchSource(right.source_id.clone()))?;
+                let route = route_for(&right.source_id, &right.route, links)?;
                 Box::new(crate::wrapper::BindJoinOp::new(
                     l,
                     db,
                     right.clone(),
-                    Arc::clone(link),
+                    route,
                     self.config.rows_per_message,
                     *batch_size,
                 ))

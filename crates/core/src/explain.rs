@@ -28,23 +28,29 @@ pub(crate) fn indent(out: &mut String, depth: usize) {
 /// the lines the plain EXPLAIN shows.
 pub(crate) fn node_line(plan: &FedPlan) -> String {
     match plan {
-        FedPlan::Service(s) => match &s.kind {
-            ServiceKind::Sparql { star, filters } => format!(
-                "Service[{}] SPARQL star {} ({} patterns, {} filters)",
-                s.source_id,
-                star.subject,
-                star.triples.len(),
-                filters.len()
-            ),
-            ServiceKind::Sql { request, covers } => {
-                let kind = match request {
-                    SqlRequest::Single(_) => "SQL",
-                    SqlRequest::MergedOptimized(_) => "SQL merged(optimized)",
-                    SqlRequest::MergedNaive { .. } => "SQL merged(naive N+1)",
-                };
-                format!("Service[{}] {kind} covering {}", s.source_id, covers.join(", "))
+        FedPlan::Service(s) => {
+            let line = match &s.kind {
+                ServiceKind::Sparql { star, filters } => format!(
+                    "Service[{}] SPARQL star {} ({} patterns, {} filters)",
+                    s.source_id,
+                    star.subject,
+                    star.triples.len(),
+                    filters.len()
+                ),
+                ServiceKind::Sql { request, covers } => {
+                    let kind = match request {
+                        SqlRequest::Single(_) => "SQL",
+                        SqlRequest::MergedOptimized(_) => "SQL merged(optimized)",
+                        SqlRequest::MergedNaive { .. } => "SQL merged(naive N+1)",
+                    };
+                    format!("Service[{}] {kind} covering {}", s.source_id, covers.join(", "))
+                }
+            };
+            match &s.route {
+                Some(r) => format!("{line} via {} [{}]", r.primary(), r.reason),
+                None => line,
             }
-        },
+        }
         FedPlan::Join { on, .. } => {
             let vars: Vec<String> = on.iter().map(|v| v.to_string()).collect();
             if vars.is_empty() {
@@ -58,10 +64,16 @@ pub(crate) fn node_line(plan: &FedPlan) -> String {
             format!("EngineFilter: {}", fs.join(" && "))
         }
         FedPlan::Union(_) => "Union".to_string(),
-        FedPlan::BindJoin { right, batch_size, .. } => format!(
-            "BindJoin on {} -> Service[{}] column {} (batches of {})",
-            right.join_var, right.source_id, right.column, batch_size
-        ),
+        FedPlan::BindJoin { right, batch_size, .. } => {
+            let line = format!(
+                "BindJoin on {} -> Service[{}] column {} (batches of {})",
+                right.join_var, right.source_id, right.column, batch_size
+            );
+            match &right.route {
+                Some(r) => format!("{line} via {} [{}]", r.primary(), r.reason),
+                None => line,
+            }
+        }
         FedPlan::LeftJoin { on, .. } => {
             let vars: Vec<String> = on.iter().map(|v| v.to_string()).collect();
             format!("LeftJoin (OPTIONAL) on {}", vars.join(", "))
@@ -104,6 +116,7 @@ mod tests {
     fn explain_contains_summary_and_sql() {
         let plan = FedPlan::Service(ServiceNode {
             source_id: "diseasome".into(),
+            route: None,
             kind: ServiceKind::Sql {
                 request: SqlRequest::Single(TranslatedQuery {
                     sql: "SELECT g.id AS g_id FROM gene g".into(),
@@ -117,5 +130,29 @@ mod tests {
         assert!(text.contains("# services: 1, engine operators: 0"));
         assert!(text.contains("Service[diseasome] SQL covering ?g"));
         assert!(text.contains("SELECT g.id AS g_id FROM gene g"));
+    }
+
+    #[test]
+    fn explain_shows_the_routed_replica_and_reason() {
+        let plan = FedPlan::Service(ServiceNode {
+            source_id: "diseasome".into(),
+            route: Some(crate::fedplan::ReplicaRoute {
+                endpoints: vec!["diseasome#r1".into(), "diseasome#r0".into()],
+                reason: "healthiest first (failures: diseasome#r1=0, diseasome#r0=6)".into(),
+            }),
+            kind: ServiceKind::Sql {
+                request: SqlRequest::Single(TranslatedQuery {
+                    sql: "SELECT g.id AS g_id FROM gene g".into(),
+                    outputs: Vec::new(),
+                }),
+                covers: vec!["?g".into()],
+            },
+            estimated_rows: 10.0,
+        });
+        let text = explain_plan(&plan);
+        assert!(text.contains(
+            "Service[diseasome] SQL covering ?g via diseasome#r1 \
+             [healthiest first (failures: diseasome#r1=0, diseasome#r0=6)]"
+        ));
     }
 }

@@ -82,6 +82,28 @@ pub enum ServiceKind {
     },
 }
 
+/// The planner's routing decision for a replicated source: the replica
+/// endpoints to use, preferred (healthiest) first, with the reason the
+/// order was chosen. Decided once at plan time from the session's health
+/// snapshot, so both executors — and any re-execution of the same plan —
+/// contact replicas in exactly the same order. `None` on an unreplicated
+/// source: the service talks to the plain source id as before.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaRoute {
+    /// Replica endpoint ids, preferred first; later entries are the
+    /// failover order when an earlier replica exhausts its retry budget.
+    pub endpoints: Vec<String>,
+    /// Human-readable routing rationale (shown by EXPLAIN).
+    pub reason: String,
+}
+
+impl ReplicaRoute {
+    /// The endpoint the service contacts first.
+    pub fn primary(&self) -> &str {
+        &self.endpoints[0]
+    }
+}
+
 /// The right side of an engine-level bind join: a relational star whose
 /// SQL is re-issued per batch of left bindings with an `IN` list on the
 /// join column (ANAPSID's dependent-join lineage).
@@ -89,6 +111,8 @@ pub enum ServiceKind {
 pub struct BindTarget {
     /// Target source.
     pub source_id: String,
+    /// Replica routing decision (`None` = unreplicated).
+    pub route: Option<ReplicaRoute>,
     /// The star's reusable SQL fragments (without the IN restriction).
     pub part: crate::translate::StarPart,
     /// The shared variable whose left-side bindings are shipped.
@@ -109,6 +133,8 @@ pub struct BindTarget {
 pub struct ServiceNode {
     /// Target source.
     pub source_id: String,
+    /// Replica routing decision (`None` = unreplicated).
+    pub route: Option<ReplicaRoute>,
     /// The request.
     pub kind: ServiceKind,
     /// Optimizer's cardinality estimate (drives join ordering).
@@ -237,6 +263,7 @@ mod tests {
     fn service(est: f64) -> FedPlan {
         FedPlan::Service(ServiceNode {
             source_id: "s".into(),
+            route: None,
             kind: ServiceKind::Sql {
                 request: SqlRequest::Single(TranslatedQuery {
                     sql: "SELECT 1".into(),
@@ -268,6 +295,7 @@ mod tests {
     fn merged_detection() {
         let merged = FedPlan::Service(ServiceNode {
             source_id: "s".into(),
+            route: None,
             kind: ServiceKind::Sql {
                 request: SqlRequest::MergedOptimized(TranslatedQuery {
                     sql: "SELECT 1".into(),

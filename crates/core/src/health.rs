@@ -1,0 +1,155 @@
+//! Deterministic per-endpoint health accounting for source selection.
+//!
+//! Odyssey-style: statistics observed while *executing* queries feed back
+//! into *planning* the next one. After every query the engine folds each
+//! link's transfer counters into this registry; at plan time the planner
+//! orders replica endpoints healthiest-first and (with `degraded_ok`) can
+//! skip a source whose endpoints are all past the failure threshold. The
+//! registry is plain arithmetic over [`fedlake_netsim::link::LinkStats`]
+//! counters, which are themselves deterministic, so two sessions replaying
+//! the same queries reach identical health states and thus identical
+//! plans.
+
+use fedlake_netsim::Link;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+/// Observed reliability of one endpoint (a source id or a replica
+/// endpoint id such as `"chebi#r1"`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointHealth {
+    /// Messages delivered successfully.
+    pub successes: u64,
+    /// Failed transfer attempts (drops, truncations, outage hits).
+    pub failures: u64,
+}
+
+/// Session-scoped health registry: endpoint id → observed counters.
+///
+/// Lives on the engine behind a mutex so the `&self` executors can feed
+/// it; snapshots are `BTreeMap`s so iteration order (and therefore every
+/// routing decision derived from one) is deterministic.
+#[derive(Debug, Default)]
+pub struct SourceHealth {
+    inner: Mutex<BTreeMap<String, EndpointHealth>>,
+}
+
+impl SourceHealth {
+    /// An empty registry (every endpoint presumed healthy).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds `successes` delivered messages and `failures` failed attempts
+    /// into the endpoint's counters.
+    pub fn observe(&self, endpoint: &str, successes: u64, failures: u64) {
+        if successes == 0 && failures == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let h = inner.entry(endpoint.to_string()).or_default();
+        h.successes += successes;
+        h.failures += failures;
+    }
+
+    /// Folds a query's link counters into the registry, one entry per
+    /// endpoint (the link map is keyed by endpoint id).
+    pub fn record_links(&self, links: &HashMap<String, Arc<Link>>) {
+        for (endpoint, link) in links {
+            let s = link.stats();
+            self.observe(endpoint, s.messages, s.faults());
+        }
+    }
+
+    /// Failed attempts recorded against `endpoint`.
+    pub fn failures_of(&self, endpoint: &str) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(endpoint)
+            .map_or(0, |h| h.failures)
+    }
+
+    /// A deterministic snapshot of all endpoint counters.
+    pub fn snapshot(&self) -> BTreeMap<String, EndpointHealth> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Forgets everything (every endpoint presumed healthy again).
+    pub fn reset(&self) {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+/// The planner's read-only view of session health: a failure snapshot
+/// plus the demotion threshold an endpoint must stay under to count as
+/// healthy.
+#[derive(Debug, Clone, Default)]
+pub struct HealthView {
+    /// Endpoint id → counters, from [`SourceHealth::snapshot`].
+    pub endpoints: BTreeMap<String, EndpointHealth>,
+    /// Failure count at which an endpoint is considered degraded.
+    pub threshold: u64,
+}
+
+impl HealthView {
+    /// An empty view: nothing observed, nothing degraded (the behaviour
+    /// of a fresh session, and of every pre-health code path).
+    pub fn empty() -> Self {
+        HealthView { endpoints: BTreeMap::new(), threshold: u64::MAX }
+    }
+
+    /// Recorded failures for `endpoint`.
+    pub fn failures_of(&self, endpoint: &str) -> u64 {
+        self.endpoints.get(endpoint).map_or(0, |h| h.failures)
+    }
+
+    /// True when the endpoint has reached the demotion threshold.
+    pub fn is_degraded(&self, endpoint: &str) -> bool {
+        self.failures_of(endpoint) >= self.threshold
+    }
+
+    /// True when *every* endpoint in `endpoints` is degraded — the
+    /// condition for skipping a whole logical source.
+    pub fn all_degraded<'a>(&self, mut endpoints: impl Iterator<Item = &'a str>) -> bool {
+        endpoints.all(|e| self.is_degraded(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_accumulates() {
+        let h = SourceHealth::new();
+        h.observe("a#r0", 10, 2);
+        h.observe("a#r0", 5, 1);
+        h.observe("a#r1", 7, 0);
+        h.observe("ghost", 0, 0); // no-op, no entry
+        assert_eq!(h.failures_of("a#r0"), 3);
+        assert_eq!(h.failures_of("a#r1"), 0);
+        assert_eq!(h.failures_of("missing"), 0);
+        let snap = h.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap["a#r0"], EndpointHealth { successes: 15, failures: 3 });
+        h.reset();
+        assert!(h.snapshot().is_empty());
+    }
+
+    #[test]
+    fn view_thresholds() {
+        let h = SourceHealth::new();
+        h.observe("a#r0", 0, 8);
+        h.observe("a#r1", 20, 1);
+        let view = HealthView { endpoints: h.snapshot(), threshold: 8 };
+        assert!(view.is_degraded("a#r0"));
+        assert!(!view.is_degraded("a#r1"));
+        assert!(!view.is_degraded("never-seen"));
+        assert!(!view.all_degraded(["a#r0", "a#r1"].into_iter()));
+        assert!(view.all_degraded(["a#r0"].into_iter()));
+        // The empty view degrades nothing, ever.
+        let empty = HealthView::empty();
+        assert!(!empty.is_degraded("a#r0"));
+    }
+}

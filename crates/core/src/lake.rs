@@ -3,13 +3,42 @@
 
 use crate::source::DataSource;
 use fedlake_mapping::RdfMoleculeTemplate;
+use std::collections::BTreeMap;
+
+/// The logical source id behind a replica endpoint id: `"chebi#r1"` maps
+/// back to `"chebi"`, a plain source id maps to itself. Failure stats,
+/// error messages and the health registry's planning view are all keyed
+/// by the logical id so one flaky source is not split across replica keys.
+pub fn logical_source_id(endpoint: &str) -> &str {
+    match endpoint.rfind("#r") {
+        Some(pos) if endpoint[pos + 2..].bytes().all(|b| b.is_ascii_digit())
+            && pos + 2 < endpoint.len() =>
+        {
+            &endpoint[..pos]
+        }
+        _ => endpoint,
+    }
+}
+
+/// The replica endpoint id for replica `k` of a logical source.
+pub fn replica_endpoint_id(logical: &str, k: u32) -> String {
+    format!("{logical}#r{k}")
+}
 
 /// A collection of data sources, each kept in its native data model and
 /// described by RDF Molecule Templates (§2.1).
+///
+/// A logical source may be served by N replica endpoints — physically
+/// identical copies behind independent network links (and thus independent
+/// fault schedules). Replication is a catalog property: the planner routes
+/// each service to a preferred replica, and the wrappers fail over to the
+/// next endpoint when a replica exhausts its retry budget.
 #[derive(Debug, Clone, Default)]
 pub struct DataLake {
     sources: Vec<DataSource>,
     mts: Vec<RdfMoleculeTemplate>,
+    /// Logical source id → replica count (absent = 1, unreplicated).
+    replicas: BTreeMap<String, u32>,
 }
 
 impl DataLake {
@@ -78,6 +107,34 @@ impl DataLake {
         out
     }
 
+    /// Declares that the logical source `id` is served by `n` replica
+    /// endpoints (`n <= 1` removes the entry: a single endpoint keeps the
+    /// plain source id, bit-identical to an unreplicated lake).
+    pub fn set_replicas(&mut self, id: impl Into<String>, n: u32) {
+        let id = id.into();
+        if n <= 1 {
+            self.replicas.remove(&id);
+        } else {
+            self.replicas.insert(id, n);
+        }
+    }
+
+    /// Number of replica endpoints serving the logical source `id`.
+    pub fn replica_count(&self, id: &str) -> u32 {
+        self.replicas.get(id).copied().unwrap_or(1).max(1)
+    }
+
+    /// The endpoint ids serving the logical source `id`, in replica order:
+    /// `["id"]` when unreplicated, `["id#r0", .., "id#rN-1"]` otherwise.
+    pub fn replica_endpoints(&self, id: &str) -> Vec<String> {
+        let n = self.replica_count(id);
+        if n <= 1 {
+            vec![id.to_string()]
+        } else {
+            (0..n).map(|k| replica_endpoint_id(id, k)).collect()
+        }
+    }
+
     /// Number of sources.
     pub fn len(&self) -> usize {
         self.sources.len()
@@ -130,5 +187,31 @@ mod tests {
         let lake = DataLake::new();
         assert!(lake.is_empty());
         assert!(lake.molecule_templates().is_empty());
+    }
+
+    #[test]
+    fn replica_registry() {
+        let mut lake = DataLake::new();
+        lake.add_source(DataSource::sparql("a", typed_graph("http://v/A")));
+        assert_eq!(lake.replica_count("a"), 1);
+        assert_eq!(lake.replica_endpoints("a"), ["a"]);
+        lake.set_replicas("a", 3);
+        assert_eq!(lake.replica_count("a"), 3);
+        assert_eq!(lake.replica_endpoints("a"), ["a#r0", "a#r1", "a#r2"]);
+        // n <= 1 restores the unreplicated catalog entry.
+        lake.set_replicas("a", 1);
+        assert_eq!(lake.replica_endpoints("a"), ["a"]);
+        lake.set_replicas("a", 0);
+        assert_eq!(lake.replica_count("a"), 1);
+    }
+
+    #[test]
+    fn logical_ids_round_trip() {
+        assert_eq!(logical_source_id("chebi"), "chebi");
+        assert_eq!(logical_source_id("chebi#r0"), "chebi");
+        assert_eq!(logical_source_id(&replica_endpoint_id("diseasome", 12)), "diseasome");
+        // Only a well-formed replica suffix is stripped.
+        assert_eq!(logical_source_id("odd#rx"), "odd#rx");
+        assert_eq!(logical_source_id("odd#r"), "odd#r");
     }
 }

@@ -59,6 +59,7 @@ pub mod engine;
 pub mod error;
 pub mod explain;
 pub mod fedplan;
+pub mod health;
 pub mod lake;
 pub mod obs;
 pub mod operators;
@@ -76,9 +77,11 @@ pub use config::{
 };
 pub use decompose::DecompositionStrategy;
 pub use engine::{FedResult, FedStats, FederatedEngine};
-pub use fedlake_netsim::{FaultPlan, FaultPlans, LinkFault};
+pub use fedlake_netsim::{FaultPlan, FaultPlans, LinkFault, OutageGroup};
 pub use error::FedError;
-pub use lake::DataLake;
+pub use fedplan::ReplicaRoute;
+pub use health::{EndpointHealth, HealthView, SourceHealth};
+pub use lake::{logical_source_id, DataLake};
 pub use obs::{explain_analyze, chrome_trace, MetricsRegistry, TraceReport, TraceSink};
 pub use source::DataSource;
 pub use trace::AnswerTrace;

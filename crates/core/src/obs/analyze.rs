@@ -113,6 +113,7 @@ mod tests {
     fn service(id: &str) -> FedPlan {
         FedPlan::Service(ServiceNode {
             source_id: id.into(),
+            route: None,
             kind: ServiceKind::Sql {
                 request: SqlRequest::Single(TranslatedQuery {
                     sql: format!("SELECT * FROM {id}"),

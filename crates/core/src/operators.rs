@@ -53,6 +53,10 @@ pub struct ExecCtx {
     pub interner: SharedInterner,
     /// Retry behaviour of the wrapper streams when a link attempt fails.
     pub retry: crate::config::RetryPolicy,
+    /// The query's deadline, when one is configured: retry backoffs are
+    /// clamped so a failing attempt never charges a pause reaching past
+    /// it.
+    pub deadline: Option<std::time::Duration>,
     /// The discrete-event schedule of in-flight source work (overlapped
     /// execution only; stays empty under the serialized schedule).
     pub sched: EventQueue,
@@ -77,6 +81,7 @@ impl ExecCtx {
             schema,
             interner,
             retry: crate::config::RetryPolicy::default(),
+            deadline: None,
             sched: EventQueue::new(),
             trace: crate::obs::TraceSink::disabled(),
         }
@@ -85,6 +90,12 @@ impl ExecCtx {
     /// Sets the retry policy wrapper streams consult.
     pub fn with_retry(mut self, retry: crate::config::RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Sets the deadline retry backoffs are clamped against.
+    pub fn with_deadline(mut self, deadline: Option<std::time::Duration>) -> Self {
+        self.deadline = deadline;
         self
     }
 
@@ -163,6 +174,8 @@ pub struct SymHashJoin<'a> {
     left_done: bool,
     right_done: bool,
     pull_left: bool,
+    left_wait: Option<EventTime>,
+    right_wait: Option<EventTime>,
     out: VecDeque<SlotRow>,
 }
 
@@ -179,6 +192,8 @@ impl<'a> SymHashJoin<'a> {
             left_done: false,
             right_done: false,
             pull_left: true,
+            left_wait: None,
+            right_wait: None,
             out: VecDeque::new(),
         }
     }
@@ -243,7 +258,11 @@ impl FedOp for SymHashJoin<'_> {
     /// ANAPSID's adaptivity proper: instead of strict alternation, consume
     /// from *whichever* input has a row ready at the current virtual time,
     /// and only report Pending when both inputs are stalled on in-flight
-    /// transfers.
+    /// transfers. Re-poll order follows the children's last-reported
+    /// Pending events by `(time, seq)`: the child whose in-flight event is
+    /// due first is re-polled first, and a child with nothing in flight
+    /// goes first in structural order — pinning the schedule even when two
+    /// events share a completion time.
     fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<SlotRow>, FedError> {
         loop {
             if let Some(row) = self.out.pop_front() {
@@ -252,30 +271,46 @@ impl FedOp for SymHashJoin<'_> {
             if self.left_done && self.right_done {
                 return Ok(Poll::Done);
             }
+            let left_first = match (self.left_wait, self.right_wait) {
+                (None, _) => true,
+                (Some(_), None) => false,
+                (Some(l), Some(r)) => l <= r,
+            };
             let mut progressed = false;
             let mut wait: Option<EventTime> = None;
-            if !self.left_done {
-                match self.left.poll_next(ctx)? {
-                    Poll::Ready(row) => {
-                        self.insert_and_probe(row, true, ctx);
-                        progressed = true;
-                    }
-                    Poll::Pending(ev) => wait = earlier(wait, ev),
-                    Poll::Done => {
-                        self.left_done = true;
-                        progressed = true;
-                    }
+            let order = if left_first { [true, false] } else { [false, true] };
+            for is_left in order {
+                let done = if is_left { self.left_done } else { self.right_done };
+                if done {
+                    continue;
                 }
-            }
-            if !self.right_done {
-                match self.right.poll_next(ctx)? {
+                let side = if is_left { &mut self.left } else { &mut self.right };
+                match side.poll_next(ctx)? {
                     Poll::Ready(row) => {
-                        self.insert_and_probe(row, false, ctx);
+                        if is_left {
+                            self.left_wait = None;
+                        } else {
+                            self.right_wait = None;
+                        }
+                        self.insert_and_probe(row, is_left, ctx);
                         progressed = true;
                     }
-                    Poll::Pending(ev) => wait = earlier(wait, ev),
+                    Poll::Pending(ev) => {
+                        if is_left {
+                            self.left_wait = Some(ev);
+                        } else {
+                            self.right_wait = Some(ev);
+                        }
+                        wait = earlier(wait, ev);
+                    }
                     Poll::Done => {
-                        self.right_done = true;
+                        if is_left {
+                            self.left_wait = None;
+                            self.left_done = true;
+                        } else {
+                            self.right_wait = None;
+                            self.right_done = true;
+                        }
                         progressed = true;
                     }
                 }
@@ -309,6 +344,8 @@ pub struct LeftHashJoin<'a> {
     left_done: bool,
     right_done: bool,
     pull_left: bool,
+    left_wait: Option<EventTime>,
+    right_wait: Option<EventTime>,
     out: VecDeque<SlotRow>,
     flushed: bool,
 }
@@ -327,6 +364,8 @@ impl<'a> LeftHashJoin<'a> {
             left_done: false,
             right_done: false,
             pull_left: true,
+            left_wait: None,
+            right_wait: None,
             out: VecDeque::new(),
             flushed: false,
         }
@@ -430,30 +469,49 @@ impl FedOp for LeftHashJoin<'_> {
                 }
                 return Ok(Poll::Done);
             }
+            // Same `(time, seq)` re-poll order as SymHashJoin: the child
+            // whose last-reported Pending event is due first goes first.
+            let left_first = match (self.left_wait, self.right_wait) {
+                (None, _) => true,
+                (Some(_), None) => false,
+                (Some(l), Some(r)) => l <= r,
+            };
             let mut progressed = false;
             let mut wait: Option<EventTime> = None;
-            if !self.left_done {
-                match self.left.poll_next(ctx)? {
-                    Poll::Ready(row) => {
-                        self.take_left(row, ctx);
-                        progressed = true;
-                    }
-                    Poll::Pending(ev) => wait = earlier(wait, ev),
-                    Poll::Done => {
-                        self.left_done = true;
-                        progressed = true;
-                    }
+            let order = if left_first { [true, false] } else { [false, true] };
+            for is_left in order {
+                let done = if is_left { self.left_done } else { self.right_done };
+                if done {
+                    continue;
                 }
-            }
-            if !self.right_done {
-                match self.right.poll_next(ctx)? {
+                let side = if is_left { &mut self.left } else { &mut self.right };
+                match side.poll_next(ctx)? {
                     Poll::Ready(row) => {
-                        self.take_right(row, ctx);
+                        if is_left {
+                            self.left_wait = None;
+                            self.take_left(row, ctx);
+                        } else {
+                            self.right_wait = None;
+                            self.take_right(row, ctx);
+                        }
                         progressed = true;
                     }
-                    Poll::Pending(ev) => wait = earlier(wait, ev),
+                    Poll::Pending(ev) => {
+                        if is_left {
+                            self.left_wait = Some(ev);
+                        } else {
+                            self.right_wait = Some(ev);
+                        }
+                        wait = earlier(wait, ev);
+                    }
                     Poll::Done => {
-                        self.right_done = true;
+                        if is_left {
+                            self.left_wait = None;
+                            self.left_done = true;
+                        } else {
+                            self.right_wait = None;
+                            self.right_done = true;
+                        }
                         progressed = true;
                     }
                 }
@@ -529,12 +587,14 @@ impl FedOp for FilterOp<'_> {
 /// Union: drains its branches in order (sources answer independently).
 pub struct UnionOp<'a> {
     branches: VecDeque<BoxedOp<'a>>,
+    waits: Vec<Option<EventTime>>,
 }
 
 impl<'a> UnionOp<'a> {
     /// Creates a union of `branches`.
     pub fn new(branches: Vec<BoxedOp<'a>>) -> Self {
-        UnionOp { branches: branches.into() }
+        let waits = vec![None; branches.len()];
+        UnionOp { branches: branches.into(), waits }
     }
 }
 
@@ -552,27 +612,42 @@ impl FedOp for UnionOp<'_> {
     }
 
     /// Overlapped: emit from whichever branch is ready first instead of
-    /// draining branches in order.
+    /// draining branches in order. Re-poll order follows each branch's
+    /// last-reported Pending event by `(time, seq)` — branches with
+    /// nothing in flight go first in structural order — pinning the
+    /// schedule even when two events share a completion time.
     fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<SlotRow>, FedError> {
         loop {
             if self.branches.is_empty() {
                 return Ok(Poll::Done);
             }
+            let mut order: Vec<usize> = (0..self.branches.len()).collect();
+            // `None < Some`, so unwaited branches lead; the stable sort
+            // keeps structural order among them.
+            order.sort_by_key(|&i| self.waits[i]);
             let mut wait: Option<EventTime> = None;
-            let mut i = 0;
             let mut progressed = false;
-            while i < self.branches.len() {
+            let mut finished: Vec<usize> = Vec::new();
+            for &i in &order {
                 match self.branches[i].poll_next(ctx)? {
-                    Poll::Ready(row) => return Ok(Poll::Ready(row)),
+                    Poll::Ready(row) => {
+                        self.waits[i] = None;
+                        return Ok(Poll::Ready(row));
+                    }
                     Poll::Pending(ev) => {
+                        self.waits[i] = Some(ev);
                         wait = earlier(wait, ev);
-                        i += 1;
                     }
                     Poll::Done => {
-                        self.branches.remove(i);
+                        finished.push(i);
                         progressed = true;
                     }
                 }
+            }
+            finished.sort_unstable_by(|a, b| b.cmp(a));
+            for i in finished {
+                self.branches.remove(i);
+                self.waits.remove(i);
             }
             if !progressed {
                 if let Some(ev) = wait {

@@ -23,9 +23,10 @@
 use crate::config::{MergeTranslation, PlanConfig, PlanMode};
 use crate::decompose::{decompose_as, StarSubquery};
 use crate::error::FedError;
-use crate::fedplan::{FedPlan, NaiveJoin, ServiceKind, ServiceNode, SqlRequest};
+use crate::fedplan::{FedPlan, NaiveJoin, ReplicaRoute, ServiceKind, ServiceNode, SqlRequest};
+use crate::health::HealthView;
 use crate::lake::DataLake;
-use crate::selection::{select_sources, Candidate};
+use crate::selection::{select_sources_with_health, Candidate};
 use crate::source::DataSource;
 use crate::translate::{
     column_of_var, filter_column, sql_merged, sql_single, star_part, StarPart,
@@ -57,6 +58,10 @@ pub struct PlannedQuery {
     pub limit: Option<usize>,
     /// `OFFSET`.
     pub offset: usize,
+    /// Sources the health-aware selector skipped because every replica
+    /// endpoint was past the failure threshold (only under `degraded_ok`;
+    /// the engine marks such answers degraded).
+    pub skipped_sources: Vec<String>,
 }
 
 /// One star bound to one relational source, with everything translation
@@ -71,14 +76,30 @@ struct RelStar {
     cardinality: usize,
 }
 
-/// Plans a parsed query under `config`.
+/// Plans a parsed query under `config` with no health history (every
+/// endpoint presumed healthy — the behaviour of a fresh session).
 pub fn plan_query(
     query: &SelectQuery,
     lake: &DataLake,
     config: &PlanConfig,
 ) -> Result<PlannedQuery, FedError> {
+    plan_query_with_health(query, lake, config, &HealthView::empty())
+}
+
+/// Plans a parsed query under `config`, consulting the session's health
+/// snapshot: replica endpoints are routed healthiest-first, and (with
+/// `degraded_ok`) sources whose endpoints are all past the failure
+/// threshold are skipped when a healthier alternative covers the star.
+pub fn plan_query_with_health(
+    query: &SelectQuery,
+    lake: &DataLake,
+    config: &PlanConfig,
+    health: &HealthView,
+) -> Result<PlannedQuery, FedError> {
     let dec = decompose_as(query, config.decomposition)?;
-    let plan = plan_tree(&dec, lake, config)?;
+    let mut skipped = Vec::new();
+    let mut plan = plan_tree(&dec, lake, config, health, &mut skipped)?;
+    assign_routes(&mut plan, lake, health);
     let projection = query.effective_projection();
     // The schema covers every variable an operator may bind or project.
     let schema = Arc::new(RowSchema::new(
@@ -92,7 +113,63 @@ pub fn plan_query(
         order_by: query.order_by.clone(),
         limit: query.limit,
         offset: query.offset.unwrap_or(0),
+        skipped_sources: skipped,
     })
+}
+
+/// Walks a plan and decides, per service leaf, the replica endpoints to
+/// contact and in which order: failures ascending (healthiest first),
+/// replica index breaking ties. Unreplicated sources keep `route: None`
+/// and behave exactly as before replicas existed.
+pub fn assign_routes(plan: &mut FedPlan, lake: &DataLake, health: &HealthView) {
+    match plan {
+        FedPlan::Service(node) => {
+            node.route = route_for_source(&node.source_id, lake, health);
+        }
+        FedPlan::Join { left, right, .. } | FedPlan::LeftJoin { left, right, .. } => {
+            assign_routes(left, lake, health);
+            assign_routes(right, lake, health);
+        }
+        FedPlan::BindJoin { left, right, .. } => {
+            assign_routes(left, lake, health);
+            right.route = route_for_source(&right.source_id, lake, health);
+        }
+        FedPlan::Filter { input, .. } => assign_routes(input, lake, health),
+        FedPlan::Union(branches) => {
+            for b in branches {
+                assign_routes(b, lake, health);
+            }
+        }
+    }
+}
+
+fn route_for_source(
+    source_id: &str,
+    lake: &DataLake,
+    health: &HealthView,
+) -> Option<ReplicaRoute> {
+    if lake.replica_count(source_id) <= 1 {
+        return None;
+    }
+    let endpoints = lake.replica_endpoints(source_id);
+    let mut order: Vec<(u64, usize)> = endpoints
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (health.failures_of(e), i))
+        .collect();
+    order.sort_unstable();
+    let reason = if order.iter().all(|&(f, _)| f == order[0].0) {
+        format!("replica index order ({} failures each)", order[0].0)
+    } else {
+        let parts: Vec<String> = order
+            .iter()
+            .map(|&(f, i)| format!("{}={}", endpoints[i], f))
+            .collect();
+        format!("healthiest first (failures: {})", parts.join(", "))
+    };
+    let ordered: Vec<String> =
+        order.into_iter().map(|(_, i)| endpoints[i].clone()).collect();
+    Some(ReplicaRoute { endpoints: ordered, reason })
 }
 
 /// Plans a decomposition: the required conjunctive part and the `UNION`
@@ -102,6 +179,8 @@ fn plan_tree(
     dec: &crate::decompose::Decomposition,
     lake: &DataLake,
     config: &PlanConfig,
+    health: &HealthView,
+    skipped: &mut Vec<String>,
 ) -> Result<FedPlan, FedError> {
     // 1. Required units: the star-based part plus one unit per union
     //    block (each block binds the variables common to all branches).
@@ -118,12 +197,12 @@ fn plan_tree(
             }
             out
         };
-        units.push((plan_conjunctive(dec, lake, config)?, star_vars));
+        units.push((plan_conjunctive(dec, lake, config, health, skipped)?, star_vars));
     }
     for block in &dec.unions {
         let branches = block
             .iter()
-            .map(|b| plan_tree(b, lake, config))
+            .map(|b| plan_tree(b, lake, config, health, skipped))
             .collect::<Result<Vec<_>, _>>()?;
         let plan = if branches.len() == 1 {
             branches.into_iter().next().expect("length checked")
@@ -187,7 +266,7 @@ fn plan_tree(
                 ));
             }
         }
-        let right = plan_tree(opt, lake, config)?;
+        let right = plan_tree(opt, lake, config, health, skipped)?;
         let on: Vec<Var> = opt_vars
             .iter()
             .filter(|v| bound_vars.contains(v))
@@ -213,11 +292,19 @@ fn plan_conjunctive(
     dec: &crate::decompose::Decomposition,
     lake: &DataLake,
     config: &PlanConfig,
+    health: &HealthView,
+    skipped: &mut Vec<String>,
 ) -> Result<FedPlan, FedError> {
     if dec.stars.is_empty() {
         return Err(FedError::Unsupported("empty basic graph pattern".into()));
     }
-    let candidates = select_sources(&dec.stars, lake)?;
+    let (candidates, newly_skipped) =
+        select_sources_with_health(&dec.stars, lake, health, config.degraded_ok)?;
+    for s in newly_skipped {
+        if !skipped.contains(&s) {
+            skipped.push(s);
+        }
+    }
 
     // Classify stars: single relational candidate vs. everything else.
     let mut rel_stars: Vec<RelStar> = Vec::new();
@@ -539,6 +626,7 @@ fn build_bind_join(
     let est = estimate(rs.cardinality, &part);
     let target = crate::fedplan::BindTarget {
         source_id: rs.source_id.clone(),
+        route: None,
         part,
         join_var: join_var.clone(),
         column,
@@ -561,6 +649,7 @@ fn build_single_service(
     let q = sql_single(&part);
     let service = FedPlan::Service(ServiceNode {
         source_id: rs.source_id.clone(),
+        route: None,
         kind: ServiceKind::Sql {
             request: SqlRequest::Single(q),
             covers: vec![star.subject.to_string()],
@@ -592,6 +681,7 @@ fn build_merged_service(
         let q = crate::translate::sql_merged_same_table(&pa, &pb, &left_col, &right_col);
         let service = FedPlan::Service(ServiceNode {
             source_id: a.source_id.clone(),
+            route: None,
             kind: ServiceKind::Sql {
                 request: SqlRequest::MergedOptimized(q),
                 covers: vec![sa.subject.to_string(), sb.subject.to_string()],
@@ -639,6 +729,7 @@ fn build_merged_service(
     };
     let service = FedPlan::Service(ServiceNode {
         source_id: a.source_id.clone(),
+        route: None,
         kind: ServiceKind::Sql { request, covers },
         estimated_rows: est,
     });
@@ -664,6 +755,7 @@ fn plan_other_star(
             DataSource::Sparql { .. } => {
                 branches.push(FedPlan::Service(ServiceNode {
                     source_id: cand.source_id.clone(),
+                    route: None,
                     kind: ServiceKind::Sparql {
                         star: star.clone(),
                         filters: star.filters.clone(),
@@ -690,6 +782,7 @@ fn plan_other_star(
                 let est = estimate(cand.cardinality, &part);
                 let service = FedPlan::Service(ServiceNode {
                     source_id: cand.source_id.clone(),
+                    route: None,
                     kind: ServiceKind::Sql {
                         request: SqlRequest::Single(sql_single(&part)),
                         covers: vec![star.subject.to_string()],

@@ -27,7 +27,7 @@ use crate::lake::DataLake;
 use crate::operators::{earlier, BoxedOp, ExecCtx, FedOp, Poll};
 use crate::planner::PlannedQuery;
 use crate::trace::AnswerTrace;
-use crate::wrapper::{links_for, open_service};
+use crate::wrapper::{links_for, open_service, route_for};
 use fedlake_netsim::clock::{shared_real, shared_virtual};
 use fedlake_netsim::{EventTime, Link};
 use fedlake_rdf::{SharedInterner, Term};
@@ -167,6 +167,8 @@ pub struct SymHashJoinRef<'a> {
     left_done: bool,
     right_done: bool,
     pull_left: bool,
+    left_wait: Option<EventTime>,
+    right_wait: Option<EventTime>,
     out: VecDeque<Row>,
 }
 
@@ -182,6 +184,8 @@ impl<'a> SymHashJoinRef<'a> {
             left_done: false,
             right_done: false,
             pull_left: true,
+            left_wait: None,
+            right_wait: None,
             out: VecDeque::new(),
         }
     }
@@ -241,7 +245,9 @@ impl RefOp for SymHashJoinRef<'_> {
     }
 
     /// Mirror of the interned [`crate::operators::SymHashJoin::poll_next`]:
-    /// consume from whichever input is ready, Pending only when both stall.
+    /// consume from whichever input is ready, Pending only when both
+    /// stall, re-poll order following the children's last-reported
+    /// Pending events by `(time, seq)`.
     fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<Row>, FedError> {
         loop {
             if let Some(row) = self.out.pop_front() {
@@ -250,30 +256,46 @@ impl RefOp for SymHashJoinRef<'_> {
             if self.left_done && self.right_done {
                 return Ok(Poll::Done);
             }
+            let left_first = match (self.left_wait, self.right_wait) {
+                (None, _) => true,
+                (Some(_), None) => false,
+                (Some(l), Some(r)) => l <= r,
+            };
             let mut progressed = false;
             let mut wait: Option<EventTime> = None;
-            if !self.left_done {
-                match self.left.poll_next(ctx)? {
-                    Poll::Ready(row) => {
-                        self.insert_and_probe(row, true, ctx);
-                        progressed = true;
-                    }
-                    Poll::Pending(ev) => wait = earlier(wait, ev),
-                    Poll::Done => {
-                        self.left_done = true;
-                        progressed = true;
-                    }
+            let order = if left_first { [true, false] } else { [false, true] };
+            for is_left in order {
+                let done = if is_left { self.left_done } else { self.right_done };
+                if done {
+                    continue;
                 }
-            }
-            if !self.right_done {
-                match self.right.poll_next(ctx)? {
+                let side = if is_left { &mut self.left } else { &mut self.right };
+                match side.poll_next(ctx)? {
                     Poll::Ready(row) => {
-                        self.insert_and_probe(row, false, ctx);
+                        if is_left {
+                            self.left_wait = None;
+                        } else {
+                            self.right_wait = None;
+                        }
+                        self.insert_and_probe(row, is_left, ctx);
                         progressed = true;
                     }
-                    Poll::Pending(ev) => wait = earlier(wait, ev),
+                    Poll::Pending(ev) => {
+                        if is_left {
+                            self.left_wait = Some(ev);
+                        } else {
+                            self.right_wait = Some(ev);
+                        }
+                        wait = earlier(wait, ev);
+                    }
                     Poll::Done => {
-                        self.right_done = true;
+                        if is_left {
+                            self.left_wait = None;
+                            self.left_done = true;
+                        } else {
+                            self.right_wait = None;
+                            self.right_done = true;
+                        }
                         progressed = true;
                     }
                 }
@@ -305,6 +327,8 @@ pub struct LeftHashJoinRef<'a> {
     left_done: bool,
     right_done: bool,
     pull_left: bool,
+    left_wait: Option<EventTime>,
+    right_wait: Option<EventTime>,
     out: VecDeque<Row>,
     flushed: bool,
 }
@@ -322,6 +346,8 @@ impl<'a> LeftHashJoinRef<'a> {
             left_done: false,
             right_done: false,
             pull_left: true,
+            left_wait: None,
+            right_wait: None,
             out: VecDeque::new(),
             flushed: false,
         }
@@ -424,30 +450,50 @@ impl RefOp for LeftHashJoinRef<'_> {
                 }
                 return Ok(Poll::Done);
             }
+            // Same `(time, seq)` re-poll order as the interned twin: the
+            // child whose last-reported Pending event is due first goes
+            // first.
+            let left_first = match (self.left_wait, self.right_wait) {
+                (None, _) => true,
+                (Some(_), None) => false,
+                (Some(l), Some(r)) => l <= r,
+            };
             let mut progressed = false;
             let mut wait: Option<EventTime> = None;
-            if !self.left_done {
-                match self.left.poll_next(ctx)? {
-                    Poll::Ready(row) => {
-                        self.take_left(row, ctx);
-                        progressed = true;
-                    }
-                    Poll::Pending(ev) => wait = earlier(wait, ev),
-                    Poll::Done => {
-                        self.left_done = true;
-                        progressed = true;
-                    }
+            let order = if left_first { [true, false] } else { [false, true] };
+            for is_left in order {
+                let done = if is_left { self.left_done } else { self.right_done };
+                if done {
+                    continue;
                 }
-            }
-            if !self.right_done {
-                match self.right.poll_next(ctx)? {
+                let side = if is_left { &mut self.left } else { &mut self.right };
+                match side.poll_next(ctx)? {
                     Poll::Ready(row) => {
-                        self.take_right(row, ctx);
+                        if is_left {
+                            self.left_wait = None;
+                            self.take_left(row, ctx);
+                        } else {
+                            self.right_wait = None;
+                            self.take_right(row, ctx);
+                        }
                         progressed = true;
                     }
-                    Poll::Pending(ev) => wait = earlier(wait, ev),
+                    Poll::Pending(ev) => {
+                        if is_left {
+                            self.left_wait = Some(ev);
+                        } else {
+                            self.right_wait = Some(ev);
+                        }
+                        wait = earlier(wait, ev);
+                    }
                     Poll::Done => {
-                        self.right_done = true;
+                        if is_left {
+                            self.left_wait = None;
+                            self.left_done = true;
+                        } else {
+                            self.right_wait = None;
+                            self.right_done = true;
+                        }
                         progressed = true;
                     }
                 }
@@ -515,12 +561,14 @@ impl RefOp for FilterRefOp<'_> {
 /// The seed union.
 pub struct UnionRefOp<'a> {
     branches: VecDeque<BoxedRefOp<'a>>,
+    waits: Vec<Option<EventTime>>,
 }
 
 impl<'a> UnionRefOp<'a> {
     /// Creates a union of `branches`.
     pub fn new(branches: Vec<BoxedRefOp<'a>>) -> Self {
-        UnionRefOp { branches: branches.into() }
+        let waits = vec![None; branches.len()];
+        UnionRefOp { branches: branches.into(), waits }
     }
 }
 
@@ -538,27 +586,40 @@ impl RefOp for UnionRefOp<'_> {
     }
 
     /// Mirror of the interned [`crate::operators::UnionOp::poll_next`]:
-    /// emit from whichever branch is ready first.
+    /// emit from whichever branch is ready first, re-poll order following
+    /// each branch's last-reported Pending event by `(time, seq)`.
     fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<Row>, FedError> {
         loop {
             if self.branches.is_empty() {
                 return Ok(Poll::Done);
             }
+            let mut order: Vec<usize> = (0..self.branches.len()).collect();
+            // `None < Some`, so unwaited branches lead; the stable sort
+            // keeps structural order among them.
+            order.sort_by_key(|&i| self.waits[i]);
             let mut wait: Option<EventTime> = None;
-            let mut i = 0;
             let mut progressed = false;
-            while i < self.branches.len() {
+            let mut finished: Vec<usize> = Vec::new();
+            for &i in &order {
                 match self.branches[i].poll_next(ctx)? {
-                    Poll::Ready(row) => return Ok(Poll::Ready(row)),
+                    Poll::Ready(row) => {
+                        self.waits[i] = None;
+                        return Ok(Poll::Ready(row));
+                    }
                     Poll::Pending(ev) => {
+                        self.waits[i] = Some(ev);
                         wait = earlier(wait, ev);
-                        i += 1;
                     }
                     Poll::Done => {
-                        self.branches.remove(i);
+                        finished.push(i);
                         progressed = true;
                     }
                 }
+            }
+            finished.sort_unstable_by(|a, b| b.cmp(a));
+            for i in finished {
+                self.branches.remove(i);
+                self.waits.remove(i);
             }
             if !progressed {
                 if let Some(ev) = wait {
@@ -688,10 +749,8 @@ fn build_ref_operator<'a>(
     *next_node += 1;
     let op: BoxedRefOp<'a> = match plan {
         FedPlan::Service(node) => {
-            let link = links
-                .get(&node.source_id)
-                .ok_or_else(|| FedError::NoSuchSource(node.source_id.clone()))?;
-            let op = open_service(node, lake, Arc::clone(link), config.rows_per_message)?;
+            let route = route_for(&node.source_id, &node.route, links)?;
+            let op = open_service(node, lake, route, config.rows_per_message)?;
             Box::new(DecodeOp::new(op))
         }
         FedPlan::Join { left, right, on } => {
@@ -715,14 +774,12 @@ fn build_ref_operator<'a>(
                     )))
                 }
             };
-            let link = links
-                .get(&right.source_id)
-                .ok_or_else(|| FedError::NoSuchSource(right.source_id.clone()))?;
+            let route = route_for(&right.source_id, &right.route, links)?;
             let bind = crate::wrapper::BindJoinOp::new(
                 Box::new(EncodeOp::new(l)),
                 db,
                 right.clone(),
-                Arc::clone(link),
+                route,
                 config.rows_per_message,
                 *batch_size,
             );
@@ -779,6 +836,7 @@ impl FederatedEngine {
             SharedInterner::new(),
         )
         .with_retry(config.retry)
+        .with_deadline(config.deadline)
         .with_trace(sink.clone());
         sink.begin_query(&planned.plan, &config.mode.label());
 
@@ -792,7 +850,8 @@ impl FederatedEngine {
 
         let mut trace = AnswerTrace::new();
         let mut rows: Vec<Row> = Vec::new();
-        let mut degraded = false;
+        // Sources skipped at plan time already make the answer partial.
+        let mut degraded = !planned.skipped_sources.is_empty();
         let unordered_limit = planned.order_by.is_empty().then_some(()).and(planned.limit);
         let want = unordered_limit.map(|l| l + planned.offset);
         loop {
@@ -854,6 +913,10 @@ impl FederatedEngine {
         if let Some(l) = planned.limit {
             rows.truncate(l);
         }
+
+        // Mirror of the interned executor: this run's link counters feed
+        // the session health registry too.
+        self.health().record_links(&links);
 
         let stats = FedStats::assemble(
             config,

@@ -3,6 +3,7 @@
 
 use crate::decompose::StarSubquery;
 use crate::error::FedError;
+use crate::health::HealthView;
 use crate::lake::DataLake;
 use fedlake_mapping::RdfMoleculeTemplate;
 
@@ -62,17 +63,56 @@ pub fn select_sources(
     stars: &[StarSubquery],
     lake: &DataLake,
 ) -> Result<Vec<Vec<Candidate>>, FedError> {
-    stars
-        .iter()
-        .map(|star| {
-            let cands = candidates_for(star, lake);
-            if cands.is_empty() {
-                Err(FedError::NoSourceFor(star.subject.to_string()))
+    select_sources_with_health(stars, lake, &HealthView::empty(), false).map(|(c, _)| c)
+}
+
+/// Health-aware source selection: like [`select_sources`], but when
+/// `degraded_ok` is set, a candidate whose replica endpoints have *all*
+/// crossed the failure threshold is demoted — it is skipped for the star
+/// as long as at least one healthier candidate remains, and its source id
+/// is reported back so the engine can mark the answer degraded. A star
+/// whose candidates are all degraded keeps them: partial answers beat no
+/// answers, and strict mode never skips (failover handles faults there).
+///
+/// Returns the per-star candidate lists and the skipped source ids (in
+/// deterministic first-seen order, deduplicated).
+pub fn select_sources_with_health(
+    stars: &[StarSubquery],
+    lake: &DataLake,
+    health: &HealthView,
+    degraded_ok: bool,
+) -> Result<(Vec<Vec<Candidate>>, Vec<String>), FedError> {
+    let mut skipped: Vec<String> = Vec::new();
+    let mut per_star = Vec::with_capacity(stars.len());
+    for star in stars {
+        let cands = candidates_for(star, lake);
+        if cands.is_empty() {
+            return Err(FedError::NoSourceFor(star.subject.to_string()));
+        }
+        let kept: Vec<Candidate> = if degraded_ok {
+            let degraded = |c: &Candidate| {
+                health.all_degraded(
+                    lake.replica_endpoints(&c.source_id).iter().map(String::as_str),
+                )
+            };
+            let healthy: Vec<Candidate> =
+                cands.iter().filter(|c| !degraded(c)).cloned().collect();
+            if healthy.is_empty() {
+                cands
             } else {
-                Ok(cands)
+                for c in &cands {
+                    if degraded(c) && !skipped.contains(&c.source_id) {
+                        skipped.push(c.source_id.clone());
+                    }
+                }
+                healthy
             }
-        })
-        .collect()
+        } else {
+            cands
+        };
+        per_star.push(kept);
+    }
+    Ok((per_star, skipped))
 }
 
 #[cfg(test)]
@@ -167,6 +207,48 @@ mod tests {
         let c = candidates_for(&s[0], &lake);
         assert_eq!(c.len(), 1);
         assert_eq!(c[0].source_id, "drugbank");
+    }
+
+    #[test]
+    fn degraded_candidates_are_skipped_only_when_safe() {
+        use crate::health::SourceHealth;
+        let mut lake = lake();
+        // A second SPARQL source offering the same Drug molecule.
+        let mut g = fedlake_rdf::Graph::new();
+        g.insert_terms(
+            fedlake_rdf::Term::iri("http://d/d2"),
+            fedlake_rdf::Term::iri(fedlake_rdf::vocab::rdf::TYPE),
+            fedlake_rdf::Term::iri("http://v/Drug"),
+        );
+        g.insert_terms(
+            fedlake_rdf::Term::iri("http://d/d2"),
+            fedlake_rdf::Term::iri("http://v/name"),
+            fedlake_rdf::Term::literal("Ibuprofen"),
+        );
+        lake.add_source(DataSource::sparql("drugbank2", g));
+        let s = stars("SELECT * WHERE { ?d a <http://v/Drug> . ?d <http://v/name> ?n }");
+
+        let health = SourceHealth::new();
+        health.observe("drugbank", 0, 9);
+        let view = HealthView { endpoints: health.snapshot(), threshold: 8 };
+
+        // degraded_ok: the unhealthy candidate is demoted and reported.
+        let (cands, skipped) = select_sources_with_health(&s, &lake, &view, true).unwrap();
+        assert_eq!(cands[0].len(), 1);
+        assert_eq!(cands[0][0].source_id, "drugbank2");
+        assert_eq!(skipped, vec!["drugbank".to_string()]);
+
+        // Strict mode keeps every candidate (failover handles faults).
+        let (cands, skipped) = select_sources_with_health(&s, &lake, &view, false).unwrap();
+        assert_eq!(cands[0].len(), 2);
+        assert!(skipped.is_empty());
+
+        // When every candidate is degraded, none are dropped.
+        health.observe("drugbank2", 0, 9);
+        let view = HealthView { endpoints: health.snapshot(), threshold: 8 };
+        let (cands, skipped) = select_sources_with_health(&s, &lake, &view, true).unwrap();
+        assert_eq!(cands[0].len(), 2);
+        assert!(skipped.is_empty());
     }
 
     #[test]

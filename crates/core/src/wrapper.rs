@@ -14,8 +14,8 @@
 //! downstream of a wrapper handles `u32` ids only.
 
 use crate::error::FedError;
-use crate::fedplan::{NaiveJoin, ServiceKind, ServiceNode, SqlRequest};
-use crate::lake::DataLake;
+use crate::fedplan::{NaiveJoin, ReplicaRoute, ServiceKind, ServiceNode, SqlRequest};
+use crate::lake::{logical_source_id, DataLake};
 use crate::obs::SpanKind;
 use crate::operators::{BoxedOp, ExecCtx, FedOp, Poll};
 use crate::source::DataSource;
@@ -28,28 +28,114 @@ use fedlake_relational::{Database, ResultSet};
 use fedlake_sparql::binding::{encode_row, Row, RowSchema, SlotRow};
 use fedlake_sparql::eval::eval_bgp;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// A stream's resolved connection to one logical source: the replica
+/// endpoints (with their links) in the planner's preferred order, plus a
+/// sticky cursor at the replica currently serving the stream.
+///
+/// Failover semantics live here: when the active replica exhausts its
+/// retry budget the transfer helpers advance the cursor and continue the
+/// stream's *remaining* messages on the next endpoint (a resumable result
+/// stream), never returning to an earlier replica within the stream. Only
+/// when the last endpoint's budget is spent does the stream surface
+/// [`FedError::SourceUnavailable`] — attributed to the logical source,
+/// with the total attempt count across every replica tried.
+#[derive(Debug)]
+pub struct SourceRoute {
+    logical: String,
+    endpoints: Vec<(String, Arc<Link>)>,
+    active: AtomicUsize,
+}
+
+impl SourceRoute {
+    /// A route over explicit endpoints, preferred first. Panics on an
+    /// empty endpoint list — a route must lead somewhere.
+    pub fn new(logical: impl Into<String>, endpoints: Vec<(String, Arc<Link>)>) -> Self {
+        assert!(!endpoints.is_empty(), "a route needs at least one endpoint");
+        SourceRoute { logical: logical.into(), endpoints, active: AtomicUsize::new(0) }
+    }
+
+    /// The unreplicated route: one endpoint, named like the source.
+    pub fn single(id: impl Into<String>, link: Arc<Link>) -> Self {
+        let id = id.into();
+        SourceRoute::new(id.clone(), vec![(id, link)])
+    }
+
+    /// The logical source id this route serves.
+    pub fn logical(&self) -> &str {
+        &self.logical
+    }
+
+    fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    fn active(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    fn set_active(&self, idx: usize) {
+        self.active.store(idx, Ordering::Relaxed);
+    }
+
+    fn endpoint(&self, idx: usize) -> (&str, &Link) {
+        let (id, link) = &self.endpoints[idx];
+        (id.as_str(), link.as_ref())
+    }
+
+    /// The endpoint currently serving the stream.
+    pub fn active_endpoint(&self) -> &str {
+        &self.endpoints[self.active()].0
+    }
+
+    /// The link currently serving the stream.
+    pub fn active_link(&self) -> &Link {
+        &self.endpoints[self.active()].1
+    }
+}
+
+/// Resolves a plan node's routing decision against a query's link map:
+/// the planner's ordered endpoints when the node carries a
+/// [`ReplicaRoute`], otherwise the plain source id.
+pub fn route_for(
+    source_id: &str,
+    route: &Option<ReplicaRoute>,
+    links: &std::collections::HashMap<String, Arc<Link>>,
+) -> Result<SourceRoute, FedError> {
+    let endpoint_ids: Vec<&str> = match route {
+        Some(r) => r.endpoints.iter().map(String::as_str).collect(),
+        None => vec![source_id],
+    };
+    let mut endpoints = Vec::with_capacity(endpoint_ids.len());
+    for id in endpoint_ids {
+        let link = links
+            .get(id)
+            .ok_or_else(|| FedError::NoSuchSource(id.to_string()))?;
+        endpoints.push((id.to_string(), Arc::clone(link)));
+    }
+    Ok(SourceRoute::new(source_id, endpoints))
+}
 
 /// Opens the operator streaming a service's answers.
 pub fn open_service<'a>(
     node: &ServiceNode,
     lake: &'a DataLake,
-    link: Arc<Link>,
+    route: SourceRoute,
     rows_per_message: usize,
 ) -> Result<BoxedOp<'a>, FedError> {
     let source = lake
         .source(&node.source_id)
         .ok_or_else(|| FedError::NoSuchSource(node.source_id.clone()))?;
-    let source_id = node.source_id.clone();
     match (&node.kind, source) {
         (ServiceKind::Sparql { star, filters }, DataSource::Sparql { graph, .. }) => {
             Ok(Box::new(SparqlStream {
                 graph,
                 star: star.clone(),
                 filters: filters.clone(),
-                link,
-                source_id,
+                route,
                 rows_per_message,
                 state: None,
                 flight: None,
@@ -60,8 +146,7 @@ pub fn open_service<'a>(
                 db,
                 sql: q.sql.clone(),
                 outputs: q.outputs.clone(),
-                link,
-                source_id,
+                route,
                 rows_per_message,
                 state: None,
                 flight: None,
@@ -72,8 +157,7 @@ pub fn open_service<'a>(
                 outer_outputs: outer.outputs.clone(),
                 inner: inner.clone(),
                 join: join.clone(),
-                link,
-                source_id,
+                route,
                 rows_per_message,
                 state: None,
                 flight: None,
@@ -86,152 +170,216 @@ pub fn open_service<'a>(
     }
 }
 
-/// Transfers one message over `link`, retrying per the context's
-/// [`crate::config::RetryPolicy`]. Every failed attempt charges the
-/// detection timeout to the simulated clock; every retry additionally
-/// charges the exponential backoff. Exhausting the attempt budget yields
-/// [`FedError::SourceUnavailable`].
+/// The backoff pause actually charged before the next attempt: the full
+/// exponential backoff, clamped so a query never waits past its own
+/// deadline. `now` is the time the clamp is evaluated at — the shared
+/// clock for the serialized schedule, the failing link's local failure
+/// time for the overlapped one.
+fn clamped_backoff(
+    policy: &crate::config::RetryPolicy,
+    attempt: u32,
+    deadline: Option<Duration>,
+    now: Duration,
+) -> Duration {
+    let pause = policy.backoff_after(attempt);
+    match deadline {
+        Some(d) => pause.min(d.saturating_sub(now)),
+        None => pause,
+    }
+}
+
+/// Transfers one message over the route's active replica, retrying per
+/// the context's [`crate::config::RetryPolicy`]. Every failed attempt
+/// charges the detection timeout to the simulated clock; every retry
+/// additionally charges the (deadline-clamped) exponential backoff. A
+/// replica that exhausts its attempt budget triggers an immediate
+/// failover — no backoff — to the next endpoint on the route, which gets
+/// a fresh budget; only exhausting the *last* endpoint yields
+/// [`FedError::SourceUnavailable`], attributed to the logical source with
+/// the total attempts across all replicas tried.
 pub fn transfer_with_retry(
-    link: &Link,
-    source_id: &str,
+    route: &SourceRoute,
     rows: usize,
     ctx: &mut ExecCtx,
 ) -> Result<(), FedError> {
     let policy = ctx.retry;
     let budget = policy.attempts();
-    for attempt in 0..budget {
-        match link.try_transfer_message(rows) {
-            Ok(()) => return Ok(()),
-            Err(_fault) => {
-                // The receiver waited `timeout` before concluding the
-                // attempt failed, whatever the failure mode was.
-                ctx.clock.advance(policy.timeout);
-                if ctx.trace.is_enabled() {
-                    let now = ctx.clock.now();
-                    ctx.trace.source_span(
-                        SpanKind::Timeout,
-                        source_id,
-                        "detection timeout",
-                        now - policy.timeout,
-                        now,
-                        0,
-                    );
+    let replicas = route.len();
+    let mut total_attempts = 0u32;
+    for idx in route.active()..replicas {
+        let (endpoint, link) = route.endpoint(idx);
+        for attempt in 0..budget {
+            match link.try_transfer_message(rows) {
+                Ok(()) => {
+                    route.set_active(idx);
+                    return Ok(());
                 }
-                if attempt + 1 == budget {
-                    return Err(FedError::SourceUnavailable {
-                        source: source_id.to_string(),
-                        attempts: budget,
-                    });
-                }
-                ctx.stats.retries += 1;
-                ctx.clock.advance(policy.backoff_after(attempt));
-                if ctx.trace.is_enabled() {
-                    let now = ctx.clock.now();
-                    ctx.trace.source_span(
-                        SpanKind::Backoff,
-                        source_id,
-                        &format!("backoff before attempt {}", attempt + 2),
-                        now - policy.backoff_after(attempt),
-                        now,
-                        0,
-                    );
+                Err(_fault) => {
+                    total_attempts += 1;
+                    // The receiver waited `timeout` before concluding the
+                    // attempt failed, whatever the failure mode was.
+                    ctx.clock.advance(policy.timeout);
+                    if ctx.trace.is_enabled() {
+                        let now = ctx.clock.now();
+                        ctx.trace.source_span(
+                            SpanKind::Timeout,
+                            endpoint,
+                            "detection timeout",
+                            now - policy.timeout,
+                            now,
+                            0,
+                        );
+                    }
+                    let budget_spent = attempt + 1 == budget;
+                    if budget_spent && idx + 1 == replicas {
+                        return Err(FedError::SourceUnavailable {
+                            source: route.logical().to_string(),
+                            attempts: total_attempts,
+                        });
+                    }
+                    ctx.stats.retries += 1;
+                    if !budget_spent {
+                        let pause =
+                            clamped_backoff(&policy, attempt, ctx.deadline, ctx.clock.now());
+                        ctx.clock.advance(pause);
+                        if ctx.trace.is_enabled() {
+                            let now = ctx.clock.now();
+                            ctx.trace.source_span(
+                                SpanKind::Backoff,
+                                endpoint,
+                                &format!("backoff before attempt {}", attempt + 2),
+                                now - pause,
+                                now,
+                                0,
+                            );
+                        }
+                    }
                 }
             }
         }
+        // Budget exhausted on this replica: fail over to the next one.
+        let (next, _) = route.endpoint(idx + 1);
+        route.set_active(idx + 1);
+        if let Some(obs) = link.observer() {
+            obs.on_failover(route.logical(), endpoint, next);
+        }
     }
-    unreachable!("loop returns on success or on the final attempt")
+    unreachable!("loop returns on success or on the last endpoint's final attempt")
 }
 
 /// Transfers `total_rows` rows in messages of `rows_per_message`, retrying
 /// each message per the context's policy. An empty result still costs one
 /// (empty) message, mirroring [`Link::transfer_rows`].
 pub fn transfer_rows_with_retry(
-    link: &Link,
-    source_id: &str,
+    route: &SourceRoute,
     total_rows: usize,
     rows_per_message: usize,
     ctx: &mut ExecCtx,
 ) -> Result<(), FedError> {
     assert!(rows_per_message > 0, "message size must be positive");
     if total_rows == 0 {
-        return transfer_with_retry(link, source_id, 0, ctx);
+        return transfer_with_retry(route, 0, ctx);
     }
     let mut remaining = total_rows;
     while remaining > 0 {
         let n = remaining.min(rows_per_message);
-        transfer_with_retry(link, source_id, n, ctx)?;
+        transfer_with_retry(route, n, ctx)?;
         remaining -= n;
     }
     Ok(())
 }
 
-/// Schedules one message (with its full retry chain) on `link`'s private
-/// timeline starting no earlier than `start`: the overlapped-schedule
-/// counterpart of [`transfer_with_retry`]. Detection timeouts and backoffs
-/// become link occupancy instead of shared-clock advances, so one source's
-/// retries never stall another source's transfers. Returns the completion
-/// time on success; on an exhausted budget returns the failure time along
-/// with the error (the caller surfaces the error only once that time is
-/// due, mirroring when the serialized schedule would have observed it).
+/// Schedules one message (with its full retry-and-failover chain) on the
+/// route's link timelines starting no earlier than `start`: the
+/// overlapped-schedule counterpart of [`transfer_with_retry`]. Detection
+/// timeouts and backoffs become link occupancy instead of shared-clock
+/// advances, so one source's retries never stall another source's
+/// transfers; a failover continues the chain on the successor endpoint's
+/// timeline at the predecessor's failure time. Returns the completion
+/// time on success (the route's active cursor then names the endpoint
+/// that delivered, so callers chain follow-up work on the right link); on
+/// an exhausted route returns the failure time along with the error (the
+/// caller surfaces the error only once that time is due, mirroring when
+/// the serialized schedule would have observed it).
 pub fn schedule_transfer_with_retry(
-    link: &Link,
-    source_id: &str,
+    route: &SourceRoute,
     rows: usize,
     start: Duration,
     ctx: &mut ExecCtx,
 ) -> Result<Duration, (Duration, FedError)> {
     let policy = ctx.retry;
     let budget = policy.attempts();
+    let replicas = route.len();
     let mut at = start;
-    for attempt in 0..budget {
-        let (done, result) = link.schedule_message(rows, at);
-        match result {
-            Ok(()) => return Ok(done),
-            Err(_fault) => {
-                let failed_at = link.schedule_busy(policy.timeout, done);
-                if ctx.trace.is_enabled() {
-                    ctx.trace.source_span(
-                        SpanKind::Timeout,
-                        source_id,
-                        "detection timeout",
-                        done,
-                        failed_at,
-                        0,
-                    );
+    let mut total_attempts = 0u32;
+    for idx in route.active()..replicas {
+        let (endpoint, link) = route.endpoint(idx);
+        for attempt in 0..budget {
+            let (done, result) = link.schedule_message(rows, at);
+            match result {
+                Ok(()) => {
+                    route.set_active(idx);
+                    return Ok(done);
                 }
-                if attempt + 1 == budget {
-                    return Err((
-                        failed_at,
-                        FedError::SourceUnavailable {
-                            source: source_id.to_string(),
-                            attempts: budget,
-                        },
-                    ));
-                }
-                ctx.stats.retries += 1;
-                at = link.schedule_busy(policy.backoff_after(attempt), failed_at);
-                if ctx.trace.is_enabled() {
-                    ctx.trace.source_span(
-                        SpanKind::Backoff,
-                        source_id,
-                        &format!("backoff before attempt {}", attempt + 2),
-                        failed_at,
-                        at,
-                        0,
-                    );
+                Err(_fault) => {
+                    total_attempts += 1;
+                    let failed_at = link.schedule_busy(policy.timeout, done);
+                    if ctx.trace.is_enabled() {
+                        ctx.trace.source_span(
+                            SpanKind::Timeout,
+                            endpoint,
+                            "detection timeout",
+                            done,
+                            failed_at,
+                            0,
+                        );
+                    }
+                    let budget_spent = attempt + 1 == budget;
+                    if budget_spent && idx + 1 == replicas {
+                        return Err((
+                            failed_at,
+                            FedError::SourceUnavailable {
+                                source: route.logical().to_string(),
+                                attempts: total_attempts,
+                            },
+                        ));
+                    }
+                    ctx.stats.retries += 1;
+                    if budget_spent {
+                        // Immediate failover: the successor picks up at
+                        // the predecessor's failure time, no backoff.
+                        at = failed_at;
+                    } else {
+                        let pause = clamped_backoff(&policy, attempt, ctx.deadline, failed_at);
+                        at = link.schedule_busy(pause, failed_at);
+                        if ctx.trace.is_enabled() {
+                            ctx.trace.source_span(
+                                SpanKind::Backoff,
+                                endpoint,
+                                &format!("backoff before attempt {}", attempt + 2),
+                                failed_at,
+                                at,
+                                0,
+                            );
+                        }
+                    }
                 }
             }
         }
+        let (next, _) = route.endpoint(idx + 1);
+        route.set_active(idx + 1);
+        if let Some(obs) = link.observer() {
+            obs.on_failover(route.logical(), endpoint, next);
+        }
     }
-    unreachable!("loop returns on success or on the final attempt")
+    unreachable!("loop returns on success or on the last endpoint's final attempt")
 }
 
 /// Schedules `total_rows` rows as a chain of messages of
-/// `rows_per_message` on `link`'s timeline; the overlapped counterpart of
-/// [`transfer_rows_with_retry`].
+/// `rows_per_message` on the route's timelines; the overlapped
+/// counterpart of [`transfer_rows_with_retry`].
 pub fn schedule_rows_with_retry(
-    link: &Link,
-    source_id: &str,
+    route: &SourceRoute,
     total_rows: usize,
     rows_per_message: usize,
     start: Duration,
@@ -239,13 +387,13 @@ pub fn schedule_rows_with_retry(
 ) -> Result<Duration, (Duration, FedError)> {
     assert!(rows_per_message > 0, "message size must be positive");
     if total_rows == 0 {
-        return schedule_transfer_with_retry(link, source_id, 0, start, ctx);
+        return schedule_transfer_with_retry(route, 0, start, ctx);
     }
     let mut at = start;
     let mut remaining = total_rows;
     while remaining > 0 {
         let n = remaining.min(rows_per_message);
-        at = schedule_transfer_with_retry(link, source_id, n, at, ctx)?;
+        at = schedule_transfer_with_retry(route, n, at, ctx)?;
         remaining -= n;
     }
     Ok(at)
@@ -314,21 +462,20 @@ impl Delivery {
     /// empty-result notification message when there were no rows at all).
     fn pull(
         &mut self,
-        link: &Link,
-        source_id: &str,
+        route: &SourceRoute,
         rows_per_message: usize,
         ctx: &mut ExecCtx,
     ) -> Result<Option<SlotRow>, FedError> {
         if self.rows.is_empty() {
             if !self.empty_notified {
                 self.empty_notified = true;
-                transfer_with_retry(link, source_id, 0, ctx)?;
+                transfer_with_retry(route, 0, ctx)?;
             }
             return Ok(None);
         }
         if self.batch_left == 0 {
             let n = self.rows.len().min(rows_per_message);
-            transfer_with_retry(link, source_id, n, ctx)?;
+            transfer_with_retry(route, n, ctx)?;
             self.batch_left = n;
         }
         self.batch_left -= 1;
@@ -381,12 +528,11 @@ impl FlightDelivery {
         &mut self,
         batch: Vec<SlotRow>,
         n: usize,
-        link: &Link,
-        source_id: &str,
+        route: &SourceRoute,
         ctx: &mut ExecCtx,
     ) {
         let (time, err) =
-            match schedule_transfer_with_retry(link, source_id, n, ctx.clock.now(), ctx) {
+            match schedule_transfer_with_retry(route, n, ctx.clock.now(), ctx) {
                 Ok(done) => (done, None),
                 Err((t, e)) => (t, Some(e)),
             };
@@ -398,8 +544,7 @@ impl FlightDelivery {
     /// retry accounting — only *when* the link time passes differs.
     fn poll(
         &mut self,
-        link: &Link,
-        source_id: &str,
+        route: &SourceRoute,
         rows_per_message: usize,
         ctx: &mut ExecCtx,
     ) -> Result<Poll<SlotRow>, FedError> {
@@ -423,14 +568,14 @@ impl FlightDelivery {
             if self.rows.is_empty() {
                 if !self.empty_notified {
                     self.empty_notified = true;
-                    self.launch(Vec::new(), 0, link, source_id, ctx);
+                    self.launch(Vec::new(), 0, route, ctx);
                     continue;
                 }
                 return Ok(Poll::Done);
             }
             let n = self.rows.len().min(rows_per_message);
             let batch: Vec<SlotRow> = self.rows.drain(..n).collect();
-            self.launch(batch, n, link, source_id, ctx);
+            self.launch(batch, n, route, ctx);
         }
     }
 }
@@ -447,8 +592,7 @@ enum SourceFlight {
 impl SourceFlight {
     fn poll(
         this: &mut Option<SourceFlight>,
-        link: &Link,
-        source_id: &str,
+        route: &SourceRoute,
         rows_per_message: usize,
         ctx: &mut ExecCtx,
     ) -> Result<Poll<SlotRow>, FedError> {
@@ -466,7 +610,7 @@ impl SourceFlight {
                     *this = Some(SourceFlight::Delivering(FlightDelivery::new(rows)));
                 }
                 SourceFlight::Delivering(d) => {
-                    return d.poll(link, source_id, rows_per_message, ctx);
+                    return d.poll(route, rows_per_message, ctx);
                 }
             }
         }
@@ -478,8 +622,7 @@ struct SqlStream<'a> {
     db: &'a Database,
     sql: String,
     outputs: Vec<OutputBinding>,
-    link: Arc<Link>,
-    source_id: String,
+    route: SourceRoute,
     rows_per_message: usize,
     state: Option<Delivery>,
     flight: Option<SourceFlight>,
@@ -491,12 +634,12 @@ impl SqlStream<'_> {
     /// initialization in [`FedOp::next`], charge for charge.
     fn launch(&self, ctx: &mut ExecCtx) -> Result<SourceFlight, FedError> {
         ctx.stats.sql_queries += 1;
-        match schedule_transfer_with_retry(&self.link, &self.source_id, 0, ctx.clock.now(), ctx)
-        {
+        match schedule_transfer_with_retry(&self.route, 0, ctx.clock.now(), ctx) {
             Ok(done_req) => {
                 let rs = self.db.query(&self.sql)?;
                 let done = self
-                    .link
+                    .route
+                    .active_link()
                     .schedule_busy(ctx.cost.rdb_time(&convert_cost(&rs.cost)), done_req);
                 let rows =
                     lift_result(&rs, &self.outputs, &ctx.schema, &mut ctx.interner.lock());
@@ -504,7 +647,7 @@ impl SqlStream<'_> {
                 if ctx.trace.is_enabled() {
                     ctx.trace.source_span(
                         SpanKind::Compute,
-                        &self.source_id,
+                        self.route.active_endpoint(),
                         "sql evaluation",
                         done_req,
                         done,
@@ -528,7 +671,7 @@ impl FedOp for SqlStream<'_> {
             // Ship the query (one request message, retried on faults) and
             // let the source compute; its work is priced by the cost model.
             ctx.stats.sql_queries += 1;
-            transfer_with_retry(&self.link, &self.source_id, 0, ctx)?;
+            transfer_with_retry(&self.route, 0, ctx)?;
             let rs = self.db.query(&self.sql)?;
             let work = ctx.cost.rdb_time(&convert_cost(&rs.cost));
             ctx.clock.advance(work);
@@ -539,7 +682,7 @@ impl FedOp for SqlStream<'_> {
                 let now = ctx.clock.now();
                 ctx.trace.source_span(
                     SpanKind::Compute,
-                    &self.source_id,
+                    self.route.active_endpoint(),
                     "sql evaluation",
                     now - work,
                     now,
@@ -549,20 +692,14 @@ impl FedOp for SqlStream<'_> {
             self.state = Some(Delivery::new(rows));
         }
         let delivery = self.state.as_mut().expect("initialized above");
-        delivery.pull(&self.link, &self.source_id, self.rows_per_message, ctx)
+        delivery.pull(&self.route, self.rows_per_message, ctx)
     }
 
     fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<SlotRow>, FedError> {
         if self.flight.is_none() {
             self.flight = Some(self.launch(ctx)?);
         }
-        SourceFlight::poll(
-            &mut self.flight,
-            &self.link,
-            &self.source_id,
-            self.rows_per_message,
-            ctx,
-        )
+        SourceFlight::poll(&mut self.flight, &self.route, self.rows_per_message, ctx)
     }
 }
 
@@ -571,8 +708,7 @@ struct SparqlStream<'a> {
     graph: &'a fedlake_rdf::Graph,
     star: crate::decompose::StarSubquery,
     filters: Vec<fedlake_sparql::expr::Expr>,
-    link: Arc<Link>,
-    source_id: String,
+    route: SourceRoute,
     rows_per_message: usize,
     state: Option<Delivery>,
     flight: Option<SourceFlight>,
@@ -580,15 +716,14 @@ struct SparqlStream<'a> {
 
 impl SparqlStream<'_> {
     fn launch(&self, ctx: &mut ExecCtx) -> SourceFlight {
-        match schedule_transfer_with_retry(&self.link, &self.source_id, 0, ctx.clock.now(), ctx)
-        {
+        match schedule_transfer_with_retry(&self.route, 0, ctx.clock.now(), ctx) {
             Ok(done_req) => {
                 let rows = eval_bgp(&self.star.triples, self.graph, vec![Row::new()]);
                 let rows: Vec<Row> = rows
                     .into_iter()
                     .filter(|r| self.filters.iter().all(|f| f.test(r)))
                     .collect();
-                let done = self.link.schedule_busy(
+                let done = self.route.active_link().schedule_busy(
                     ctx.cost.sparql_time(self.star.triples.len(), rows.len() as u64),
                     done_req,
                 );
@@ -596,7 +731,7 @@ impl SparqlStream<'_> {
                 if ctx.trace.is_enabled() {
                     ctx.trace.source_span(
                         SpanKind::Compute,
-                        &self.source_id,
+                        self.route.active_endpoint(),
                         "sparql evaluation",
                         done_req,
                         done,
@@ -623,7 +758,7 @@ impl SparqlStream<'_> {
 impl FedOp for SparqlStream<'_> {
     fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<SlotRow>, FedError> {
         if self.state.is_none() {
-            transfer_with_retry(&self.link, &self.source_id, 0, ctx)?;
+            transfer_with_retry(&self.route, 0, ctx)?;
             let rows = eval_bgp(&self.star.triples, self.graph, vec![Row::new()]);
             let rows: Vec<Row> = rows
                 .into_iter()
@@ -638,7 +773,7 @@ impl FedOp for SparqlStream<'_> {
                 let now = ctx.clock.now();
                 ctx.trace.source_span(
                     SpanKind::Compute,
-                    &self.source_id,
+                    self.route.active_endpoint(),
                     "sparql evaluation",
                     now - work,
                     now,
@@ -654,20 +789,14 @@ impl FedOp for SparqlStream<'_> {
             self.state = Some(Delivery::new(encoded));
         }
         let delivery = self.state.as_mut().expect("initialized above");
-        delivery.pull(&self.link, &self.source_id, self.rows_per_message, ctx)
+        delivery.pull(&self.route, self.rows_per_message, ctx)
     }
 
     fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<SlotRow>, FedError> {
         if self.flight.is_none() {
             self.flight = Some(self.launch(ctx));
         }
-        SourceFlight::poll(
-            &mut self.flight,
-            &self.link,
-            &self.source_id,
-            self.rows_per_message,
-            ctx,
-        )
+        SourceFlight::poll(&mut self.flight, &self.route, self.rows_per_message, ctx)
     }
 }
 
@@ -680,8 +809,7 @@ struct NaiveStream<'a> {
     outer_outputs: Vec<OutputBinding>,
     inner: StarPart,
     join: NaiveJoin,
-    link: Arc<Link>,
-    source_id: String,
+    route: SourceRoute,
     rows_per_message: usize,
     state: Option<NaiveState>,
     flight: Option<NaiveFlight>,
@@ -757,7 +885,7 @@ impl NaiveStream<'_> {
         let q = sql_single(&part);
         ctx.stats.sql_queries += 1;
         // The per-binding request round trip.
-        transfer_with_retry(&self.link, &self.source_id, 0, ctx)?;
+        transfer_with_retry(&self.route, 0, ctx)?;
         let rs = self.db.query(&q.sql)?;
         let work = ctx.cost.rdb_time(&convert_cost(&rs.cost));
         ctx.clock.advance(work);
@@ -767,7 +895,7 @@ impl NaiveStream<'_> {
             let now = ctx.clock.now();
             ctx.trace.source_span(
                 SpanKind::Compute,
-                &self.source_id,
+                self.route.active_endpoint(),
                 "sql evaluation (inner)",
                 now - work,
                 now,
@@ -790,8 +918,7 @@ fn schedule_naive_inner(
     db: &Database,
     inner: &StarPart,
     join: &NaiveJoin,
-    link: &Link,
-    source_id: &str,
+    route: &SourceRoute,
     outer_row: &SlotRow,
     start: Duration,
     ctx: &mut ExecCtx,
@@ -823,16 +950,18 @@ fn schedule_naive_inner(
     part.wheres.push(format!("{}.{} = {key}", part.alias, join.inner_col));
     let q = sql_single(&part);
     ctx.stats.sql_queries += 1;
-    match schedule_transfer_with_retry(link, source_id, 0, start, ctx) {
+    match schedule_transfer_with_retry(route, 0, start, ctx) {
         Ok(t_req) => {
             let rs = db.query(&q.sql)?;
-            let done = link.schedule_busy(ctx.cost.rdb_time(&convert_cost(&rs.cost)), t_req);
+            let done = route
+                .active_link()
+                .schedule_busy(ctx.cost.rdb_time(&convert_cost(&rs.cost)), t_req);
             let rows = lift_result(&rs, &q.outputs, &ctx.schema, &mut ctx.interner.lock());
             ctx.stats.service_rows += rows.len() as u64;
             if ctx.trace.is_enabled() {
                 ctx.trace.source_span(
                     SpanKind::Compute,
-                    source_id,
+                    route.active_endpoint(),
                     "sql evaluation (inner)",
                     t_req,
                     done,
@@ -851,7 +980,7 @@ impl FedOp for NaiveStream<'_> {
     fn next(&mut self, ctx: &mut ExecCtx) -> Result<Option<SlotRow>, FedError> {
         if self.state.is_none() {
             ctx.stats.sql_queries += 1;
-            transfer_with_retry(&self.link, &self.source_id, 0, ctx)?;
+            transfer_with_retry(&self.route, 0, ctx)?;
             let rs = self.db.query(&self.outer_sql)?;
             let work = ctx.cost.rdb_time(&convert_cost(&rs.cost));
             ctx.clock.advance(work);
@@ -862,7 +991,7 @@ impl FedOp for NaiveStream<'_> {
                 let now = ctx.clock.now();
                 ctx.trace.source_span(
                     SpanKind::Compute,
-                    &self.source_id,
+                    self.route.active_endpoint(),
                     "sql evaluation (outer)",
                     now - work,
                     now,
@@ -878,12 +1007,7 @@ impl FedOp for NaiveStream<'_> {
         loop {
             let state = self.state.as_mut().expect("initialized above");
             if !state.buffer.rows.is_empty() {
-                let row = state.buffer.pull(
-                    &self.link,
-                    &self.source_id,
-                    self.rows_per_message,
-                    ctx,
-                )?;
+                let row = state.buffer.pull(&self.route, self.rows_per_message, ctx)?;
                 if row.is_some() {
                     state.produced_any = true;
                     return Ok(row);
@@ -894,12 +1018,12 @@ impl FedOp for NaiveStream<'_> {
                 let state = self.state.as_mut().expect("initialized");
                 if !state.produced_any && !state.buffer.empty_notified {
                     state.buffer.empty_notified = true;
-                    transfer_with_retry(&self.link, &self.source_id, 0, ctx)?;
+                    transfer_with_retry(&self.route, 0, ctx)?;
                 }
                 return Ok(None);
             };
             // Retrieving the next outer binding is itself a message.
-            transfer_with_retry(&self.link, &self.source_id, 1, ctx)?;
+            transfer_with_retry(&self.route, 1, ctx)?;
             let merged = self.inner_rows(&outer_row, ctx)?;
             let state = self.state.as_mut().expect("initialized");
             state.buffer = Delivery::new(merged);
@@ -910,17 +1034,13 @@ impl FedOp for NaiveStream<'_> {
     fn poll_next(&mut self, ctx: &mut ExecCtx) -> Result<Poll<SlotRow>, FedError> {
         if self.flight.is_none() {
             ctx.stats.sql_queries += 1;
-            let stage = match schedule_transfer_with_retry(
-                &self.link,
-                &self.source_id,
-                0,
-                ctx.clock.now(),
-                ctx,
-            ) {
+            let stage = match schedule_transfer_with_retry(&self.route, 0, ctx.clock.now(), ctx)
+            {
                 Ok(done_req) => {
                     let rs = self.db.query(&self.outer_sql)?;
                     let done = self
-                        .link
+                        .route
+                        .active_link()
                         .schedule_busy(ctx.cost.rdb_time(&convert_cost(&rs.cost)), done_req);
                     let outer = lift_result(
                         &rs,
@@ -932,7 +1052,7 @@ impl FedOp for NaiveStream<'_> {
                     if ctx.trace.is_enabled() {
                         ctx.trace.source_span(
                             SpanKind::Compute,
-                            &self.source_id,
+                            self.route.active_endpoint(),
                             "sql evaluation (outer)",
                             done_req,
                             done,
@@ -984,12 +1104,7 @@ impl FedOp for NaiveStream<'_> {
                 }
                 NaiveStage::Finished => return Ok(Poll::Done),
                 NaiveStage::Idle => {
-                    match flight.buffer.poll(
-                        &self.link,
-                        &self.source_id,
-                        self.rows_per_message,
-                        ctx,
-                    )? {
+                    match flight.buffer.poll(&self.route, self.rows_per_message, ctx)? {
                         Poll::Ready(row) => return Ok(Poll::Ready(row)),
                         Poll::Pending(ev) => return Ok(Poll::Pending(ev)),
                         Poll::Done => {}
@@ -1000,8 +1115,7 @@ impl FedOp for NaiveStream<'_> {
                             // Retrieving the next outer binding is itself
                             // a message; the inner round trip chains after.
                             flight.stage = match schedule_transfer_with_retry(
-                                &self.link,
-                                &self.source_id,
+                                &self.route,
                                 1,
                                 ctx.clock.now(),
                                 ctx,
@@ -1010,8 +1124,7 @@ impl FedOp for NaiveStream<'_> {
                                     self.db,
                                     &self.inner,
                                     &self.join,
-                                    &self.link,
-                                    &self.source_id,
+                                    &self.route,
                                     &outer_row,
                                     t1,
                                     ctx,
@@ -1031,8 +1144,7 @@ impl FedOp for NaiveStream<'_> {
                                 // notification, then done.
                                 flight.installed_inner = true;
                                 let (t, err) = match schedule_transfer_with_retry(
-                                    &self.link,
-                                    &self.source_id,
+                                    &self.route,
                                     0,
                                     ctx.clock.now(),
                                     ctx,
@@ -1062,8 +1174,7 @@ pub struct BindJoinOp<'a> {
     left: crate::operators::BoxedOp<'a>,
     db: &'a Database,
     target: crate::fedplan::BindTarget,
-    link: Arc<Link>,
-    source_id: String,
+    route: SourceRoute,
     rows_per_message: usize,
     batch_size: usize,
     left_done: bool,
@@ -1081,23 +1192,21 @@ enum BindStage {
 }
 
 impl<'a> BindJoinOp<'a> {
-    /// Creates the operator; the engine resolves `db` and `link` from the
-    /// target's source id.
+    /// Creates the operator; the engine resolves `db` and the route from
+    /// the target's source id and routing decision.
     pub fn new(
         left: crate::operators::BoxedOp<'a>,
         db: &'a Database,
         target: crate::fedplan::BindTarget,
-        link: Arc<Link>,
+        route: SourceRoute,
         rows_per_message: usize,
         batch_size: usize,
     ) -> Self {
-        let source_id = target.source_id.clone();
         BindJoinOp {
             left,
             db,
             target,
-            link,
-            source_id,
+            route,
             rows_per_message,
             batch_size: batch_size.max(1),
             left_done: false,
@@ -1179,22 +1288,16 @@ impl<'a> BindJoinOp<'a> {
         ctx.stats.sql_queries += 1;
         let t0 = ctx.trace.is_enabled().then(|| ctx.clock.now());
         // The parameterized request.
-        transfer_with_retry(&self.link, &self.source_id, 0, ctx)?;
+        transfer_with_retry(&self.route, 0, ctx)?;
         let rs = self.db.query(&q.sql)?;
         ctx.clock.advance(ctx.cost.rdb_time(&convert_cost(&rs.cost)));
         let rows = lift_result(&rs, &q.outputs, &ctx.schema, &mut ctx.interner.lock());
         ctx.stats.service_rows += rows.len() as u64;
-        transfer_rows_with_retry(
-            &self.link,
-            &self.source_id,
-            rows.len(),
-            self.rows_per_message,
-            ctx,
-        )?;
+        transfer_rows_with_retry(&self.route, rows.len(), self.rows_per_message, ctx)?;
         if let Some(t0) = t0 {
             ctx.trace.source_span(
                 SpanKind::BindBatch,
-                &self.source_id,
+                self.route.active_endpoint(),
                 &format!("bind batch ({} left rows)", batch.len()),
                 t0,
                 ctx.clock.now(),
@@ -1214,18 +1317,17 @@ impl<'a> BindJoinOp<'a> {
         };
         ctx.stats.sql_queries += 1;
         let t0 = ctx.clock.now();
-        self.stage = match schedule_transfer_with_retry(&self.link, &self.source_id, 0, t0, ctx)
-        {
+        self.stage = match schedule_transfer_with_retry(&self.route, 0, t0, ctx) {
             Ok(t_req) => {
                 let rs = self.db.query(&q.sql)?;
                 let t_q = self
-                    .link
+                    .route
+                    .active_link()
                     .schedule_busy(ctx.cost.rdb_time(&convert_cost(&rs.cost)), t_req);
                 let rows = lift_result(&rs, &q.outputs, &ctx.schema, &mut ctx.interner.lock());
                 ctx.stats.service_rows += rows.len() as u64;
                 match schedule_rows_with_retry(
-                    &self.link,
-                    &self.source_id,
+                    &self.route,
                     rows.len(),
                     self.rows_per_message,
                     t_q,
@@ -1235,7 +1337,7 @@ impl<'a> BindJoinOp<'a> {
                         if ctx.trace.is_enabled() {
                             ctx.trace.source_span(
                                 SpanKind::BindBatch,
-                                &self.source_id,
+                                self.route.active_endpoint(),
                                 &format!("bind batch ({} left rows)", batch.len()),
                                 t0,
                                 done,
@@ -1346,11 +1448,16 @@ pub fn drain(op: &mut dyn FedOp, ctx: &mut ExecCtx) -> Result<Vec<SlotRow>, FedE
     Ok(out)
 }
 
-/// Creates one link per source, each with its own deterministic RNG
-/// stream derived from the base seed. Each link gets the fault plan the
-/// [`fedlake_netsim::FaultPlans`] resolves for its source id (the uniform
-/// default unless overridden), so a chaos schedule can target exactly one
-/// endpoint.
+/// Creates one link per endpoint, each with its own deterministic RNG
+/// stream derived from the base seed. An unreplicated source gets one
+/// link under its plain id with the seed derivation unchanged from the
+/// pre-replica engine (bit-identical traffic); a source with N replicas
+/// gets N links under `id#r0..id#rN-1`, replica 0 on the source's base
+/// seed and each further replica on an independent stream. Each link gets
+/// the fault plan the [`fedlake_netsim::FaultPlans`] resolves for its
+/// endpoint (endpoint override, then logical override, then the default,
+/// then any matching outage group), so a chaos schedule can target one
+/// replica, one logical source, or a correlated set of links.
 pub fn links_for(
     lake: &DataLake,
     profile: fedlake_netsim::NetworkProfile,
@@ -1360,37 +1467,42 @@ pub fn links_for(
     faults: &fedlake_netsim::FaultPlans,
     trace: &crate::obs::TraceSink,
 ) -> std::collections::HashMap<String, Arc<Link>> {
-    lake.sources()
-        .iter()
-        .enumerate()
-        .map(|(i, s)| {
+    let mut links = std::collections::HashMap::new();
+    for (i, s) in lake.sources().iter().enumerate() {
+        let base = seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for (k, endpoint) in lake.replica_endpoints(s.id()).into_iter().enumerate() {
+            let link_seed = base.wrapping_add((k as u64).wrapping_mul(0xA24B_AED4_963E_E407));
             let mut link = Link::with_faults(
                 profile,
                 Arc::clone(&clock),
                 cost,
-                seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                faults.for_source(s.id()),
+                link_seed,
+                faults.for_endpoint(&endpoint, s.id()),
             );
             if let Some(obs) = trace.net_observer() {
-                link = link.with_observer(s.id(), obs);
+                link = link.with_observer(&endpoint, obs);
             }
-            (s.id().to_string(), Arc::new(link))
-        })
-        .collect()
+            links.insert(endpoint, Arc::new(link));
+        }
+    }
+    links
 }
 
 /// Per-source fault counts (drops + truncations + outage hits) across a
-/// link map. Sources that never failed do not appear.
+/// link map, attributed to *logical* source ids: replica links fold into
+/// their source's single entry, so one flaky source is not split across
+/// replica keys. Sources that never failed do not appear.
 pub fn source_failures(
     links: &std::collections::HashMap<String, Arc<Link>>,
 ) -> std::collections::BTreeMap<String, u64> {
-    links
-        .iter()
-        .filter_map(|(id, l)| {
-            let f = l.stats().faults();
-            (f > 0).then(|| (id.clone(), f))
-        })
-        .collect()
+    let mut out = std::collections::BTreeMap::new();
+    for (id, l) in links {
+        let f = l.stats().faults();
+        if f > 0 {
+            *out.entry(logical_source_id(id).to_string()).or_insert(0) += f;
+        }
+    }
+    out
 }
 
 /// Total link traffic across a link map (messages, rows, injected delay).
@@ -1496,6 +1608,7 @@ mod tests {
         let q = sql_single(&star_part(&star, &tm, &schema, &[], "s0").unwrap());
         let node = ServiceNode {
             source_id: "d".into(),
+            route: None,
             kind: ServiceKind::Sql {
                 request: SqlRequest::Single(q),
                 covers: vec!["?g".into()],
@@ -1509,7 +1622,8 @@ mod tests {
             CostModel::default(),
             7,
         ));
-        let mut op = open_service(&node, &lake, Arc::clone(&link), 1).unwrap();
+        let route = SourceRoute::single("d", Arc::clone(&link));
+        let mut op = open_service(&node, &lake, route, 1).unwrap();
         let mut c = ctx(clock, &["g", "l"]);
         let rows = drain(op.as_mut(), &mut c).unwrap();
         assert_eq!(rows.len(), 5);
@@ -1531,6 +1645,7 @@ mod tests {
         let lake = lake();
         let node = ServiceNode {
             source_id: "d".into(),
+            route: None,
             kind: ServiceKind::Sql {
                 request: SqlRequest::Single(TranslatedQuery {
                     sql: "SELECT g.id AS i FROM gene g WHERE g.id = 'zzz'".into(),
@@ -1547,7 +1662,8 @@ mod tests {
             CostModel::default(),
             7,
         ));
-        let mut op = open_service(&node, &lake, Arc::clone(&link), 1).unwrap();
+        let route = SourceRoute::single("d", Arc::clone(&link));
+        let mut op = open_service(&node, &lake, route, 1).unwrap();
         let mut c = ctx(clock, &["g"]);
         assert!(drain(op.as_mut(), &mut c).unwrap().is_empty());
         // Request + empty answer.
@@ -1575,6 +1691,7 @@ mod tests {
         .unwrap();
         let node = ServiceNode {
             source_id: "r".into(),
+            route: None,
             kind: ServiceKind::Sparql {
                 star: d.stars[0].clone(),
                 filters: d.stars[0].filters.clone(),
@@ -1588,7 +1705,7 @@ mod tests {
             CostModel::default(),
             1,
         ));
-        let mut op = open_service(&node, &lake, link, 1).unwrap();
+        let mut op = open_service(&node, &lake, SourceRoute::single("r", link), 1).unwrap();
         let mut c = ctx(clock, &["s", "o"]);
         let rows = drain(op.as_mut(), &mut c).unwrap();
         assert_eq!(rows.len(), 1);
@@ -1620,6 +1737,7 @@ mod tests {
         let inner = star_part(&d.stars[1], &disease_tm, &disease_schema, &[], "s1").unwrap();
         let node = ServiceNode {
             source_id: "d".into(),
+            route: None,
             kind: ServiceKind::Sql {
                 request: SqlRequest::MergedNaive {
                     outer,
@@ -1641,7 +1759,8 @@ mod tests {
             CostModel::default(),
             3,
         ));
-        let mut op = open_service(&node, &lake, Arc::clone(&link), 1).unwrap();
+        let route = SourceRoute::single("d", Arc::clone(&link));
+        let mut op = open_service(&node, &lake, route, 1).unwrap();
         let mut c = ctx(clock, &["g", "l", "d", "n"]);
         let rows = drain(op.as_mut(), &mut c).unwrap();
         // Every gene has a disease with a name.
@@ -1663,15 +1782,16 @@ mod tests {
             outage_len: 2,
             ..fedlake_netsim::FaultPlan::NONE
         };
-        let link = Link::with_faults(
+        let link = Arc::new(Link::with_faults(
             NetworkProfile::NO_DELAY,
             Arc::clone(&clock),
             CostModel::default(),
             1,
             plan,
-        );
+        ));
+        let route = SourceRoute::single("s", Arc::clone(&link));
         let mut c = ctx(Arc::clone(&clock), &["x"]);
-        transfer_with_retry(&link, "s", 1, &mut c).unwrap();
+        transfer_with_retry(&route, 1, &mut c).unwrap();
         assert_eq!(c.stats.retries, 2);
         let s = link.stats();
         assert_eq!((s.messages, s.outage_faults), (1, 2));
@@ -1687,22 +1807,164 @@ mod tests {
             outage_len: u64::MAX,
             ..fedlake_netsim::FaultPlan::NONE
         };
-        let link = Link::with_faults(
+        let link = Arc::new(Link::with_faults(
             NetworkProfile::NO_DELAY,
             Arc::clone(&clock),
             CostModel::default(),
             1,
             plan,
-        );
+        ));
+        let route = SourceRoute::single("s", Arc::clone(&link));
         let mut c = ctx(clock, &["x"]);
         c.retry = crate::config::RetryPolicy { max_attempts: 3, ..Default::default() };
-        let err = transfer_with_retry(&link, "s", 1, &mut c).unwrap_err();
+        let err = transfer_with_retry(&route, 1, &mut c).unwrap_err();
         assert_eq!(
             err,
             FedError::SourceUnavailable { source: "s".into(), attempts: 3 }
         );
         assert_eq!(c.stats.retries, 2);
         assert_eq!(link.stats().messages, 0);
+    }
+
+    fn dead_link(clock: &fedlake_netsim::SharedClock, seed: u64) -> Arc<Link> {
+        Arc::new(Link::with_faults(
+            NetworkProfile::NO_DELAY,
+            Arc::clone(clock),
+            CostModel::default(),
+            seed,
+            fedlake_netsim::FaultPlan {
+                outage_after: Some(0),
+                outage_len: u64::MAX,
+                ..fedlake_netsim::FaultPlan::NONE
+            },
+        ))
+    }
+
+    fn live_link(clock: &fedlake_netsim::SharedClock, seed: u64) -> Arc<Link> {
+        Arc::new(Link::new(
+            NetworkProfile::NO_DELAY,
+            Arc::clone(clock),
+            CostModel::default(),
+            seed,
+        ))
+    }
+
+    #[test]
+    fn failover_rescues_a_dead_primary() {
+        let clock = shared_virtual();
+        let dead = dead_link(&clock, 1);
+        let live = live_link(&clock, 2);
+        let route = SourceRoute::new(
+            "s",
+            vec![("s#r0".into(), Arc::clone(&dead)), ("s#r1".into(), Arc::clone(&live))],
+        );
+        let mut c = ctx(Arc::clone(&clock), &["x"]);
+        c.retry = crate::config::RetryPolicy { max_attempts: 3, ..Default::default() };
+        transfer_with_retry(&route, 1, &mut c).unwrap();
+        // Full budget burnt on r0 (2 intra-replica retries + the failover
+        // switch), then r1 delivers on its first attempt.
+        assert_eq!(c.stats.retries, 3);
+        assert_eq!(dead.stats().faults(), 3);
+        assert_eq!(live.stats().messages, 1);
+        assert_eq!(route.active_endpoint(), "s#r1");
+        // The stream is sticky: follow-up messages go straight to r1.
+        transfer_with_retry(&route, 1, &mut c).unwrap();
+        assert_eq!(live.stats().messages, 2);
+        assert_eq!(dead.stats().faults(), 3);
+    }
+
+    #[test]
+    fn exhausting_every_replica_names_the_logical_source() {
+        let clock = shared_virtual();
+        let r0 = dead_link(&clock, 1);
+        let r1 = dead_link(&clock, 2);
+        let route = SourceRoute::new(
+            "s",
+            vec![("s#r0".into(), Arc::clone(&r0)), ("s#r1".into(), Arc::clone(&r1))],
+        );
+        let mut c = ctx(Arc::clone(&clock), &["x"]);
+        c.retry = crate::config::RetryPolicy { max_attempts: 3, ..Default::default() };
+        let err = transfer_with_retry(&route, 1, &mut c).unwrap_err();
+        assert_eq!(
+            err,
+            FedError::SourceUnavailable { source: "s".into(), attempts: 6 }
+        );
+        // Every non-terminal failure counts: 2 + 2 intra-replica retries
+        // plus the one failover switch.
+        assert_eq!(c.stats.retries, 5);
+        assert_eq!(r0.stats().faults(), 3);
+        assert_eq!(r1.stats().faults(), 3);
+    }
+
+    #[test]
+    fn scheduled_failover_matches_serialized_attempts() {
+        // Serialized twin: identical links and policy, blocking transfer.
+        let serialized_end = {
+            let clock = shared_virtual();
+            let dead = dead_link(&clock, 1);
+            let live = live_link(&clock, 2);
+            let route = SourceRoute::new(
+                "s",
+                vec![("s#r0".into(), dead), ("s#r1".into(), live)],
+            );
+            let mut c = ctx(Arc::clone(&clock), &["x"]);
+            c.retry = crate::config::RetryPolicy { max_attempts: 3, ..Default::default() };
+            transfer_with_retry(&route, 1, &mut c).unwrap();
+            clock.now()
+        };
+        let clock = shared_virtual();
+        let dead = dead_link(&clock, 1);
+        let live = live_link(&clock, 2);
+        let route = SourceRoute::new(
+            "s",
+            vec![("s#r0".into(), Arc::clone(&dead)), ("s#r1".into(), Arc::clone(&live))],
+        );
+        let mut c = ctx(Arc::clone(&clock), &["x"]);
+        c.retry = crate::config::RetryPolicy { max_attempts: 3, ..Default::default() };
+        let done = schedule_transfer_with_retry(&route, 1, Duration::ZERO, &mut c).unwrap();
+        assert_eq!(c.stats.retries, 3);
+        assert_eq!(dead.stats().faults(), 3);
+        assert_eq!(live.stats().messages, 1);
+        assert_eq!(route.active_endpoint(), "s#r1");
+        // The scheduled completion lands exactly where the serialized
+        // clock does: 3 detection timeouts (10 ms) + backoffs 2 ms + 4 ms
+        // on r0, then r1's delivery.
+        assert_eq!(done, serialized_end);
+        assert!(done >= Duration::from_millis(36));
+        assert!(done < Duration::from_millis(37));
+    }
+
+    #[test]
+    fn backoff_is_clamped_at_the_deadline() {
+        let clock = shared_virtual();
+        // Attempt 0 fails, attempt 1 succeeds: exactly one backoff pause.
+        let plan = fedlake_netsim::FaultPlan {
+            outage_after: Some(0),
+            outage_len: 1,
+            ..fedlake_netsim::FaultPlan::NONE
+        };
+        let link = Arc::new(Link::with_faults(
+            NetworkProfile::NO_DELAY,
+            Arc::clone(&clock),
+            CostModel::default(),
+            1,
+            plan,
+        ));
+        let route = SourceRoute::single("s", Arc::clone(&link));
+        let mut c = ctx(Arc::clone(&clock), &["x"]);
+        c.retry = crate::config::RetryPolicy {
+            max_attempts: 2,
+            timeout: Duration::from_millis(1),
+            backoff: Duration::from_secs(10),
+        };
+        c.deadline = Some(Duration::from_millis(5));
+        transfer_with_retry(&route, 1, &mut c).unwrap();
+        // Timeout 1 ms, then the 10 s backoff clamps to the 4 ms left
+        // before the deadline: the clock lands on the deadline plus the
+        // final delivery's transfer cost — bounded by one more timeout —
+        // not 10 s past it.
+        assert!(c.clock.now() >= Duration::from_millis(5));
+        assert!(c.clock.now() < Duration::from_millis(6));
     }
 
     #[test]
@@ -1722,5 +1984,41 @@ mod tests {
         let (m, r, d) = total_traffic(&links);
         assert_eq!((m, r), (0, 0));
         assert_eq!(d, Duration::ZERO);
+    }
+
+    #[test]
+    fn replicated_lake_gets_one_link_per_endpoint() {
+        let mut lake = lake();
+        lake.set_replicas("d", 3);
+        let clock = shared_virtual();
+        let links = links_for(
+            &lake,
+            NetworkProfile::GAMMA1,
+            clock,
+            CostModel::default(),
+            42,
+            &fedlake_netsim::FaultPlans::default(),
+            &crate::obs::TraceSink::disabled(),
+        );
+        assert_eq!(links.len(), 3);
+        for k in ["d#r0", "d#r1", "d#r2"] {
+            assert!(links.contains_key(k), "missing link for {k}");
+        }
+        assert!(!links.contains_key("d"));
+    }
+
+    #[test]
+    fn source_failures_fold_replicas_into_the_logical_id() {
+        let clock = shared_virtual();
+        let r0 = dead_link(&clock, 1);
+        let r1 = dead_link(&clock, 2);
+        let _ = r0.try_transfer_message(1);
+        let _ = r0.try_transfer_message(1);
+        let _ = r1.try_transfer_message(1);
+        let links: std::collections::HashMap<String, Arc<Link>> =
+            [("s#r0".to_string(), r0), ("s#r1".to_string(), r1)].into();
+        let failures = source_failures(&links);
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures["s"], 3);
     }
 }

@@ -97,21 +97,69 @@ impl Default for FaultPlan {
     }
 }
 
+/// A correlated outage: several links go down over the *same* simulated
+/// window.
+///
+/// The fault model is positional (outages are windows of per-link attempt
+/// indices), so "the same window" means every member link observes the
+/// outage starting at the same attempt index — the shared start is drawn
+/// deterministically from the group's own seed, independent of the member
+/// links' RNG streams. This models a shared failure domain (one rack, one
+/// provider region) taking all replicas of a source down together, the
+/// scenario replica failover cannot rescue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutageGroup {
+    /// Link ids (source or replica-endpoint ids) that go down together.
+    pub members: Vec<String>,
+    /// Seed the shared outage start is drawn from.
+    pub seed: u64,
+    /// The start attempt is drawn uniformly from `0..window` (a window of
+    /// zero or one pins the outage to attempt 0).
+    pub window: u64,
+    /// Consecutive attempts each member fails for (`u64::MAX` = forever).
+    pub len: u64,
+}
+
+impl OutageGroup {
+    /// The attempt index at which every member's outage begins — a pure
+    /// function of the group's seed, so re-runs observe the same window.
+    pub fn start(&self) -> u64 {
+        let mut rng = fedlake_prng::Prng::seed_from_u64(self.seed ^ 0x9E6D_62C9_4D0C_F5A3);
+        rng.next_u64() % self.window.max(1)
+    }
+
+    /// True when `link_id` belongs to this group.
+    pub fn applies_to(&self, link_id: &str) -> bool {
+        self.members.iter().any(|m| m == link_id)
+    }
+}
+
 /// Fault plans for a whole federation: a uniform default plus per-source
 /// overrides, so a chaos schedule can make exactly one endpoint flaky
-/// while the rest of the lake stays healthy.
+/// while the rest of the lake stays healthy. Correlated [`OutageGroup`]s
+/// overlay a shared outage window on all their member links on top of
+/// whatever per-link plan resolved.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlans {
     /// Plan applied to every source without an override.
     pub default: FaultPlan,
-    /// Per-source-id overrides (keyed by the lake's source ids).
+    /// Per-source-id overrides (keyed by the lake's source ids; replica
+    /// endpoints may be keyed individually or fall back to their logical
+    /// source's override).
     pub overrides: std::collections::BTreeMap<String, FaultPlan>,
+    /// Correlated outages, applied after override resolution. The first
+    /// group containing a link wins.
+    pub groups: Vec<OutageGroup>,
 }
 
 impl FaultPlans {
     /// The same plan on every link (the pre-per-source behaviour).
     pub fn uniform(plan: FaultPlan) -> Self {
-        FaultPlans { default: plan, overrides: std::collections::BTreeMap::new() }
+        FaultPlans {
+            default: plan,
+            overrides: std::collections::BTreeMap::new(),
+            groups: Vec::new(),
+        }
     }
 
     /// Adds (or replaces) the plan for one source id.
@@ -120,14 +168,43 @@ impl FaultPlans {
         self
     }
 
+    /// Adds a correlated outage group.
+    pub fn with_group(mut self, group: OutageGroup) -> Self {
+        self.groups.push(group);
+        self
+    }
+
     /// The plan in effect for `source_id`.
     pub fn for_source(&self, source_id: &str) -> FaultPlan {
-        self.overrides.get(source_id).copied().unwrap_or(self.default)
+        self.for_endpoint(source_id, source_id)
+    }
+
+    /// The plan in effect for one replica endpoint of a logical source:
+    /// an endpoint-keyed override wins, then the logical source's
+    /// override, then the default — after which the first outage group
+    /// containing either id overlays its shared outage window.
+    pub fn for_endpoint(&self, endpoint: &str, logical: &str) -> FaultPlan {
+        let mut plan = self
+            .overrides
+            .get(endpoint)
+            .or_else(|| self.overrides.get(logical))
+            .copied()
+            .unwrap_or(self.default);
+        for g in &self.groups {
+            if g.applies_to(endpoint) || g.applies_to(logical) {
+                plan.outage_after = Some(g.start());
+                plan.outage_len = g.len;
+                break;
+            }
+        }
+        plan
     }
 
     /// True when any source can ever observe a fault.
     pub fn is_active(&self) -> bool {
-        self.default.is_active() || self.overrides.values().any(FaultPlan::is_active)
+        self.default.is_active()
+            || self.overrides.values().any(FaultPlan::is_active)
+            || self.groups.iter().any(|g| g.len > 0 && !g.members.is_empty())
     }
 }
 
@@ -182,6 +259,54 @@ mod tests {
         assert!(!FaultPlans::default().is_active());
         let uniform: FaultPlans = flaky.into();
         assert_eq!(uniform.for_source("anything"), flaky);
+    }
+
+    #[test]
+    fn endpoint_resolution_falls_back_to_logical_override() {
+        let flaky = FaultPlan { drop_prob: 0.5, ..FaultPlan::NONE };
+        let targeted = FaultPlan { truncate_prob: 0.9, ..FaultPlan::NONE };
+        let plans = FaultPlans::uniform(FaultPlan::NONE)
+            .with_source("tcga", flaky)
+            .with_source("tcga#r1", targeted);
+        // Endpoint override wins over the logical source's override.
+        assert_eq!(plans.for_endpoint("tcga#r1", "tcga"), targeted);
+        // A replica without its own override inherits the logical plan.
+        assert_eq!(plans.for_endpoint("tcga#r0", "tcga"), flaky);
+        assert_eq!(plans.for_endpoint("chebi#r0", "chebi"), FaultPlan::NONE);
+    }
+
+    #[test]
+    fn outage_groups_share_one_window() {
+        let g = OutageGroup {
+            members: vec!["a#r0".into(), "a#r1".into()],
+            seed: 7,
+            window: 50,
+            len: 3,
+        };
+        let start = g.start();
+        assert!(start < 50);
+        assert_eq!(g.start(), start, "the shared start is a pure function of the seed");
+        let plans = FaultPlans::default().with_group(g.clone());
+        assert!(plans.is_active());
+        for member in ["a#r0", "a#r1"] {
+            let plan = plans.for_endpoint(member, "a");
+            assert_eq!(plan.outage_after, Some(start), "every member shares the window");
+            assert_eq!(plan.outage_len, 3);
+        }
+        // Non-members are untouched.
+        assert_eq!(plans.for_endpoint("b#r0", "b"), FaultPlan::NONE);
+        // A window of 1 pins the outage to attempt 0 regardless of seed.
+        let pinned = OutageGroup { members: vec!["x".into()], seed: 999, window: 1, len: 1 };
+        assert_eq!(pinned.start(), 0);
+        // Matching on the logical id downs all of its replicas at once.
+        let by_logical =
+            FaultPlans::default().with_group(OutageGroup {
+                members: vec!["a".into()],
+                seed: 1,
+                window: 1,
+                len: 2,
+            });
+        assert_eq!(by_logical.for_endpoint("a#r1", "a").outage_after, Some(0));
     }
 
     #[test]

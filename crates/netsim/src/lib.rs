@@ -29,7 +29,7 @@ pub mod sched;
 
 pub use clock::{Clock, SharedClock};
 pub use cost::CostModel;
-pub use fault::{FaultPlan, FaultPlans, LinkFault};
+pub use fault::{FaultPlan, FaultPlans, LinkFault, OutageGroup};
 pub use gamma::GammaSampler;
 pub use link::Link;
 pub use obs::NetObserver;

@@ -35,6 +35,19 @@ cargo test -q --offline --test trace_invariants
 echo "== chaos suite, traced (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
 FEDLAKE_TRACE=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
 
+# Replicas: FEDLAKE_REPLICAS=2 reruns the chaos property test with every
+# source replicated two ways, so fault schedules also exercise replica
+# failover and health-aware routing — under both schedules and with the
+# trace recorder attached.
+echo "== chaos suite, replicas (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
+FEDLAKE_REPLICAS=2 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
+
+echo "== chaos suite, replicas + overlapped (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
+FEDLAKE_REPLICAS=2 FEDLAKE_OVERLAP=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
+
+echo "== chaos suite, replicas + traced (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
+FEDLAKE_REPLICAS=2 FEDLAKE_TRACE=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
+
 echo "== cargo clippy -D warnings (offline) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -15,7 +15,8 @@
 //! e.g. `CHAOS_ITERS=256 cargo test --test chaos_federation`.
 
 use fedlake_core::{
-    FaultPlan, FedError, FedResult, FederatedEngine, PlanConfig, PlanMode, RetryPolicy,
+    FaultPlan, FedError, FedResult, FederatedEngine, OutageGroup, PlanConfig, PlanMode,
+    RetryPolicy,
 };
 use fedlake_datagen::{build_lake_with, workload, LakeConfig};
 use fedlake_netsim::NetworkProfile;
@@ -49,6 +50,18 @@ fn overlap_mode() -> bool {
 /// under fault injection.
 fn tracing_mode() -> bool {
     std::env::var("FEDLAKE_TRACE").is_ok_and(|v| v == "1")
+}
+
+/// `FEDLAKE_REPLICAS=N` (N ≥ 2) replicates every source of the main chaos
+/// property test N ways, so the recovery property is exercised with
+/// per-replica links, seeds and failover in play. Only the property test
+/// uses it: the targeted-outage test asserts exact single-endpoint attempt
+/// counts that replication would legitimately change.
+fn replicas_mode() -> Option<u32> {
+    std::env::var("FEDLAKE_REPLICAS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 2)
 }
 
 /// Answers as sorted SPARQL CSV — the byte-comparable canonical form.
@@ -85,7 +98,14 @@ fn recoverable_faults_preserve_answers() {
     let iters = chaos_iters();
     let lake_cfg = LakeConfig { scale: 0.05, ..Default::default() };
     for q in workload::experiment_queries() {
-        let lake = build_lake_with(&lake_cfg, q.datasets);
+        let mut lake = build_lake_with(&lake_cfg, q.datasets);
+        if let Some(n) = replicas_mode() {
+            let ids: Vec<String> =
+                lake.sources().iter().map(|s| s.id().to_string()).collect();
+            for id in ids {
+                lake.set_replicas(id, n);
+            }
+        }
         let ast = parse_query(&q.sparql).unwrap();
         for network in NetworkProfile::ALL {
             let mut config = PlanConfig::new(PlanMode::AWARE, network);
@@ -307,5 +327,163 @@ fn targeted_outage_hits_only_the_flaky_source() {
         r.stats.source_failures.keys().collect::<Vec<_>>(),
         ["diseasome"],
         "the healthy source's link must stay fault-free"
+    );
+}
+
+/// Replica failover: one replica of a two-replica source is permanently
+/// dark, yet the query completes *undegraded* with byte-identical answers
+/// — the wrapper burns the retry budget on `diseasome#r0`, fails over to
+/// `diseasome#r1`, and stays there. The failures feed the session health
+/// registry, so the *next* plan routes to the healthy replica up front and
+/// EXPLAIN says so.
+#[test]
+fn replica_failover_rescues_a_flaky_source() {
+    let q = workload::q3(); // two sources: "linkedct" + "diseasome"
+    let mut lake =
+        build_lake_with(&LakeConfig { scale: 0.05, ..Default::default() }, q.datasets);
+    lake.set_replicas("diseasome", 2);
+    let ast = parse_query(&q.sparql).unwrap();
+    let mut config = PlanConfig::aware(NetworkProfile::GAMMA1);
+    config.retry = retry();
+    config.overlap = overlap_mode();
+    config.tracing = tracing_mode();
+
+    // Fault-free baseline over the same replicated lake.
+    let engine = FederatedEngine::new(lake.clone(), config);
+    let planned = engine.plan(&ast).unwrap();
+    assert!(
+        planned.skipped_sources.is_empty(),
+        "nothing is degraded in a fresh session"
+    );
+    assert!(
+        fedlake_core::explain::explain_plan(&planned.plan).contains("via diseasome#r0"),
+        "a fresh session routes to the first replica in index order"
+    );
+    let baseline = engine.execute_planned(&planned).unwrap();
+    assert!(baseline.stats.answers > 0, "Q3 must produce answers");
+
+    // The primary replica never answers; the secondary rescues the query.
+    let mut engine = FederatedEngine::new(lake.clone(), config);
+    engine.set_source_faults(
+        "diseasome#r0",
+        FaultPlan { outage_after: Some(0), outage_len: u64::MAX, ..FaultPlan::NONE },
+    );
+    let r = engine.execute_planned(&planned).unwrap();
+    assert!(!r.stats.degraded, "failover must rescue the query, not degrade it");
+    assert_eq!(sorted_csv(&r), sorted_csv(&baseline), "failover answers diverge");
+    // Replica failures are charged to the logical source: the full budget
+    // on r0 (5 intra-replica retries + the failover switch), r1 clean.
+    assert_eq!(
+        r.stats.source_failures.keys().collect::<Vec<_>>(),
+        ["diseasome"]
+    );
+    assert_eq!(
+        r.stats.source_failures["diseasome"],
+        config.retry.max_attempts as u64
+    );
+    assert_eq!(r.stats.retries, config.retry.max_attempts as u64);
+    // Determinism: the same schedule reproduces the same stats.
+    let again = engine.execute_planned(&planned).unwrap();
+    assert_eq!(again.stats, r.stats, "same seed, different stats");
+
+    // Health-aware re-planning: the recorded r0 failures reorder the
+    // route, and EXPLAIN shows both the replica and the reason.
+    let replanned = engine.plan(&ast).unwrap();
+    assert!(
+        fedlake_core::explain::explain_plan(&replanned.plan)
+            .contains("via diseasome#r1 [healthiest first"),
+        "the next plan must route around the dark replica"
+    );
+}
+
+/// A correlated outage downs *every* replica of a source over the same
+/// seeded window: strict mode fails naming the logical source with the
+/// summed attempt budget; degraded mode returns the healthy source's
+/// partial work with all failures charged to the logical source.
+#[test]
+fn correlated_outage_downs_all_replicas() {
+    let q = workload::q3();
+    let mut lake =
+        build_lake_with(&LakeConfig { scale: 0.05, ..Default::default() }, q.datasets);
+    lake.set_replicas("diseasome", 2);
+    let ast = parse_query(&q.sparql).unwrap();
+    let mut config = PlanConfig::aware(NetworkProfile::GAMMA1);
+    config.retry = retry();
+    config.overlap = overlap_mode();
+    config.tracing = tracing_mode();
+    let group = OutageGroup {
+        members: vec!["diseasome#r0".into(), "diseasome#r1".into()],
+        seed: 7,
+        window: 1, // start is seeded % window: the outage begins at once
+        len: u64::MAX,
+    };
+
+    let mut engine = FederatedEngine::new(lake.clone(), config);
+    engine.add_outage_group(group.clone());
+    let planned = engine.plan(&ast).unwrap();
+    match engine.execute_planned(&planned).unwrap_err() {
+        FedError::SourceUnavailable { ref source, attempts } => {
+            assert_eq!(source, "diseasome", "the error names the logical source");
+            assert_eq!(
+                attempts,
+                2 * config.retry.max_attempts,
+                "a full budget per replica"
+            );
+        }
+        other => panic!("expected SourceUnavailable, got {other}"),
+    }
+
+    config.degraded_ok = true;
+    let mut engine = FederatedEngine::new(lake, config);
+    engine.add_outage_group(group);
+    let r = engine.execute_planned(&planned).unwrap();
+    assert!(r.stats.degraded);
+    assert_eq!(
+        r.stats.source_failures.keys().collect::<Vec<_>>(),
+        ["diseasome"],
+        "the healthy source's links must stay fault-free"
+    );
+    assert_eq!(
+        r.stats.source_failures["diseasome"],
+        2 * config.retry.max_attempts as u64,
+        "both replicas' attempts fold into the logical id"
+    );
+    // Determinism across re-runs, correlated outage included.
+    let again = engine.execute_planned(&planned).unwrap();
+    assert_eq!(again.stats, r.stats, "same outage group, different stats");
+}
+
+/// Satellite regression: the final retry backoff is clamped at the
+/// per-query deadline. With a 10 s backoff and a 5 ms deadline, a failing
+/// source costs at most the deadline plus the in-flight attempts' timeouts
+/// — never a multi-second pause charged past the deadline.
+#[test]
+fn retry_backoff_is_clamped_at_the_deadline() {
+    let q = workload::q1(); // single source: "chebi"
+    let lake = build_lake_with(&LakeConfig { scale: 0.05, ..Default::default() }, q.datasets);
+    let deadline = Duration::from_millis(5);
+    let timeout = Duration::from_millis(1);
+    let mut config = PlanConfig::aware(NetworkProfile::NO_DELAY);
+    config.retry = RetryPolicy {
+        max_attempts: 2,
+        timeout,
+        backoff: Duration::from_secs(10),
+    };
+    config.deadline = Some(deadline);
+    config.degraded_ok = true;
+    config.overlap = overlap_mode();
+    config.tracing = tracing_mode();
+    config.faults = FaultPlan {
+        outage_after: Some(0),
+        outage_len: u64::MAX,
+        ..FaultPlan::NONE
+    };
+    let engine = FederatedEngine::new(lake, config);
+    let r = engine.execute_sparql(&q.sparql).unwrap();
+    assert!(r.stats.degraded);
+    assert!(
+        r.stats.execution_time <= deadline + 2 * timeout,
+        "backoff must clamp at the deadline: took {:?}",
+        r.stats.execution_time
     );
 }

@@ -97,6 +97,41 @@ fn overlapped_schedule_is_answer_identical_and_no_slower() {
     }
 }
 
+/// The overlapped schedule is a deterministic function of the plan and the
+/// seed: re-running the same planned query must reproduce the full
+/// statistics *and the unsorted answer order* byte-for-byte. This pins the
+/// `(time, seq)` re-poll tie-break in UNION and the hash joins — under
+/// NO_DELAY especially, many source events share a completion time, and
+/// any order left to an unstable tie-break would shuffle answers between
+/// runs.
+#[test]
+fn overlapped_schedule_is_deterministic_across_reruns() {
+    let lake_cfg = LakeConfig { scale: 0.1, ..Default::default() };
+    for q in workload::experiment_queries() {
+        let lake = build_lake_with(&lake_cfg, q.datasets);
+        let ast = parse_query(&q.sparql).unwrap();
+        for network in [NetworkProfile::NO_DELAY, NetworkProfile::GAMMA1] {
+            let mut cfg = PlanConfig::new(PlanMode::AWARE, network);
+            cfg.overlap = true;
+            let engine = FederatedEngine::new(lake.clone(), cfg);
+            let planned = engine.plan(&ast).unwrap();
+            let first = engine.execute_planned(&planned).unwrap();
+            let unsorted: Vec<String> =
+                first.rows.iter().map(|row| row.to_string()).collect();
+            for run in 0..3 {
+                let again = engine.execute_planned(&planned).unwrap();
+                let label = format!("{}/rerun {run}/{}", q.id, network.name);
+                assert_eq!(again.stats, first.stats, "{label}: stats diverge");
+                assert_eq!(
+                    again.rows.iter().map(|r| r.to_string()).collect::<Vec<_>>(),
+                    unsorted,
+                    "{label}: answer order diverges"
+                );
+            }
+        }
+    }
+}
+
 /// The reference executor runs the same overlapped schedule through
 /// term-row operators: answers and traffic must match the interned engine
 /// corner-for-corner.
