@@ -6,7 +6,10 @@
 //! Emits `BENCH_rows.json` (in the current directory) with median ns/op
 //! per case and the reference/interned speedup factor. Before measuring,
 //! it asserts both representations produce identical answers on the
-//! synthetic inputs and on Q2.
+//! synthetic inputs and on Q2. Follow-up sections emit
+//! `BENCH_overlap.json` (serialized vs overlapped schedule),
+//! `BENCH_batch.json` (per-row vs vectorized driver, with a batch-size
+//! sweep) and `BENCH_obs.json` (tracing overhead).
 
 use fedlake_bench::harness::{format_ns, Bench, Measurement};
 use fedlake_core::operators::{
@@ -241,7 +244,100 @@ fn main() {
     println!("\nwrote BENCH_rows.json");
 
     overlap_section();
+    batch_section();
     obs_section();
+}
+
+/// Vectorized batch executor vs the per-row interned executor: host
+/// wall-clock of the full `execute_planned` on Q2–Q5, Unaware mode (the
+/// joins stay in the engine) under the default delayed profile (Gamma1)
+/// with 1024-row message chunks, so morsel width — not simulated link
+/// chatter — is what the two drivers disagree on. Answers are asserted
+/// byte-identical per cell before timing, and a batch-size sweep
+/// (64/256/1024/4096) is recorded per query. Emits `BENCH_batch.json`.
+fn batch_section() {
+    const SIZES: [usize; 4] = [64, 256, 1024, 4096];
+    const DEFAULT_SIZE: usize = 1024;
+    let lake_cfg = LakeConfig { scale: 0.3, ..Default::default() };
+    let sorted = |rows: &[Row]| {
+        let mut v: Vec<String> = rows.iter().map(|r| r.to_string()).collect();
+        v.sort();
+        v
+    };
+
+    println!("\n== vectorized batches (host wall-clock, per-row vs batched driver) ==");
+    let mut json = String::from(
+        "{\n  \"benchmark\": \"vectorized_batches\",\n  \"units\": \"median ns per end-to-end execution\",\n  \"network\": \"Gamma1\",\n  \"mode\": \"unaware\",\n  \"rows_per_message\": 1024,\n  \"default_batch_size\": 1024,\n  \"cases\": [\n",
+    );
+    let mut first = true;
+    for q in workload::experiment_queries() {
+        if !matches!(q.id, "Q2" | "Q3" | "Q4" | "Q5") {
+            continue;
+        }
+        let lake = build_lake_with(&lake_cfg, q.datasets);
+        let ast = fedlake_sparql::parser::parse_query(&q.sparql).unwrap();
+        let mut row_cfg = PlanConfig::new(PlanMode::Unaware, NetworkProfile::GAMMA1);
+        row_cfg.rows_per_message = 1024;
+        row_cfg.batch = false;
+        let row_engine = FederatedEngine::new(lake.clone(), row_cfg);
+        let planned = row_engine.plan(&ast).unwrap();
+        let row_answers = sorted(&row_engine.execute_planned(&planned).unwrap().rows);
+
+        let batch_engine = |size: usize| {
+            let mut cfg = row_cfg;
+            cfg.batch = true;
+            cfg.batch_size = size;
+            FederatedEngine::new(lake.clone(), cfg)
+        };
+        for &size in &SIZES {
+            let r = batch_engine(size).execute_planned(&planned).unwrap();
+            assert_eq!(
+                sorted(&r.rows),
+                row_answers,
+                "{}: batch({size}) answers diverge from per-row driver",
+                q.id
+            );
+        }
+
+        let mut b = Bench::new(format!("batch/{}", q.id));
+        b.bench("per_row", || row_engine.execute_planned(&planned).unwrap());
+        for &size in &SIZES {
+            let engine = batch_engine(size);
+            b.bench(format!("batch_{size}"), || {
+                engine.execute_planned(&planned).unwrap()
+            });
+        }
+        let m = b.finish();
+        let row_ns = m[0].median_ns;
+        let by_size: Vec<f64> = m[1..].iter().map(|x| x.median_ns).collect();
+        let default_ns = by_size[SIZES.iter().position(|&s| s == DEFAULT_SIZE).unwrap()];
+        println!(
+            "{:<4} per-row {:>12}  batch(1024) {:>12}  speedup {:>5.2}x",
+            q.id,
+            format_ns(row_ns),
+            format_ns(default_ns),
+            row_ns / default_ns
+        );
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        json.push_str(&format!(
+            "    {{\"query\": \"{}\", \"per_row_ns\": {:.1}, \"batch_ns\": {{{}}}, \"speedup\": {:.3}}}",
+            q.id,
+            row_ns,
+            SIZES
+                .iter()
+                .zip(&by_size)
+                .map(|(s, ns)| format!("\"{s}\": {ns:.1}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            row_ns / default_ns
+        ));
+    }
+    json.push_str("\n  ]\n}\n");
+    std::fs::write("BENCH_batch.json", &json).expect("write BENCH_batch.json");
+    println!("\nwrote BENCH_batch.json");
 }
 
 /// Observability overhead. With tracing off the sink is a `None` and every

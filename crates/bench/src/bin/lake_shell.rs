@@ -5,7 +5,7 @@
 //!            [--network NoDelay|Gamma1|Gamma2|Gamma3]
 //!            [--format table|json|csv] [--query SPARQL]
 //!            [--analyze] [--trace-out FILE.json]
-//!            [--replicas N] [--outage ENDPOINT]
+//!            [--replicas N] [--outage ENDPOINT] [--batch-size N]
 //! ```
 //!
 //! `--analyze` turns tracing on and prints an `EXPLAIN ANALYZE` view of
@@ -168,6 +168,7 @@ fn main() -> ExitCode {
     let mut trace_out: Option<std::path::PathBuf> = None;
     let mut replicas: u32 = 1;
     let mut outages: Vec<String> = Vec::new();
+    let mut batch_size: Option<usize> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut next = |what: &str| {
@@ -208,12 +209,18 @@ fn main() -> ExitCode {
                 })
             }
             "--outage" => outages.push(next("--outage")),
+            "--batch-size" => {
+                batch_size = Some(next("--batch-size").parse().unwrap_or_else(|_| {
+                    eprintln!("bad --batch-size");
+                    std::process::exit(2);
+                }));
+            }
             "--help" | "-h" => {
                 println!(
                     "lake_shell [--scale S] [--seed N] [--mode unaware|aware|h2] \
                      [--network NoDelay|Gamma1|Gamma2|Gamma3] [--format table|json|csv] \
                      [--query SPARQL] [--analyze] [--trace-out FILE.json] \
-                     [--replicas N] [--outage ENDPOINT]\n\n\
+                     [--replicas N] [--outage ENDPOINT] [--batch-size N]\n\n\
                      --analyze            print EXPLAIN ANALYZE (plan tree with actual rows,\n\
                      \x20                    times, messages and per-link fault counts)\n\
                      --trace-out FILE     write a Chrome trace-event JSON of the executed\n\
@@ -221,7 +228,9 @@ fn main() -> ExitCode {
                      --replicas N         replicate every source N ways (endpoints id#r0 …)\n\
                      --outage ENDPOINT    endless outage on one endpoint (repeatable);\n\
                      \x20                    with --replicas, queries fail over and the\n\
-                     \x20                    planner learns to route around it"
+                     \x20                    planner learns to route around it\n\
+                     --batch-size N       run the vectorized executor with N-row morsels\n\
+                     \x20                    (also via FEDLAKE_BATCH=1 / FEDLAKE_BATCH_SIZE)"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -243,6 +252,11 @@ fn main() -> ExitCode {
     }
     let mut cfg = PlanConfig::new(mode, network);
     cfg.tracing = analyze || trace_out.is_some();
+    if let Some(n) = batch_size {
+        cfg.batch = true;
+        cfg.batch_size = n.max(1);
+        eprintln!("vectorized execution: {}-row morsels", cfg.batch_size);
+    }
     let mut engine = FederatedEngine::new(lake, cfg);
     for endpoint in &outages {
         engine.set_source_faults(

@@ -207,6 +207,32 @@ pub struct PlanConfig {
     /// [`crate::FedResult::obs`]. Recording is passive — answers, stats
     /// and RNG streams are byte-identical with it on or off.
     pub tracing: bool,
+    /// Vectorized execution: drive the optimized executor with
+    /// morsel-sized [`fedlake_sparql::binding::RowBatch`]es instead of
+    /// row-at-a-time pulls. Answers, stats and link traffic are identical
+    /// either way; only host-side overhead drops. Defaults to the
+    /// `FEDLAKE_BATCH=1` environment switch. Deadline runs fall back to
+    /// the row-at-a-time driver so cooperative cancellation keeps its
+    /// per-row granularity.
+    pub batch: bool,
+    /// Row capacity of one batch (morsel size). Defaults to 1024, or the
+    /// `FEDLAKE_BATCH_SIZE` environment override.
+    pub batch_size: usize,
+}
+
+/// The process-wide default for [`PlanConfig::batch`]: `FEDLAKE_BATCH=1`.
+fn batch_default() -> bool {
+    std::env::var("FEDLAKE_BATCH").is_ok_and(|v| v == "1")
+}
+
+/// The process-wide default for [`PlanConfig::batch_size`]:
+/// `FEDLAKE_BATCH_SIZE=n`, else 1024.
+fn batch_size_default() -> usize {
+    std::env::var("FEDLAKE_BATCH_SIZE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1024)
 }
 
 impl Default for PlanConfig {
@@ -227,6 +253,8 @@ impl Default for PlanConfig {
             overlap: false,
             degraded_ok: false,
             tracing: false,
+            batch: batch_default(),
+            batch_size: batch_size_default(),
         }
     }
 }
@@ -279,6 +307,9 @@ mod tests {
         assert_eq!(c.deadline, None);
         assert!(!c.degraded_ok);
         assert!(!c.tracing, "tracing is opt-in");
+        if std::env::var_os("FEDLAKE_BATCH_SIZE").is_none() {
+            assert_eq!(c.batch_size, 1024);
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@ use fedlake_netsim::clock::{shared_real, shared_virtual};
 use fedlake_netsim::Link;
 use fedlake_rdf::SharedInterner;
 use fedlake_sparql::ast::SelectQuery;
-use fedlake_sparql::binding::{decode_row, Row, RowSchema, SlotRow, Var};
+use fedlake_sparql::binding::{decode_batch_row, decode_row, Row, RowSchema, SlotRow, Var};
 use fedlake_sparql::eval::sort_rows;
 use fedlake_sparql::parser::parse_query;
 use std::collections::{BTreeMap, HashMap};
@@ -148,6 +148,14 @@ pub struct FederatedEngine {
     health: SourceHealth,
     /// Failures at which an endpoint counts as degraded for planning.
     health_threshold: u64,
+    /// Session-wide term interner: shared by every execution, so term ids
+    /// are stable across executions and lifted source results can be
+    /// cached. Append-only — ids never change meaning once assigned.
+    interner: SharedInterner,
+    /// Cross-execution cache of lifted source results (paired with
+    /// `interner`). Valid for the engine's lifetime: the engine owns the
+    /// lake, so source contents cannot change underneath it.
+    lifts: crate::wrapper::SharedLiftCache,
 }
 
 /// Failures before the planner treats an endpoint as degraded — two full
@@ -164,6 +172,8 @@ impl FederatedEngine {
             outage_groups: Vec::new(),
             health: SourceHealth::new(),
             health_threshold: DEFAULT_HEALTH_THRESHOLD,
+            interner: SharedInterner::new(),
+            lifts: Arc::new(std::sync::Mutex::new(fedlake_rdf::FastMap::default())),
         }
     }
 
@@ -268,8 +278,9 @@ impl FederatedEngine {
             Arc::clone(&clock),
             self.config.cost,
             Arc::clone(&planned.schema),
-            SharedInterner::new(),
+            self.interner.clone(),
         )
+        .with_lifts(Arc::clone(&self.lifts))
         .with_retry(self.config.retry)
         .with_deadline(self.config.deadline)
         .with_trace(sink.clone());
@@ -287,71 +298,128 @@ impl FederatedEngine {
 
         let mut trace = AnswerTrace::new();
         let mut slot_rows: Vec<SlotRow> = Vec::new();
+        // Batch runs decode answers straight out of each batch's column
+        // buffers (one dictionary lock per batch); row runs collect
+        // `SlotRow`s and decode at the end. Same decode order either way.
+        let mut decoded: Vec<Row> = Vec::new();
         // Sources skipped at plan time already make the answer partial.
         let mut degraded = !planned.skipped_sources.is_empty();
         let unordered_limit = planned.order_by.is_empty().then_some(()).and(planned.limit);
         let want = unordered_limit.map(|l| l + planned.offset);
-        loop {
-            // The deadline is cooperative: it is checked between answers,
-            // so one pull can overshoot it before the query fails (or
-            // degrades to the partial answer set).
-            if let Some(d) = self.config.deadline {
-                if clock.now() >= d {
-                    if !self.config.degraded_ok {
-                        return Err(FedError::Timeout(d));
+        // Vectorized driver: pull morsel-sized batches through the tree.
+        // Deadline runs and unordered-LIMIT early stops keep the row
+        // driver — both need to observe the clock between *rows*, not
+        // between batches, to stop at the same instant the reference
+        // executor would.
+        let batch_mode = self.config.batch && self.config.deadline.is_none() && want.is_none();
+        ctx.batch = batch_mode;
+        if batch_mode {
+            loop {
+                let step = if self.config.overlap {
+                    op.poll_next_batch(&mut ctx, self.config.batch_size)
+                } else {
+                    op.next_batch(&mut ctx, self.config.batch_size).map(|o| {
+                        o.map_or(crate::operators::Poll::Done, crate::operators::Poll::Ready)
+                    })
+                };
+                match step {
+                    Ok(crate::operators::Poll::Ready(batch)) => {
+                        let now = clock.now();
+                        let dict = ctx.interner.lock();
+                        for i in batch.selected() {
+                            ctx.trace.record_answer(&mut trace, now);
+                            decoded.push(decode_batch_row(&batch, i, &planned.schema, &dict));
+                        }
                     }
-                    degraded = true;
-                    break;
+                    Ok(crate::operators::Poll::Pending(ev)) => {
+                        if clock.is_virtual() && ev.time <= clock.now() {
+                            return Err(FedError::Internal(format!(
+                                "scheduler stalled: pending event at {:?} is not in the future (now {:?})",
+                                ev.time,
+                                clock.now()
+                            )));
+                        }
+                        clock.advance_to(ev.time);
+                    }
+                    Ok(crate::operators::Poll::Done) => break,
+                    Err(e @ (FedError::SourceUnavailable { .. } | FedError::Timeout(_))) => {
+                        if !self.config.degraded_ok {
+                            return Err(e);
+                        }
+                        degraded = true;
+                        break;
+                    }
+                    Err(e) => return Err(e),
                 }
             }
-            // Overlapped runs poll the plan and advance the clock to the
-            // next scheduled completion when every branch is waiting on
-            // in-flight I/O; serialized runs map the blocking pull onto
-            // the same three-way step.
-            let step = if self.config.overlap {
-                op.poll_next(&mut ctx)
-            } else {
-                op.next(&mut ctx)
-                    .map(|o| o.map_or(crate::operators::Poll::Done, crate::operators::Poll::Ready))
-            };
-            match step {
-                Ok(crate::operators::Poll::Ready(row)) => {
-                    ctx.trace.record_answer(&mut trace, clock.now());
-                    slot_rows.push(row);
-                    // Without ORDER BY, LIMIT can stop pulling early — the
-                    // streaming behaviour ANAPSID's operators enable.
-                    if want.is_some_and(|w| slot_rows.len() >= w) {
+        } else {
+            loop {
+                // The deadline is cooperative: it is checked between
+                // answers, so one pull can overshoot it before the query
+                // fails (or degrades to the partial answer set).
+                if let Some(d) = self.config.deadline {
+                    if clock.now() >= d {
+                        if !self.config.degraded_ok {
+                            return Err(FedError::Timeout(d));
+                        }
+                        degraded = true;
                         break;
                     }
                 }
-                Ok(crate::operators::Poll::Pending(ev)) => {
-                    // A due event must be consumed by the poll that saw
-                    // it; surfacing one here means an operator forgot to
-                    // complete it and time would stand still.
-                    if clock.is_virtual() && ev.time <= clock.now() {
-                        return Err(FedError::Internal(format!(
-                            "scheduler stalled: pending event at {:?} is not in the future (now {:?})",
-                            ev.time,
-                            clock.now()
-                        )));
+                // Overlapped runs poll the plan and advance the clock to
+                // the next scheduled completion when every branch is
+                // waiting on in-flight I/O; serialized runs map the
+                // blocking pull onto the same three-way step.
+                let step = if self.config.overlap {
+                    op.poll_next(&mut ctx)
+                } else {
+                    op.next(&mut ctx).map(|o| {
+                        o.map_or(crate::operators::Poll::Done, crate::operators::Poll::Ready)
+                    })
+                };
+                match step {
+                    Ok(crate::operators::Poll::Ready(row)) => {
+                        ctx.trace.record_answer(&mut trace, clock.now());
+                        slot_rows.push(row);
+                        // Without ORDER BY, LIMIT can stop pulling early —
+                        // the streaming behaviour ANAPSID's operators
+                        // enable.
+                        if want.is_some_and(|w| slot_rows.len() >= w) {
+                            break;
+                        }
                     }
-                    clock.advance_to(ev.time);
-                }
-                Ok(crate::operators::Poll::Done) => break,
-                Err(e @ (FedError::SourceUnavailable { .. } | FedError::Timeout(_))) => {
-                    if !self.config.degraded_ok {
-                        return Err(e);
+                    Ok(crate::operators::Poll::Pending(ev)) => {
+                        // A due event must be consumed by the poll that saw
+                        // it; surfacing one here means an operator forgot
+                        // to complete it and time would stand still.
+                        if clock.is_virtual() && ev.time <= clock.now() {
+                            return Err(FedError::Internal(format!(
+                                "scheduler stalled: pending event at {:?} is not in the future (now {:?})",
+                                ev.time,
+                                clock.now()
+                            )));
+                        }
+                        clock.advance_to(ev.time);
                     }
-                    degraded = true;
-                    break;
+                    Ok(crate::operators::Poll::Done) => break,
+                    Err(e @ (FedError::SourceUnavailable { .. } | FedError::Timeout(_))) => {
+                        if !self.config.degraded_ok {
+                            return Err(e);
+                        }
+                        degraded = true;
+                        break;
+                    }
+                    Err(e) => return Err(e),
                 }
-                Err(e) => return Err(e),
             }
         }
         trace.complete(clock.now());
 
-        // Materialize terms only at the API boundary.
-        let mut rows: Vec<Row> = {
+        // Materialize terms only at the API boundary (batch runs already
+        // decoded on the fly).
+        let mut rows: Vec<Row> = if batch_mode {
+            decoded
+        } else {
             let dict = ctx.interner.lock();
             slot_rows
                 .iter()

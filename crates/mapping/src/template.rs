@@ -31,7 +31,15 @@ impl IriTemplate {
 
     /// Mints an IRI for `key`, percent-encoding characters unsafe in IRIs.
     pub fn apply(&self, key: &str) -> String {
-        format!("{}{}{}", self.prefix, encode(key), self.suffix)
+        // Built by hand (not `format!`): minting runs once per lifted
+        // value on the wrapper's hot path, and the fmt machinery costs
+        // more than the copies themselves.
+        let mut out =
+            String::with_capacity(self.prefix.len() + key.len() + self.suffix.len());
+        out.push_str(&self.prefix);
+        encode_into(key, &mut out);
+        out.push_str(&self.suffix);
+        out
     }
 
     /// Recovers the key from an IRI minted by this template.
@@ -56,17 +64,25 @@ impl fmt::Display for IriTemplate {
     }
 }
 
-fn encode(key: &str) -> String {
-    let mut out = String::with_capacity(key.len());
+fn is_safe(b: u8) -> bool {
+    matches!(b, b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~')
+}
+
+fn encode_into(key: &str, out: &mut String) {
+    if key.bytes().all(is_safe) {
+        out.push_str(key);
+        return;
+    }
+    const HEX: &[u8; 16] = b"0123456789ABCDEF";
     for b in key.bytes() {
-        match b {
-            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
-                out.push(b as char)
-            }
-            _ => out.push_str(&format!("%{b:02X}")),
+        if is_safe(b) {
+            out.push(b as char);
+        } else {
+            out.push('%');
+            out.push(HEX[(b >> 4) as usize] as char);
+            out.push(HEX[(b & 0x0f) as usize] as char);
         }
     }
-    out
 }
 
 fn decode(s: &str) -> String {

@@ -5,8 +5,8 @@
 //! compact (12 bytes per triple per index) and makes joins and comparisons
 //! integer comparisons.
 
+use crate::hash::FastMap;
 use crate::term::Term;
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// A compact identifier for an interned RDF term.
@@ -31,7 +31,7 @@ impl TermId {
 #[derive(Debug, Default, Clone)]
 pub struct Dictionary {
     terms: Vec<Term>,
-    ids: HashMap<Term, TermId>,
+    ids: FastMap<Term, TermId>,
 }
 
 impl Dictionary {

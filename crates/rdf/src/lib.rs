@@ -29,11 +29,13 @@
 pub mod dict;
 pub mod error;
 pub mod graph;
+pub mod hash;
 pub mod ntriples;
 pub mod term;
 pub mod vocab;
 
 pub use dict::{Dictionary, SharedInterner, TermId};
+pub use hash::{BuildFastHasher, FastMap, FastSet};
 pub use error::RdfError;
 pub use graph::{Graph, TriplePattern};
 pub use term::{Literal, Term};

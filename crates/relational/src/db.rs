@@ -11,6 +11,7 @@ use crate::stats::{table_stats, TableStats};
 use crate::storage::Table;
 use crate::value::Value;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// The result of executing a statement.
 #[derive(Debug, Clone)]
@@ -37,16 +38,44 @@ impl ResultSet {
 }
 
 /// An embedded relational database: one named catalog of tables.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct Database {
     name: String,
     tables: HashMap<String, Table>,
+    /// Materialized results of previously executed `SELECT`s, keyed by the
+    /// SQL text. Sources in a federation answer the same subqueries over
+    /// and over (replica failover, repeated executions, benchmark loops);
+    /// serving the memoized result — cost statistics included, so the
+    /// simulated charge is identical — skips the re-scan. Any mutation
+    /// clears the cache.
+    cache: Mutex<HashMap<String, Arc<ResultSet>>>,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Self {
+        // The clone gets its own (empty) cache: the two catalogs may
+        // diverge afterwards, and cached results must never outlive the
+        // table state they were computed from.
+        Database {
+            name: self.name.clone(),
+            tables: self.tables.clone(),
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
 }
 
 impl Database {
     /// Creates an empty database.
     pub fn new(name: impl Into<String>) -> Self {
-        Database { name: name.into(), tables: HashMap::new() }
+        Database {
+            name: name.into(),
+            tables: HashMap::new(),
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn invalidate_cache(&mut self) {
+        self.cache.get_mut().unwrap_or_else(|e| e.into_inner()).clear();
     }
 
     /// The database name.
@@ -66,6 +95,7 @@ impl Database {
                 Ok(ResultSet::empty())
             }
             Statement::Insert { table, rows } => {
+                self.invalidate_cache();
                 let t = self
                     .tables
                     .get_mut(&table)
@@ -123,8 +153,32 @@ impl Database {
         }
     }
 
+    /// Like [`Database::query`], but memoized: the first execution of a
+    /// given `SELECT` materializes and caches its full result (rows *and*
+    /// cost statistics); later executions of the same SQL text share it.
+    /// Callers must charge the returned `cost` exactly as for an uncached
+    /// run — a cache hit changes wall-clock time only, never the simulated
+    /// execution. Errors are not cached.
+    pub fn query_cached(&self, sql: &str) -> Result<Arc<ResultSet>, SqlError> {
+        if let Some(hit) = self
+            .cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(sql)
+        {
+            return Ok(Arc::clone(hit));
+        }
+        let rs = Arc::new(self.query(sql)?);
+        self.cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(sql.to_string(), Arc::clone(&rs));
+        Ok(rs)
+    }
+
     /// Creates a table from a schema.
     pub fn create_table(&mut self, schema: TableSchema) -> Result<(), SqlError> {
+        self.invalidate_cache();
         if self.tables.contains_key(&schema.name) {
             return Err(SqlError::AlreadyExists(schema.name));
         }
@@ -141,6 +195,7 @@ impl Database {
         columns: &[String],
         unique: bool,
     ) -> Result<(), SqlError> {
+        self.invalidate_cache();
         let t = self
             .tables
             .get_mut(table)
@@ -150,6 +205,7 @@ impl Database {
 
     /// Inserts a row through the typed API.
     pub fn insert_row(&mut self, table: &str, row: Vec<Value>) -> Result<(), SqlError> {
+        self.invalidate_cache();
         let t = self
             .tables
             .get_mut(table)
@@ -366,6 +422,24 @@ mod tests {
         assert!(db
             .execute("INSERT INTO gene VALUES ('g1', 'dup', 'x')")
             .is_err());
+    }
+
+    #[test]
+    fn cached_query_matches_and_invalidates() {
+        let mut db = lake_db();
+        let sql = "SELECT id FROM gene WHERE species = 'Homo sapiens'";
+        let fresh = db.query(sql).unwrap();
+        let first = db.query_cached(sql).unwrap();
+        let second = db.query_cached(sql).unwrap();
+        // Hit shares the materialization and reports the original cost.
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(first.rows, fresh.rows);
+        assert_eq!(first.cost.rows_scanned, fresh.cost.rows_scanned);
+        // Mutations invalidate: the new row must be visible.
+        db.execute("INSERT INTO gene VALUES ('g99', 'late', 'Homo sapiens')")
+            .unwrap();
+        let third = db.query_cached(sql).unwrap();
+        assert_eq!(third.rows.len(), fresh.rows.len() + 1);
     }
 
     #[test]

@@ -48,6 +48,28 @@ FEDLAKE_REPLICAS=2 FEDLAKE_OVERLAP=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test
 echo "== chaos suite, replicas + traced (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
 FEDLAKE_REPLICAS=2 FEDLAKE_TRACE=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
 
+# Vectorized execution: FEDLAKE_BATCH=1 flips PlanConfig::default() to the
+# batched driver, so the whole suite — equivalence, chaos, tracing —
+# re-runs over RowBatch morsels. Plain, overlapped, traced and chaos
+# passes mirror the row-mode gates above.
+echo "== full suite, batched =="
+FEDLAKE_BATCH=1 cargo test -q --offline --workspace
+
+echo "== overlap equivalence, batched =="
+FEDLAKE_BATCH=1 cargo test -q --offline --test overlap_equivalence
+
+echo "== trace invariants, batched =="
+FEDLAKE_BATCH=1 cargo test -q --offline --test trace_invariants
+
+echo "== chaos suite, batched (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
+FEDLAKE_BATCH=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
+
+echo "== chaos suite, batched + overlapped (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
+FEDLAKE_BATCH=1 FEDLAKE_OVERLAP=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
+
+echo "== chaos suite, batched + traced (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
+FEDLAKE_BATCH=1 FEDLAKE_TRACE=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
+
 echo "== cargo clippy -D warnings (offline) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -132,6 +132,59 @@ fn overlapped_schedule_is_deterministic_across_reruns() {
     }
 }
 
+/// The vectorized driver keeps the two schedules equivalent — and keeps
+/// the *clock* of each schedule identical to its row-at-a-time twin. With
+/// batching on and multi-row message chunks: the serialized batch run
+/// reproduces the serialized row run's execution time exactly (batch
+/// charges are sums of the same per-row charges, applied in the same
+/// per-link order), the overlapped batch run reproduces the overlapped
+/// row run's (launch times are decided by the same ready-queue-empty
+/// polls), and the overlapped batch run is never slower than serialized.
+#[test]
+fn batched_schedules_stay_equivalent_and_keep_row_mode_timing() {
+    let lake_cfg = LakeConfig { scale: 0.1, ..Default::default() };
+    for q in workload::experiment_queries() {
+        let lake = build_lake_with(&lake_cfg, q.datasets);
+        let ast = parse_query(&q.sparql).unwrap();
+        for network in [NetworkProfile::NO_DELAY, NetworkProfile::GAMMA1] {
+            let run = |overlap: bool, batch: bool| {
+                let mut cfg = PlanConfig::new(PlanMode::AWARE, network);
+                cfg.overlap = overlap;
+                cfg.batch = batch;
+                cfg.batch_size = 256;
+                cfg.rows_per_message = 8;
+                let engine = FederatedEngine::new(lake.clone(), cfg);
+                let planned = engine.plan(&ast).unwrap();
+                engine.execute_planned(&planned).unwrap()
+            };
+            let row_ser = run(false, false);
+            let bat_ser = run(false, true);
+            let row_ovl = run(true, false);
+            let bat_ovl = run(true, true);
+            let label = format!("{}/batched/{}", q.id, network.name);
+            assert!(bat_ser.stats.answers > 0, "{label}: query returned no rows");
+
+            assert_same_answers(&format!("{label}/ser-vs-row"), &row_ser, &bat_ser);
+            assert_eq!(
+                bat_ser.stats.execution_time, row_ser.stats.execution_time,
+                "{label}: serialized batch clock diverges from row mode"
+            );
+            assert_same_answers(&format!("{label}/ovl-vs-row"), &row_ovl, &bat_ovl);
+            assert_eq!(
+                bat_ovl.stats.execution_time, row_ovl.stats.execution_time,
+                "{label}: overlapped batch clock diverges from row mode"
+            );
+            assert_same_answers(&format!("{label}/ser-vs-ovl"), &bat_ser, &bat_ovl);
+            assert!(
+                bat_ovl.stats.execution_time <= bat_ser.stats.execution_time,
+                "{label}: overlapped batch slower ({:?} > {:?})",
+                bat_ovl.stats.execution_time,
+                bat_ser.stats.execution_time
+            );
+        }
+    }
+}
+
 /// The reference executor runs the same overlapped schedule through
 /// term-row operators: answers and traffic must match the interned engine
 /// corner-for-corner.
