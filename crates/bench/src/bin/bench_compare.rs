@@ -9,7 +9,10 @@
 //! synthetic inputs and on Q2. Follow-up sections emit
 //! `BENCH_overlap.json` (serialized vs overlapped schedule),
 //! `BENCH_batch.json` (per-row vs vectorized driver, with a batch-size
-//! sweep) and `BENCH_obs.json` (tracing overhead).
+//! sweep), `BENCH_obs.json` (tracing overhead) and `BENCH_serve.json`
+//! (concurrent serving: simulated throughput, p50/p95/p99 latency and
+//! Jain fairness at 1/8/32 clients, asserted bit-identical across two
+//! reruns with every served answer byte-equal to its solo execution).
 
 use fedlake_bench::harness::{format_ns, Bench, Measurement};
 use fedlake_core::operators::{
@@ -246,6 +249,7 @@ fn main() {
     overlap_section();
     batch_section();
     obs_section();
+    serve_section();
 }
 
 /// Vectorized batch executor vs the per-row interned executor: host
@@ -545,4 +549,83 @@ fn overlap_section() {
     json.push_str("\n  ]\n}\n");
     std::fs::write("BENCH_overlap.json", &json).expect("write BENCH_overlap.json");
     println!("\nwrote BENCH_overlap.json");
+}
+
+/// Concurrent serving: the default Q1–Q5 mix offered by 1, 8 and 32
+/// seeded clients against one engine on one shared clock and link map.
+/// Everything is simulated time, so each cell is one run; determinism is
+/// enforced by re-running each client count and asserting the outcomes
+/// are bit-identical, and correctness by byte-comparing every served
+/// answer set against a solo execution of the same instantiated query.
+/// Emits `BENCH_serve.json`.
+fn serve_section() {
+    use fedlake_serve::{run, solo_golden, sorted_csv, ServeSpec};
+    use std::time::Duration;
+
+    let lake_cfg = LakeConfig { scale: 0.05, ..Default::default() };
+    let config = || {
+        let mut c = PlanConfig::new(PlanMode::AWARE, NetworkProfile::GAMMA1);
+        c.seed = 1;
+        c
+    };
+    let lake = build_lake_with(&lake_cfg, &ServeSpec::default().mix.datasets());
+
+    println!("\n== concurrent serving (simulated time, seeded workload mix) ==");
+    let mut json = String::from(
+        "{\n  \"benchmark\": \"serve\",\n  \"units\": \"simulated ns\",\n  \"reports\": [\n",
+    );
+    for (i, clients) in [1usize, 8, 32].into_iter().enumerate() {
+        let spec = ServeSpec {
+            clients,
+            queries_per_client: 2,
+            seed: 7,
+            mean_interarrival: Duration::from_micros(500),
+            max_in_flight: 8,
+            ..Default::default()
+        };
+        let a = run(&FederatedEngine::new(lake.clone(), config()), &spec)
+            .expect("serve run");
+        let b = run(&FederatedEngine::new(lake.clone(), config()), &spec)
+            .expect("serve rerun");
+        assert_eq!(
+            a.report, b.report,
+            "{clients} clients: serve reruns must be bit-identical"
+        );
+        assert_eq!(a.outcome.metrics.render(), b.outcome.metrics.render());
+        for ((inst, x), y) in a.instances.iter().zip(&a.outcome.outcomes).zip(&b.outcome.outcomes)
+        {
+            let served = sorted_csv(&x.vars, &x.rows);
+            assert_eq!(
+                served,
+                sorted_csv(&y.vars, &y.rows),
+                "{}: answers must be byte-identical across reruns",
+                x.label
+            );
+            let golden = solo_golden(&lake, config(), &inst.sparql).expect("solo golden");
+            assert_eq!(
+                served,
+                sorted_csv(&golden.vars, &golden.rows),
+                "{}: served answers must byte-match the solo execution",
+                x.label
+            );
+        }
+        let r = &a.report;
+        println!(
+            "clients {:>2}  jobs {:>3}  qps {:>10.3}  p50 {:>9.3} ms  p95 {:>9.3} ms  p99 {:>9.3} ms  jain {:.3}",
+            r.clients,
+            r.jobs,
+            r.qps_sim,
+            r.p50_ns as f64 / 1e6,
+            r.p95_ns as f64 / 1e6,
+            r.p99_ns as f64 / 1e6,
+            r.jain
+        );
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        json.push_str(&format!("    {}", r.to_json()));
+    }
+    json.push_str("\n  ]\n}\n");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
 }

@@ -8,6 +8,16 @@
 //!            [--replicas N] [--outage ENDPOINT] [--batch-size N]
 //! ```
 //!
+//! A serve mode (`--serve`, or env `FEDLAKE_SERVE=1`) replaces the REPL
+//! with a seeded concurrent load: `--clients N` sessions draw from a
+//! weighted `--mix` of the paper's Q1–Q5 templates, arrive by an
+//! exponential process (`--arrival MS`), queue behind `--in-flight N`
+//! admission slots and optional `--deadline MS` budgets, and share one
+//! simulated clock and link map — so concurrent queries contend for the
+//! same wrapper links. Prints a per-job outcome table, the server
+//! metrics rollup, and the summary report JSON (throughput in simulated
+//! time, p50/p95/p99 latency, Jain fairness).
+//!
 //! `--analyze` turns tracing on and prints an `EXPLAIN ANALYZE` view of
 //! every executed query (the plan tree annotated with actual rows, times
 //! and per-link fault counts). `--trace-out FILE.json` records a Chrome
@@ -29,8 +39,10 @@
 use fedlake_core::{FaultPlan, FederatedEngine, PlanConfig, PlanMode};
 use fedlake_datagen::{build_lake, workload, LakeConfig};
 use fedlake_netsim::NetworkProfile;
+use fedlake_serve::{Mix, ServeSpec};
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
+use std::time::Duration;
 
 #[derive(Clone, Copy, PartialEq)]
 enum Format {
@@ -157,6 +169,41 @@ impl Shell {
     }
 }
 
+/// Runs the seeded concurrent load and prints the outcome table, the
+/// server metrics rollup and the report JSON.
+fn run_serve(engine: &FederatedEngine, spec: &ServeSpec) -> ExitCode {
+    let r = match fedlake_serve::run(engine, spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    println!(
+        "{:<8} {:<18} {:>12} {:>12} {:>8}  status",
+        "client", "query", "arrival ms", "latency ms", "rows"
+    );
+    for out in &r.outcome.outcomes {
+        let status = match &out.error {
+            Some(e) => format!("error: {e}"),
+            None if out.degraded => "degraded".to_string(),
+            None => "ok".to_string(),
+        };
+        println!(
+            "{:<8} {:<18} {:>12.3} {:>12.3} {:>8}  {status}",
+            out.client,
+            out.label,
+            ms(out.arrival),
+            ms(out.latency),
+            out.rows.len()
+        );
+    }
+    println!("\n== server rollup ==\n{}", r.outcome.metrics.render());
+    println!("== report ==\n{}", r.report.to_json());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut scale = 0.3;
     let mut seed = LakeConfig::default().seed;
@@ -169,6 +216,8 @@ fn main() -> ExitCode {
     let mut replicas: u32 = 1;
     let mut outages: Vec<String> = Vec::new();
     let mut batch_size: Option<usize> = None;
+    let mut serve = std::env::var("FEDLAKE_SERVE").map(|v| v == "1").unwrap_or(false);
+    let mut serve_spec = ServeSpec::default();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut next = |what: &str| {
@@ -209,6 +258,46 @@ fn main() -> ExitCode {
                 })
             }
             "--outage" => outages.push(next("--outage")),
+            "--serve" => serve = true,
+            "--clients" => {
+                serve_spec.clients = next("--clients").parse().unwrap_or_else(|_| {
+                    eprintln!("bad --clients");
+                    std::process::exit(2);
+                })
+            }
+            "--queries-per-client" => {
+                serve_spec.queries_per_client =
+                    next("--queries-per-client").parse().unwrap_or_else(|_| {
+                        eprintln!("bad --queries-per-client");
+                        std::process::exit(2);
+                    })
+            }
+            "--mix" => {
+                serve_spec.mix = Mix::parse(&next("--mix")).unwrap_or_else(|e| {
+                    eprintln!("bad --mix: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--arrival" => {
+                let ms: f64 = next("--arrival").parse().unwrap_or_else(|_| {
+                    eprintln!("bad --arrival");
+                    std::process::exit(2);
+                });
+                serve_spec.mean_interarrival = Duration::from_secs_f64(ms / 1e3);
+            }
+            "--in-flight" => {
+                serve_spec.max_in_flight = next("--in-flight").parse().unwrap_or_else(|_| {
+                    eprintln!("bad --in-flight");
+                    std::process::exit(2);
+                })
+            }
+            "--deadline" => {
+                let ms: f64 = next("--deadline").parse().unwrap_or_else(|_| {
+                    eprintln!("bad --deadline");
+                    std::process::exit(2);
+                });
+                serve_spec.deadline = Some(Duration::from_secs_f64(ms / 1e3));
+            }
             "--batch-size" => {
                 batch_size = Some(next("--batch-size").parse().unwrap_or_else(|_| {
                     eprintln!("bad --batch-size");
@@ -220,7 +309,9 @@ fn main() -> ExitCode {
                     "lake_shell [--scale S] [--seed N] [--mode unaware|aware|h2] \
                      [--network NoDelay|Gamma1|Gamma2|Gamma3] [--format table|json|csv] \
                      [--query SPARQL] [--analyze] [--trace-out FILE.json] \
-                     [--replicas N] [--outage ENDPOINT] [--batch-size N]\n\n\
+                     [--replicas N] [--outage ENDPOINT] [--batch-size N] \
+                     [--serve --clients N --queries-per-client N --mix SPEC \
+                     --arrival MS --in-flight N --deadline MS]\n\n\
                      --analyze            print EXPLAIN ANALYZE (plan tree with actual rows,\n\
                      \x20                    times, messages and per-link fault counts)\n\
                      --trace-out FILE     write a Chrome trace-event JSON of the executed\n\
@@ -230,7 +321,17 @@ fn main() -> ExitCode {
                      \x20                    with --replicas, queries fail over and the\n\
                      \x20                    planner learns to route around it\n\
                      --batch-size N       run the vectorized executor with N-row morsels\n\
-                     \x20                    (also via FEDLAKE_BATCH=1 / FEDLAKE_BATCH_SIZE)"
+                     \x20                    (also via FEDLAKE_BATCH=1 / FEDLAKE_BATCH_SIZE)\n\
+                     --serve              serve a seeded concurrent load instead of the REPL\n\
+                     \x20                    (also via FEDLAKE_SERVE=1); prints per-job\n\
+                     \x20                    outcomes, the server rollup and the report JSON\n\
+                     --clients N          concurrent client sessions (default 8)\n\
+                     --queries-per-client N  queries each client issues (default 2)\n\
+                     --mix SPEC           weighted template mix, e.g. Q1=2,Q3,Q5 (default\n\
+                     \x20                    Q1..Q5 at weight 1)\n\
+                     --arrival MS         mean exponential inter-arrival gap (0 = batch at t=0)\n\
+                     --in-flight N        admission bound (0 = unbounded, default 8)\n\
+                     --deadline MS        per-query deadline relative to arrival"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -270,6 +371,18 @@ fn main() -> ExitCode {
         eprintln!("endless outage injected on {endpoint}");
     }
     let engine = engine;
+
+    if serve {
+        serve_spec.seed = seed;
+        eprintln!(
+            "serving {} client(s) x {} query(ies), mix {:?}, seed {seed}",
+            serve_spec.clients,
+            serve_spec.queries_per_client,
+            serve_spec.mix.0.iter().map(|(id, w)| format!("{id}={w}")).collect::<Vec<_>>()
+        );
+        return run_serve(&engine, &serve_spec);
+    }
+
     let mut shell = Shell { engine, format, explain: false, analyze, trace_out };
 
     if let Some(q) = one_shot {

@@ -461,10 +461,20 @@ impl FederatedEngine {
         })
     }
 
+    /// The session-wide term interner (shared with the serve loop).
+    pub(crate) fn interner(&self) -> &SharedInterner {
+        &self.interner
+    }
+
+    /// The cross-execution lift cache (shared with the serve loop).
+    pub(crate) fn lifts(&self) -> &crate::wrapper::SharedLiftCache {
+        &self.lifts
+    }
+
     // Node ids are assigned pre-order (node before children, children
     // left to right) — the same order `crate::obs::plan_nodes` walks, so a
     // trace's node `i` is line `i` of the analyzed tree.
-    fn build_operator<'a>(
+    pub(crate) fn build_operator<'a>(
         &'a self,
         plan: &FedPlan,
         schema: &RowSchema,

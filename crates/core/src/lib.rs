@@ -67,6 +67,7 @@ pub mod planner;
 pub mod reference;
 pub mod results;
 pub mod selection;
+pub mod serve;
 pub mod source;
 pub mod trace;
 pub mod translate;
@@ -83,5 +84,6 @@ pub use fedplan::ReplicaRoute;
 pub use health::{EndpointHealth, HealthView, SourceHealth};
 pub use lake::{logical_source_id, DataLake};
 pub use obs::{explain_analyze, chrome_trace, MetricsRegistry, TraceReport, TraceSink};
+pub use serve::{QueryOutcome, ServeConfig, ServeJob, ServeOutcome, ServeQueryStats};
 pub use source::DataSource;
 pub use trace::AnswerTrace;

@@ -1,0 +1,539 @@
+//! Concurrent multi-query serving on the discrete-event scheduler.
+//!
+//! [`FederatedEngine::serve`] drives many planned queries against one
+//! engine over a **single shared virtual clock** and a **single shared
+//! link map**: every session's transfers queue on each link's private
+//! occupancy timeline, so concurrent queries contend for the simulated
+//! network exactly like concurrent clients contend for a real endpoint.
+//! Admission control bounds the number of in-flight sessions; a seeded
+//! arrival process staggers the offered load; each session can carry a
+//! deadline relative to its arrival.
+//!
+//! The whole run is a pure function of its inputs: job order, arrival
+//! times, admission order, poll order and every RNG draw are derived from
+//! the configured seeds, so re-running the same spec reproduces the same
+//! outcomes bit for bit. Answers are timing-independent (the operators
+//! are symmetric and set-preserving), so each query's answer *set* equals
+//! its solo execution even though shared-link queuing changes all
+//! timings.
+//!
+//! The serve loop always drives sessions through the overlapped
+//! (`poll_next`) protocol — a blocking pull would serialize the whole
+//! server on one session's I/O — and always row-at-a-time, because
+//! deadlines are checked between rows. Engine-side operator work advances
+//! the shared clock directly: the model is a single-threaded engine core
+//! multiplexing sessions, which keeps the schedule deterministic.
+
+use crate::config::PlanConfig;
+use crate::engine::FederatedEngine;
+use crate::error::FedError;
+use crate::obs::{MetricsRegistry, TraceReport, TraceSink};
+use crate::operators::{BoxedOp, DistinctOp, EngineStats, ExecCtx, Poll, ProjectOp};
+use crate::planner::PlannedQuery;
+use crate::trace::AnswerTrace;
+use crate::wrapper::{links_for, total_traffic};
+use fedlake_netsim::clock::shared_virtual;
+use fedlake_prng::Prng;
+use fedlake_sparql::binding::{decode_row, Row, SlotRow, Var};
+use fedlake_sparql::eval::sort_rows;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server-level configuration for one serve run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Seed of the arrival process (independent of the link seed in
+    /// [`PlanConfig::seed`], so the same network schedule can be offered
+    /// different load patterns).
+    pub seed: u64,
+    /// Maximum concurrently admitted sessions; further arrivals queue in
+    /// FIFO order. Zero means unbounded.
+    pub max_in_flight: usize,
+    /// Mean of the exponential inter-arrival distribution. `ZERO` makes
+    /// every job arrive at simulated time zero (a closed batch).
+    pub mean_interarrival: Duration,
+    /// Default per-query deadline, relative to the query's arrival;
+    /// individual jobs can override it. `None` disables deadlines.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            seed: 7,
+            max_in_flight: 8,
+            mean_interarrival: Duration::ZERO,
+            deadline: None,
+        }
+    }
+}
+
+/// One query submitted to the server.
+#[derive(Debug, Clone)]
+pub struct ServeJob {
+    /// Issuing client (used for fairness accounting; jobs of one client
+    /// are independent).
+    pub client: usize,
+    /// Display label, e.g. `Q3[cat-12]`.
+    pub label: String,
+    /// The planned query to execute.
+    pub planned: PlannedQuery,
+    /// Per-job deadline override (relative to arrival); `None` falls back
+    /// to [`ServeConfig::deadline`].
+    pub deadline: Option<Duration>,
+}
+
+/// Deterministic per-session measurements (all timing-independent
+/// counters live in [`EngineStats`]; link traffic is shared across
+/// sessions and reported only in the server rollup).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeQueryStats {
+    /// Engine-side counters of this session only.
+    pub engine: EngineStats,
+    /// Answers returned (after solution modifiers).
+    pub answers: u64,
+}
+
+/// The outcome of one served query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Issuing client.
+    pub client: usize,
+    /// Job label.
+    pub label: String,
+    /// Simulated arrival time.
+    pub arrival: Duration,
+    /// Simulated admission time (`>= arrival`; later when the in-flight
+    /// bound queued the job).
+    pub admitted: Duration,
+    /// Simulated completion time.
+    pub finish: Duration,
+    /// `finish - arrival` (queueing included).
+    pub latency: Duration,
+    /// First answer, relative to arrival, when any.
+    pub first_answer: Option<Duration>,
+    /// Projected variables.
+    pub vars: Arc<[Var]>,
+    /// Answer rows (empty on a hard failure).
+    pub rows: Vec<Row>,
+    /// Per-session statistics.
+    pub stats: ServeQueryStats,
+    /// The per-query failure, when the session failed hard
+    /// ([`FedError::Timeout`] past its deadline, [`FedError::SourceUnavailable`]
+    /// past the retry budget). Other sessions are unaffected.
+    pub error: Option<FedError>,
+    /// The answers are partial: a fault or the deadline fired under
+    /// [`PlanConfig::degraded_ok`].
+    pub degraded: bool,
+    /// Per-session trace report, when [`PlanConfig::tracing`] is set.
+    pub obs: Option<TraceReport>,
+}
+
+impl QueryOutcome {
+    /// True when the session produced its complete answer set.
+    pub fn completed(&self) -> bool {
+        self.error.is_none() && !self.degraded
+    }
+}
+
+/// The result of one serve run.
+#[derive(Debug, Clone)]
+pub struct ServeOutcome {
+    /// Per-job outcomes, in job order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Simulated time at which the last session finished.
+    pub makespan: Duration,
+    /// Server-level rollup: admission/completion/timeout/degraded
+    /// counters, the in-flight gauge (its `max` proves the admission
+    /// bound), a latency histogram, and the shared links' total traffic.
+    pub metrics: MetricsRegistry,
+}
+
+/// A session being driven by the serve loop.
+struct Session<'a> {
+    job: usize,
+    op: BoxedOp<'a>,
+    ctx: ExecCtx,
+    sink: TraceSink,
+    trace: AnswerTrace,
+    slot_rows: Vec<SlotRow>,
+    admitted: Duration,
+    /// Absolute deadline on the shared clock, when one applies.
+    deadline: Option<Duration>,
+    /// Relative deadline (for the `Timeout` error payload).
+    deadline_rel: Option<Duration>,
+    /// Unordered-LIMIT early-stop row target.
+    want: Option<usize>,
+    degraded: bool,
+    /// The per-query failure, when the session failed hard.
+    error: Option<FedError>,
+}
+
+/// What one poll sweep did to a session.
+enum SweepStep {
+    /// Produced at least one answer row; poll again before advancing time.
+    Progress,
+    /// Waiting on in-flight I/O.
+    Pending(fedlake_netsim::EventTime),
+    /// Finished (success, degradation or per-query failure).
+    Finished,
+}
+
+impl FederatedEngine {
+    /// Serves `jobs` concurrently under `serve_cfg`. See the module
+    /// documentation for the execution model and determinism contract.
+    ///
+    /// Per-query failures (deadline, exhausted retries) are captured in
+    /// the job's [`QueryOutcome`] and never abort the run; only internal
+    /// errors (scheduler stalls — bugs by contract) propagate as `Err`.
+    pub fn serve(
+        &self,
+        jobs: &[ServeJob],
+        serve_cfg: &ServeConfig,
+    ) -> Result<ServeOutcome, FedError> {
+        let config: &PlanConfig = self.config();
+        if config.real_time {
+            return Err(FedError::Unsupported(
+                "serve runs on the virtual clock only".into(),
+            ));
+        }
+        let clock = shared_virtual();
+        // The shared link map: one link per endpoint for the whole run,
+        // so sessions queue behind each other's transfers. Links carry no
+        // trace observer — per-link lanes are a solo-execution feature;
+        // serve traces are per-session span trees.
+        let links = links_for(
+            self.lake(),
+            config.network,
+            Arc::clone(&clock),
+            config.cost,
+            config.seed,
+            &self.fault_plans(),
+            &TraceSink::disabled(),
+        );
+
+        // Seeded arrival process: exponential inter-arrival gaps, rounded
+        // to integer nanoseconds. Job order is arrival order.
+        let mut rng = Prng::seed_from_u64(serve_cfg.seed);
+        let mean_ns = serve_cfg.mean_interarrival.as_nanos() as f64;
+        let mut at = 0u64;
+        let arrivals: Vec<Duration> = jobs
+            .iter()
+            .map(|_| {
+                if mean_ns > 0.0 {
+                    let u = rng.next_f64();
+                    at += (-(1.0 - u).ln() * mean_ns) as u64;
+                }
+                Duration::from_nanos(at)
+            })
+            .collect();
+
+        let mut metrics = MetricsRegistry::new();
+        let mut outcomes: Vec<Option<QueryOutcome>> = (0..jobs.len()).map(|_| None).collect();
+        let mut next_job = 0usize; // FIFO admission cursor
+        let mut active: Vec<Session<'_>> = Vec::new();
+        let bound = if serve_cfg.max_in_flight == 0 {
+            usize::MAX
+        } else {
+            serve_cfg.max_in_flight
+        };
+
+        while next_job < jobs.len() || !active.is_empty() {
+            // Admission: FIFO, bounded, only once the arrival is due.
+            while next_job < jobs.len()
+                && active.len() < bound
+                && arrivals[next_job] <= clock.now()
+            {
+                let job = &jobs[next_job];
+                let sink = if config.tracing {
+                    TraceSink::recording()
+                } else {
+                    TraceSink::disabled()
+                };
+                let deadline_rel = job.deadline.or(serve_cfg.deadline);
+                let deadline = deadline_rel.map(|d| arrivals[next_job] + d);
+                let ctx = ExecCtx::new(
+                    Arc::clone(&clock),
+                    config.cost,
+                    Arc::clone(&job.planned.schema),
+                    self.interner().clone(),
+                )
+                .with_lifts(Arc::clone(self.lifts()))
+                .with_retry(config.retry)
+                .with_deadline(deadline)
+                .with_trace(sink.clone());
+                sink.begin_query(&job.planned.plan, &config.mode.label());
+                let mut next_node = 0u32;
+                let mut op = self.build_operator(
+                    &job.planned.plan,
+                    &job.planned.schema,
+                    &links,
+                    &sink,
+                    &mut next_node,
+                )?;
+                op = Box::new(ProjectOp::new(
+                    op,
+                    job.planned.schema.slots_of(&job.planned.projection),
+                ));
+                if job.planned.distinct {
+                    op = Box::new(DistinctOp::new(op));
+                }
+                let unordered_limit =
+                    job.planned.order_by.is_empty().then_some(()).and(job.planned.limit);
+                active.push(Session {
+                    job: next_job,
+                    op,
+                    ctx,
+                    sink,
+                    trace: AnswerTrace::new(),
+                    slot_rows: Vec::new(),
+                    admitted: clock.now(),
+                    deadline,
+                    deadline_rel,
+                    want: unordered_limit.map(|l| l + job.planned.offset),
+                    // Sources skipped at plan time already make the
+                    // answer partial.
+                    degraded: !job.planned.skipped_sources.is_empty(),
+                    error: None,
+                });
+                metrics.counter_add("serve.admitted", 1);
+                metrics.gauge_set("serve.in_flight", active.len() as u64);
+                next_job += 1;
+            }
+
+            if active.is_empty() {
+                // Nothing running: jump to the next arrival.
+                clock.advance_to(arrivals[next_job]);
+                continue;
+            }
+
+            // One sweep: poll every active session in admission order,
+            // draining ready rows. Any answer may have advanced the shared
+            // clock (engine work), so sweeps repeat until every session is
+            // pending before time jumps forward.
+            let mut progressed = false;
+            let mut min_pending: Option<Duration> = None;
+            let mut i = 0;
+            while i < active.len() {
+                match Self::sweep_session(&mut active[i], config, &clock)? {
+                    SweepStep::Progress => {
+                        progressed = true;
+                        i += 1;
+                    }
+                    SweepStep::Pending(ev) => {
+                        min_pending = Some(match min_pending {
+                            Some(t) if t <= ev.time => t,
+                            _ => ev.time,
+                        });
+                        i += 1;
+                    }
+                    SweepStep::Finished => {
+                        let session = active.remove(i);
+                        let outcome = self.finalize_session(
+                            session,
+                            jobs,
+                            &arrivals,
+                            &clock,
+                            &mut metrics,
+                        );
+                        outcomes[outcome.0] = Some(outcome.1);
+                        metrics.gauge_set("serve.in_flight", active.len() as u64);
+                        progressed = true;
+                    }
+                }
+            }
+            if progressed {
+                continue;
+            }
+
+            // Every session is pending on strictly-future I/O: advance to
+            // the earliest completion — or to the next arrival, when a
+            // free admission slot would fill first.
+            let mut next_time = min_pending;
+            if next_job < jobs.len() && active.len() < bound {
+                let arr = arrivals[next_job];
+                next_time = Some(match next_time {
+                    Some(t) if t <= arr => t,
+                    _ => arr,
+                });
+            }
+            match next_time {
+                Some(t) => clock.advance_to(t),
+                None => {
+                    return Err(FedError::Internal(
+                        "serve stalled: every session pending with no scheduled event".into(),
+                    ))
+                }
+            }
+        }
+
+        let makespan = clock.now();
+        let (messages, rows_transferred, network_delay) = total_traffic(&links);
+        metrics.counter_add("serve.link.messages", messages);
+        metrics.counter_add("serve.link.rows_transferred", rows_transferred);
+        metrics.counter_add("serve.link.delay_ns", network_delay.as_nanos() as u64);
+        metrics.gauge_set("serve.makespan_ns", makespan.as_nanos() as u64);
+        // Feed the shared links into the session health registry exactly
+        // once: link stats are cumulative over the whole run, so a
+        // per-session record would double-count every earlier session.
+        self.health().record_links(&links);
+
+        Ok(ServeOutcome {
+            outcomes: outcomes.into_iter().map(|o| o.expect("every job finalized")).collect(),
+            makespan,
+            metrics,
+        })
+    }
+
+    /// Polls one session until it is pending, finished, or failed,
+    /// checking its deadline between rows (the engine's cooperative
+    /// deadline semantics).
+    fn sweep_session(
+        s: &mut Session<'_>,
+        config: &PlanConfig,
+        clock: &fedlake_netsim::SharedClock,
+    ) -> Result<SweepStep, FedError> {
+        let mut produced = false;
+        loop {
+            if let Some(d) = s.deadline {
+                if clock.now() >= d {
+                    if !config.degraded_ok {
+                        s.slot_rows.clear();
+                        s.error =
+                            Some(FedError::Timeout(s.deadline_rel.unwrap_or_default()));
+                    } else {
+                        s.degraded = true;
+                    }
+                    return Ok(SweepStep::Finished);
+                }
+            }
+            match s.op.poll_next(&mut s.ctx) {
+                Ok(Poll::Ready(row)) => {
+                    s.ctx.trace.record_answer(&mut s.trace, clock.now());
+                    s.slot_rows.push(row);
+                    produced = true;
+                    if s.want.is_some_and(|w| s.slot_rows.len() >= w) {
+                        return Ok(SweepStep::Finished);
+                    }
+                }
+                Ok(Poll::Pending(ev)) => {
+                    if ev.time <= clock.now() {
+                        return Err(FedError::Internal(format!(
+                            "scheduler stalled: pending event at {:?} is not in the future (now {:?})",
+                            ev.time,
+                            clock.now()
+                        )));
+                    }
+                    return Ok(if produced {
+                        SweepStep::Progress
+                    } else {
+                        SweepStep::Pending(ev)
+                    });
+                }
+                Ok(Poll::Done) => return Ok(SweepStep::Finished),
+                Err(e @ (FedError::SourceUnavailable { .. } | FedError::Timeout(_))) => {
+                    // A per-query fault is not a run error: stash it in
+                    // the outcome and let the other sessions continue.
+                    if !config.degraded_ok {
+                        s.slot_rows.clear();
+                        s.error = Some(e);
+                    } else {
+                        s.degraded = true;
+                    }
+                    return Ok(SweepStep::Finished);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Closes one session into its [`QueryOutcome`].
+    fn finalize_session(
+        &self,
+        mut s: Session<'_>,
+        jobs: &[ServeJob],
+        arrivals: &[Duration],
+        clock: &fedlake_netsim::SharedClock,
+        metrics: &mut MetricsRegistry,
+    ) -> (usize, QueryOutcome) {
+        let now = clock.now();
+        s.trace.complete(now);
+        let job = &jobs[s.job];
+        let arrival = arrivals[s.job];
+        let config = self.config();
+
+        let error = s.error.take();
+        let mut rows: Vec<Row> = if error.is_some() {
+            Vec::new()
+        } else {
+            let dict = s.ctx.interner.lock();
+            s.slot_rows.iter().map(|r| decode_row(r, &job.planned.schema, &dict)).collect()
+        };
+        if !job.planned.order_by.is_empty() {
+            sort_rows(&mut rows, &job.planned.order_by);
+        }
+        if job.planned.offset > 0 {
+            rows.drain(..job.planned.offset.min(rows.len()));
+        }
+        if let Some(l) = job.planned.limit {
+            rows.truncate(l);
+        }
+
+        let latency = now.saturating_sub(arrival);
+        match &error {
+            Some(FedError::Timeout(_)) => metrics.counter_add("serve.timeouts", 1),
+            Some(_) => metrics.counter_add("serve.failed", 1),
+            None if s.degraded => metrics.counter_add("serve.degraded", 1),
+            None => metrics.counter_add("serve.completed", 1),
+        }
+        metrics.counter_add("serve.answers", rows.len() as u64);
+        metrics.observe("serve.latency_ns", latency.as_nanos() as u64);
+
+        let stats = ServeQueryStats { engine: s.ctx.stats, answers: rows.len() as u64 };
+        // Per-session trace report: span tree + per-session stats. Link
+        // traffic is shared across sessions, so the report carries none.
+        let obs = s.sink.finish(
+            &HashMap::new(),
+            &crate::engine::FedStats {
+                plan_label: config.mode.label(),
+                network: config.network.name,
+                execution_time: latency,
+                first_answer: s.trace.first_answer().map(|t| t.saturating_sub(arrival)),
+                answers: rows.len() as u64,
+                messages: 0,
+                rows_transferred: 0,
+                network_delay: Duration::ZERO,
+                sql_queries: stats.engine.sql_queries,
+                engine_filter_evals: stats.engine.engine_filter_evals,
+                engine_join_probes: stats.engine.engine_join_probes,
+                services: job.planned.plan.service_count(),
+                engine_operators: job.planned.plan.engine_operator_count(),
+                merged_services: job.planned.plan.merged_service_count(),
+                retries: stats.engine.retries,
+                source_failures: Default::default(),
+                degraded: s.degraded,
+            },
+        );
+
+        let first_answer = s.trace.first_answer().map(|t| t.saturating_sub(arrival));
+        (
+            s.job,
+            QueryOutcome {
+                client: job.client,
+                label: job.label.clone(),
+                arrival,
+                admitted: s.admitted,
+                finish: now,
+                latency,
+                first_answer,
+                vars: Arc::clone(&job.planned.projection),
+                rows,
+                stats,
+                error,
+                degraded: s.degraded,
+                obs,
+            },
+        )
+    }
+}

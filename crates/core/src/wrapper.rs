@@ -537,18 +537,36 @@ pub struct LiftedSource {
     sql_cost: Option<fedlake_relational_cost::CostStats>,
 }
 
-/// Engine-owned cache of lifted source results, keyed by the schema
-/// identity plus a per-stream signature (source id, request text,
-/// output bindings). Valid for the engine's lifetime: the engine owns the
-/// lake, so source contents cannot change underneath it.
+/// Engine-owned cache of lifted source results, keyed by the schema's
+/// slot-layout fingerprint plus a per-stream signature (source id,
+/// request text, output bindings). Valid for the engine's lifetime: the
+/// engine owns the lake, so source contents cannot change underneath it.
 pub type SharedLiftCache =
-    Arc<std::sync::Mutex<fedlake_rdf::FastMap<(usize, String), Arc<LiftedSource>>>>;
+    Arc<std::sync::Mutex<fedlake_rdf::FastMap<(u64, String), Arc<LiftedSource>>>>;
 
-fn lift_cache_get(ctx: &ExecCtx, key: &(usize, String)) -> Option<Arc<LiftedSource>> {
+/// Fingerprint of a schema's slot layout: FNV-1a over the slot-ordered
+/// variable names. Cached column buffers are indexed by slot, so two
+/// schemas with the same fingerprint lay rows out identically and may
+/// share cache entries. An address-based key would be unsound here: a
+/// dropped schema's allocation can be reused by a *different* layout with
+/// the same stream signature, which would serve wrongly-slotted columns.
+pub(crate) fn schema_fingerprint(schema: &RowSchema) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in schema.vars() {
+        for b in v.name().as_bytes() {
+            h = (h ^ *b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+        // Separator so ["ab","c"] and ["a","bc"] cannot collide.
+        h = (h ^ 0x1f).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn lift_cache_get(ctx: &ExecCtx, key: &(u64, String)) -> Option<Arc<LiftedSource>> {
     ctx.lifts.lock().unwrap_or_else(|e| e.into_inner()).get(key).cloned()
 }
 
-fn lift_cache_put(ctx: &ExecCtx, key: (usize, String), value: Arc<LiftedSource>) {
+fn lift_cache_put(ctx: &ExecCtx, key: (u64, String), value: Arc<LiftedSource>) {
     ctx.lifts.lock().unwrap_or_else(|e| e.into_inner()).insert(key, value);
 }
 
@@ -971,7 +989,8 @@ impl SqlStream<'_> {
             // batch executor read from the same materialization.
             // Key signature: the SQL text already pins the selected columns,
             // the output var names pin their SPARQL-side binding order, and
-            // the schema pointer pins the planned query. No Debug formatting.
+            // the schema fingerprint pins the slot layout. No Debug
+            // formatting.
             let mut sig =
                 String::with_capacity(self.sql.len() + self.route.logical.len() + 32);
             sig.push_str("sql:");
@@ -982,7 +1001,7 @@ impl SqlStream<'_> {
                 sig.push(':');
                 sig.push_str(ob.var.name());
             }
-            let key = (Arc::as_ptr(&ctx.schema) as usize, sig);
+            let key = (schema_fingerprint(&ctx.schema), sig);
             let lifted = match lift_cache_get(ctx, &key) {
                 Some(hit) => hit,
                 None => {
@@ -1141,7 +1160,7 @@ impl SparqlStream<'_> {
             for f in &self.filters {
                 let _ = write!(sig, ":{f:?}");
             }
-            let key = (Arc::as_ptr(&ctx.schema) as usize, sig);
+            let key = (schema_fingerprint(&ctx.schema), sig);
             let lifted = match lift_cache_get(ctx, &key) {
                 Some(hit) => hit,
                 None => {

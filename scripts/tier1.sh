@@ -70,6 +70,22 @@ FEDLAKE_BATCH=1 FEDLAKE_OVERLAP=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q
 echo "== chaos suite, batched + traced (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
 FEDLAKE_BATCH=1 FEDLAKE_TRACE=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
 
+# Serving layer: the determinism contract (same seed → bit-identical
+# answers, stats and report; every served answer byte-equal to its solo
+# execution), exact contention bounds under a constant-delay link,
+# deadline isolation and the admission-gauge bound — plus a fixed-seed
+# FEDLAKE_SERVE=1 mini-load smoke through the full lake_shell path.
+echo "== serve determinism =="
+FEDLAKE_SERVE=1 cargo test -q --offline --test serve_determinism
+
+echo "== serve contention =="
+cargo test -q --offline --test serve_contention
+
+echo "== serve smoke (lake_shell --serve, fixed seed) =="
+cargo run -q --offline --release -p fedlake-bench --bin lake_shell -- \
+    --serve --scale 0.02 --seed 7 --clients 4 --queries-per-client 1 \
+    --arrival 0.5 --in-flight 2 > /dev/null
+
 echo "== cargo clippy -D warnings (offline) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -19,6 +19,9 @@
 //!   physical-design heuristics, adaptive operators, wrappers, answer
 //!   traces.
 //! * [`datagen`] — the synthetic LSLOD-like life-science data lake.
+//! * [`serve`] — concurrent multi-query serving: seeded client
+//!   workloads, admission control, shared-link contention, latency and
+//!   fairness reporting.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture and
 //! the experiment index.
@@ -29,4 +32,5 @@ pub use fedlake_mapping as mapping;
 pub use fedlake_netsim as netsim;
 pub use fedlake_rdf as rdf;
 pub use fedlake_relational as relational;
+pub use fedlake_serve as serve;
 pub use fedlake_sparql as sparql;

@@ -487,3 +487,102 @@ fn retry_backoff_is_clamped_at_the_deadline() {
         r.stats.execution_time
     );
 }
+
+/// Serve-mode chaos: 8 clients run a mixed workload concurrently while
+/// seeded faults hit every shared link and a correlated outage window
+/// downs both Diseasome replicas. Sessions that recover (complete,
+/// undegraded) must answer byte-identically to their fault-free solo
+/// runs; sessions that degrade are accounted — exactly — in the server
+/// rollup; and the whole chaotic serve run is reproducible bit for bit.
+#[test]
+fn serve_chaos_recovers_per_query() {
+    use fedlake_serve::{run, solo_golden, Mix, ServeSpec};
+
+    let spec = ServeSpec {
+        clients: 8,
+        queries_per_client: 1,
+        mix: Mix::default(),
+        seed: 13,
+        mean_interarrival: Duration::from_micros(500),
+        max_in_flight: 4,
+        deadline: None,
+    };
+    let lake_cfg = LakeConfig { scale: 0.05, ..Default::default() };
+    let mut lake = build_lake_with(&lake_cfg, &spec.mix.datasets());
+    lake.set_replicas("diseasome", 2);
+
+    let mut config = PlanConfig::aware(NetworkProfile::GAMMA1);
+    config.retry = retry();
+    config.degraded_ok = true;
+    config.tracing = tracing_mode();
+    config.faults = random_plan(&mut Prng::seed_from_u64(mix("serve-chaos")));
+    let outage = OutageGroup {
+        members: vec!["diseasome#r0".into(), "diseasome#r1".into()],
+        seed: 11,
+        window: 64,
+        len: 8,
+    };
+
+    let serve_once = || {
+        let mut engine = FederatedEngine::new(lake.clone(), config);
+        engine.add_outage_group(outage.clone());
+        run(&engine, &spec).unwrap()
+    };
+    let r = serve_once();
+
+    // Fault-free goldens: same plan mode and network, reliable links.
+    let mut clean = config;
+    clean.faults = fedlake_core::FaultPlan::NONE;
+    clean.degraded_ok = false;
+    clean.tracing = false;
+
+    let mut degraded_seen = 0u64;
+    for (inst, out) in r.instances.iter().zip(&r.outcome.outcomes) {
+        assert!(
+            out.error.is_none(),
+            "{}: degraded_ok sessions degrade, they never fail hard: {:?}",
+            out.label,
+            out.error
+        );
+        if out.degraded {
+            degraded_seen += 1;
+            continue;
+        }
+        let golden = solo_golden(&lake, clean, &inst.sparql).unwrap();
+        assert_eq!(
+            fedlake_serve::sorted_csv(&out.vars, &out.rows),
+            fedlake_serve::sorted_csv(&golden.vars, &golden.rows),
+            "{}: a recovered session must byte-match its fault-free solo run",
+            out.label
+        );
+    }
+
+    // Degraded accounting sums correctly in the rollup, and every
+    // admitted session is accounted exactly once.
+    let m = &r.outcome.metrics;
+    assert_eq!(m.counter("serve.degraded"), degraded_seen);
+    assert_eq!(
+        m.counter("serve.admitted"),
+        m.counter("serve.completed")
+            + m.counter("serve.degraded")
+            + m.counter("serve.timeouts")
+            + m.counter("serve.failed"),
+        "rollup: every admitted session lands in exactly one bucket"
+    );
+    assert_eq!(m.counter("serve.admitted"), spec.clients as u64);
+
+    // Chaos, replicas and the outage window included, the serve run is a
+    // pure function of its seeds.
+    let again = serve_once();
+    assert_eq!(again.outcome.metrics.render(), r.outcome.metrics.render());
+    assert_eq!(again.report, r.report);
+    for (x, y) in r.outcome.outcomes.iter().zip(&again.outcome.outcomes) {
+        assert_eq!(
+            fedlake_serve::sorted_csv(&x.vars, &x.rows),
+            fedlake_serve::sorted_csv(&y.vars, &y.rows),
+            "{}: chaotic serve reruns must agree",
+            x.label
+        );
+        assert_eq!(x.stats, y.stats);
+    }
+}
