@@ -8,6 +8,7 @@
 //! it asserts both representations produce identical answers on the
 //! synthetic inputs and on Q2. Follow-up sections emit
 //! `BENCH_overlap.json` (serialized vs overlapped schedule),
+//! `BENCH_cost.json` (heuristic vs cost-based planning),
 //! `BENCH_batch.json` (per-row vs vectorized driver, with a batch-size
 //! sweep), `BENCH_obs.json` (tracing overhead) and `BENCH_serve.json`
 //! (concurrent serving: simulated throughput, p50/p95/p99 latency and
@@ -247,9 +248,107 @@ fn main() {
     println!("\nwrote BENCH_rows.json");
 
     overlap_section();
+    cost_section();
     batch_section();
     obs_section();
     serve_section();
+}
+
+/// Heuristic vs cost-based planning: simulated `execution_time` and
+/// intermediate-result traffic per workload query under the delayed
+/// profiles. Both plans run to completion and their sorted answer sets
+/// are asserted byte-identical before timings are reported; on the
+/// cross-source join queries (Q3–Q5) under the slow profiles the
+/// cost-based plan must be strictly faster. Emits `BENCH_cost.json`.
+fn cost_section() {
+    let lake_cfg = LakeConfig { scale: 0.2, ..Default::default() };
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    let sorted = |rows: &[Row]| {
+        let mut v: Vec<String> = rows.iter().map(|r| r.to_string()).collect();
+        v.sort();
+        v
+    };
+
+    println!("\n== cost-based planning (simulated ms, heuristic vs cost-based) ==");
+    let mut json = String::from(
+        "{\n  \"benchmark\": \"cost_based_planning\",\n  \"units\": \"simulated ms\",\n  \"cases\": [\n",
+    );
+    let mut first_case = true;
+    let mut cost_wins = 0usize;
+    for q in workload::experiment_queries() {
+        let lake = build_lake_with(&lake_cfg, q.datasets);
+        let ast = fedlake_sparql::parser::parse_query(&q.sparql).unwrap();
+        for network in [
+            NetworkProfile::GAMMA1,
+            NetworkProfile::GAMMA2,
+            NetworkProfile::GAMMA3,
+        ] {
+            let mut heur_cfg = PlanConfig::new(PlanMode::AWARE, network);
+            heur_cfg.cost_based = false;
+            let mut cost_cfg = heur_cfg;
+            cost_cfg.cost_based = true;
+            let heur_engine = FederatedEngine::new(lake.clone(), heur_cfg);
+            let cost_engine = FederatedEngine::new(lake.clone(), cost_cfg);
+            let heur_planned = heur_engine.plan(&ast).unwrap();
+            let cost_planned = cost_engine.plan(&ast).unwrap();
+            let heur = heur_engine.execute_planned(&heur_planned).unwrap();
+            let cost = cost_engine.execute_planned(&cost_planned).unwrap();
+            assert_eq!(
+                sorted(&heur.rows),
+                sorted(&cost.rows),
+                "{}/{}: planners must agree on answers",
+                q.id,
+                network.name
+            );
+            let (ht, ct) = (ms(heur.stats.execution_time), ms(cost.stats.execution_time));
+            if ct < ht && network.delay.mean_ms() >= 1.0 {
+                cost_wins += 1;
+            }
+            let report = &cost_planned.report;
+            println!(
+                "{:<4} {:<8} {:<11} exec {:>9.3} -> {:>9.3}  rows {:>6} -> {:>6}  \
+                 costed {:>2}  binds {}  speedup {:>5.2}x",
+                q.id,
+                network.name,
+                report.strategy.label(),
+                ht,
+                ct,
+                heur.stats.rows_transferred,
+                cost.stats.rows_transferred,
+                report.plans_costed,
+                report.bind_joins,
+                if ct > 0.0 { ht / ct } else { 1.0 }
+            );
+            if !first_case {
+                json.push_str(",\n");
+            }
+            first_case = false;
+            json.push_str(&format!(
+                "    {{\"query\": \"{}\", \"network\": \"{}\", \"strategy\": \"{}\", \
+                 \"heuristic_ms\": {:.6}, \"cost_ms\": {:.6}, \
+                 \"heuristic_rows_transferred\": {}, \"cost_rows_transferred\": {}, \
+                 \"plans_costed\": {}, \"bind_joins\": {}, \"speedup\": {:.3}}}",
+                q.id,
+                network.name,
+                report.strategy.label(),
+                ht,
+                ct,
+                heur.stats.rows_transferred,
+                cost.stats.rows_transferred,
+                report.plans_costed,
+                report.bind_joins,
+                if ct > 0.0 { ht / ct } else { 1.0 }
+            ));
+        }
+    }
+    assert!(
+        cost_wins >= 2,
+        "cost-based planning must beat the heuristics on at least two \
+         delayed-network cells (got {cost_wins})"
+    );
+    json.push_str("\n  ]\n}\n");
+    std::fs::write("BENCH_cost.json", &json).expect("write BENCH_cost.json");
+    println!("\nwrote BENCH_cost.json");
 }
 
 /// Vectorized batch executor vs the per-row interned executor: host
@@ -508,7 +607,7 @@ fn overlap_section() {
                 network.name
             );
             let services = planned.plan.service_count();
-            if services > 1 && network.delay.mean_ms() > 0.0 {
+            if planned.plan.independent_service_count() > 1 && network.delay.mean_ms() > 0.0 {
                 assert!(
                     ovl.stats.execution_time < ser.stats.execution_time,
                     "{}/{}: {services} services must overlap",

@@ -6,6 +6,7 @@
 //!            [--format table|json|csv] [--query SPARQL]
 //!            [--analyze] [--trace-out FILE.json]
 //!            [--replicas N] [--outage ENDPOINT] [--batch-size N]
+//!            [--cost-based]
 //! ```
 //!
 //! A serve mode (`--serve`, or env `FEDLAKE_SERVE=1`) replaces the REPL
@@ -216,6 +217,7 @@ fn main() -> ExitCode {
     let mut replicas: u32 = 1;
     let mut outages: Vec<String> = Vec::new();
     let mut batch_size: Option<usize> = None;
+    let mut cost_based = false;
     let mut serve = std::env::var("FEDLAKE_SERVE").map(|v| v == "1").unwrap_or(false);
     let mut serve_spec = ServeSpec::default();
     let mut argv = std::env::args().skip(1);
@@ -258,6 +260,7 @@ fn main() -> ExitCode {
                 })
             }
             "--outage" => outages.push(next("--outage")),
+            "--cost-based" => cost_based = true,
             "--serve" => serve = true,
             "--clients" => {
                 serve_spec.clients = next("--clients").parse().unwrap_or_else(|_| {
@@ -309,7 +312,7 @@ fn main() -> ExitCode {
                     "lake_shell [--scale S] [--seed N] [--mode unaware|aware|h2] \
                      [--network NoDelay|Gamma1|Gamma2|Gamma3] [--format table|json|csv] \
                      [--query SPARQL] [--analyze] [--trace-out FILE.json] \
-                     [--replicas N] [--outage ENDPOINT] [--batch-size N] \
+                     [--replicas N] [--outage ENDPOINT] [--batch-size N] [--cost-based] \
                      [--serve --clients N --queries-per-client N --mix SPEC \
                      --arrival MS --in-flight N --deadline MS]\n\n\
                      --analyze            print EXPLAIN ANALYZE (plan tree with actual rows,\n\
@@ -322,6 +325,9 @@ fn main() -> ExitCode {
                      \x20                    planner learns to route around it\n\
                      --batch-size N       run the vectorized executor with N-row morsels\n\
                      \x20                    (also via FEDLAKE_BATCH=1 / FEDLAKE_BATCH_SIZE)\n\
+                     --cost-based         statistics-driven cost-based join ordering\n\
+                     \x20                    (also via FEDLAKE_COST=1); EXPLAIN ANALYZE then\n\
+                     \x20                    shows estimated vs. actual rows per operator\n\
                      --serve              serve a seeded concurrent load instead of the REPL\n\
                      \x20                    (also via FEDLAKE_SERVE=1); prints per-job\n\
                      \x20                    outcomes, the server rollup and the report JSON\n\
@@ -353,6 +359,10 @@ fn main() -> ExitCode {
     }
     let mut cfg = PlanConfig::new(mode, network);
     cfg.tracing = analyze || trace_out.is_some();
+    if cost_based {
+        cfg.cost_based = true;
+        eprintln!("cost-based planning: statistics-driven join ordering");
+    }
     if let Some(n) = batch_size {
         cfg.batch = true;
         cfg.batch_size = n.max(1);

@@ -218,11 +218,26 @@ pub struct PlanConfig {
     /// Row capacity of one batch (morsel size). Defaults to 1024, or the
     /// `FEDLAKE_BATCH_SIZE` environment override.
     pub batch_size: usize,
+    /// Statistics-driven cost-based planning: order the joins between
+    /// star-shaped sub-queries by minimizing a [`crate::FederationCost`]
+    /// estimate (DP enumeration, greedy above
+    /// [`crate::planner::DP_UNIT_LIMIT`] units) and pick bind-join vs
+    /// hash-join per edge from estimated input cardinalities. `false`
+    /// keeps the paper's heuristic ordering. Answers are identical either
+    /// way; only the plan shape (and thus timing/traffic) differs.
+    /// Defaults to the `FEDLAKE_COST=1` environment switch.
+    pub cost_based: bool,
 }
 
 /// The process-wide default for [`PlanConfig::batch`]: `FEDLAKE_BATCH=1`.
 fn batch_default() -> bool {
     std::env::var("FEDLAKE_BATCH").is_ok_and(|v| v == "1")
+}
+
+/// The process-wide default for [`PlanConfig::cost_based`]:
+/// `FEDLAKE_COST=1`.
+fn cost_default() -> bool {
+    std::env::var("FEDLAKE_COST").is_ok_and(|v| v == "1")
 }
 
 /// The process-wide default for [`PlanConfig::batch_size`]:
@@ -255,6 +270,7 @@ impl Default for PlanConfig {
             tracing: false,
             batch: batch_default(),
             batch_size: batch_size_default(),
+            cost_based: cost_default(),
         }
     }
 }
@@ -309,6 +325,9 @@ mod tests {
         assert!(!c.tracing, "tracing is opt-in");
         if std::env::var_os("FEDLAKE_BATCH_SIZE").is_none() {
             assert_eq!(c.batch_size, 1024);
+        }
+        if std::env::var_os("FEDLAKE_COST").is_none() {
+            assert!(!c.cost_based, "cost-based planning is opt-in");
         }
     }
 

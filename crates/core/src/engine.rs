@@ -285,6 +285,7 @@ impl FederatedEngine {
         .with_deadline(self.config.deadline)
         .with_trace(sink.clone());
         sink.begin_query(&planned.plan, &self.config.mode.label());
+        sink.record_plan_report(&planned.report);
 
         let mut next_node = 0u32;
         let mut op =

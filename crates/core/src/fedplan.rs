@@ -205,6 +205,24 @@ impl FedPlan {
         }
     }
 
+    /// Number of *independent* service fetches — those an overlapped
+    /// schedule can run concurrently. The right side of a bind join is
+    /// excluded: its requests depend on the left input's rows, so the
+    /// fetch is inherently sequential.
+    pub fn independent_service_count(&self) -> usize {
+        match self {
+            FedPlan::Service(_) => 1,
+            FedPlan::Join { left, right, .. } | FedPlan::LeftJoin { left, right, .. } => {
+                left.independent_service_count() + right.independent_service_count()
+            }
+            FedPlan::BindJoin { left, .. } => left.independent_service_count(),
+            FedPlan::Filter { input, .. } => input.independent_service_count(),
+            FedPlan::Union(branches) => {
+                branches.iter().map(FedPlan::independent_service_count).sum()
+            }
+        }
+    }
+
     /// Number of engine-level operators (joins + filters + unions) — the
     /// quantity Figure 1 contrasts between the two plan types.
     pub fn engine_operator_count(&self) -> usize {

@@ -2,6 +2,7 @@
 //! RDF Molecule Templates.
 
 use crate::source::DataSource;
+use crate::stats::{LakeStatistics, SourceStatistics};
 use fedlake_mapping::RdfMoleculeTemplate;
 use std::collections::BTreeMap;
 
@@ -39,6 +40,10 @@ pub struct DataLake {
     mts: Vec<RdfMoleculeTemplate>,
     /// Logical source id → replica count (absent = 1, unreplicated).
     replicas: BTreeMap<String, u32>,
+    /// The statistics catalog, collected at registration time and
+    /// recomputed by [`DataLake::refresh_templates`] (the invalidation
+    /// point after source mutation).
+    stats: LakeStatistics,
 }
 
 impl DataLake {
@@ -47,9 +52,13 @@ impl DataLake {
         Self::default()
     }
 
-    /// Registers a source and indexes its molecule templates.
+    /// Registers a source, indexes its molecule templates, and collects
+    /// its statistics.
     pub fn add_source(&mut self, source: DataSource) {
         self.mts.extend(source.molecule_templates());
+        self.stats
+            .sources
+            .insert(source.id().to_string(), SourceStatistics::collect(&source));
         self.sources.push(source);
     }
 
@@ -73,13 +82,33 @@ impl DataLake {
         self.mts.iter().filter(|m| m.source_id == source_id).collect()
     }
 
-    /// Refreshes the molecule templates (after data/index changes).
+    /// Refreshes the molecule templates **and the statistics catalog**
+    /// (after data/index changes): mutating a source invalidates its
+    /// statistics here.
     pub fn refresh_templates(&mut self) {
         self.mts = self
             .sources
             .iter()
             .flat_map(DataSource::molecule_templates)
             .collect();
+        self.stats = LakeStatistics::collect(&self.sources);
+    }
+
+    /// The lake-wide statistics catalog.
+    pub fn statistics(&self) -> &LakeStatistics {
+        &self.stats
+    }
+
+    /// The statistics of one source.
+    pub fn source_stats(&self, id: &str) -> Option<&SourceStatistics> {
+        self.stats.source(id)
+    }
+
+    /// Mutable access to a source, for tests and administrative data
+    /// loads. Call [`DataLake::refresh_templates`] afterwards — templates
+    /// and statistics are only recomputed there.
+    pub fn source_mut(&mut self, id: &str) -> Option<&mut DataSource> {
+        self.sources.iter_mut().find(|s| s.id() == id)
     }
 
     /// Materializes the whole lake as one RDF graph: relational sources

@@ -69,6 +69,7 @@ pub mod results;
 pub mod selection;
 pub mod serve;
 pub mod source;
+pub mod stats;
 pub mod trace;
 pub mod translate;
 pub mod wrapper;
@@ -86,4 +87,5 @@ pub use lake::{logical_source_id, DataLake};
 pub use obs::{explain_analyze, chrome_trace, MetricsRegistry, TraceReport, TraceSink};
 pub use serve::{QueryOutcome, ServeConfig, ServeJob, ServeOutcome, ServeQueryStats};
 pub use source::DataSource;
+pub use stats::{FederationCost, LakeStatistics, SourceStatistics};
 pub use trace::AnswerTrace;

@@ -24,6 +24,9 @@ pub struct PlanNode {
     pub label: String,
     /// The source this node sends requests to, when it is a leaf request.
     pub source: Option<String>,
+    /// The planner's estimated output rows of this subtree — compared
+    /// against `rows_out` by EXPLAIN ANALYZE's estimation-error column.
+    pub estimated: f64,
 }
 
 /// The plan's nodes in pre-order (the span node-id order).
@@ -39,7 +42,12 @@ fn walk(plan: &FedPlan, depth: usize, nodes: &mut Vec<PlanNode>) {
         FedPlan::BindJoin { right, .. } => Some(right.source_id.clone()),
         _ => None,
     };
-    nodes.push(PlanNode { depth, label: node_line(plan), source });
+    nodes.push(PlanNode {
+        depth,
+        label: node_line(plan),
+        source,
+        estimated: plan.estimated_rows(),
+    });
     match plan {
         FedPlan::Service(_) => {}
         FedPlan::Join { left, right, .. } | FedPlan::LeftJoin { left, right, .. } => {
@@ -65,6 +73,16 @@ fn fmt_opt(t: Option<Duration>) -> String {
     t.map_or_else(|| "-".to_string(), fmt_ms)
 }
 
+/// The q-error of an estimate against the actual row count: the factor
+/// (≥ 1) by which the estimate was off, in either direction. Actuals are
+/// floored at one row so an operator that emitted nothing still gets a
+/// finite error.
+pub fn q_error(estimated: f64, actual: u64) -> f64 {
+    let est = estimated.max(1.0);
+    let act = (actual as f64).max(1.0);
+    (est / act).max(act / est)
+}
+
 /// Renders the analyzed plan tree of a traced execution.
 pub fn explain_analyze(report: &TraceReport) -> String {
     let mut out = format!(
@@ -80,9 +98,11 @@ pub fn explain_analyze(report: &TraceReport) -> String {
     for node in &report.nodes {
         indent(&mut out, node.depth);
         out.push_str(&format!(
-            "{}  [rows={} first={} done={}]\n",
+            "{}  [rows={} est={:.0} err=x{:.1} first={} done={}]\n",
             node.label,
             node.rows_out,
+            node.estimated.max(1.0),
+            q_error(node.estimated, node.rows_out),
             fmt_opt(node.first),
             fmt_opt(node.done),
         ));

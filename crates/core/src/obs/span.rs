@@ -109,6 +109,8 @@ pub struct NodeReport {
     pub label: String,
     /// Source the node requests from, when it is a leaf request.
     pub source: Option<String>,
+    /// The planner's estimated output rows of this subtree.
+    pub estimated: f64,
     /// Rows the operator emitted.
     pub rows_out: u64,
     /// Simulated time of the first emitted row.
@@ -341,6 +343,26 @@ impl TraceSink {
         st.node_state = vec![NodeState::default(); st.node_info.len()];
     }
 
+    /// Records what the planner did into the metrics registry: strategy
+    /// taken, candidate plans costed, bind joins chosen, and (cost mode)
+    /// the estimated [`crate::FederationCost`] decomposition in µs.
+    pub fn record_plan_report(&self, report: &crate::planner::PlanReport) {
+        let Some(sh) = &self.0 else { return };
+        let mut st = sh.lock();
+        st.metrics.counter_add("planner.queries", 1);
+        st.metrics
+            .counter_add(&format!("planner.strategy.{}", report.strategy.label()), 1);
+        st.metrics.counter_add("planner.plans_costed", report.plans_costed);
+        st.metrics.counter_add("planner.bind_joins", report.bind_joins);
+        if let Some(cost) = &report.estimated_cost {
+            st.metrics.gauge_set("planner.est_cpu_us", cost.cpu_us as u64);
+            st.metrics.gauge_set("planner.est_io_us", cost.io_us as u64);
+            st.metrics.gauge_set("planner.est_network_us", cost.network_us as u64);
+            st.metrics.gauge_set("planner.est_parallelism_us", cost.parallelism_us as u64);
+            st.metrics.gauge_set("planner.est_total_us", cost.total_us() as u64);
+        }
+    }
+
     /// Records a source-lane span (timeouts, backoffs, source compute,
     /// bind-join batches). `start`/`end` are on whichever simulated
     /// timeline the caller's schedule uses.
@@ -509,6 +531,16 @@ impl TraceSink {
             let rows = st.node_state[i].rows;
             st.metrics.counter_add(&format!("op.{i:02}.rows_out"), rows);
         }
+        // Estimation-error summary: the q-error of every operator that
+        // ran, ×100 (a histogram value of 100 is a perfect estimate).
+        for i in 0..st.node_info.len() {
+            let ns = &st.node_state[i];
+            if ns.rows == 0 && ns.done.is_none() {
+                continue;
+            }
+            let q = crate::obs::analyze::q_error(st.node_info[i].estimated, ns.rows);
+            st.metrics.observe("planner.qerror_x100", (q * 100.0) as u64);
+        }
 
         let mut sources = BTreeMap::new();
         for (source, link) in links {
@@ -524,6 +556,7 @@ impl TraceSink {
                 depth: info.depth,
                 label: info.label.clone(),
                 source: info.source.clone(),
+                estimated: info.estimated,
                 rows_out: ns.rows,
                 first: ns.first,
                 done: ns.done,

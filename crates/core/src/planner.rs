@@ -20,24 +20,77 @@
 //! classical always-push-selections plan, and disabling H1 keeps all joins
 //! at the engine while H2 still governs filters.
 
-use crate::config::{MergeTranslation, PlanConfig, PlanMode};
-use crate::decompose::{decompose_as, StarSubquery};
+use crate::config::{EngineJoin, MergeTranslation, PlanConfig, PlanMode};
+use crate::decompose::{decompose_as, StarSubject, StarSubquery};
 use crate::error::FedError;
 use crate::fedplan::{FedPlan, NaiveJoin, ReplicaRoute, ServiceKind, ServiceNode, SqlRequest};
 use crate::health::HealthView;
 use crate::lake::DataLake;
 use crate::selection::{select_sources_with_health, Candidate};
 use crate::source::DataSource;
+use crate::stats::{join_estimate, FederationCost, LakeStatistics};
 use crate::translate::{
     column_of_var, filter_column, sql_merged, sql_single, star_part, StarPart,
 };
 use fedlake_mapping::TableMapping;
+use fedlake_netsim::CostModel;
 use fedlake_relational::TableSchema;
 use fedlake_sparql::ast::{OrderKey, SelectQuery};
 use fedlake_sparql::binding::{RowSchema, Var};
 use fedlake_sparql::expr::Expr;
-use fedlake_rdf::Term;
+use fedlake_rdf::{vocab, Term};
 use std::sync::Arc;
+
+/// Unit count above which the cost-based planner switches from exhaustive
+/// left-deep DP enumeration to greedy cost-based ordering.
+pub const DP_UNIT_LIMIT: usize = 10;
+
+/// Bind-join batch size the cost-based planner assumes (and emits) when
+/// the config does not already force [`EngineJoin::Bind`].
+pub const DEFAULT_BIND_BATCH: usize = 16;
+
+/// How the planner ordered the joins of the conjunctive groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanStrategy {
+    /// The paper's heuristic ordering (smallest estimate first, connected
+    /// units preferred).
+    #[default]
+    Heuristic,
+    /// Exhaustive left-deep dynamic programming over the cost model.
+    Dp,
+    /// Greedy cost-based ordering (unit count above [`DP_UNIT_LIMIT`]).
+    GreedyCost,
+}
+
+impl PlanStrategy {
+    /// Stable lowercase name (metrics key suffix, explain output).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlanStrategy::Heuristic => "heuristic",
+            PlanStrategy::Dp => "dp",
+            PlanStrategy::GreedyCost => "greedy-cost",
+        }
+    }
+}
+
+/// What the planner did for one query: consumed by EXPLAIN ANALYZE, the
+/// metrics registry and the serve rollup.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PlanReport {
+    /// Whether cost-based planning was on.
+    pub cost_based: bool,
+    /// Join-ordering strategy taken (the last conjunctive group wins when
+    /// a query has several; they almost never do).
+    pub strategy: PlanStrategy,
+    /// Candidate (partial) plans the cost model priced.
+    pub plans_costed: u64,
+    /// Bind joins the cost model chose over hash joins.
+    pub bind_joins: u64,
+    /// The chosen plan's estimated [`FederationCost`] (cost mode only).
+    pub estimated_cost: Option<FederationCost>,
+    /// Estimated output rows of the final plan.
+    pub estimated_rows: f64,
+}
 
 /// A fully planned query: the federated plan plus the solution modifiers
 /// the engine applies on top.
@@ -62,6 +115,8 @@ pub struct PlannedQuery {
     /// endpoint was past the failure threshold (only under `degraded_ok`;
     /// the engine marks such answers degraded).
     pub skipped_sources: Vec<String>,
+    /// What the planner did (strategy taken, plans costed, estimates).
+    pub report: PlanReport,
 }
 
 /// One star bound to one relational source, with everything translation
@@ -98,7 +153,9 @@ pub fn plan_query_with_health(
 ) -> Result<PlannedQuery, FedError> {
     let dec = decompose_as(query, config.decomposition)?;
     let mut skipped = Vec::new();
-    let mut plan = plan_tree(&dec, lake, config, health, &mut skipped)?;
+    let mut report = PlanReport { cost_based: config.cost_based, ..PlanReport::default() };
+    let mut plan = plan_tree(&dec, lake, config, health, &mut skipped, &mut report)?;
+    report.estimated_rows = plan.estimated_rows();
     assign_routes(&mut plan, lake, health);
     let projection = query.effective_projection();
     // The schema covers every variable an operator may bind or project.
@@ -114,6 +171,7 @@ pub fn plan_query_with_health(
         limit: query.limit,
         offset: query.offset.unwrap_or(0),
         skipped_sources: skipped,
+        report,
     })
 }
 
@@ -181,6 +239,7 @@ fn plan_tree(
     config: &PlanConfig,
     health: &HealthView,
     skipped: &mut Vec<String>,
+    report: &mut PlanReport,
 ) -> Result<FedPlan, FedError> {
     // 1. Required units: the star-based part plus one unit per union
     //    block (each block binds the variables common to all branches).
@@ -197,12 +256,12 @@ fn plan_tree(
             }
             out
         };
-        units.push((plan_conjunctive(dec, lake, config, health, skipped)?, star_vars));
+        units.push((plan_conjunctive(dec, lake, config, health, skipped, report)?, star_vars));
     }
     for block in &dec.unions {
         let branches = block
             .iter()
-            .map(|b| plan_tree(b, lake, config, health, skipped))
+            .map(|b| plan_tree(b, lake, config, health, skipped, report))
             .collect::<Result<Vec<_>, _>>()?;
         let plan = if branches.len() == 1 {
             branches.into_iter().next().expect("length checked")
@@ -266,7 +325,7 @@ fn plan_tree(
                 ));
             }
         }
-        let right = plan_tree(opt, lake, config, health, skipped)?;
+        let right = plan_tree(opt, lake, config, health, skipped, report)?;
         let on: Vec<Var> = opt_vars
             .iter()
             .filter(|v| bound_vars.contains(v))
@@ -294,10 +353,14 @@ fn plan_conjunctive(
     config: &PlanConfig,
     health: &HealthView,
     skipped: &mut Vec<String>,
+    report: &mut PlanReport,
 ) -> Result<FedPlan, FedError> {
     if dec.stars.is_empty() {
         return Err(FedError::Unsupported("empty basic graph pattern".into()));
     }
+    // Cost mode estimates service cardinalities from the statistics
+    // catalog; heuristic mode keeps the fixed per-constraint guesses.
+    let stats: Option<&LakeStatistics> = config.cost_based.then(|| lake.statistics());
     let (candidates, newly_skipped) =
         select_sources_with_health(&dec.stars, lake, health, config.degraded_ok)?;
     for s in newly_skipped {
@@ -330,7 +393,7 @@ fn plan_conjunctive(
                 cardinality: cand.cardinality,
             });
         } else {
-            other_units.push((i, plan_other_star(star, cands, lake, config)?));
+            other_units.push((i, plan_other_star(star, cands, lake, config, stats)?));
         }
     }
 
@@ -381,11 +444,12 @@ fn plan_conjunctive(
                     &rel_stars[j],
                     source,
                     config,
+                    stats,
                 )?;
                 units.push((vec![rel_stars[i].star_idx, rel_stars[j].star_idx], unit, None));
             }
             _ => {
-                let unit = build_single_service(&dec.stars, &rel_stars[i], config)?;
+                let unit = build_single_service(&dec.stars, &rel_stars[i], config, stats)?;
                 units.push((vec![rel_stars[i].star_idx], unit, Some(i)));
             }
         }
@@ -394,7 +458,8 @@ fn plan_conjunctive(
         units.push((vec![i], plan, None));
     }
 
-    // Greedy left-deep join ordering over units.
+    // Join ordering over units: cost-based (DP / greedy over the
+    // FederationCost model) or the paper's heuristic greedy.
     let star_vars: Vec<Vec<Var>> = dec.stars.iter().map(StarSubquery::vars).collect();
     let unit_vars = |star_idxs: &[usize]| -> Vec<Var> {
         let mut out = Vec::new();
@@ -407,6 +472,20 @@ fn plan_conjunctive(
         }
         out
     };
+    if let Some(stats) = stats {
+        let unit_var_list: Vec<Vec<Var>> = units.iter().map(|(idxs, _, _)| unit_vars(idxs)).collect();
+        return order_units_by_cost(
+            dec,
+            lake,
+            config,
+            stats,
+            &candidates,
+            &rel_stars,
+            units,
+            unit_var_list,
+            report,
+        );
+    }
     units.sort_by(|a, b| a.1.estimated_rows().total_cmp(&b.1.estimated_rows()));
     let (first_idxs, mut plan, _) = units.remove(0);
     let mut bound_vars = unit_vars(&first_idxs);
@@ -432,7 +511,7 @@ fn plan_conjunctive(
         }
         plan = match (config.engine_join, bindable) {
             (crate::config::EngineJoin::Bind { batch_size }, Some(ri)) if on.len() == 1 => {
-                match build_bind_join(plan, &dec.stars, &rel_stars[ri], &on[0], batch_size)? {
+                match build_bind_join(plan, &dec.stars, &rel_stars[ri], &on[0], batch_size, None)? {
                     Ok(bound_plan) => bound_plan,
                     // The variable does not map to a column: fall back.
                     Err(left) => FedPlan::Join {
@@ -593,6 +672,17 @@ fn estimate(cardinality: usize, part: &StarPart) -> f64 {
     ((cardinality as f64) * 0.4f64.powi(constraints as i32)).max(1.0)
 }
 
+/// The statistics-based cardinality estimate of `star` at `source_id`,
+/// when cost mode is on and the catalog knows the source.
+fn stats_estimate(
+    stats: Option<&LakeStatistics>,
+    source_id: &str,
+    star: &StarSubquery,
+    filters: &[Expr],
+) -> Option<f64> {
+    stats.and_then(|ls| ls.source(source_id)).map(|ss| ss.estimate_star(star, filters))
+}
+
 fn wrap_engine_filters(plan: FedPlan, filters: Vec<Expr>) -> FedPlan {
     if filters.is_empty() {
         plan
@@ -611,6 +701,7 @@ fn build_bind_join(
     rs: &RelStar,
     join_var: &Var,
     batch_size: usize,
+    stats: Option<&LakeStatistics>,
 ) -> Result<Result<FedPlan, FedPlan>, FedError> {
     let star = &stars[rs.star_idx];
     let Some(column) = column_of_var(join_var, star, &rs.tm) else {
@@ -623,7 +714,8 @@ fn build_bind_join(
         _ => crate::translate::column_ref_template(join_var, star, &rs.tm),
     };
     let part = star_part(star, &rs.tm, &rs.schema, &rs.pushed, "s0")?;
-    let est = estimate(rs.cardinality, &part);
+    let est = stats_estimate(stats, &rs.source_id, star, &rs.pushed)
+        .unwrap_or_else(|| estimate(rs.cardinality, &part));
     let target = crate::fedplan::BindTarget {
         source_id: rs.source_id.clone(),
         route: None,
@@ -642,10 +734,12 @@ fn build_single_service(
     stars: &[StarSubquery],
     rs: &RelStar,
     _config: &PlanConfig,
+    stats: Option<&LakeStatistics>,
 ) -> Result<FedPlan, FedError> {
     let star = &stars[rs.star_idx];
     let part = star_part(star, &rs.tm, &rs.schema, &rs.pushed, "s0")?;
-    let est = estimate(rs.cardinality, &part);
+    let est = stats_estimate(stats, &rs.source_id, star, &rs.pushed)
+        .unwrap_or_else(|| estimate(rs.cardinality, &part));
     let q = sql_single(&part);
     let service = FedPlan::Service(ServiceNode {
         source_id: rs.source_id.clone(),
@@ -665,11 +759,23 @@ fn build_merged_service(
     b: &RelStar,
     source: &DataSource,
     config: &PlanConfig,
+    stats: Option<&LakeStatistics>,
 ) -> Result<FedPlan, FedError> {
     let (left_col, right_col) = find_merge_join(stars, a, b, source)
         .ok_or_else(|| FedError::Internal("merge pair lost its join".into()))?;
     let sa = &stars[a.star_idx];
     let sb = &stars[b.star_idx];
+    // Stats-based merged estimate: the classic equi-join formula over the
+    // two star estimates (`None` outside cost mode).
+    let merged_est = |pa: &StarPart, pb: &StarPart| -> f64 {
+        match (
+            stats_estimate(stats, &a.source_id, sa, &a.pushed),
+            stats_estimate(stats, &b.source_id, sb, &b.pushed),
+        ) {
+            (Some(ea), Some(eb)) => join_estimate(ea, ea, eb, eb),
+            _ => estimate(a.cardinality, pa).min(estimate(b.cardinality, pb)),
+        }
+    };
 
     // Denormalized case: both stars read one table — combine under a
     // single alias with no join (regardless of the translation quality
@@ -677,7 +783,7 @@ fn build_merged_service(
     if a.tm.table == b.tm.table {
         let pa = star_part(sa, &a.tm, &a.schema, &a.pushed, "s0")?;
         let pb = star_part(sb, &b.tm, &b.schema, &b.pushed, "s0")?;
-        let est = estimate(a.cardinality, &pa).min(estimate(b.cardinality, &pb));
+        let est = merged_est(&pa, &pb);
         let q = crate::translate::sql_merged_same_table(&pa, &pb, &left_col, &right_col);
         let service = FedPlan::Service(ServiceNode {
             source_id: a.source_id.clone(),
@@ -695,7 +801,7 @@ fn build_merged_service(
 
     let pa = star_part(sa, &a.tm, &a.schema, &a.pushed, "s0")?;
     let pb = star_part(sb, &b.tm, &b.schema, &b.pushed, "s1")?;
-    let est = estimate(a.cardinality, &pa).min(estimate(b.cardinality, &pb));
+    let est = merged_est(&pa, &pb);
     let covers = vec![sa.subject.to_string(), sb.subject.to_string()];
     let request = match config.merge_translation {
         MergeTranslation::Optimized => {
@@ -745,6 +851,7 @@ fn plan_other_star(
     cands: &[Candidate],
     lake: &DataLake,
     config: &PlanConfig,
+    stats: Option<&LakeStatistics>,
 ) -> Result<FedPlan, FedError> {
     let mut branches = Vec::new();
     for cand in cands {
@@ -753,6 +860,8 @@ fn plan_other_star(
             .ok_or_else(|| FedError::Internal("candidate source missing".into()))?;
         match source {
             DataSource::Sparql { .. } => {
+                let est = stats_estimate(stats, &cand.source_id, star, &star.filters)
+                    .unwrap_or_else(|| (cand.cardinality as f64).max(1.0));
                 branches.push(FedPlan::Service(ServiceNode {
                     source_id: cand.source_id.clone(),
                     route: None,
@@ -760,7 +869,7 @@ fn plan_other_star(
                         star: star.clone(),
                         filters: star.filters.clone(),
                     },
-                    estimated_rows: (cand.cardinality as f64).max(1.0),
+                    estimated_rows: est,
                 }));
             }
             DataSource::Relational { db, mapping, .. } => {
@@ -779,7 +888,8 @@ fn plan_other_star(
                     .clone();
                 let (pushed, engine) = split_filters(star, &tm, source, config);
                 let part = star_part(star, &tm, &schema, &pushed, "s0")?;
-                let est = estimate(cand.cardinality, &part);
+                let est = stats_estimate(stats, &cand.source_id, star, &pushed)
+                    .unwrap_or_else(|| estimate(cand.cardinality, &part));
                 let service = FedPlan::Service(ServiceNode {
                     source_id: cand.source_id.clone(),
                     route: None,
@@ -798,4 +908,524 @@ fn plan_other_star(
     } else {
         FedPlan::Union(branches)
     })
+}
+
+// ---------------------------------------------------------------------------
+// Cost-based join ordering (`PlanConfig::cost_based`).
+//
+// Units (the service requests `plan_conjunctive` built — merged or single
+// relational stars plus the "other" stars) are ordered by minimizing a
+// `FederationCost` estimate: per-unit fetch costs priced from the
+// statistics catalog and the netsim link parameters, per-edge bind-join
+// vs hash-join chosen from the estimated input cardinalities. Up to
+// `DP_UNIT_LIMIT` units the enumeration is exhaustive left-deep DP over
+// subsets; above it, greedy by cheapest next extension.
+// ---------------------------------------------------------------------------
+
+/// Pricing environment: the cost model and the network profile's link
+/// parameters (per SNIPPETS' `FederationCost`, the network term reads the
+/// per-link transfer parameters).
+struct CostEnv<'a> {
+    cost: &'a CostModel,
+    /// Mean per-message network delay, µs.
+    delay_us: f64,
+    /// Rows per link message.
+    rows_per_message: f64,
+    /// Overlapped schedule: independent fetches run concurrently, so the
+    /// plan's network critical path is the max, not the sum.
+    overlap: bool,
+}
+
+impl CostEnv<'_> {
+    /// Network cost of transferring `rows` in `messages` messages.
+    fn transfer_us(&self, messages: f64, rows: f64) -> f64 {
+        messages * (self.delay_us + self.cost.message_overhead_us)
+            + rows * self.cost.row_transfer_us
+    }
+
+    /// Messages a full fetch of `rows` takes (the request plus one message
+    /// per `rows_per_message` result rows).
+    fn fetch_messages(&self, rows: f64) -> f64 {
+        (rows / self.rows_per_message).ceil().max(1.0) + 1.0
+    }
+}
+
+/// One join-ordering unit with its pricing inputs.
+struct CostUnit {
+    plan: Option<FedPlan>,
+    /// Index into `rel_stars` when the unit is one bind-convertible star.
+    bindable: Option<usize>,
+    vars: Vec<Var>,
+    est_rows: f64,
+    /// Engine-side cpu of fetching the unit in full, µs.
+    fetch_cpu_us: f64,
+    /// Source-side work of fetching the unit in full, µs.
+    fetch_io_us: f64,
+    /// Network cost of fetching the unit in full, µs.
+    fetch_net_us: f64,
+    /// Per-variable distinct-value estimates (join-key NDVs).
+    var_distinct: Vec<(Var, f64)>,
+}
+
+/// Source-side + engine-side + network cost of fetching a unit plan in
+/// full (services, their filters, unions of either).
+fn unit_fetch_cost(plan: &FedPlan, env: &CostEnv<'_>) -> (f64, f64, f64) {
+    match plan {
+        FedPlan::Service(node) => {
+            let rows = node.estimated_rows.max(1.0);
+            let io = match &node.kind {
+                ServiceKind::Sql { .. } => rows * env.cost.rdb_row_scan_us,
+                ServiceKind::Sparql { star, .. } => {
+                    star.triples.len() as f64 * env.cost.sparql_pattern_us
+                        + rows * env.cost.sparql_row_us
+                }
+            };
+            let net = env.transfer_us(env.fetch_messages(rows), rows);
+            (rows * env.cost.engine_row_us, io, net)
+        }
+        FedPlan::Filter { input, exprs } => {
+            let (cpu, io, net) = unit_fetch_cost(input, env);
+            let evals = input.estimated_rows().max(1.0) * exprs.len().max(1) as f64;
+            (cpu + evals * env.cost.engine_filter_eval_us, io, net)
+        }
+        FedPlan::Union(branches) => branches.iter().fold((0.0, 0.0, 0.0), |acc, b| {
+            let (cpu, io, net) = unit_fetch_cost(b, env);
+            (acc.0 + cpu, acc.1 + io, acc.2 + net)
+        }),
+        // Units never contain engine joins, but price them sanely anyway.
+        FedPlan::Join { left, right, .. } | FedPlan::LeftJoin { left, right, .. } => {
+            let (lc, li, ln) = unit_fetch_cost(left, env);
+            let (rc, ri, rn) = unit_fetch_cost(right, env);
+            let probes =
+                (left.estimated_rows() + right.estimated_rows()) * env.cost.engine_join_probe_us;
+            (lc + rc + probes, li + ri, ln + rn)
+        }
+        FedPlan::BindJoin { left, right, .. } => {
+            let (lc, li, ln) = unit_fetch_cost(left, env);
+            let rows = right.estimated_rows.max(1.0);
+            (lc + rows * env.cost.engine_row_us, li + rows * env.cost.rdb_row_scan_us, ln)
+        }
+    }
+}
+
+/// Per-variable distinct-value estimates for the stars of one unit:
+/// subject variables get the characteristic-set subject count, object
+/// variables the predicate's distinct-object count, everything capped at
+/// the unit's estimated rows.
+fn unit_var_distincts(
+    idxs: &[usize],
+    dec: &crate::decompose::Decomposition,
+    candidates: &[Vec<Candidate>],
+    stats: &LakeStatistics,
+    est_rows: f64,
+) -> Vec<(Var, f64)> {
+    let cap = est_rows.max(1.0);
+    let mut out: Vec<(Var, f64)> = Vec::new();
+    let mut push_min = |v: &Var, d: f64| match out.iter_mut().find(|(w, _)| w == v) {
+        Some((_, old)) => *old = old.min(d),
+        None => out.push((v.clone(), d)),
+    };
+    for &si in idxs {
+        let star = &dec.stars[si];
+        let ss = candidates[si].first().and_then(|c| stats.source(&c.source_id));
+        if let StarSubject::Var(v) = &star.subject {
+            let d = ss
+                .map(|s| {
+                    let preds: Vec<&str> = star
+                        .predicates()
+                        .into_iter()
+                        .filter(|p| *p != vocab::rdf::TYPE)
+                        .collect();
+                    s.star_subjects(&preds).max(1.0)
+                })
+                .unwrap_or(cap);
+            push_min(v, d.min(cap));
+        }
+        for t in &star.triples {
+            let (Some(p), Some(v)) = (t.p.as_term().and_then(Term::as_iri), t.o.as_var()) else {
+                continue;
+            };
+            if p == vocab::rdf::TYPE {
+                continue;
+            }
+            let d = ss.and_then(|s| s.distinct_objects(p)).unwrap_or(cap);
+            push_min(v, d.min(cap));
+        }
+    }
+    out
+}
+
+/// How one unit joins onto the left-deep prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StepKind {
+    /// Fetch in full and hash-join at the engine.
+    Hash,
+    /// Ship the left join keys as SQL `IN` batches (dependent bind join).
+    Bind,
+}
+
+/// A partial left-deep plan in the enumeration. Network is tracked in
+/// three pools: `net_sum`/`net_max` over the independent full fetches
+/// (the serialized schedule pays the sum, the overlapped one the max) and
+/// `net_seq` for bind-join round trips, which serialize behind the left
+/// input under either schedule.
+#[derive(Clone)]
+struct DpState {
+    cpu_us: f64,
+    io_us: f64,
+    net_sum_us: f64,
+    net_max_us: f64,
+    net_seq_us: f64,
+    est_rows: f64,
+    var_distinct: Vec<(Var, f64)>,
+    /// `(unit, kind)` per step; the first entry's kind is meaningless.
+    steps: Vec<(usize, StepKind)>,
+}
+
+impl DpState {
+    fn of_unit(i: usize, u: &CostUnit) -> DpState {
+        DpState {
+            cpu_us: u.fetch_cpu_us,
+            io_us: u.fetch_io_us,
+            net_sum_us: u.fetch_net_us,
+            net_max_us: u.fetch_net_us,
+            net_seq_us: 0.0,
+            est_rows: u.est_rows,
+            var_distinct: u.var_distinct.clone(),
+            steps: vec![(i, StepKind::Hash)],
+        }
+    }
+
+    fn total_us(&self, overlap: bool) -> f64 {
+        let net = if overlap { self.net_max_us } else { self.net_sum_us };
+        self.cpu_us + self.io_us + net + self.net_seq_us
+    }
+
+    /// The chosen plan's cost decomposition, for the report.
+    fn federation_cost(&self, overlap: bool) -> FederationCost {
+        FederationCost {
+            cpu_us: self.cpu_us,
+            io_us: self.io_us,
+            network_us: self.net_sum_us + self.net_seq_us,
+            parallelism_us: if overlap { self.net_sum_us - self.net_max_us } else { 0.0 },
+        }
+    }
+
+    /// Distinct join keys of `v` on this side, capped at the row estimate.
+    fn distinct_of(&self, v: &Var) -> f64 {
+        self.var_distinct
+            .iter()
+            .find(|(w, _)| w == v)
+            .map_or(self.est_rows.max(1.0), |(_, d)| d.min(self.est_rows.max(1.0)))
+    }
+}
+
+/// Prices joining unit `j` onto `state` with `kind`. Returns the new
+/// state (without dedup against better states — the caller compares).
+#[allow(clippy::too_many_arguments)]
+fn apply_step(
+    state: &DpState,
+    j: usize,
+    kind: StepKind,
+    unit: &CostUnit,
+    on: &[Var],
+    env: &CostEnv<'_>,
+    stars: &[StarSubquery],
+    rel_stars: &[RelStar],
+    lake: &DataLake,
+    bind_batch: usize,
+) -> DpState {
+    let l_rows = state.est_rows.max(1.0);
+    let r_rows = unit.est_rows.max(1.0);
+    let out_rows = if on.is_empty() {
+        // Cartesian product: legal, but priced at its full size.
+        l_rows * r_rows
+    } else {
+        let dl = on.iter().map(|v| state.distinct_of(v)).fold(f64::MAX, f64::min);
+        let dr = on
+            .iter()
+            .map(|v| {
+                unit.var_distinct
+                    .iter()
+                    .find(|(w, _)| w == v)
+                    .map_or(r_rows, |(_, d)| d.min(r_rows))
+            })
+            .fold(f64::MAX, f64::min);
+        join_estimate(l_rows, dl, r_rows, dr)
+    };
+    let mut next = state.clone();
+    match kind {
+        StepKind::Hash => {
+            next.cpu_us += unit.fetch_cpu_us
+                + (l_rows + r_rows) * env.cost.engine_join_probe_us
+                + out_rows * env.cost.engine_row_us;
+            next.io_us += unit.fetch_io_us;
+            next.net_sum_us += unit.fetch_net_us;
+            next.net_max_us = next.net_max_us.max(unit.fetch_net_us);
+        }
+        StepKind::Bind => {
+            let ri = unit.bindable.expect("bind step requires a bindable unit");
+            let rs = &rel_stars[ri];
+            let keys = state.distinct_of(&on[0]);
+            let batches = (keys / bind_batch as f64).ceil().max(1.0);
+            // One request message per batch, plus the matched rows coming
+            // back — all after the left side finished, hence sequential.
+            let messages = batches + (out_rows / env.rows_per_message).ceil();
+            next.net_seq_us += env.transfer_us(messages, out_rows);
+            let indexed = bindable_column(stars, rs, &on[0]).is_some_and(|col| {
+                lake.source(&rs.source_id)
+                    .is_some_and(|s| s.has_index_on(&rs.tm.table, &col))
+            });
+            next.io_us += if indexed {
+                keys * env.cost.rdb_index_probe_us + out_rows * env.cost.rdb_index_row_us
+            } else {
+                // Every batch rescans the (filtered) table.
+                batches * rs.cardinality as f64 * env.cost.rdb_row_scan_us
+            };
+            next.cpu_us +=
+                l_rows * env.cost.engine_join_probe_us + out_rows * env.cost.engine_row_us;
+        }
+    }
+    next.est_rows = out_rows.max(1.0);
+    for (v, d) in &unit.var_distinct {
+        match next.var_distinct.iter_mut().find(|(w, _)| w == v) {
+            Some((_, old)) => *old = old.min(*d),
+            None => next.var_distinct.push((v.clone(), *d)),
+        }
+    }
+    for (_, d) in &mut next.var_distinct {
+        *d = d.min(next.est_rows);
+    }
+    next.steps.push((j, kind));
+    next
+}
+
+/// The column `join_var` maps to on the unit's star, when bind-joining is
+/// feasible at all.
+fn bindable_column(
+    stars: &[StarSubquery],
+    rs: &RelStar,
+    join_var: &Var,
+) -> Option<String> {
+    column_of_var(join_var, &stars[rs.star_idx], &rs.tm)
+}
+
+/// Cost-based replacement for the greedy ordering in `plan_conjunctive`:
+/// prices every left-deep order (DP up to [`DP_UNIT_LIMIT`] units, greedy
+/// beyond) with per-edge bind-vs-hash choice, rebuilds the chosen plan
+/// through the same construction paths the heuristic planner uses, and
+/// records what it did in `report`.
+#[allow(clippy::too_many_arguments)]
+fn order_units_by_cost(
+    dec: &crate::decompose::Decomposition,
+    lake: &DataLake,
+    config: &PlanConfig,
+    stats: &LakeStatistics,
+    candidates: &[Vec<Candidate>],
+    rel_stars: &[RelStar],
+    units: Vec<(Vec<usize>, FedPlan, Option<usize>)>,
+    unit_var_list: Vec<Vec<Var>>,
+    report: &mut PlanReport,
+) -> Result<FedPlan, FedError> {
+    let env = CostEnv {
+        cost: &config.cost,
+        delay_us: config.network.delay.mean_ms() * 1_000.0,
+        rows_per_message: config.rows_per_message.max(1) as f64,
+        overlap: config.overlap,
+    };
+    let bind_batch = match config.engine_join {
+        EngineJoin::Bind { batch_size } => batch_size,
+        EngineJoin::SymmetricHash => DEFAULT_BIND_BATCH,
+    };
+    let mut cost_units: Vec<CostUnit> = Vec::with_capacity(units.len());
+    for ((idxs, plan, bindable), vars) in units.into_iter().zip(unit_var_list) {
+        let est_rows = plan.estimated_rows();
+        let (fetch_cpu_us, fetch_io_us, fetch_net_us) = unit_fetch_cost(&plan, &env);
+        let mut var_distinct = unit_var_distincts(&idxs, dec, candidates, stats, est_rows);
+        // Every unit variable gets an NDV entry (fallback: the row
+        // estimate), so the DP's shared-variable sets match the `on` keys
+        // the rebuilt joins will actually use.
+        for v in &vars {
+            if !var_distinct.iter().any(|(w, _)| w == v) {
+                var_distinct.push((v.clone(), est_rows.max(1.0)));
+            }
+        }
+        cost_units.push(CostUnit {
+            plan: Some(plan),
+            bindable,
+            vars,
+            est_rows,
+            fetch_cpu_us,
+            fetch_io_us,
+            fetch_net_us,
+            var_distinct,
+        });
+    }
+
+    let n = cost_units.len();
+    if n == 1 {
+        report.strategy = PlanStrategy::Dp;
+        let mut only = cost_units.into_iter().next().expect("one unit");
+        let state = DpState::of_unit(0, &only);
+        report.estimated_cost = Some(state.federation_cost(env.overlap));
+        return Ok(only.plan.take().expect("unit plan present"));
+    }
+
+    // Feasible (hash, bind) options for extending a state by unit `j`.
+    let options = |state: &DpState, j: usize| -> (Vec<Var>, Vec<StepKind>) {
+        let on: Vec<Var> = cost_units[j]
+            .vars
+            .iter()
+            .filter(|v| state.var_distinct.iter().any(|(w, _)| w == *v))
+            .cloned()
+            .collect();
+        let mut kinds = vec![StepKind::Hash];
+        if on.len() == 1 {
+            if let Some(ri) = cost_units[j].bindable {
+                if bindable_column(&dec.stars, &rel_stars[ri], &on[0]).is_some() {
+                    kinds.push(StepKind::Bind);
+                }
+            }
+        }
+        (on, kinds)
+    };
+
+    let mut plans_costed = 0u64;
+    let best: DpState = if n <= DP_UNIT_LIMIT {
+        report.strategy = PlanStrategy::Dp;
+        let mut dp: Vec<Option<DpState>> = vec![None; 1 << n];
+        for (i, u) in cost_units.iter().enumerate() {
+            dp[1 << i] = Some(DpState::of_unit(i, u));
+        }
+        for mask in 1usize..(1 << n) {
+            let Some(state) = dp[mask].clone() else { continue };
+            for j in 0..n {
+                if mask & (1 << j) != 0 {
+                    continue;
+                }
+                let (on, kinds) = options(&state, j);
+                for kind in kinds {
+                    plans_costed += 1;
+                    let next = apply_step(
+                        &state,
+                        j,
+                        kind,
+                        &cost_units[j],
+                        &on,
+                        &env,
+                        &dec.stars,
+                        rel_stars,
+                        lake,
+                        bind_batch,
+                    );
+                    let slot = &mut dp[mask | (1 << j)];
+                    let better = slot
+                        .as_ref()
+                        .is_none_or(|s| next.total_us(env.overlap) < s.total_us(env.overlap));
+                    if better {
+                        *slot = Some(next);
+                    }
+                }
+            }
+        }
+        dp[(1 << n) - 1].take().ok_or_else(|| {
+            FedError::Internal("cost-based DP left the final state unreached".into())
+        })?
+    } else {
+        report.strategy = PlanStrategy::GreedyCost;
+        // Start from the cheapest single fetch, then repeatedly take the
+        // cheapest extension.
+        let first = (0..n)
+            .min_by(|&a, &b| {
+                let fa = DpState::of_unit(a, &cost_units[a]).total_us(env.overlap);
+                let fb = DpState::of_unit(b, &cost_units[b]).total_us(env.overlap);
+                fa.total_cmp(&fb)
+            })
+            .expect("at least two units");
+        let mut state = DpState::of_unit(first, &cost_units[first]);
+        let mut used = vec![false; n];
+        used[first] = true;
+        for _ in 1..n {
+            let mut pick: Option<DpState> = None;
+            for j in 0..n {
+                if used[j] {
+                    continue;
+                }
+                let (on, kinds) = options(&state, j);
+                for kind in kinds {
+                    plans_costed += 1;
+                    let next = apply_step(
+                        &state,
+                        j,
+                        kind,
+                        &cost_units[j],
+                        &on,
+                        &env,
+                        &dec.stars,
+                        rel_stars,
+                        lake,
+                        bind_batch,
+                    );
+                    let better = pick
+                        .as_ref()
+                        .is_none_or(|p| next.total_us(env.overlap) < p.total_us(env.overlap));
+                    if better {
+                        pick = Some(next);
+                    }
+                }
+            }
+            state = pick.expect("some unit remains");
+            used[state.steps.last().expect("step pushed").0] = true;
+        }
+        state
+    };
+
+    report.plans_costed += plans_costed;
+    report.estimated_cost = Some(best.federation_cost(env.overlap));
+
+    // Rebuild the chosen order through the same construction paths the
+    // heuristic planner uses, so plan nodes stay byte-identical for a
+    // given shape.
+    let mut steps = best.steps.iter();
+    let &(first, _) = steps.next().expect("at least one step");
+    let mut plan = cost_units[first].plan.take().expect("unit plan present");
+    let mut bound_vars = cost_units[first].vars.clone();
+    for &(j, kind) in steps {
+        let right_vars = cost_units[j].vars.clone();
+        let on: Vec<Var> =
+            right_vars.iter().filter(|v| bound_vars.contains(v)).cloned().collect();
+        for v in right_vars {
+            if !bound_vars.contains(&v) {
+                bound_vars.push(v);
+            }
+        }
+        let right = cost_units[j].plan.take().expect("unit plan present");
+        plan = match kind {
+            StepKind::Bind if on.len() == 1 => {
+                let ri = cost_units[j].bindable.expect("bind step requires bindable");
+                match build_bind_join(
+                    plan,
+                    &dec.stars,
+                    &rel_stars[ri],
+                    &on[0],
+                    bind_batch,
+                    Some(stats),
+                )? {
+                    Ok(bound_plan) => {
+                        report.bind_joins += 1;
+                        bound_plan
+                    }
+                    Err(left) => FedPlan::Join {
+                        left: Box::new(left),
+                        right: Box::new(right),
+                        on,
+                    },
+                }
+            }
+            _ => {
+                FedPlan::Join { left: Box::new(plan), right: Box::new(right), on }
+            }
+        };
+    }
+    Ok(plan)
 }

@@ -839,6 +839,7 @@ impl FederatedEngine {
         .with_deadline(config.deadline)
         .with_trace(sink.clone());
         sink.begin_query(&planned.plan, &config.mode.label());
+        sink.record_plan_report(&planned.report);
 
         let mut next_node = 0u32;
         let mut op =

@@ -264,6 +264,7 @@ impl FederatedEngine {
                 .with_deadline(deadline)
                 .with_trace(sink.clone());
                 sink.begin_query(&job.planned.plan, &config.mode.label());
+                sink.record_plan_report(&job.planned.report);
                 let mut next_node = 0u32;
                 let mut op = self.build_operator(
                     &job.planned.plan,
@@ -298,6 +299,17 @@ impl FederatedEngine {
                     error: None,
                 });
                 metrics.counter_add("serve.admitted", 1);
+                // Planner rollups: what the admitted plans' planner did.
+                let report = &job.planned.report;
+                metrics.counter_add(
+                    &format!("serve.planner.strategy.{}", report.strategy.label()),
+                    1,
+                );
+                metrics.counter_add("serve.planner.plans_costed", report.plans_costed);
+                metrics.counter_add("serve.planner.bind_joins", report.bind_joins);
+                if report.cost_based {
+                    metrics.counter_add("serve.planner.cost_based", 1);
+                }
                 metrics.gauge_set("serve.in_flight", active.len() as u64);
                 next_job += 1;
             }

@@ -1,0 +1,489 @@
+//! The statistics catalog and the federation cost model.
+//!
+//! Per-source statistics are collected **deterministically at source
+//! registration time** (see [`crate::DataLake::add_source`]): triple
+//! counts, per-predicate cardinalities with distinct subject/object
+//! counts, and characteristic-set-style star statistics (the set of
+//! predicates each subject carries, with how many subjects carry exactly
+//! that set). Together they let the planner estimate the cardinality of a
+//! star-shaped sub-query and of the joins between stars — the Odyssey-style
+//! statistics-based planning the ROADMAP calls for — instead of relying on
+//! the fixed selectivity guesses of the heuristic planner.
+//!
+//! [`FederationCost`] is the cpu/io/network/parallelism decomposition of a
+//! plan's estimated execution cost; the network term reads the simulated
+//! link parameters (mean delay, per-message overhead, per-row transfer
+//! cost), so the same plan costs differently under different
+//! [`fedlake_netsim::NetworkProfile`]s — exactly the physical property the
+//! paper's Heuristic 2 reacts to, now priced instead of special-cased.
+
+use crate::decompose::StarSubquery;
+use crate::source::DataSource;
+use fedlake_rdf::{vocab, Term};
+use fedlake_sparql::expr::{CmpOp, Expr};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Selectivity assumed for a filter the estimator cannot price from the
+/// statistics (REGEX, CONTAINS, arithmetic…). Matches the heuristic
+/// planner's long-standing per-constraint guess.
+pub const UNKNOWN_FILTER_SELECTIVITY: f64 = 0.4;
+
+/// Selectivity assumed for a range comparison (`<`, `<=`, `>`, `>=`).
+pub const RANGE_FILTER_SELECTIVITY: f64 = 0.33;
+
+/// Selectivity assumed for an inequality (`!=`).
+pub const NE_FILTER_SELECTIVITY: f64 = 0.9;
+
+/// Statistics for one predicate at one source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PredicateStats {
+    /// Triples with this predicate.
+    pub count: u64,
+    /// Distinct subjects among them.
+    pub distinct_subjects: u64,
+    /// Distinct objects among them.
+    pub distinct_objects: u64,
+}
+
+/// Statistics for one source, collected at registration time.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SourceStatistics {
+    /// Total triples the source offers (relational sources count their
+    /// lifted triples, including one `rdf:type` per row).
+    pub triples: u64,
+    /// Distinct subjects across the source.
+    pub subjects: u64,
+    /// Per-predicate cardinalities, keyed by predicate IRI.
+    pub predicates: BTreeMap<String, PredicateStats>,
+    /// Characteristic sets: the sorted set of (non-`rdf:type`) predicates
+    /// a subject carries, mapped to how many subjects carry exactly that
+    /// set. Star cardinality estimation sums the sets that cover a star's
+    /// predicates.
+    pub characteristic_sets: BTreeMap<Vec<String>, u64>,
+}
+
+impl SourceStatistics {
+    /// Collects the statistics of one source. Deterministic: every count
+    /// is order-independent and the maps are ordered.
+    pub fn collect(source: &DataSource) -> Self {
+        match source {
+            DataSource::Sparql { graph, .. } => collect_sparql(graph),
+            DataSource::Relational { db, mapping, .. } => collect_relational(db, mapping),
+        }
+    }
+
+    /// Subjects whose characteristic set covers all of `preds` (the
+    /// predicates of a star). Unknown predicates yield 0; an empty list
+    /// matches every subject.
+    pub fn star_subjects(&self, preds: &[&str]) -> f64 {
+        if preds.is_empty() {
+            return self.subjects as f64;
+        }
+        let covered: u64 = self
+            .characteristic_sets
+            .iter()
+            .filter(|(set, _)| preds.iter().all(|p| set.iter().any(|s| s == p)))
+            .map(|(_, n)| n)
+            .sum();
+        covered as f64
+    }
+
+    /// Average triples per subject for `pred` (≥ 1 when the predicate
+    /// exists; 1.0 otherwise).
+    pub fn multiplicity(&self, pred: &str) -> f64 {
+        match self.predicates.get(pred) {
+            Some(ps) if ps.distinct_subjects > 0 => {
+                (ps.count as f64 / ps.distinct_subjects as f64).max(1.0)
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// Distinct objects of `pred`, when known.
+    pub fn distinct_objects(&self, pred: &str) -> Option<f64> {
+        self.predicates.get(pred).map(|ps| (ps.distinct_objects as f64).max(1.0))
+    }
+
+    /// Distinct subjects of `pred`, when known.
+    pub fn distinct_subjects(&self, pred: &str) -> Option<f64> {
+        self.predicates.get(pred).map(|ps| (ps.distinct_subjects as f64).max(1.0))
+    }
+
+    /// Selectivity of an equality constraint on the object of `pred`:
+    /// `1 / NDV` under the uniformity assumption.
+    pub fn eq_selectivity(&self, pred: &str) -> f64 {
+        self.distinct_objects(pred)
+            .map_or(UNKNOWN_FILTER_SELECTIVITY, |d| (1.0 / d).min(1.0))
+    }
+
+    /// Estimated result cardinality of `star` at this source when only
+    /// `filters` (a subset of the star's filters — e.g. just the pushed
+    /// ones) constrain the fetched rows.
+    ///
+    /// The estimate is the characteristic-set subject count, multiplied by
+    /// the per-predicate multiplicities (one row per combination of
+    /// multi-valued objects), then reduced by the selectivity of ground
+    /// objects and of the given filters. Floored at one row.
+    pub fn estimate_star(&self, star: &StarSubquery, filters: &[Expr]) -> f64 {
+        let preds: Vec<&str> = star
+            .predicates()
+            .into_iter()
+            .filter(|p| *p != vocab::rdf::TYPE)
+            .collect();
+        let mut est = self.star_subjects(&preds);
+        for t in &star.triples {
+            let Some(p) = t.p.as_term().and_then(Term::as_iri) else { continue };
+            if p == vocab::rdf::TYPE {
+                continue;
+            }
+            if t.o.as_var().is_some() {
+                est *= self.multiplicity(p);
+            } else {
+                // A ground object behaves like an equality constraint.
+                est *= self.eq_selectivity(p);
+            }
+        }
+        for f in filters {
+            est *= self.filter_selectivity(f, star);
+        }
+        est.max(1.0)
+    }
+
+    /// Selectivity of one filter over `star`, priced from the statistics
+    /// where possible (equality on a predicate's object → `1/NDV`).
+    pub fn filter_selectivity(&self, f: &Expr, star: &StarSubquery) -> f64 {
+        match f {
+            Expr::Cmp(l, op, r) => {
+                let var = match (l.as_ref(), r.as_ref()) {
+                    (Expr::Var(v), Expr::Const(_)) | (Expr::Const(_), Expr::Var(v)) => Some(v),
+                    _ => None,
+                };
+                match op {
+                    CmpOp::Eq => var
+                        .and_then(|v| predicate_of_var(star, v))
+                        .map_or(UNKNOWN_FILTER_SELECTIVITY, |p| self.eq_selectivity(p)),
+                    CmpOp::Ne => NE_FILTER_SELECTIVITY,
+                    _ => RANGE_FILTER_SELECTIVITY,
+                }
+            }
+            Expr::And(a, b) => {
+                self.filter_selectivity(a, star) * self.filter_selectivity(b, star)
+            }
+            Expr::Or(a, b) => {
+                (self.filter_selectivity(a, star) + self.filter_selectivity(b, star)).min(1.0)
+            }
+            Expr::Not(inner) => (1.0 - self.filter_selectivity(inner, star)).max(0.1),
+            _ => UNKNOWN_FILTER_SELECTIVITY,
+        }
+    }
+}
+
+/// The predicate whose object position binds `v` in `star`.
+pub fn predicate_of_var<'a>(star: &'a StarSubquery, v: &fedlake_sparql::binding::Var) -> Option<&'a str> {
+    star.triples
+        .iter()
+        .find(|t| t.o.as_var() == Some(v))
+        .and_then(|t| t.p.as_term().and_then(Term::as_iri))
+}
+
+fn collect_sparql(graph: &fedlake_rdf::Graph) -> SourceStatistics {
+    struct PredAcc {
+        count: u64,
+        subjects: HashSet<fedlake_rdf::TermId>,
+        objects: HashSet<fedlake_rdf::TermId>,
+    }
+    let mut preds: HashMap<String, PredAcc> = HashMap::new();
+    let mut subj_sets: HashMap<fedlake_rdf::TermId, Vec<String>> = HashMap::new();
+    let mut triples = 0u64;
+    for t in graph.iter() {
+        triples += 1;
+        let Some(p) = graph.term(t.p).and_then(Term::as_iri) else { continue };
+        let acc = preds.entry(p.to_string()).or_insert_with(|| PredAcc {
+            count: 0,
+            subjects: HashSet::new(),
+            objects: HashSet::new(),
+        });
+        acc.count += 1;
+        acc.subjects.insert(t.s);
+        acc.objects.insert(t.o);
+        let set = subj_sets.entry(t.s).or_default();
+        if p != vocab::rdf::TYPE && !set.iter().any(|s| s == p) {
+            set.push(p.to_string());
+        }
+    }
+    let mut characteristic_sets: BTreeMap<Vec<String>, u64> = BTreeMap::new();
+    for (_, mut set) in subj_sets.iter().map(|(s, v)| (s, v.clone())) {
+        set.sort();
+        *characteristic_sets.entry(set).or_insert(0) += 1;
+    }
+    let subjects = subj_sets.len() as u64;
+    let predicates = preds
+        .into_iter()
+        .map(|(p, a)| {
+            (
+                p,
+                PredicateStats {
+                    count: a.count,
+                    distinct_subjects: a.subjects.len() as u64,
+                    distinct_objects: a.objects.len() as u64,
+                },
+            )
+        })
+        .collect();
+    SourceStatistics { triples, subjects, predicates, characteristic_sets }
+}
+
+fn collect_relational(
+    db: &fedlake_relational::Database,
+    mapping: &fedlake_mapping::DatasetMapping,
+) -> SourceStatistics {
+    let mut out = SourceStatistics::default();
+    for tm in &mapping.tables {
+        let Some(table) = db.table(&tm.table) else { continue };
+        let Some(subj_pos) = table.schema.column_index(&tm.subject_column) else { continue };
+        let col_pos: Vec<(usize, &str)> = tm
+            .predicates
+            .iter()
+            .filter_map(|pm| {
+                table.schema.column_index(&pm.column).map(|pos| (pos, pm.predicate.as_str()))
+            })
+            .collect();
+
+        struct PredAcc<'v> {
+            count: u64,
+            subjects: HashSet<&'v fedlake_relational::Value>,
+            objects: HashSet<&'v fedlake_relational::Value>,
+        }
+        let mut accs: Vec<PredAcc<'_>> = col_pos
+            .iter()
+            .map(|_| PredAcc { count: 0, subjects: HashSet::new(), objects: HashSet::new() })
+            .collect();
+        let mut subj_sets: HashMap<&fedlake_relational::Value, Vec<&str>> = HashMap::new();
+        for (_, row) in table.iter() {
+            let subj = &row[subj_pos];
+            if subj.is_null() {
+                continue;
+            }
+            let set = subj_sets.entry(subj).or_default();
+            for (k, (pos, pred)) in col_pos.iter().enumerate() {
+                let v = &row[*pos];
+                if v.is_null() {
+                    continue;
+                }
+                let acc = &mut accs[k];
+                acc.count += 1;
+                acc.subjects.insert(subj);
+                acc.objects.insert(v);
+                if !set.iter().any(|p| p == pred) {
+                    set.push(pred);
+                }
+            }
+        }
+        let table_subjects = subj_sets.len() as u64;
+        // The lifted graph carries one `rdf:type <class>` triple per
+        // subject.
+        let type_stats = out.predicates.entry(vocab::rdf::TYPE.to_string()).or_default();
+        type_stats.count += table_subjects;
+        type_stats.distinct_subjects += table_subjects;
+        type_stats.distinct_objects += 1;
+        out.triples += table_subjects;
+        out.subjects += table_subjects;
+        for (k, (_, pred)) in col_pos.iter().enumerate() {
+            let acc = &accs[k];
+            let ps = out.predicates.entry((*pred).to_string()).or_default();
+            ps.count += acc.count;
+            ps.distinct_subjects += acc.subjects.len() as u64;
+            ps.distinct_objects += acc.objects.len() as u64;
+            out.triples += acc.count;
+        }
+        for (_, mut set) in subj_sets.into_iter() {
+            set.sort_unstable();
+            let key: Vec<String> = set.into_iter().map(str::to_string).collect();
+            *out.characteristic_sets.entry(key).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+/// The lake-wide statistics catalog: one [`SourceStatistics`] per
+/// registered source, keyed by source id.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LakeStatistics {
+    /// Per-source statistics.
+    pub sources: BTreeMap<String, SourceStatistics>,
+}
+
+impl LakeStatistics {
+    /// Collects statistics for every source.
+    pub fn collect(sources: &[DataSource]) -> Self {
+        LakeStatistics {
+            sources: sources
+                .iter()
+                .map(|s| (s.id().to_string(), SourceStatistics::collect(s)))
+                .collect(),
+        }
+    }
+
+    /// The statistics of one source.
+    pub fn source(&self, id: &str) -> Option<&SourceStatistics> {
+        self.sources.get(id)
+    }
+
+    /// Total triples across the lake.
+    pub fn total_triples(&self) -> u64 {
+        self.sources.values().map(|s| s.triples).sum()
+    }
+}
+
+/// Classic equi-join estimate: `|L ⋈ R| = |L|·|R| / max(d_L, d_R)` where
+/// `d_L`/`d_R` are the distinct join-key counts of the two sides.
+/// Monotone in both input cardinalities; floored at one row.
+pub fn join_estimate(l_rows: f64, l_distinct: f64, r_rows: f64, r_distinct: f64) -> f64 {
+    let d = l_distinct.max(r_distinct).max(1.0);
+    ((l_rows.max(1.0) * r_rows.max(1.0)) / d).max(1.0)
+}
+
+/// A federated plan's estimated cost, decomposed the way the Odyssey-style
+/// cost models do: engine cpu work, source io work, network transfer, and
+/// the parallelism credit (network time hidden by overlapped source I/O).
+///
+/// `total_us = cpu + io + network - parallelism`; the planner minimizes
+/// the total, the decomposition is kept for EXPLAIN and the metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FederationCost {
+    /// Engine-side cpu work (probes, filter evaluations, row handling), µs.
+    pub cpu_us: f64,
+    /// Source-side work (scans, index probes, SPARQL evaluation), µs.
+    pub io_us: f64,
+    /// Network transfer (per-message delay + overhead, per-row cost), µs.
+    pub network_us: f64,
+    /// Network time hidden by overlapping independent source fetches, µs
+    /// (0 under the serialized schedule). Never exceeds `network_us`.
+    pub parallelism_us: f64,
+}
+
+impl FederationCost {
+    /// The zero cost.
+    pub const ZERO: FederationCost =
+        FederationCost { cpu_us: 0.0, io_us: 0.0, network_us: 0.0, parallelism_us: 0.0 };
+
+    /// The scalar the planner minimizes.
+    pub fn total_us(&self) -> f64 {
+        self.cpu_us + self.io_us + (self.network_us - self.parallelism_us).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedlake_mapping::{DatasetMapping, IriTemplate, TableMapping};
+    use fedlake_rdf::Graph;
+    use fedlake_relational::Database;
+
+    fn graph_source() -> DataSource {
+        let mut g = Graph::new();
+        for i in 0..4 {
+            let s = format!("http://d/g{i}");
+            g.insert_terms(
+                Term::iri(&s),
+                Term::iri(vocab::rdf::TYPE),
+                Term::iri("http://v/Gene"),
+            );
+            g.insert_terms(Term::iri(&s), Term::iri("http://v/label"), Term::literal(format!("L{i}")));
+            if i < 2 {
+                g.insert_terms(
+                    Term::iri(&s),
+                    Term::iri("http://v/disease"),
+                    Term::iri("http://d/d0"),
+                );
+            }
+        }
+        DataSource::sparql("g", g)
+    }
+
+    fn rel_source() -> DataSource {
+        let mut db = Database::new("d");
+        db.execute("CREATE TABLE gene (id TEXT PRIMARY KEY, label TEXT, disease TEXT)").unwrap();
+        db.execute("INSERT INTO gene VALUES ('g1', 'BRCA1', 'd0')").unwrap();
+        db.execute("INSERT INTO gene VALUES ('g2', 'TP53', 'd0')").unwrap();
+        db.execute("INSERT INTO gene VALUES ('g3', 'EGFR', NULL)").unwrap();
+        let mapping = DatasetMapping::new("d").with_table(
+            TableMapping::new("gene", "http://v/Gene", IriTemplate::new("http://d/gene/{}"), "id")
+                .with_literal("label", "http://v/label")
+                .with_reference("disease", "http://v/disease", IriTemplate::new("http://d/disease/{}")),
+        );
+        DataSource::relational("d", db, mapping)
+    }
+
+    #[test]
+    fn sparql_collection_counts() {
+        let s = SourceStatistics::collect(&graph_source());
+        assert_eq!(s.subjects, 4);
+        assert_eq!(s.triples, 10);
+        let label = &s.predicates["http://v/label"];
+        assert_eq!(label.count, 4);
+        assert_eq!(label.distinct_subjects, 4);
+        assert_eq!(label.distinct_objects, 4);
+        let disease = &s.predicates["http://v/disease"];
+        assert_eq!(disease.count, 2);
+        assert_eq!(disease.distinct_objects, 1);
+        // Two characteristic sets: {label} and {label, disease}.
+        assert_eq!(s.characteristic_sets.len(), 2);
+        assert_eq!(s.characteristic_sets[&vec!["http://v/label".to_string()]], 2);
+        assert_eq!(s.star_subjects(&["http://v/label"]), 4.0);
+        assert_eq!(s.star_subjects(&["http://v/label", "http://v/disease"]), 2.0);
+        assert_eq!(s.star_subjects(&["http://v/nope"]), 0.0);
+    }
+
+    #[test]
+    fn relational_collection_counts() {
+        let s = SourceStatistics::collect(&rel_source());
+        assert_eq!(s.subjects, 3);
+        // 3 type + 3 label + 2 disease.
+        assert_eq!(s.triples, 8);
+        let disease = &s.predicates["http://v/disease"];
+        assert_eq!(disease.count, 2);
+        assert_eq!(disease.distinct_subjects, 2);
+        assert_eq!(disease.distinct_objects, 1);
+        assert_eq!(s.star_subjects(&["http://v/label", "http://v/disease"]), 2.0);
+    }
+
+    #[test]
+    fn collection_is_deterministic() {
+        for src in [graph_source(), rel_source()] {
+            let a = SourceStatistics::collect(&src);
+            let b = SourceStatistics::collect(&src);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn star_subjects_monotone_in_predicates() {
+        let s = SourceStatistics::collect(&rel_source());
+        // Requiring more predicates can only shrink the subject count.
+        assert!(
+            s.star_subjects(&["http://v/label", "http://v/disease"])
+                <= s.star_subjects(&["http://v/label"])
+        );
+        assert!(s.star_subjects(&["http://v/label"]) <= s.star_subjects(&[]));
+    }
+
+    #[test]
+    fn join_estimate_monotone_and_bounded() {
+        let base = join_estimate(100.0, 50.0, 200.0, 80.0);
+        assert!(join_estimate(150.0, 50.0, 200.0, 80.0) >= base, "monotone in |L|");
+        assert!(join_estimate(100.0, 50.0, 300.0, 80.0) >= base, "monotone in |R|");
+        // Bounded by the cross product and floored at one row.
+        assert!(base <= 100.0 * 200.0);
+        assert_eq!(join_estimate(0.0, 0.0, 0.0, 0.0), 1.0);
+        // More distinct keys → fewer matches.
+        assert!(join_estimate(100.0, 100.0, 200.0, 200.0) <= base);
+    }
+
+    #[test]
+    fn federation_cost_total() {
+        let c = FederationCost { cpu_us: 1.0, io_us: 2.0, network_us: 10.0, parallelism_us: 4.0 };
+        assert!((c.total_us() - 9.0).abs() < 1e-9);
+        assert_eq!(FederationCost::ZERO.total_us(), 0.0);
+    }
+}

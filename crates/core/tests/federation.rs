@@ -804,13 +804,15 @@ fn bind_join_agrees_with_hash_join_and_ships_fewer_rows() {
     lake.add_source(DataSource::relational("diseasome", dis, dis_mapping));
 
     let sparql = q_join_filter();
-    let hash = FederatedEngine::new(
-        lake.clone(),
-        PlanConfig::unaware(NetworkProfile::GAMMA2),
-    )
-    .execute_sparql(&sparql)
-    .unwrap();
+    // This test exercises the *heuristic* EngineJoin knob; pin the
+    // cost-based planner off so FEDLAKE_COST=1 runs keep the contrast.
+    let mut hash_cfg = PlanConfig::unaware(NetworkProfile::GAMMA2);
+    hash_cfg.cost_based = false;
+    let hash = FederatedEngine::new(lake.clone(), hash_cfg)
+        .execute_sparql(&sparql)
+        .unwrap();
     let mut cfg = PlanConfig::unaware(NetworkProfile::GAMMA2);
+    cfg.cost_based = false;
     cfg.engine_join = EngineJoin::Bind { batch_size: 8 };
     let bind = FederatedEngine::new(lake, cfg)
         .execute_sparql(&sparql)

@@ -70,6 +70,26 @@ FEDLAKE_BATCH=1 FEDLAKE_OVERLAP=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q
 echo "== chaos suite, batched + traced (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
 FEDLAKE_BATCH=1 FEDLAKE_TRACE=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
 
+# Cost-based planning: FEDLAKE_COST=1 flips PlanConfig::default() to the
+# statistics-driven cost-based planner, so the whole suite — equivalence,
+# chaos, tracing — re-runs over cost-ordered plans with bind joins chosen
+# from the statistics catalog. The dedicated cost suite runs in the plain
+# workspace pass above; here the other gates repeat under cost plans.
+echo "== full suite, cost-based =="
+FEDLAKE_COST=1 cargo test -q --offline --workspace
+
+echo "== overlap equivalence, cost-based =="
+FEDLAKE_COST=1 cargo test -q --offline --test overlap_equivalence
+
+echo "== chaos suite, cost-based (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
+FEDLAKE_COST=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
+
+echo "== chaos suite, cost-based + overlapped (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
+FEDLAKE_COST=1 FEDLAKE_OVERLAP=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
+
+echo "== chaos suite, cost-based + traced (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
+FEDLAKE_COST=1 FEDLAKE_TRACE=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
+
 # Serving layer: the determinism contract (same seed → bit-identical
 # answers, stats and report; every served answer byte-equal to its solo
 # execution), exact contention bounds under a constant-delay link,

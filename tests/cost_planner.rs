@@ -1,0 +1,311 @@
+//! The statistics-driven cost-based planner, end to end: catalog
+//! determinism and invalidation, estimator properties over the real
+//! workload lake, DP and greedy strategy selection, answer equivalence
+//! against the heuristic plans, and the EXPLAIN ANALYZE estimated-vs-
+//! actual row reporting.
+
+use fedlake::core::{
+    DataLake, DataSource, FedResult, FederatedEngine, PlanConfig, PlanMode,
+};
+use fedlake::datagen::{build_lake_with, workload, LakeConfig};
+use fedlake::netsim::NetworkProfile;
+use fedlake::rdf::{Graph, Term};
+use fedlake::sparql::parser::parse_query;
+use fedlake_core::planner::{PlanStrategy, DP_UNIT_LIMIT};
+
+fn sorted_rows(r: &FedResult) -> Vec<String> {
+    let mut v: Vec<String> = r.rows.iter().map(|row| row.to_string()).collect();
+    v.sort();
+    v
+}
+
+fn lake_cfg() -> LakeConfig {
+    LakeConfig { scale: 0.15, ..Default::default() }
+}
+
+fn cost_config(network: NetworkProfile) -> PlanConfig {
+    let mut cfg = PlanConfig::new(PlanMode::AWARE, network);
+    cfg.cost_based = true;
+    cfg
+}
+
+// --- the statistics catalog ------------------------------------------------
+
+#[test]
+fn statistics_collection_is_deterministic() {
+    let q = workload::q5();
+    let a = build_lake_with(&lake_cfg(), q.datasets);
+    let b = build_lake_with(&lake_cfg(), q.datasets);
+    for source in a.sources() {
+        let sa = a.source_stats(source.id()).expect("stats collected at registration");
+        let sb = b.source_stats(source.id()).expect("stats collected at registration");
+        assert_eq!(sa, sb, "{}: statistics differ across identical builds", source.id());
+        assert!(sa.triples > 0, "{}: empty statistics", source.id());
+    }
+}
+
+#[test]
+fn statistics_are_invalidated_on_source_mutation() {
+    let mut lake = DataLake::new();
+    let mut g = Graph::new();
+    g.insert_terms(
+        Term::iri("http://d/x1"),
+        Term::iri(fedlake::rdf::vocab::rdf::TYPE),
+        Term::iri("http://v/Thing"),
+    );
+    lake.add_source(DataSource::sparql("things", g));
+    let before = lake.source_stats("things").unwrap().clone();
+    assert_eq!(before.triples, 1);
+
+    // Mutate the source in place, then refresh — the invalidation point.
+    if let Some(DataSource::Sparql { graph, .. }) = lake.source_mut("things") {
+        graph.insert_terms(
+            Term::iri("http://d/x2"),
+            Term::iri(fedlake::rdf::vocab::rdf::TYPE),
+            Term::iri("http://v/Thing"),
+        );
+    } else {
+        panic!("source vanished");
+    }
+    assert_eq!(
+        lake.source_stats("things").unwrap(),
+        &before,
+        "stats must stay stale until refresh_templates runs"
+    );
+    lake.refresh_templates();
+    let after = lake.source_stats("things").unwrap();
+    assert_eq!(after.triples, 2, "refresh must recollect the mutated source");
+    assert_ne!(after, &before);
+}
+
+// --- estimator properties over the real lake -------------------------------
+
+#[test]
+fn star_estimates_bound_actual_cardinalities_within_source_size() {
+    // For every source of the Q5 lake, the estimate of any predicate
+    // subset's star is positive and never exceeds the source's triple
+    // count (a star yields at most one row per covered subject, and
+    // multiplicities only widen up to the triple count).
+    let q = workload::q5();
+    let lake = build_lake_with(&lake_cfg(), q.datasets);
+    for source in lake.sources() {
+        let stats = lake.source_stats(source.id()).unwrap();
+        assert!(stats.subjects <= stats.triples + 1);
+        let mut preds: Vec<&str> = stats.predicates.keys().map(String::as_str).collect();
+        preds.sort_unstable();
+        // Covering-subject counts must shrink (or hold) as the predicate
+        // set grows: monotonicity of characteristic-set containment.
+        let mut prev = stats.star_subjects(&[]);
+        let mut chosen: Vec<&str> = Vec::new();
+        for p in preds.iter().take(4) {
+            chosen.push(p);
+            let now = stats.star_subjects(&chosen);
+            assert!(
+                now <= prev,
+                "{}: star_subjects grew when adding {p} ({now} > {prev})",
+                source.id()
+            );
+            prev = now;
+        }
+    }
+}
+
+#[test]
+fn cost_estimates_populate_the_plan_report() {
+    let q = workload::q3();
+    let lake = build_lake_with(&lake_cfg(), q.datasets);
+    let ast = parse_query(&q.sparql).unwrap();
+    let engine = FederatedEngine::new(lake, cost_config(NetworkProfile::GAMMA2));
+    let planned = engine.plan(&ast).unwrap();
+    let report = &planned.report;
+    assert!(report.cost_based);
+    assert_eq!(report.strategy, PlanStrategy::Dp, "Q3 has few units: DP applies");
+    assert!(report.plans_costed > 0, "the DP must have priced candidate plans");
+    assert!(report.estimated_rows >= 1.0);
+    let cost = report.estimated_cost.expect("cost mode must report the chosen cost");
+    assert!(cost.total_us() > 0.0, "{cost:?}");
+    assert!(cost.network_us > 0.0, "a federated plan always pays the network");
+}
+
+#[test]
+fn heuristic_mode_reports_heuristic_strategy() {
+    let q = workload::q3();
+    let lake = build_lake_with(&lake_cfg(), q.datasets);
+    let ast = parse_query(&q.sparql).unwrap();
+    let mut cfg = PlanConfig::new(PlanMode::AWARE, NetworkProfile::GAMMA2);
+    cfg.cost_based = false;
+    let planned = FederatedEngine::new(lake, cfg).plan(&ast).unwrap();
+    assert!(!planned.report.cost_based);
+    assert_eq!(planned.report.strategy, PlanStrategy::Heuristic);
+    assert_eq!(planned.report.plans_costed, 0);
+    assert!(planned.report.estimated_cost.is_none());
+}
+
+// --- strategy selection ----------------------------------------------------
+
+/// A chain query of more stars than `DP_UNIT_LIMIT`, all on one SPARQL
+/// source (SPARQL stars are never merged, so each star is one ordering
+/// unit): the planner must take the greedy cost-based path and still
+/// return the right answers.
+#[test]
+fn many_star_chains_fall_back_to_greedy_ordering() {
+    let n = DP_UNIT_LIMIT + 2;
+    let mut g = Graph::new();
+    for level in 0..n {
+        for item in 0..3u32 {
+            let subject = format!("http://d/n{level}_{item}");
+            g.insert_terms(
+                Term::iri(&subject),
+                Term::iri(fedlake::rdf::vocab::rdf::TYPE),
+                Term::iri(format!("http://v/C{level}")),
+            );
+            if level + 1 < n {
+                g.insert_terms(
+                    Term::iri(&subject),
+                    Term::iri(format!("http://v/next{level}")),
+                    Term::iri(format!("http://d/n{}_{item}", level + 1)),
+                );
+            }
+        }
+    }
+    let mut lake = DataLake::new();
+    lake.add_source(DataSource::sparql("chain", g));
+
+    let mut pattern = String::new();
+    for level in 0..n {
+        pattern.push_str(&format!("?x{level} a <http://v/C{level}> .\n"));
+        if level + 1 < n {
+            pattern.push_str(&format!(
+                "?x{level} <http://v/next{level}> ?x{} .\n",
+                level + 1
+            ));
+        }
+    }
+    let sparql = format!("SELECT ?x0 ?x{} WHERE {{ {pattern} }}", n - 1);
+    let ast = parse_query(&sparql).unwrap();
+
+    let engine = FederatedEngine::new(lake.clone(), cost_config(NetworkProfile::GAMMA1));
+    let planned = engine.plan(&ast).unwrap();
+    assert_eq!(
+        planned.report.strategy,
+        PlanStrategy::GreedyCost,
+        "{n} units exceed DP_UNIT_LIMIT={DP_UNIT_LIMIT}"
+    );
+    assert!(planned.report.plans_costed > 0);
+    let cost = engine.execute_planned(&planned).unwrap();
+    assert_eq!(cost.rows.len(), 3, "three chains survive end to end");
+
+    let mut heur_cfg = PlanConfig::new(PlanMode::AWARE, NetworkProfile::GAMMA1);
+    heur_cfg.cost_based = false;
+    let heur = FederatedEngine::new(lake, heur_cfg).execute_sparql(&sparql).unwrap();
+    assert_eq!(sorted_rows(&heur), sorted_rows(&cost));
+}
+
+// --- answer equivalence and the bench claim --------------------------------
+
+#[test]
+fn cost_based_plans_answer_identically_across_workload_and_schedules() {
+    for q in workload::experiment_queries() {
+        let lake = build_lake_with(&lake_cfg(), q.datasets);
+        let ast = parse_query(&q.sparql).unwrap();
+        for network in [NetworkProfile::NO_DELAY, NetworkProfile::GAMMA2] {
+            let cfg = cost_config(network);
+            let mut ovl_cfg = cfg;
+            ovl_cfg.overlap = true;
+            let mut heur_cfg = cfg;
+            heur_cfg.cost_based = false;
+
+            let engine = FederatedEngine::new(lake.clone(), cfg);
+            let planned = engine.plan(&ast).unwrap();
+            let ser = engine.execute_planned(&planned).unwrap();
+            let ovl = FederatedEngine::new(lake.clone(), ovl_cfg)
+                .execute_planned(&planned)
+                .unwrap();
+            let heur = FederatedEngine::new(lake.clone(), heur_cfg)
+                .execute_sparql(&q.sparql)
+                .unwrap();
+
+            let label = format!("{}/{}", q.id, network.name);
+            assert!(ser.stats.answers > 0, "{label}: no answers");
+            assert_eq!(
+                sorted_rows(&ser),
+                sorted_rows(&ovl),
+                "{label}: schedules diverge under cost planning"
+            );
+            assert_eq!(
+                sorted_rows(&ser),
+                sorted_rows(&heur),
+                "{label}: cost-based answers diverge from heuristic answers"
+            );
+        }
+    }
+}
+
+#[test]
+fn cost_based_beats_heuristics_on_cross_source_joins_under_delay() {
+    // The acceptance shape of the bench section, pinned as a test: on at
+    // least two of Q3–Q5 under each slow profile, the cost-based plan is
+    // strictly faster with byte-identical answers.
+    for network in [NetworkProfile::GAMMA2, NetworkProfile::GAMMA3] {
+        let mut wins = 0;
+        for q in [workload::q3(), workload::q4(), workload::q5()] {
+            let lake = build_lake_with(&lake_cfg(), q.datasets);
+            let mut heur_cfg = PlanConfig::new(PlanMode::AWARE, network);
+            heur_cfg.cost_based = false;
+            let heur = FederatedEngine::new(lake.clone(), heur_cfg)
+                .execute_sparql(&q.sparql)
+                .unwrap();
+            let cost = FederatedEngine::new(lake, cost_config(network))
+                .execute_sparql(&q.sparql)
+                .unwrap();
+            assert_eq!(sorted_rows(&heur), sorted_rows(&cost), "{}: answers", q.id);
+            if cost.stats.execution_time < heur.stats.execution_time {
+                wins += 1;
+            }
+        }
+        assert!(
+            wins >= 2,
+            "cost-based must win at least 2 of Q3–Q5 under {} (won {wins})",
+            network.name
+        );
+    }
+}
+
+// --- EXPLAIN ANALYZE reporting ---------------------------------------------
+
+#[test]
+fn explain_analyze_reports_estimates_for_every_operator() {
+    let q = workload::q4();
+    let lake = build_lake_with(&lake_cfg(), q.datasets);
+    let mut cfg = cost_config(NetworkProfile::GAMMA2);
+    cfg.tracing = true;
+    let engine = FederatedEngine::new(lake, cfg);
+    let r = engine.execute_sparql(&q.sparql).unwrap();
+    let report = r.obs.as_ref().expect("tracing was on");
+    assert!(!report.nodes.is_empty());
+    for node in &report.nodes {
+        assert!(
+            node.estimated >= 1.0,
+            "{}: missing estimate ({})",
+            node.label,
+            node.estimated
+        );
+    }
+    let rendered = fedlake_core::explain_analyze(report);
+    let op_lines: Vec<&str> =
+        rendered.lines().filter(|l| l.contains("[rows=")).collect();
+    assert_eq!(
+        op_lines.len(),
+        report.nodes.len(),
+        "every operator gets an analyzed line:\n{rendered}"
+    );
+    for line in &op_lines {
+        assert!(
+            line.contains("est=") && line.contains("err=x"),
+            "estimated rows and error must be printed: {line}"
+        );
+    }
+    // The planner counters flow into the trace metrics.
+    assert_eq!(report.metrics.counter("planner.strategy.dp"), 1, "{rendered}");
+    assert!(report.metrics.counter("planner.plans_costed") > 0);
+}

@@ -21,6 +21,9 @@ fn run(
     let lake = build_lake_with(&lake_cfg(), q.datasets);
     let mut cfg = PlanConfig::new(mode, network);
     cfg.merge_translation = merge;
+    // This suite pins the *heuristic* contrasts of the paper's §3; the
+    // cost-based planner has its own suite (`cost_planner.rs`).
+    cfg.cost_based = false;
     let engine = FederatedEngine::new(lake, cfg);
     let r = engine.execute_sparql(&q.sparql).unwrap();
     (r.stats.execution_time, r.stats.answers)

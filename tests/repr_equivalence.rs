@@ -175,3 +175,40 @@ fn interned_rows_match_reference_motivating_query() {
         }
     }
 }
+
+/// Parity must hold under cost-based planning too: the cost planner may
+/// choose a different join order and bind joins, but both executors
+/// consume the same `PlannedQuery`, so everything — answers, traffic,
+/// counters, simulated timings — must still agree. Additionally, the
+/// cost-based plan's answers must equal the heuristic plan's answers
+/// (same query, same lake: planning strategy must never change results).
+#[test]
+fn interned_rows_match_reference_cost_based() {
+    let lake_cfg = LakeConfig { scale: 0.1, ..Default::default() };
+    for q in workload::experiment_queries() {
+        let lake = build_lake_with(&lake_cfg, q.datasets);
+        let ast = parse_query(&q.sparql).unwrap();
+        for network in NetworkProfile::ALL {
+            let mut heur_cfg = PlanConfig::new(PlanMode::AWARE, network);
+            heur_cfg.cost_based = false;
+            let mut cost_cfg = heur_cfg;
+            cost_cfg.cost_based = true;
+            let heur_engine = FederatedEngine::new(lake.clone(), heur_cfg);
+            let engine = FederatedEngine::new(lake.clone(), cost_cfg);
+            let planned = engine.plan(&ast).unwrap();
+            assert!(planned.report.cost_based, "cost flag must reach the report");
+            let interned = engine.execute_planned(&planned).unwrap();
+            let reference = engine.execute_planned_reference(&planned).unwrap();
+            let label = format!("{}/cost/{}", q.id, network.name);
+            assert!(interned.stats.answers > 0, "{label}: query returned no rows");
+            assert_equivalent(&label, &interned, &reference);
+
+            let heur = heur_engine.execute_sparql(&q.sparql).unwrap();
+            assert_eq!(
+                sorted_rows(&heur),
+                sorted_rows(&interned),
+                "{label}: cost-based answers diverge from heuristic answers"
+            );
+        }
+    }
+}
