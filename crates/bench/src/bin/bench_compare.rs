@@ -450,8 +450,14 @@ fn batch_section() {
 /// same disabled-sink execution per query: their floors (minimum samples)
 /// must agree within 2% — any real per-hook cost would be deterministic
 /// and shift the floor, while scheduler noise only inflates samples. The
-/// enabled-recorder overhead is reported alongside as information. Emits
-/// `BENCH_obs.json`.
+/// enabled-recorder overhead is reported alongside as information.
+///
+/// A serve-scale section applies the same contract to the fleet flight
+/// recorder: an 8-client serve run with the recorder off is A/B-floored
+/// within 2%, the recorder-on run is informational, and before timing,
+/// the recorder-on and recorder-off runs are asserted byte-identical in
+/// answers, report JSON and metrics — the passivity proof at fleet scale.
+/// Emits `BENCH_obs.json`.
 fn obs_section() {
     const MAX_DELTA: f64 = 0.02;
     let lake_cfg = LakeConfig { scale: 0.1, ..Default::default() };
@@ -562,9 +568,138 @@ fn obs_section() {
             on / a.min(bb) - 1.0
         ));
     }
-    json.push_str("\n  ]\n}\n");
+    json.push_str("\n  ],\n");
+    json.push_str(&serve_obs_section());
+    json.push('}');
+    json.push('\n');
     std::fs::write("BENCH_obs.json", &json).expect("write BENCH_obs.json");
     println!("\nwrote BENCH_obs.json");
+}
+
+/// The serve-scale half of the observability contract: recorder
+/// passivity (byte-identity on vs off) asserted first, then the
+/// disabled-path floor A/B within 2% and the recorder-on floor as
+/// information. Returns the `"serve": {…}` JSON fragment of
+/// `BENCH_obs.json`.
+fn serve_obs_section() -> String {
+    use fedlake_serve::{run, sorted_csv, ServeSpec};
+    use std::time::Duration;
+    const MAX_DELTA: f64 = 0.02;
+
+    let lake_cfg = LakeConfig { scale: 0.05, ..Default::default() };
+    let lake = build_lake_with(&lake_cfg, &ServeSpec::default().mix.datasets());
+    let spec = ServeSpec {
+        clients: 8,
+        queries_per_client: 2,
+        seed: 7,
+        mean_interarrival: Duration::from_micros(500),
+        max_in_flight: 8,
+        ..Default::default()
+    };
+    let config = |recorder: bool| {
+        let mut c = PlanConfig::new(PlanMode::AWARE, NetworkProfile::GAMMA1);
+        c.seed = 1;
+        c.recorder = recorder;
+        c
+    };
+
+    // Passivity: the recorder must change nothing observable.
+    let off = run(&FederatedEngine::new(lake.clone(), config(false)), &spec).expect("serve off");
+    let on = run(&FederatedEngine::new(lake.clone(), config(true)), &spec).expect("serve on");
+    assert_eq!(
+        off.report.to_json(),
+        on.report.to_json(),
+        "recorder on/off must produce byte-identical serve reports"
+    );
+    assert_eq!(
+        off.outcome.metrics.render(),
+        on.outcome.metrics.render(),
+        "recorder on/off must produce byte-identical serve metrics"
+    );
+    for (x, y) in off.outcome.outcomes.iter().zip(&on.outcome.outcomes) {
+        assert_eq!(
+            sorted_csv(&x.vars, &x.rows),
+            sorted_csv(&y.vars, &y.rows),
+            "{}: recorder on/off answers diverge",
+            x.label
+        );
+    }
+    assert!(off.outcome.recording.is_none() && on.outcome.recording.is_some());
+    let events = on.outcome.recording.as_ref().map_or(0, |r| r.events.len());
+
+    // Same floor-A/B methodology as the per-query section, over the whole
+    // serve run (jobs are prebuilt once so only `serve` itself is timed).
+    let off_engine = FederatedEngine::new(lake.clone(), config(false));
+    let on_engine = FederatedEngine::new(lake.clone(), config(true));
+    let (jobs_off, _) = fedlake_serve::build_jobs(&off_engine, &spec).expect("jobs");
+    let serve_cfg = spec.serve_config();
+    let sample = |engine: &FederatedEngine, iters: u64| -> f64 {
+        let t0 = std::time::Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(engine.serve(&jobs_off, &serve_cfg).expect("serve"));
+        }
+        t0.elapsed().as_nanos() as f64 / iters as f64
+    };
+    let once = sample(&off_engine, 1).max(1.0);
+    let iters = ((50.0 * 1e6 / once) as u64).clamp(1, 1_000);
+    sample(&on_engine, iters.min(5)); // warm both paths
+    let floor = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+    let mut result = None;
+    for attempt in 1..=5 {
+        let (mut sa, mut sb) = (Vec::new(), Vec::new());
+        for round in 0..21 {
+            if round % 2 == 0 {
+                sa.push(sample(&off_engine, iters));
+                sb.push(sample(&off_engine, iters));
+            } else {
+                sb.push(sample(&off_engine, iters));
+                sa.push(sample(&off_engine, iters));
+            }
+        }
+        let (a, bb) = (floor(&sa), floor(&sb));
+        let delta = (a - bb).abs() / a.min(bb);
+        if delta < MAX_DELTA {
+            result = Some((a, bb, delta));
+            break;
+        }
+        eprintln!(
+            "serve: attempt {attempt}: disabled-recorder floors diverge by {:.2}% ({} vs {}), resampling",
+            delta * 100.0,
+            format_ns(a),
+            format_ns(bb)
+        );
+    }
+    let (a, bb, delta) = result.unwrap_or_else(|| {
+        panic!(
+            "serve: disabled-recorder A/B floors still diverge by more than {:.0}% after 5 attempts",
+            MAX_DELTA * 100.0
+        )
+    });
+    let mut se = Vec::new();
+    for _ in 0..9 {
+        se.push(sample(&on_engine, iters));
+    }
+    let on_ns = floor(&se);
+    println!(
+        "serve disabled {:>12} / {:>12} (delta {:>5.2}%)  recorder {:>12} ({:+.1}%)  {events} events",
+        format_ns(a),
+        format_ns(bb),
+        delta * 100.0,
+        format_ns(on_ns),
+        (on_ns / a.min(bb) - 1.0) * 100.0
+    );
+    format!(
+        "  \"serve\": {{\"clients\": {}, \"jobs\": {}, \"recorded_events\": {events}, \
+         \"disabled_a_ns\": {:.1}, \"disabled_b_ns\": {:.1}, \"disabled_ab_delta\": {:.5}, \
+         \"recorder_ns\": {:.1}, \"recorder_overhead\": {:.5}}}\n",
+        spec.clients,
+        spec.clients * spec.queries_per_client,
+        a,
+        bb,
+        delta,
+        on_ns,
+        on_ns / a.min(bb) - 1.0
+    )
 }
 
 /// Serialized vs overlapped schedule: simulated `execution_time` /

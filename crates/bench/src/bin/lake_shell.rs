@@ -6,7 +6,9 @@
 //!            [--format table|json|csv] [--query SPARQL]
 //!            [--analyze] [--trace-out FILE.json]
 //!            [--replicas N] [--outage ENDPOINT] [--batch-size N]
-//!            [--cost-based]
+//!            [--cost-based] [--recorder] [--slow-log FILE.json]
+//!            [--watchdog] [--prom-out FILE] [--serve-trace FILE.json]
+//!            [--serve-html FILE.html]
 //! ```
 //!
 //! A serve mode (`--serve`, or env `FEDLAKE_SERVE=1`) replaces the REPL
@@ -24,6 +26,16 @@
 //! and per-link fault counts). `--trace-out FILE.json` records a Chrome
 //! trace-event file of the last executed query — load it at
 //! `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! The observability flags ride on the fleet flight recorder
+//! (`--recorder`, or env `FEDLAKE_RECORDER=1`): `--slow-log FILE` writes
+//! the stable-JSON slow-query log of the run (queries past a latency or
+//! q-error threshold, with plan, per-operator and per-link actuals — it
+//! implies tracing), `--watchdog` prints the windowed SLO rollup and any
+//! typed anomalies (misestimates, degraded links, admission pressure),
+//! `--prom-out FILE` writes the serve metrics registry as Prometheus
+//! text, and `--serve-trace` / `--serve-html` export the fleet timeline
+//! (one lane per client and per link) as a Chrome trace / an HTML page.
 //!
 //! `--replicas N` replicates every source N ways (endpoints `id#r0` …),
 //! and `--outage ENDPOINT` (repeatable) puts an endless outage on one
@@ -170,9 +182,35 @@ impl Shell {
     }
 }
 
+/// Observability outputs of one run (all optional).
+#[derive(Default)]
+struct ObsOut {
+    slow_log: Option<std::path::PathBuf>,
+    watchdog: bool,
+    prom_out: Option<std::path::PathBuf>,
+    serve_trace: Option<std::path::PathBuf>,
+    serve_html: Option<std::path::PathBuf>,
+}
+
+impl ObsOut {
+    fn wants_recorder(&self) -> bool {
+        self.slow_log.is_some()
+            || self.watchdog
+            || self.serve_trace.is_some()
+            || self.serve_html.is_some()
+    }
+}
+
+fn write_file(what: &str, path: &std::path::Path, bytes: &str) {
+    match std::fs::write(path, bytes) {
+        Ok(()) => eprintln!("{what} written to {}", path.display()),
+        Err(e) => eprintln!("{what} {}: {e}", path.display()),
+    }
+}
+
 /// Runs the seeded concurrent load and prints the outcome table, the
 /// server metrics rollup and the report JSON.
-fn run_serve(engine: &FederatedEngine, spec: &ServeSpec) -> ExitCode {
+fn run_serve(engine: &FederatedEngine, spec: &ServeSpec, obs: &ObsOut) -> ExitCode {
     let r = match fedlake_serve::run(engine, spec) {
         Ok(r) => r,
         Err(e) => {
@@ -202,6 +240,30 @@ fn run_serve(engine: &FederatedEngine, spec: &ServeSpec) -> ExitCode {
     }
     println!("\n== server rollup ==\n{}", r.outcome.metrics.render());
     println!("== report ==\n{}", r.report.to_json());
+    if let Some(path) = &obs.prom_out {
+        write_file("prometheus exposition", path, &r.outcome.metrics.prometheus());
+    }
+    if let Some(path) = &obs.slow_log {
+        let records = r.slow_queries(&fedlake_core::SlowLogConfig::default());
+        eprintln!("slow-query log: {} record(s)", records.len());
+        write_file("slow-query log", path, &fedlake_core::slow_log_json(&records));
+    }
+    if obs.watchdog {
+        match r.watchdog(&fedlake_core::WatchdogConfig::default()) {
+            Some(report) => println!("== watchdog ==\n{}", report.render()),
+            None => eprintln!("--watchdog: recorder was off"),
+        }
+    }
+    if let Some(recording) = &r.outcome.recording {
+        if let Some(path) = &obs.serve_trace {
+            write_file("serve trace", path, &fedlake_core::serve_chrome_trace(recording));
+        }
+        if let Some(path) = &obs.serve_html {
+            write_file("serve timeline", path, &fedlake_core::serve_timeline_html(recording));
+        }
+    } else if obs.serve_trace.is_some() || obs.serve_html.is_some() {
+        eprintln!("--serve-trace/--serve-html: recorder was off");
+    }
     ExitCode::SUCCESS
 }
 
@@ -218,6 +280,8 @@ fn main() -> ExitCode {
     let mut outages: Vec<String> = Vec::new();
     let mut batch_size: Option<usize> = None;
     let mut cost_based = false;
+    let mut recorder = std::env::var("FEDLAKE_RECORDER").map(|v| v == "1").unwrap_or(false);
+    let mut obs = ObsOut::default();
     let mut serve = std::env::var("FEDLAKE_SERVE").map(|v| v == "1").unwrap_or(false);
     let mut serve_spec = ServeSpec::default();
     let mut argv = std::env::args().skip(1);
@@ -261,6 +325,12 @@ fn main() -> ExitCode {
             }
             "--outage" => outages.push(next("--outage")),
             "--cost-based" => cost_based = true,
+            "--recorder" => recorder = true,
+            "--slow-log" => obs.slow_log = Some(next("--slow-log").into()),
+            "--watchdog" => obs.watchdog = true,
+            "--prom-out" => obs.prom_out = Some(next("--prom-out").into()),
+            "--serve-trace" => obs.serve_trace = Some(next("--serve-trace").into()),
+            "--serve-html" => obs.serve_html = Some(next("--serve-html").into()),
             "--serve" => serve = true,
             "--clients" => {
                 serve_spec.clients = next("--clients").parse().unwrap_or_else(|_| {
@@ -331,6 +401,16 @@ fn main() -> ExitCode {
                      --serve              serve a seeded concurrent load instead of the REPL\n\
                      \x20                    (also via FEDLAKE_SERVE=1); prints per-job\n\
                      \x20                    outcomes, the server rollup and the report JSON\n\
+                     --recorder           fleet flight recorder (also via FEDLAKE_RECORDER=1);\n\
+                     \x20                    structured lifecycle events behind every flag below\n\
+                     --slow-log FILE      write the slow-query log of a --serve run as stable\n\
+                     \x20                    JSON (implies --recorder and tracing)\n\
+                     --watchdog           print windowed SLO rollups and typed anomalies\n\
+                     \x20                    (misestimate, link-degraded, admission-pressure)\n\
+                     --prom-out FILE      write the serve metrics registry as Prometheus text\n\
+                     --serve-trace FILE   write the fleet timeline as Chrome trace-event JSON\n\
+                     \x20                    (one lane per client and per link)\n\
+                     --serve-html FILE    write the fleet timeline as a static HTML/SVG page\n\
                      --clients N          concurrent client sessions (default 8)\n\
                      --queries-per-client N  queries each client issues (default 2)\n\
                      --mix SPEC           weighted template mix, e.g. Q1=2,Q3,Q5 (default\n\
@@ -359,6 +439,15 @@ fn main() -> ExitCode {
     }
     let mut cfg = PlanConfig::new(mode, network);
     cfg.tracing = analyze || trace_out.is_some();
+    if recorder || obs.wants_recorder() {
+        cfg.recorder = true;
+        // The slow-query log's per-operator/per-link sections come from
+        // per-session traces.
+        if obs.slow_log.is_some() {
+            cfg.tracing = true;
+        }
+        eprintln!("flight recorder: on");
+    }
     if cost_based {
         cfg.cost_based = true;
         eprintln!("cost-based planning: statistics-driven join ordering");
@@ -390,7 +479,10 @@ fn main() -> ExitCode {
             serve_spec.queries_per_client,
             serve_spec.mix.0.iter().map(|(id, w)| format!("{id}={w}")).collect::<Vec<_>>()
         );
-        return run_serve(&engine, &serve_spec);
+        return run_serve(&engine, &serve_spec, &obs);
+    }
+    if obs.wants_recorder() || obs.prom_out.is_some() {
+        eprintln!("note: --slow-log/--watchdog/--prom-out/--serve-trace/--serve-html summarize a --serve run");
     }
 
     let mut shell = Shell { engine, format, explain: false, analyze, trace_out };

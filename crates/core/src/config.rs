@@ -227,6 +227,14 @@ pub struct PlanConfig {
     /// way; only the plan shape (and thus timing/traffic) differs.
     /// Defaults to the `FEDLAKE_COST=1` environment switch.
     pub cost_based: bool,
+    /// Fleet flight recorder: keep a bounded, deterministic ring of
+    /// structured lifecycle events (submit/admit/plan/first-row/retry/
+    /// failover/deadline/complete) for every query the engine runs, read
+    /// back through [`crate::FederatedEngine::flight_recording`]. Like
+    /// tracing, recording is contractually passive — answers, stats and
+    /// RNG streams are byte-identical with it on or off. Defaults to the
+    /// `FEDLAKE_RECORDER=1` environment switch.
+    pub recorder: bool,
 }
 
 /// The process-wide default for [`PlanConfig::batch`]: `FEDLAKE_BATCH=1`.
@@ -238,6 +246,12 @@ fn batch_default() -> bool {
 /// `FEDLAKE_COST=1`.
 fn cost_default() -> bool {
     std::env::var("FEDLAKE_COST").is_ok_and(|v| v == "1")
+}
+
+/// The process-wide default for [`PlanConfig::recorder`]:
+/// `FEDLAKE_RECORDER=1`.
+fn recorder_default() -> bool {
+    std::env::var("FEDLAKE_RECORDER").is_ok_and(|v| v == "1")
 }
 
 /// The process-wide default for [`PlanConfig::batch_size`]:
@@ -271,6 +285,7 @@ impl Default for PlanConfig {
             batch: batch_default(),
             batch_size: batch_size_default(),
             cost_based: cost_default(),
+            recorder: recorder_default(),
         }
     }
 }
@@ -328,6 +343,9 @@ mod tests {
         }
         if std::env::var_os("FEDLAKE_COST").is_none() {
             assert!(!c.cost_based, "cost-based planning is opt-in");
+        }
+        if std::env::var_os("FEDLAKE_RECORDER").is_none() {
+            assert!(!c.recorder, "the flight recorder is opt-in");
         }
     }
 

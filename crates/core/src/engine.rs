@@ -156,6 +156,11 @@ pub struct FederatedEngine {
     /// `interner`). Valid for the engine's lifetime: the engine owns the
     /// lake, so source contents cannot change underneath it.
     lifts: crate::wrapper::SharedLiftCache,
+    /// Session flight recorder: a bounded ring of query-lifecycle events
+    /// across every execution and serve run of this engine. Disabled (a
+    /// `None` handle, one branch per hook) unless
+    /// [`PlanConfig::recorder`] is set.
+    recorder: crate::obs::FlightRecorder,
 }
 
 /// Failures before the planner treats an endpoint as degraded — two full
@@ -174,6 +179,11 @@ impl FederatedEngine {
             health_threshold: DEFAULT_HEALTH_THRESHOLD,
             interner: SharedInterner::new(),
             lifts: Arc::new(std::sync::Mutex::new(fedlake_rdf::FastMap::default())),
+            recorder: if config.recorder {
+                crate::obs::FlightRecorder::recording()
+            } else {
+                crate::obs::FlightRecorder::disabled()
+            },
         }
     }
 
@@ -225,14 +235,42 @@ impl FederatedEngine {
         &self.lake
     }
 
+    /// Mutable access to the lake — administrative data loads and the
+    /// chaos/observability suites (which mutate the statistics catalog
+    /// post-collection to plant mis-estimates) go through here.
+    pub fn lake_mut(&mut self) -> &mut DataLake {
+        &mut self.lake
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &PlanConfig {
         &self.config
     }
 
     /// Replaces the configuration (e.g. to switch plan mode or network).
+    /// Toggling [`PlanConfig::recorder`] starts a fresh recording (or
+    /// drops the current one); an already-enabled recorder keeps
+    /// recording across the switch.
     pub fn set_config(&mut self, config: PlanConfig) {
+        if config.recorder != self.recorder.is_enabled() {
+            self.recorder = if config.recorder {
+                crate::obs::FlightRecorder::recording()
+            } else {
+                crate::obs::FlightRecorder::disabled()
+            };
+        }
         self.config = config;
+    }
+
+    /// The session's flight recorder (disabled unless
+    /// [`PlanConfig::recorder`] is set).
+    pub fn recorder(&self) -> &crate::obs::FlightRecorder {
+        &self.recorder
+    }
+
+    /// Snapshot of the session's flight recording, when recording is on.
+    pub fn flight_recording(&self) -> Option<crate::obs::FlightRecording> {
+        self.recorder.snapshot()
     }
 
     /// Plans a query without executing it, consulting the session's
@@ -273,7 +311,20 @@ impl FederatedEngine {
             self.config.seed,
             &self.fault_plans(),
             &sink,
+            &self.recorder,
         );
+        // Register the execution with the flight recorder: a solo query
+        // is client 0, submitted and admitted at simulated time zero.
+        let qrec = self.recorder.begin_query(
+            0,
+            "adhoc",
+            planned.report.strategy.label(),
+            self.config.deadline,
+            crate::obs::service_estimates(&planned.plan),
+        );
+        qrec.submit(Duration::ZERO);
+        qrec.admit(Duration::ZERO, Duration::ZERO);
+        qrec.plan(Duration::ZERO, &planned.report, planned.report.estimated_rows);
         let mut ctx = ExecCtx::new(
             Arc::clone(&clock),
             self.config.cost,
@@ -283,13 +334,20 @@ impl FederatedEngine {
         .with_lifts(Arc::clone(&self.lifts))
         .with_retry(self.config.retry)
         .with_deadline(self.config.deadline)
-        .with_trace(sink.clone());
+        .with_trace(sink.clone())
+        .with_recorder(qrec.clone());
         sink.begin_query(&planned.plan, &self.config.mode.label());
         sink.record_plan_report(&planned.report);
 
         let mut next_node = 0u32;
-        let mut op =
-            self.build_operator(&planned.plan, &planned.schema, &links, &sink, &mut next_node)?;
+        let mut op = self.build_operator(
+            &planned.plan,
+            &planned.schema,
+            &links,
+            &sink,
+            &qrec,
+            &mut next_node,
+        )?;
         // Solution modifiers around the streaming pipeline. The projection
         // is a slot remap resolved once per execution, not per row.
         op = Box::new(ProjectOp::new(op, planned.schema.slots_of(&planned.projection)));
@@ -326,6 +384,10 @@ impl FederatedEngine {
                 match step {
                     Ok(crate::operators::Poll::Ready(batch)) => {
                         let now = clock.now();
+                        if qrec.is_enabled() && trace.count() == 0 && batch.selected().next().is_some()
+                        {
+                            qrec.first_row(now);
+                        }
                         let dict = ctx.interner.lock();
                         for i in batch.selected() {
                             ctx.trace.record_answer(&mut trace, now);
@@ -345,6 +407,14 @@ impl FederatedEngine {
                     Ok(crate::operators::Poll::Done) => break,
                     Err(e @ (FedError::SourceUnavailable { .. } | FedError::Timeout(_))) => {
                         if !self.config.degraded_ok {
+                            let now = clock.now();
+                            qrec.complete(
+                                now,
+                                crate::obs::CompletionKind::Failed,
+                                now,
+                                planned.report.estimated_rows,
+                                0,
+                            );
                             return Err(e);
                         }
                         degraded = true;
@@ -360,7 +430,16 @@ impl FederatedEngine {
                 // fails (or degrades to the partial answer set).
                 if let Some(d) = self.config.deadline {
                     if clock.now() >= d {
+                        qrec.deadline_hit(clock.now());
                         if !self.config.degraded_ok {
+                            let now = clock.now();
+                            qrec.complete(
+                                now,
+                                crate::obs::CompletionKind::DeadlineMiss,
+                                now,
+                                planned.report.estimated_rows,
+                                0,
+                            );
                             return Err(FedError::Timeout(d));
                         }
                         degraded = true;
@@ -381,6 +460,9 @@ impl FederatedEngine {
                 match step {
                     Ok(crate::operators::Poll::Ready(row)) => {
                         ctx.trace.record_answer(&mut trace, clock.now());
+                        if qrec.is_enabled() && trace.count() == 1 {
+                            qrec.first_row(clock.now());
+                        }
                         slot_rows.push(row);
                         // Without ORDER BY, LIMIT can stop pulling early —
                         // the streaming behaviour ANAPSID's operators
@@ -405,6 +487,14 @@ impl FederatedEngine {
                     Ok(crate::operators::Poll::Done) => break,
                     Err(e @ (FedError::SourceUnavailable { .. } | FedError::Timeout(_))) => {
                         if !self.config.degraded_ok {
+                            let now = clock.now();
+                            qrec.complete(
+                                now,
+                                crate::obs::CompletionKind::Failed,
+                                now,
+                                planned.report.estimated_rows,
+                                0,
+                            );
                             return Err(e);
                         }
                         degraded = true;
@@ -451,6 +541,17 @@ impl FederatedEngine {
             rows.len() as u64,
             degraded,
         );
+        qrec.complete(
+            stats.execution_time,
+            if degraded {
+                crate::obs::CompletionKind::Degraded
+            } else {
+                crate::obs::CompletionKind::Ok
+            },
+            stats.execution_time,
+            planned.report.estimated_rows,
+            stats.answers,
+        );
         let obs = sink.finish(&links, &stats);
         Ok(FedResult {
             vars: Arc::clone(&planned.projection),
@@ -474,13 +575,16 @@ impl FederatedEngine {
 
     // Node ids are assigned pre-order (node before children, children
     // left to right) — the same order `crate::obs::plan_nodes` walks, so a
-    // trace's node `i` is line `i` of the analyzed tree.
+    // trace's node `i` is line `i` of the analyzed tree. Service leaves
+    // are claimed in the same pre-order by the flight recorder's
+    // `service_estimates` slots.
     pub(crate) fn build_operator<'a>(
         &'a self,
         plan: &FedPlan,
         schema: &RowSchema,
         links: &HashMap<String, Arc<Link>>,
         sink: &crate::obs::TraceSink,
+        qrec: &crate::obs::QueryRecorder,
         next_node: &mut u32,
     ) -> Result<BoxedOp<'a>, FedError> {
         let node = *next_node;
@@ -488,20 +592,25 @@ impl FederatedEngine {
         let op: BoxedOp<'a> = match plan {
             FedPlan::Service(node) => {
                 let route = route_for(&node.source_id, &node.route, links)?;
-                open_service(node, &self.lake, route, self.config.rows_per_message)?
+                let svc = open_service(node, &self.lake, route, self.config.rows_per_message)?;
+                if qrec.is_enabled() {
+                    Box::new(crate::obs::recorder::RecordServiceOp::new(svc, qrec))
+                } else {
+                    svc
+                }
             }
             FedPlan::Join { left, right, on } => {
-                let l = self.build_operator(left, schema, links, sink, next_node)?;
-                let r = self.build_operator(right, schema, links, sink, next_node)?;
+                let l = self.build_operator(left, schema, links, sink, qrec, next_node)?;
+                let r = self.build_operator(right, schema, links, sink, qrec, next_node)?;
                 Box::new(SymHashJoin::new(l, r, schema.slots_of(on)))
             }
             FedPlan::LeftJoin { left, right, on } => {
-                let l = self.build_operator(left, schema, links, sink, next_node)?;
-                let r = self.build_operator(right, schema, links, sink, next_node)?;
+                let l = self.build_operator(left, schema, links, sink, qrec, next_node)?;
+                let r = self.build_operator(right, schema, links, sink, qrec, next_node)?;
                 Box::new(LeftHashJoin::new(l, r, schema.slots_of(on)))
             }
             FedPlan::BindJoin { left, right, batch_size } => {
-                let l = self.build_operator(left, schema, links, sink, next_node)?;
+                let l = self.build_operator(left, schema, links, sink, qrec, next_node)?;
                 let db = match self.lake.source(&right.source_id) {
                     Some(crate::source::DataSource::Relational { db, .. }) => db,
                     _ => {
@@ -522,13 +631,13 @@ impl FederatedEngine {
                 ))
             }
             FedPlan::Filter { input, exprs } => {
-                let i = self.build_operator(input, schema, links, sink, next_node)?;
+                let i = self.build_operator(input, schema, links, sink, qrec, next_node)?;
                 Box::new(FilterOp::new(i, exprs.clone()))
             }
             FedPlan::Union(branches) => {
                 let ops = branches
                     .iter()
-                    .map(|b| self.build_operator(b, schema, links, sink, next_node))
+                    .map(|b| self.build_operator(b, schema, links, sink, qrec, next_node))
                     .collect::<Result<Vec<_>, _>>()?;
                 Box::new(UnionOp::new(ops))
             }

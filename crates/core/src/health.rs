@@ -79,6 +79,18 @@ impl SourceHealth {
     pub fn reset(&self) {
         self.inner.lock().unwrap_or_else(|e| e.into_inner()).clear();
     }
+
+    /// Exports the registry into `metrics` as
+    /// `health.<endpoint>.successes` / `health.<endpoint>.failures`
+    /// counters, so an exposition snapshot carries endpoint health next
+    /// to the serve rollup. Read-only over the registry; iteration is the
+    /// snapshot's `BTreeMap` order, so the export is deterministic.
+    pub fn fold_into(&self, metrics: &mut crate::obs::MetricsRegistry) {
+        for (endpoint, h) in self.snapshot() {
+            metrics.counter_add(&format!("health.{endpoint}.successes"), h.successes);
+            metrics.counter_add(&format!("health.{endpoint}.failures"), h.failures);
+        }
+    }
 }
 
 /// The planner's read-only view of session health: a failure snapshot

@@ -99,6 +99,16 @@ impl DataLake {
         &self.stats
     }
 
+    /// Mutable access to the statistics catalog **without** re-collecting
+    /// it from the sources. This deliberately lets the catalog drift from
+    /// the data: chaos/observability tests mutate a source's statistics
+    /// post-collection to plant a cardinality mis-estimate the watchdog
+    /// must then catch. Production refreshes go through
+    /// [`DataLake::refresh_templates`], which overwrites any drift.
+    pub fn statistics_mut(&mut self) -> &mut LakeStatistics {
+        &mut self.stats
+    }
+
     /// The statistics of one source.
     pub fn source_stats(&self, id: &str) -> Option<&SourceStatistics> {
         self.stats.source(id)

@@ -84,7 +84,11 @@ pub use error::FedError;
 pub use fedplan::ReplicaRoute;
 pub use health::{EndpointHealth, HealthView, SourceHealth};
 pub use lake::{logical_source_id, DataLake};
-pub use obs::{explain_analyze, chrome_trace, MetricsRegistry, TraceReport, TraceSink};
+pub use obs::{
+    chrome_trace, explain_analyze, serve_chrome_trace, serve_timeline_html, slow_log_json,
+    slow_queries, watch, FlightRecorder, FlightRecording, MetricsRegistry, SlowLogConfig,
+    SlowQueryRecord, TraceReport, TraceSink, WatchdogConfig, WatchdogReport,
+};
 pub use serve::{QueryOutcome, ServeConfig, ServeJob, ServeOutcome, ServeQueryStats};
 pub use source::DataSource;
 pub use stats::{FederationCost, LakeStatistics, SourceStatistics};

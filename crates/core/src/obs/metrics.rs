@@ -8,6 +8,22 @@
 
 use std::collections::BTreeMap;
 
+/// Nearest-rank percentile over an ascending-sorted slice: the smallest
+/// element whose rank `⌈q·n⌉` covers quantile `q` (`q` in `[0, 1]`).
+/// Returns 0 on an empty slice.
+///
+/// This is the **one** quantile definition in the workspace —
+/// `ServeReport`'s p50/p95/p99 and the watchdog's per-template windows
+/// both call it, so the two can never disagree at small `n` (the old
+/// failure mode when each carried its own copy).
+pub fn nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 /// One metric value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Metric {
@@ -115,6 +131,85 @@ impl MetricsRegistry {
         self.entries.is_empty()
     }
 
+    /// Folds every metric of `other` into this registry: counters add,
+    /// gauges take the other's last value and the joint maximum,
+    /// histograms combine their summaries. Deterministic (key order), and
+    /// the merge of per-session registries equals the registry a single
+    /// combined recording would have produced.
+    ///
+    /// Panics when the same key names different metric kinds in the two
+    /// registries — the same contract as the typed accessors.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, metric) in other.iter() {
+            match self.entries.get_mut(name) {
+                None => {
+                    self.entries.insert(name.to_string(), *metric);
+                }
+                Some(Metric::Counter(c)) => match metric {
+                    Metric::Counter(o) => *c += o,
+                    other => panic!("metric {name} is not a counter: {other:?}"),
+                },
+                Some(Metric::Gauge { last, max }) => match metric {
+                    Metric::Gauge { last: ol, max: om } => {
+                        *last = *ol;
+                        *max = (*max).max(*om);
+                    }
+                    other => panic!("metric {name} is not a gauge: {other:?}"),
+                },
+                Some(Metric::Histogram { count, sum, min, max }) => match metric {
+                    Metric::Histogram { count: oc, sum: os, min: omin, max: omax } => {
+                        *count += oc;
+                        *sum += os;
+                        *min = (*min).min(*omin);
+                        *max = (*max).max(*omax);
+                    }
+                    other => panic!("metric {name} is not a histogram: {other:?}"),
+                },
+            }
+        }
+    }
+
+    /// Prometheus-style text exposition of the registry: dotted keys
+    /// become `fedlake_`-prefixed snake-case metric names, counters and
+    /// gauge values export directly, histograms export their summary as
+    /// `_count`/`_sum`/`_min`/`_max` series. Output is deterministic (key
+    /// order) — the byte-identity contract of the serve determinism
+    /// suite.
+    pub fn prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 8);
+            out.push_str("fedlake_");
+            for c in name.chars() {
+                if c.is_ascii_alphanumeric() {
+                    out.push(c);
+                } else {
+                    out.push('_');
+                }
+            }
+            out
+        }
+        let mut out = String::new();
+        for (name, metric) in self.iter() {
+            let prom = sanitize(name);
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("# TYPE {prom} counter\n{prom} {c}\n"));
+                }
+                Metric::Gauge { last, max } => {
+                    out.push_str(&format!(
+                        "# TYPE {prom} gauge\n{prom} {last}\n{prom}_max {max}\n"
+                    ));
+                }
+                Metric::Histogram { count, sum, min, max } => {
+                    out.push_str(&format!(
+                        "# TYPE {prom} summary\n{prom}_count {count}\n{prom}_sum {sum}\n{prom}_min {min}\n{prom}_max {max}\n"
+                    ));
+                }
+            }
+        }
+        out
+    }
+
     /// One `name value` line per metric, in key order.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -163,6 +258,73 @@ mod tests {
             m.observe("h", v);
         }
         assert_eq!(m.get("h"), Some(Metric::Histogram { count: 3, sum: 14, min: 1, max: 9 }));
+    }
+
+    #[test]
+    fn nearest_rank_is_exact() {
+        assert_eq!(nearest_rank(&[], 0.5), 0);
+        assert_eq!(nearest_rank(&[7], 0.5), 7);
+        assert_eq!(nearest_rank(&[7], 0.99), 7);
+        // n = 4: p50 → rank ⌈2⌉ = 2nd element, p95 → rank ⌈3.8⌉ = 4th.
+        assert_eq!(nearest_rank(&[10, 20, 30, 40], 0.50), 20);
+        assert_eq!(nearest_rank(&[10, 20, 30, 40], 0.95), 40);
+        assert_eq!(nearest_rank(&[10, 20, 30, 40], 0.99), 40);
+        // n = 100: p95 is exactly the 95th element.
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank(&v, 0.50), 50);
+        assert_eq!(nearest_rank(&v, 0.95), 95);
+        assert_eq!(nearest_rank(&v, 0.99), 99);
+        assert_eq!(nearest_rank(&v, 1.0), 100);
+        // q = 0 clamps to the first element rather than underflowing.
+        assert_eq!(nearest_rank(&v, 0.0), 1);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("c", 2);
+        a.gauge_set("g", 5);
+        a.observe("h", 10);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("c", 3);
+        b.counter_add("only_b", 1);
+        b.gauge_set("g", 3);
+        b.observe("h", 2);
+        b.observe("h", 20);
+
+        let mut merged = a.clone();
+        merged.merge(&b);
+
+        let mut combined = MetricsRegistry::new();
+        combined.counter_add("c", 2);
+        combined.gauge_set("g", 5);
+        combined.observe("h", 10);
+        combined.counter_add("c", 3);
+        combined.counter_add("only_b", 1);
+        combined.gauge_set("g", 3);
+        combined.observe("h", 2);
+        combined.observe("h", 20);
+        assert_eq!(merged, combined);
+        assert_eq!(merged.counter("c"), 5);
+        assert_eq!(merged.get("g"), Some(Metric::Gauge { last: 3, max: 5 }));
+        assert_eq!(merged.get("h"), Some(Metric::Histogram { count: 3, sum: 32, min: 2, max: 20 }));
+    }
+
+    #[test]
+    fn prometheus_exposition_is_stable() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("link.chebi#r1.messages", 4);
+        m.gauge_set("sched.queue_depth", 2);
+        m.observe("serve.latency_us", 120);
+        let text = m.prometheus();
+        assert!(text.contains("# TYPE fedlake_link_chebi_r1_messages counter\n"));
+        assert!(text.contains("fedlake_link_chebi_r1_messages 4\n"));
+        assert!(text.contains("fedlake_sched_queue_depth 2\n"));
+        assert!(text.contains("fedlake_sched_queue_depth_max 2\n"));
+        assert!(text.contains("fedlake_serve_latency_us_count 1\n"));
+        assert!(text.contains("fedlake_serve_latency_us_sum 120\n"));
+        // Rendering twice is byte-identical.
+        assert_eq!(text, m.prometheus());
     }
 
     #[test]

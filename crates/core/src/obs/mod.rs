@@ -11,9 +11,18 @@
 pub mod analyze;
 pub mod export;
 pub mod metrics;
+pub mod recorder;
+pub mod slowlog;
 pub mod span;
+pub mod watchdog;
 
 pub use analyze::{explain_analyze, plan_nodes, PlanNode};
-pub use export::chrome_trace;
-pub use metrics::{Metric, MetricsRegistry};
+pub use export::{chrome_trace, serve_chrome_trace, serve_timeline_html};
+pub use metrics::{nearest_rank, Metric, MetricsRegistry};
+pub use recorder::{
+    service_estimates, CompletionKind, FleetEvent, FleetEventKind, FlightRecorder,
+    FlightRecording, JobMeta, QueryRecorder, NO_JOB,
+};
+pub use slowlog::{slow_log_json, slow_queries, SlowLogConfig, SlowQueryRecord};
 pub use span::{NodeReport, SourceReport, Span, SpanKind, TraceReport, TraceSink};
+pub use watchdog::{watch, Anomaly, AnomalyKind, WatchdogConfig, WatchdogReport, WindowRollup};

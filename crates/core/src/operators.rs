@@ -63,6 +63,10 @@ pub struct ExecCtx {
     /// The trace sink wrapper streams record spans into (disabled — a
     /// single branch per hook — unless the config asks for tracing).
     pub trace: crate::obs::TraceSink,
+    /// The query's flight-recorder handle: wrapper streams record retry
+    /// and failover lifecycle events through it (disabled — a single
+    /// branch per hook — unless [`crate::PlanConfig::recorder`] is set).
+    pub recorder: crate::obs::QueryRecorder,
     /// True when the engine drives this execution in batches: wrapper
     /// streams materialize results column-major so morsels slice out as
     /// contiguous id copies instead of row-by-row gathers.
@@ -93,6 +97,7 @@ impl ExecCtx {
             deadline: None,
             sched: EventQueue::new(),
             trace: crate::obs::TraceSink::disabled(),
+            recorder: crate::obs::QueryRecorder::disabled(),
             batch: false,
             lifts: Arc::new(std::sync::Mutex::new(FastMap::default())),
         }
@@ -130,6 +135,12 @@ impl ExecCtx {
             self.sched.set_observer(obs);
         }
         self.trace = trace;
+        self
+    }
+
+    /// Installs the query's flight-recorder handle.
+    pub fn with_recorder(mut self, recorder: crate::obs::QueryRecorder) -> Self {
+        self.recorder = recorder;
         self
     }
 }

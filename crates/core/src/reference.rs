@@ -828,7 +828,20 @@ impl FederatedEngine {
             config.seed,
             &self.fault_plans(),
             &sink,
+            self.recorder(),
         );
+        // Reference executions register with the flight recorder too (no
+        // per-service slots: the term-row operators are not wrapped).
+        let qrec = self.recorder().begin_query(
+            0,
+            "reference",
+            planned.report.strategy.label(),
+            config.deadline,
+            Vec::new(),
+        );
+        qrec.submit(std::time::Duration::ZERO);
+        qrec.admit(std::time::Duration::ZERO, std::time::Duration::ZERO);
+        qrec.plan(std::time::Duration::ZERO, &planned.report, planned.report.estimated_rows);
         let mut ctx = ExecCtx::new(
             Arc::clone(&clock),
             config.cost,
@@ -837,7 +850,8 @@ impl FederatedEngine {
         )
         .with_retry(config.retry)
         .with_deadline(config.deadline)
-        .with_trace(sink.clone());
+        .with_trace(sink.clone())
+        .with_recorder(qrec.clone());
         sink.begin_query(&planned.plan, &config.mode.label());
         sink.record_plan_report(&planned.report);
 
@@ -860,7 +874,16 @@ impl FederatedEngine {
             // degradation handling (see `execute_planned`).
             if let Some(d) = config.deadline {
                 if clock.now() >= d {
+                    qrec.deadline_hit(clock.now());
                     if !config.degraded_ok {
+                        let now = clock.now();
+                        qrec.complete(
+                            now,
+                            crate::obs::CompletionKind::DeadlineMiss,
+                            now,
+                            planned.report.estimated_rows,
+                            0,
+                        );
                         return Err(FedError::Timeout(d));
                     }
                     degraded = true;
@@ -875,6 +898,9 @@ impl FederatedEngine {
             match step {
                 Ok(Poll::Ready(row)) => {
                     ctx.trace.record_answer(&mut trace, clock.now());
+                    if qrec.is_enabled() && trace.count() == 1 {
+                        qrec.first_row(clock.now());
+                    }
                     rows.push(row);
                     if want.is_some_and(|w| rows.len() >= w) {
                         break;
@@ -895,6 +921,14 @@ impl FederatedEngine {
                 Ok(Poll::Done) => break,
                 Err(e @ (FedError::SourceUnavailable { .. } | FedError::Timeout(_))) => {
                     if !config.degraded_ok {
+                        let now = clock.now();
+                        qrec.complete(
+                            now,
+                            crate::obs::CompletionKind::Failed,
+                            now,
+                            planned.report.estimated_rows,
+                            0,
+                        );
                         return Err(e);
                     }
                     degraded = true;
@@ -927,6 +961,17 @@ impl FederatedEngine {
             &trace,
             rows.len() as u64,
             degraded,
+        );
+        qrec.complete(
+            stats.execution_time,
+            if degraded {
+                crate::obs::CompletionKind::Degraded
+            } else {
+                crate::obs::CompletionKind::Ok
+            },
+            stats.execution_time,
+            planned.report.estimated_rows,
+            stats.answers,
         );
         let obs = sink.finish(&links, &stats);
         Ok(FedResult {

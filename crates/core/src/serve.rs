@@ -27,7 +27,9 @@
 use crate::config::PlanConfig;
 use crate::engine::FederatedEngine;
 use crate::error::FedError;
-use crate::obs::{MetricsRegistry, TraceReport, TraceSink};
+use crate::obs::{
+    service_estimates, CompletionKind, FlightRecording, MetricsRegistry, TraceReport, TraceSink,
+};
 use crate::operators::{BoxedOp, DistinctOp, EngineStats, ExecCtx, Poll, ProjectOp};
 use crate::planner::PlannedQuery;
 use crate::trace::AnswerTrace;
@@ -148,6 +150,10 @@ pub struct ServeOutcome {
     /// counters, the in-flight gauge (its `max` proves the admission
     /// bound), a latency histogram, and the shared links' total traffic.
     pub metrics: MetricsRegistry,
+    /// Snapshot of the engine's flight recording at the end of the run,
+    /// when [`PlanConfig::recorder`] is set. The ring is session-wide, so
+    /// it also retains events of earlier runs on the same engine.
+    pub recording: Option<FlightRecording>,
 }
 
 /// A session being driven by the serve loop.
@@ -211,6 +217,7 @@ impl FederatedEngine {
             config.seed,
             &self.fault_plans(),
             &TraceSink::disabled(),
+            self.recorder(),
         );
 
         // Seeded arrival process: exponential inter-arrival gaps, rounded
@@ -253,6 +260,20 @@ impl FederatedEngine {
                 };
                 let deadline_rel = job.deadline.or(serve_cfg.deadline);
                 let deadline = deadline_rel.map(|d| arrivals[next_job] + d);
+                // Flight-recorder lifecycle: the submit event carries the
+                // arrival time, admit the FIFO wait, plan the planner's
+                // report — all stamped at points the unrecorded loop
+                // reaches anyway.
+                let qrec = self.recorder().begin_query(
+                    job.client,
+                    &job.label,
+                    job.planned.report.strategy.label(),
+                    deadline_rel,
+                    service_estimates(&job.planned.plan),
+                );
+                qrec.submit(arrivals[next_job]);
+                qrec.admit(clock.now(), clock.now().saturating_sub(arrivals[next_job]));
+                qrec.plan(clock.now(), &job.planned.report, job.planned.report.estimated_rows);
                 let ctx = ExecCtx::new(
                     Arc::clone(&clock),
                     config.cost,
@@ -262,7 +283,8 @@ impl FederatedEngine {
                 .with_lifts(Arc::clone(self.lifts()))
                 .with_retry(config.retry)
                 .with_deadline(deadline)
-                .with_trace(sink.clone());
+                .with_trace(sink.clone())
+                .with_recorder(qrec.clone());
                 sink.begin_query(&job.planned.plan, &config.mode.label());
                 sink.record_plan_report(&job.planned.report);
                 let mut next_node = 0u32;
@@ -271,6 +293,7 @@ impl FederatedEngine {
                     &job.planned.schema,
                     &links,
                     &sink,
+                    &qrec,
                     &mut next_node,
                 )?;
                 op = Box::new(ProjectOp::new(
@@ -390,11 +413,16 @@ impl FederatedEngine {
         // once: link stats are cumulative over the whole run, so a
         // per-session record would double-count every earlier session.
         self.health().record_links(&links);
+        // Export the session health counters into the rollup, so the
+        // exposition snapshot carries endpoint health next to the serve
+        // counters. Recorder-independent and read-only — passivity holds.
+        self.health().fold_into(&mut metrics);
 
         Ok(ServeOutcome {
             outcomes: outcomes.into_iter().map(|o| o.expect("every job finalized")).collect(),
             makespan,
             metrics,
+            recording: self.recorder().snapshot(),
         })
     }
 
@@ -410,6 +438,7 @@ impl FederatedEngine {
         loop {
             if let Some(d) = s.deadline {
                 if clock.now() >= d {
+                    s.ctx.recorder.deadline_hit(clock.now());
                     if !config.degraded_ok {
                         s.slot_rows.clear();
                         s.error =
@@ -423,6 +452,9 @@ impl FederatedEngine {
             match s.op.poll_next(&mut s.ctx) {
                 Ok(Poll::Ready(row)) => {
                     s.ctx.trace.record_answer(&mut s.trace, clock.now());
+                    if s.ctx.recorder.is_enabled() && s.trace.count() == 1 {
+                        s.ctx.recorder.first_row(clock.now());
+                    }
                     s.slot_rows.push(row);
                     produced = true;
                     if s.want.is_some_and(|w| s.slot_rows.len() >= w) {
@@ -501,6 +533,21 @@ impl FederatedEngine {
         }
         metrics.counter_add("serve.answers", rows.len() as u64);
         metrics.observe("serve.latency_ns", latency.as_nanos() as u64);
+        // Flight-recorder completion: per-service actuals vs. estimates,
+        // then the outcome with its latency and answer cardinality.
+        let kind = match (&error, s.degraded) {
+            (Some(FedError::Timeout(_)), _) => CompletionKind::DeadlineMiss,
+            (Some(_), _) => CompletionKind::Failed,
+            (None, true) => CompletionKind::Degraded,
+            (None, false) => CompletionKind::Ok,
+        };
+        s.ctx.recorder.complete(
+            now,
+            kind,
+            latency,
+            job.planned.report.estimated_rows,
+            rows.len() as u64,
+        );
 
         let stats = ServeQueryStats { engine: s.ctx.stats, answers: rows.len() as u64 };
         // Per-session trace report: span tree + per-session stats. Link

@@ -72,6 +72,25 @@ impl SourceStatistics {
         }
     }
 
+    /// Multiplies every cardinality by `factor` (triples, subjects,
+    /// per-predicate counts, characteristic-set counts), saturating at
+    /// `u64::MAX`. This fabricates a catalog that disagrees with the data
+    /// by exactly `factor` — the seeded mis-estimate the observability
+    /// suite plants to prove the watchdog catches falsified statistics.
+    pub fn scale(&mut self, factor: u64) {
+        let mul = |v: u64| v.saturating_mul(factor);
+        self.triples = mul(self.triples);
+        self.subjects = mul(self.subjects);
+        for ps in self.predicates.values_mut() {
+            ps.count = mul(ps.count);
+            ps.distinct_subjects = mul(ps.distinct_subjects);
+            ps.distinct_objects = mul(ps.distinct_objects);
+        }
+        for n in self.characteristic_sets.values_mut() {
+            *n = mul(*n);
+        }
+    }
+
     /// Subjects whose characteristic set covers all of `preds` (the
     /// predicates of a star). Unknown predicates yield 0; an empty list
     /// matches every subject.
@@ -327,6 +346,12 @@ impl LakeStatistics {
     /// The statistics of one source.
     pub fn source(&self, id: &str) -> Option<&SourceStatistics> {
         self.sources.get(id)
+    }
+
+    /// Mutable statistics of one source (see
+    /// [`crate::DataLake::statistics_mut`] for why drift is allowed).
+    pub fn source_mut(&mut self, id: &str) -> Option<&mut SourceStatistics> {
+        self.sources.get_mut(id)
     }
 
     /// Total triples across the lake.

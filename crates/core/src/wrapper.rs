@@ -239,6 +239,7 @@ pub fn transfer_with_retry(
                         });
                     }
                     ctx.stats.retries += 1;
+                    ctx.recorder.retry(ctx.clock.now(), endpoint, attempt);
                     if !budget_spent {
                         let pause =
                             clamped_backoff(&policy, attempt, ctx.deadline, ctx.clock.now());
@@ -264,6 +265,7 @@ pub fn transfer_with_retry(
         if let Some(obs) = link.observer() {
             obs.on_failover(route.logical(), endpoint, next);
         }
+        ctx.recorder.failover(ctx.clock.now(), route.logical(), endpoint, next);
     }
     unreachable!("loop returns on success or on the last endpoint's final attempt")
 }
@@ -346,6 +348,7 @@ pub fn schedule_transfer_with_retry(
                         ));
                     }
                     ctx.stats.retries += 1;
+                    ctx.recorder.retry(failed_at, endpoint, attempt);
                     if budget_spent {
                         // Immediate failover: the successor picks up at
                         // the predecessor's failure time, no backoff.
@@ -372,6 +375,7 @@ pub fn schedule_transfer_with_retry(
         if let Some(obs) = link.observer() {
             obs.on_failover(route.logical(), endpoint, next);
         }
+        ctx.recorder.failover(at, route.logical(), endpoint, next);
     }
     unreachable!("loop returns on success or on the last endpoint's final attempt")
 }
@@ -1904,6 +1908,12 @@ pub fn drain(op: &mut dyn FedOp, ctx: &mut ExecCtx) -> Result<Vec<SlotRow>, FedE
 /// endpoint (endpoint override, then logical override, then the default,
 /// then any matching outage group), so a chaos schedule can target one
 /// replica, one logical source, or a correlated set of links.
+///
+/// An enabled trace sink and/or flight recorder attaches as the links'
+/// network observer; with both, a fan-out forwards to the two (trace
+/// first) — observation only, so link behaviour is byte-identical either
+/// way.
+#[allow(clippy::too_many_arguments)]
 pub fn links_for(
     lake: &DataLake,
     profile: fedlake_netsim::NetworkProfile,
@@ -1912,7 +1922,17 @@ pub fn links_for(
     seed: u64,
     faults: &fedlake_netsim::FaultPlans,
     trace: &crate::obs::TraceSink,
+    recorder: &crate::obs::FlightRecorder,
 ) -> std::collections::HashMap<String, Arc<Link>> {
+    let observer: Option<Arc<dyn fedlake_netsim::NetObserver>> =
+        match (trace.net_observer(), recorder.net_observer()) {
+            (Some(t), Some(r)) => {
+                Some(Arc::new(crate::obs::recorder::FanoutObserver(vec![t, r])))
+            }
+            (Some(t), None) => Some(t),
+            (None, Some(r)) => Some(r),
+            (None, None) => None,
+        };
     let mut links = std::collections::HashMap::new();
     for (i, s) in lake.sources().iter().enumerate() {
         let base = seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -1925,8 +1945,8 @@ pub fn links_for(
                 link_seed,
                 faults.for_endpoint(&endpoint, s.id()),
             );
-            if let Some(obs) = trace.net_observer() {
-                link = link.with_observer(&endpoint, obs);
+            if let Some(obs) = &observer {
+                link = link.with_observer(&endpoint, Arc::clone(obs));
             }
             links.insert(endpoint, Arc::new(link));
         }
@@ -2425,6 +2445,7 @@ mod tests {
             42,
             &fedlake_netsim::FaultPlans::default(),
             &crate::obs::TraceSink::disabled(),
+            &crate::obs::FlightRecorder::disabled(),
         );
         assert_eq!(links.len(), 1);
         let (m, r, d) = total_traffic(&links);
@@ -2445,6 +2466,7 @@ mod tests {
             42,
             &fedlake_netsim::FaultPlans::default(),
             &crate::obs::TraceSink::disabled(),
+            &crate::obs::FlightRecorder::disabled(),
         );
         assert_eq!(links.len(), 3);
         for k in ["d#r0", "d#r1", "d#r2"] {

@@ -79,6 +79,8 @@ impl ServeSpec {
 /// its summary report.
 #[derive(Debug)]
 pub struct ServeRun {
+    /// The planned jobs, in job order (parallel to `outcome.outcomes`).
+    pub jobs: Vec<ServeJob>,
     /// The instantiated queries, in job order (parallel to
     /// `outcome.outcomes`).
     pub instances: Vec<InstantiatedQuery>,
@@ -86,6 +88,44 @@ pub struct ServeRun {
     pub outcome: ServeOutcome,
     /// The summary report.
     pub report: ServeReport,
+}
+
+impl ServeRun {
+    /// The run's slow-query log: breaching queries from the flight
+    /// recording, enriched with each session's trace report (per-operator
+    /// rows/q-error, per-link waits) when tracing was on. Empty when the
+    /// recorder was off. Records match outcomes by `(client, label)` —
+    /// labels carry their instance parameters, so the pairing is as
+    /// unambiguous as the workload itself.
+    pub fn slow_queries(
+        &self,
+        cfg: &fedlake_core::SlowLogConfig,
+    ) -> Vec<fedlake_core::SlowQueryRecord> {
+        let Some(recording) = &self.outcome.recording else { return Vec::new() };
+        let mut records = fedlake_core::slow_queries(recording, cfg);
+        for rec in &mut records {
+            if let Some(outcome) = self
+                .outcome
+                .outcomes
+                .iter()
+                .find(|o| o.client == rec.client && o.label == rec.label)
+            {
+                if let Some(trace) = &outcome.obs {
+                    rec.attach_trace(trace);
+                }
+            }
+        }
+        records
+    }
+
+    /// Runs the SLO watchdog over the run's flight recording. `None` when
+    /// the recorder was off.
+    pub fn watchdog(
+        &self,
+        cfg: &fedlake_core::WatchdogConfig,
+    ) -> Option<fedlake_core::WatchdogReport> {
+        self.outcome.recording.as_ref().map(|r| fedlake_core::watch(r, cfg))
+    }
 }
 
 /// FNV-1a fold of per-job coordinates into one template seed.
@@ -137,7 +177,7 @@ pub fn run(engine: &FederatedEngine, spec: &ServeSpec) -> Result<ServeRun, FedEr
     let (jobs, instances) = build_jobs(engine, spec)?;
     let outcome = engine.serve(&jobs, &spec.serve_config())?;
     let report = ServeReport::from_outcome(&outcome);
-    Ok(ServeRun { instances, outcome, report })
+    Ok(ServeRun { jobs, instances, outcome, report })
 }
 
 /// Executes one instantiated query alone on a fresh engine over a clone

@@ -5,6 +5,7 @@
 //! deterministic inputs, so rendering a report is bit-stable across
 //! reruns of the same seed — the property `BENCH_serve.json` is gated on.
 
+use fedlake_core::obs::nearest_rank;
 use fedlake_core::serve::ServeOutcome;
 use std::collections::BTreeMap;
 
@@ -39,15 +40,6 @@ pub struct ServeReport {
     /// `(Σx)² / (n·Σx²)` — 1.0 when every client experiences the same
     /// mean latency, approaching `1/n` as one client absorbs all delay.
     pub jain: f64,
-}
-
-/// Nearest-rank percentile of an ascending-sorted sample.
-fn percentile(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = (q * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 impl ServeReport {
@@ -86,9 +78,9 @@ impl ServeReport {
             } else {
                 outcome.outcomes.len() as f64 * 1e9 / makespan_ns as f64
             },
-            p50_ns: percentile(&latencies, 0.50),
-            p95_ns: percentile(&latencies, 0.95),
-            p99_ns: percentile(&latencies, 0.99),
+            p50_ns: nearest_rank(&latencies, 0.50),
+            p95_ns: nearest_rank(&latencies, 0.95),
+            p99_ns: nearest_rank(&latencies, 0.99),
             jain,
         }
     }
@@ -123,12 +115,15 @@ mod tests {
 
     #[test]
     fn percentile_nearest_rank() {
+        // The report's percentiles are the shared `nearest_rank` — assert
+        // the exact values it must produce so a drift in the helper (or a
+        // reintroduced private copy) fails here.
         let s: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile(&s, 0.50), 50);
-        assert_eq!(percentile(&s, 0.95), 95);
-        assert_eq!(percentile(&s, 0.99), 99);
-        assert_eq!(percentile(&s, 1.0), 100);
-        assert_eq!(percentile(&[42], 0.5), 42);
-        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(nearest_rank(&s, 0.50), 50);
+        assert_eq!(nearest_rank(&s, 0.95), 95);
+        assert_eq!(nearest_rank(&s, 0.99), 99);
+        assert_eq!(nearest_rank(&s, 1.0), 100);
+        assert_eq!(nearest_rank(&[42], 0.5), 42);
+        assert_eq!(nearest_rank(&[], 0.5), 0);
     }
 }

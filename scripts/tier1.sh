@@ -101,10 +101,39 @@ FEDLAKE_SERVE=1 cargo test -q --offline --test serve_determinism
 echo "== serve contention =="
 cargo test -q --offline --test serve_contention
 
+# Fleet observability: the flight recorder's passivity/determinism
+# contract, the slow-query-log golden snapshot and the three watchdog
+# anomaly families — then the serve and chaos determinism gates re-run
+# with FEDLAKE_RECORDER=1, so every default-config engine records while
+# the contracts above must hold unchanged (recording is passive).
+echo "== fleet observability =="
+cargo test -q --offline --test fleet_observability
+
+echo "== serve determinism, recorded =="
+FEDLAKE_RECORDER=1 FEDLAKE_SERVE=1 cargo test -q --offline --test serve_determinism
+
+echo "== chaos suite, recorded (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
+FEDLAKE_RECORDER=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
+
+echo "== chaos suite, recorded + traced (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
+FEDLAKE_RECORDER=1 FEDLAKE_TRACE=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
+
 echo "== serve smoke (lake_shell --serve, fixed seed) =="
 cargo run -q --offline --release -p fedlake-bench --bin lake_shell -- \
     --serve --scale 0.02 --seed 7 --clients 4 --queries-per-client 1 \
     --arrival 0.5 --in-flight 2 > /dev/null
+
+echo "== serve smoke, recorded (lake_shell --serve --recorder + exports) =="
+obs_tmp="$(mktemp -d)"
+cargo run -q --offline --release -p fedlake-bench --bin lake_shell -- \
+    --serve --scale 0.02 --seed 7 --clients 4 --queries-per-client 1 \
+    --arrival 0.5 --in-flight 2 --recorder --watchdog \
+    --slow-log "$obs_tmp/slow.json" --prom-out "$obs_tmp/metrics.prom" \
+    --serve-trace "$obs_tmp/serve.trace.json" --serve-html "$obs_tmp/serve.html" > /dev/null
+for f in slow.json metrics.prom serve.trace.json serve.html; do
+    [ -s "$obs_tmp/$f" ] || { echo "missing serve export $f"; exit 1; }
+done
+rm -rf "$obs_tmp"
 
 echo "== cargo clippy -D warnings (offline) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -299,6 +299,122 @@ fn same_seed_runs_export_identical_bytes() {
     }
 }
 
+/// The metrics registry's serialized forms are deterministic at serve
+/// scale: two same-seed serve runs (recorder and tracing on) render
+/// byte-identical Prometheus expositions and text rollups.
+#[test]
+fn serve_metrics_exposition_is_byte_identical_across_reruns() {
+    use fedlake_serve::{run, ServeSpec};
+
+    let spec = ServeSpec {
+        clients: 8,
+        queries_per_client: 2,
+        seed: 21,
+        mean_interarrival: Duration::from_micros(500),
+        max_in_flight: 4,
+        ..Default::default()
+    };
+    let lake = build_lake_with(
+        &LakeConfig { scale: 0.05, ..Default::default() },
+        &spec.mix.datasets(),
+    );
+    let mut cfg = PlanConfig::aware(NetworkProfile::GAMMA1);
+    cfg.seed = 1;
+    cfg.tracing = true;
+    cfg.recorder = true;
+
+    let a = run(&FederatedEngine::new(lake.clone(), cfg), &spec).unwrap();
+    let b = run(&FederatedEngine::new(lake, cfg), &spec).unwrap();
+    let prom = a.outcome.metrics.prometheus();
+    assert_eq!(prom, b.outcome.metrics.prometheus(), "prometheus bytes diverge");
+    assert_eq!(a.outcome.metrics.render(), b.outcome.metrics.render(), "rollup diverges");
+    assert!(prom.contains("# TYPE fedlake_serve_admitted counter"), "{prom}");
+    assert!(prom.contains("fedlake_serve_latency_ns_count"), "{prom}");
+}
+
+/// Merging every session's registry into one reproduces the fleet view:
+/// the merged per-session counters reconcile with the serve rollup and
+/// with the sessions they came from, and merging in job order twice is
+/// byte-deterministic.
+#[test]
+fn merged_session_registries_reconcile_with_the_serve_rollup() {
+    use fedlake_core::MetricsRegistry;
+    use fedlake_serve::{run, ServeSpec};
+
+    let spec = ServeSpec {
+        clients: 6,
+        queries_per_client: 2,
+        seed: 11,
+        mean_interarrival: Duration::from_micros(500),
+        max_in_flight: 4,
+        ..Default::default()
+    };
+    let lake = build_lake_with(
+        &LakeConfig { scale: 0.05, ..Default::default() },
+        &spec.mix.datasets(),
+    );
+    let mut cfg = PlanConfig::aware(NetworkProfile::GAMMA1);
+    cfg.seed = 1;
+    cfg.tracing = true;
+
+    let r = run(&FederatedEngine::new(lake, cfg), &spec).unwrap();
+    let merge_all = || {
+        let mut fleet = MetricsRegistry::new();
+        for o in &r.outcome.outcomes {
+            fleet.merge(&o.obs.as_ref().expect("tracing on").metrics);
+        }
+        fleet
+    };
+    let fleet = merge_all();
+    let answers: u64 = r.outcome.outcomes.iter().map(|o| o.stats.answers).sum();
+    assert_eq!(fleet.counter("engine.answers"), answers, "merged answers");
+    assert_eq!(
+        fleet.counter("engine.answers"),
+        r.outcome.metrics.counter("serve.answers"),
+        "merged session answers must equal the serve rollup"
+    );
+    let sql: u64 = r.outcome.outcomes.iter().map(|o| o.stats.engine.sql_queries).sum();
+    assert_eq!(fleet.counter("engine.sql_queries"), sql, "merged sql queries");
+    assert_eq!(
+        fleet.counter("planner.queries"),
+        r.outcome.outcomes.len() as u64,
+        "one planner record per session"
+    );
+    assert_eq!(
+        fleet.prometheus(),
+        merge_all().prometheus(),
+        "merge is not byte-deterministic"
+    );
+}
+
+/// Under chaos, the registry's per-link counters agree with the span
+/// tree and the engine stats — faults, retries and messages are counted
+/// once, through every pipe.
+#[test]
+fn chaos_counters_reconcile_with_spans() {
+    let q = &workload::by_id("Q1").unwrap();
+    let mut cfg = PlanConfig::aware(NetworkProfile::GAMMA1);
+    cfg.faults = recoverable_faults();
+    cfg.seed = 7;
+    let r = traced(q, cfg);
+    let obs = r.obs.as_ref().expect("tracing enabled");
+
+    let count = |kind: SpanKind| obs.spans.iter().filter(|s| s.kind == kind).count() as u64;
+    let mut faults = 0;
+    let mut retries = 0;
+    let mut messages = 0;
+    for source in obs.sources.keys() {
+        faults += obs.metrics.counter(&format!("link.{source}.faults"));
+        retries += obs.metrics.counter(&format!("link.{source}.retries"));
+        messages += obs.metrics.counter(&format!("link.{source}.messages"));
+    }
+    assert!(faults > 0, "chaos config injected no faults");
+    assert_eq!(faults, count(SpanKind::Fault), "fault counters vs fault spans");
+    assert_eq!(retries, r.stats.retries, "retry counters vs stats");
+    assert_eq!(messages, count(SpanKind::Transfer), "message counters vs transfer spans");
+    assert_eq!(obs.metrics.counter("engine.retries"), r.stats.retries);
+}
+
 #[test]
 fn explain_analyze_reports_the_stats() {
     let q = &workload::by_id("Q1").unwrap();
