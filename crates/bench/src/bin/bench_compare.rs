@@ -252,6 +252,7 @@ fn main() {
     batch_section();
     obs_section();
     serve_section();
+    plancache_section();
 }
 
 /// Heuristic vs cost-based planning: simulated `execution_time` and
@@ -862,4 +863,95 @@ fn serve_section() {
     json.push_str("\n  ]\n}\n");
     std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
     println!("\nwrote BENCH_serve.json");
+}
+
+/// The normalized plan cache under repeat traffic: the 32-client serve
+/// mix planned cold (cache off), cold-through-the-cache (first pass,
+/// all misses) and warm (second pass, all hits). Correctness first —
+/// every served answer set and the summary report must be byte-equal
+/// with the cache on and off — then the planning wall-clock per job.
+/// Planning here is real time, not simulated: it is engine-side work
+/// the cache exists to elide. Emits `BENCH_plancache.json`.
+fn plancache_section() {
+    use fedlake_serve::{build_jobs, run, sorted_csv, ServeSpec};
+    use std::time::Duration;
+
+    let lake_cfg = LakeConfig { scale: 0.05, ..Default::default() };
+    let config = |plan_cache: bool| {
+        let mut c = PlanConfig::new(PlanMode::AWARE, NetworkProfile::GAMMA1);
+        c.seed = 1;
+        c.plan_cache = plan_cache;
+        c
+    };
+    let spec = ServeSpec {
+        clients: 32,
+        queries_per_client: 2,
+        seed: 7,
+        mean_interarrival: Duration::from_micros(500),
+        max_in_flight: 8,
+        ..Default::default()
+    };
+    let lake = build_lake_with(&lake_cfg, &spec.mix.datasets());
+
+    // Correctness: the cache must be invisible in every answer byte.
+    let off = run(&FederatedEngine::new(lake.clone(), config(false)), &spec)
+        .expect("serve run, cache off");
+    let on_engine = FederatedEngine::new(lake.clone(), config(true));
+    let on = run(&on_engine, &spec).expect("serve run, cache on");
+    assert_eq!(off.report, on.report, "the cache must not change the rollup");
+    for (x, y) in off.outcome.outcomes.iter().zip(&on.outcome.outcomes) {
+        assert_eq!(x.label, y.label);
+        assert_eq!(
+            sorted_csv(&x.vars, &x.rows),
+            sorted_csv(&y.vars, &y.rows),
+            "{}: cached answers must byte-match uncached",
+            x.label
+        );
+    }
+
+    // Planning cost: ns per job, wall clock. The warm pass replans the
+    // exact job list the first pass populated the cache with, so it must
+    // hit on every lookup — that assertion is the deterministic part;
+    // the timings are informative.
+    let time_build = |engine: &FederatedEngine| {
+        let started = std::time::Instant::now();
+        let (jobs, _) = build_jobs(engine, &spec).expect("build jobs");
+        (started.elapsed().as_nanos() as f64 / jobs.len() as f64, jobs)
+    };
+    let (cold_ns, cold_jobs) = time_build(&FederatedEngine::new(lake.clone(), config(false)));
+    let warm_engine = FederatedEngine::new(lake, config(true));
+    let (_, _) = time_build(&warm_engine);
+    let (warm_ns, warm_jobs) = time_build(&warm_engine);
+    assert!(
+        warm_jobs.iter().all(|j| j.cached),
+        "the warm pass must replay every plan"
+    );
+    let stats = warm_engine.plan_cache_stats();
+    assert_eq!(stats.lookups, stats.hits + stats.misses, "{stats:?}");
+    assert!(stats.hits as usize >= warm_jobs.len(), "{stats:?}");
+
+    let jobs = cold_jobs.len();
+    let hit_rate = stats.hits as f64 / stats.lookups as f64;
+    let speedup = cold_ns / warm_ns;
+    println!("\n== normalized plan cache (32-client mix, wall-clock planning) ==");
+    println!(
+        "jobs {jobs}  lookups {}  hits {}  misses {}  hit rate {:.3}",
+        stats.lookups, stats.hits, stats.misses, hit_rate
+    );
+    println!(
+        "planning per job: cold {:>10}  warm {:>10}  speedup {speedup:.2}x",
+        format_ns(cold_ns),
+        format_ns(warm_ns)
+    );
+    let json = format!(
+        "{{\n  \"benchmark\": \"plan_cache\",\n  \"units\": \"wall-clock ns per planned job\",\n  \
+         \"clients\": {},\n  \"jobs\": {jobs},\n  \"lookups\": {},\n  \"hits\": {},\n  \
+         \"misses\": {},\n  \"evictions\": {},\n  \"invalidations\": {},\n  \
+         \"hit_rate\": {hit_rate:.3},\n  \"cold_plan_ns_per_job\": {cold_ns:.1},\n  \
+         \"cached_plan_ns_per_job\": {warm_ns:.1},\n  \"speedup\": {speedup:.3}\n}}\n",
+        spec.clients, stats.lookups, stats.hits, stats.misses, stats.evictions,
+        stats.invalidations,
+    );
+    std::fs::write("BENCH_plancache.json", &json).expect("write BENCH_plancache.json");
+    println!("\nwrote BENCH_plancache.json");
 }

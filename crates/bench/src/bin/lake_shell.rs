@@ -6,9 +6,9 @@
 //!            [--format table|json|csv] [--query SPARQL]
 //!            [--analyze] [--trace-out FILE.json]
 //!            [--replicas N] [--outage ENDPOINT] [--batch-size N]
-//!            [--cost-based] [--recorder] [--slow-log FILE.json]
-//!            [--watchdog] [--prom-out FILE] [--serve-trace FILE.json]
-//!            [--serve-html FILE.html]
+//!            [--cost-based] [--plan-cache] [--recorder]
+//!            [--slow-log FILE.json] [--watchdog] [--prom-out FILE]
+//!            [--serve-trace FILE.json] [--serve-html FILE.html]
 //! ```
 //!
 //! A serve mode (`--serve`, or env `FEDLAKE_SERVE=1`) replaces the REPL
@@ -36,6 +36,14 @@
 //! `--prom-out FILE` writes the serve metrics registry as Prometheus
 //! text, and `--serve-trace` / `--serve-html` export the fleet timeline
 //! (one lane per client and per link) as a Chrome trace / an HTML page.
+//! All five summarize a `--serve` run: passing any of them without
+//! `--serve` is rejected with exit code 2 instead of silently
+//! producing nothing.
+//!
+//! `--plan-cache` (or env `FEDLAKE_PLAN_CACHE=1`) turns on the
+//! normalized logical-plan cache: repeat queries replay byte-identical
+//! plans without re-planning, and a serve run prints the cache's
+//! hit/miss/eviction/invalidation counters.
 //!
 //! `--replicas N` replicates every source N ways (endpoints `id#r0` …),
 //! and `--outage ENDPOINT` (repeatable) puts an endless outage on one
@@ -201,6 +209,44 @@ impl ObsOut {
     }
 }
 
+/// Rejects observability flags that would silently no-op.
+///
+/// `--slow-log`, `--watchdog`, `--prom-out`, `--serve-trace` and
+/// `--serve-html` all summarize a `--serve` run; in REPL / one-shot
+/// mode they produce nothing, which historically degraded to a note on
+/// stderr that was easy to miss. Make the mismatch a hard,
+/// deterministic error instead so scripts fail fast.
+fn validate_obs_flags(serve: bool, obs: &ObsOut) -> Result<(), String> {
+    if serve {
+        return Ok(());
+    }
+    let mut offenders = Vec::new();
+    if obs.slow_log.is_some() {
+        offenders.push("--slow-log");
+    }
+    if obs.watchdog {
+        offenders.push("--watchdog");
+    }
+    if obs.prom_out.is_some() {
+        offenders.push("--prom-out");
+    }
+    if obs.serve_trace.is_some() {
+        offenders.push("--serve-trace");
+    }
+    if obs.serve_html.is_some() {
+        offenders.push("--serve-html");
+    }
+    if offenders.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} only summarize(s) a --serve run and would silently no-op \
+             here; add --serve (or FEDLAKE_SERVE=1)",
+            offenders.join(", ")
+        ))
+    }
+}
+
 fn write_file(what: &str, path: &std::path::Path, bytes: &str) {
     match std::fs::write(path, bytes) {
         Ok(()) => eprintln!("{what} written to {}", path.display()),
@@ -240,6 +286,13 @@ fn run_serve(engine: &FederatedEngine, spec: &ServeSpec, obs: &ObsOut) -> ExitCo
     }
     println!("\n== server rollup ==\n{}", r.outcome.metrics.render());
     println!("== report ==\n{}", r.report.to_json());
+    if engine.config().plan_cache {
+        let s = engine.plan_cache_stats();
+        println!(
+            "== plan cache ==\nlookups {} hits {} misses {} evictions {} invalidations {}",
+            s.lookups, s.hits, s.misses, s.evictions, s.invalidations
+        );
+    }
     if let Some(path) = &obs.prom_out {
         write_file("prometheus exposition", path, &r.outcome.metrics.prometheus());
     }
@@ -280,6 +333,7 @@ fn main() -> ExitCode {
     let mut outages: Vec<String> = Vec::new();
     let mut batch_size: Option<usize> = None;
     let mut cost_based = false;
+    let mut plan_cache = false;
     let mut recorder = std::env::var("FEDLAKE_RECORDER").map(|v| v == "1").unwrap_or(false);
     let mut obs = ObsOut::default();
     let mut serve = std::env::var("FEDLAKE_SERVE").map(|v| v == "1").unwrap_or(false);
@@ -325,6 +379,7 @@ fn main() -> ExitCode {
             }
             "--outage" => outages.push(next("--outage")),
             "--cost-based" => cost_based = true,
+            "--plan-cache" => plan_cache = true,
             "--recorder" => recorder = true,
             "--slow-log" => obs.slow_log = Some(next("--slow-log").into()),
             "--watchdog" => obs.watchdog = true,
@@ -398,6 +453,9 @@ fn main() -> ExitCode {
                      --cost-based         statistics-driven cost-based join ordering\n\
                      \x20                    (also via FEDLAKE_COST=1); EXPLAIN ANALYZE then\n\
                      \x20                    shows estimated vs. actual rows per operator\n\
+                     --plan-cache         normalized logical-plan cache: repeat queries\n\
+                     \x20                    replay byte-identical plans without re-planning\n\
+                     \x20                    (also via FEDLAKE_PLAN_CACHE=1)\n\
                      --serve              serve a seeded concurrent load instead of the REPL\n\
                      \x20                    (also via FEDLAKE_SERVE=1); prints per-job\n\
                      \x20                    outcomes, the server rollup and the report JSON\n\
@@ -428,6 +486,11 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Err(msg) = validate_obs_flags(serve, &obs) {
+        eprintln!("error: {msg}");
+        return ExitCode::from(2);
+    }
+
     eprintln!("building the ten-dataset lake (scale {scale}) …");
     let mut lake = build_lake(&LakeConfig { scale, seed, ..Default::default() });
     if replicas > 1 {
@@ -451,6 +514,12 @@ fn main() -> ExitCode {
     if cost_based {
         cfg.cost_based = true;
         eprintln!("cost-based planning: statistics-driven join ordering");
+    }
+    if plan_cache {
+        cfg.plan_cache = true;
+    }
+    if cfg.plan_cache {
+        eprintln!("plan cache: normalized logical plans replayed on repeat queries");
     }
     if let Some(n) = batch_size {
         cfg.batch = true;
@@ -480,9 +549,6 @@ fn main() -> ExitCode {
             serve_spec.mix.0.iter().map(|(id, w)| format!("{id}={w}")).collect::<Vec<_>>()
         );
         return run_serve(&engine, &serve_spec, &obs);
-    }
-    if obs.wants_recorder() || obs.prom_out.is_some() {
-        eprintln!("note: --slow-log/--watchdog/--prom-out/--serve-trace/--serve-html summarize a --serve run");
     }
 
     let mut shell = Shell { engine, format, explain: false, analyze, trace_out };
@@ -536,4 +602,38 @@ fn main() -> ExitCode {
         buffer.push_str(&line);
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_flags_require_serve() {
+        let mut obs = ObsOut::default();
+        assert!(validate_obs_flags(false, &obs).is_ok());
+        assert!(validate_obs_flags(true, &obs).is_ok());
+
+        obs.watchdog = true;
+        let err = validate_obs_flags(false, &obs).unwrap_err();
+        assert!(err.contains("--watchdog"), "{err}");
+        assert!(validate_obs_flags(true, &obs).is_ok());
+    }
+
+    #[test]
+    fn obs_flag_errors_name_every_offender() {
+        let obs = ObsOut {
+            slow_log: Some("slow.json".into()),
+            watchdog: true,
+            prom_out: Some("metrics.prom".into()),
+            serve_trace: Some("trace.json".into()),
+            serve_html: Some("timeline.html".into()),
+        };
+        let err = validate_obs_flags(false, &obs).unwrap_err();
+        for flag in
+            ["--slow-log", "--watchdog", "--prom-out", "--serve-trace", "--serve-html"]
+        {
+            assert!(err.contains(flag), "missing {flag} in {err}");
+        }
+    }
 }

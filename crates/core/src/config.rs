@@ -235,6 +235,15 @@ pub struct PlanConfig {
     /// RNG streams are byte-identical with it on or off. Defaults to the
     /// `FEDLAKE_RECORDER=1` environment switch.
     pub recorder: bool,
+    /// Normalized plan cache: memoize whole [`crate::planner::PlannedQuery`]s
+    /// behind the query's canonical fingerprint (see [`crate::ir`]), so a
+    /// repeat query skips decomposition, source selection and cost-based
+    /// enumeration entirely and replays a byte-identical plan. Entries
+    /// revalidate against the lake's catalog epoch and the health inputs
+    /// of exactly the sources they touch, so catalog mutations and health
+    /// flips invalidate precisely the affected plans. Defaults to the
+    /// `FEDLAKE_PLAN_CACHE=1` environment switch.
+    pub plan_cache: bool,
 }
 
 /// The process-wide default for [`PlanConfig::batch`]: `FEDLAKE_BATCH=1`.
@@ -252,6 +261,12 @@ fn cost_default() -> bool {
 /// `FEDLAKE_RECORDER=1`.
 fn recorder_default() -> bool {
     std::env::var("FEDLAKE_RECORDER").is_ok_and(|v| v == "1")
+}
+
+/// The process-wide default for [`PlanConfig::plan_cache`]:
+/// `FEDLAKE_PLAN_CACHE=1`.
+fn plan_cache_default() -> bool {
+    std::env::var("FEDLAKE_PLAN_CACHE").is_ok_and(|v| v == "1")
 }
 
 /// The process-wide default for [`PlanConfig::batch_size`]:
@@ -286,6 +301,7 @@ impl Default for PlanConfig {
             batch_size: batch_size_default(),
             cost_based: cost_default(),
             recorder: recorder_default(),
+            plan_cache: plan_cache_default(),
         }
     }
 }
@@ -346,6 +362,9 @@ mod tests {
         }
         if std::env::var_os("FEDLAKE_RECORDER").is_none() {
             assert!(!c.recorder, "the flight recorder is opt-in");
+        }
+        if std::env::var_os("FEDLAKE_PLAN_CACHE").is_none() {
+            assert!(!c.plan_cache, "the plan cache is opt-in");
         }
     }
 

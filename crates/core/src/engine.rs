@@ -161,6 +161,12 @@ pub struct FederatedEngine {
     /// `None` handle, one branch per hook) unless
     /// [`PlanConfig::recorder`] is set.
     recorder: crate::obs::FlightRecorder,
+    /// Normalized plan cache (see [`crate::plancache`]): whole planned
+    /// queries memoized behind the canonical query/config fingerprint,
+    /// revalidated per lookup against the lake epoch and the relevant
+    /// health inputs. Probed only when [`PlanConfig::plan_cache`] is set;
+    /// behind a mutex so `&self` planning paths can populate it.
+    plan_cache: std::sync::Mutex<crate::plancache::PlanCache>,
 }
 
 /// Failures before the planner treats an endpoint as degraded — two full
@@ -184,6 +190,7 @@ impl FederatedEngine {
             } else {
                 crate::obs::FlightRecorder::disabled()
             },
+            plan_cache: std::sync::Mutex::new(crate::plancache::PlanCache::new()),
         }
     }
 
@@ -217,7 +224,11 @@ impl FederatedEngine {
 
     /// The planner's view of session health.
     fn health_view(&self) -> HealthView {
-        HealthView { endpoints: self.health.snapshot(), threshold: self.health_threshold }
+        HealthView {
+            endpoints: self.health.snapshot(),
+            threshold: self.health_threshold,
+            generation: self.health.generation(),
+        }
     }
 
     /// The full fault schedule: the uniform default plus any per-source
@@ -259,6 +270,10 @@ impl FederatedEngine {
                 crate::obs::FlightRecorder::disabled()
             };
         }
+        // The config fingerprint already keys cache entries, so old
+        // entries could never wrongly hit — but they would sit as dead
+        // weight. Drop them; counters survive (engine-lifetime).
+        self.plan_cache.lock().unwrap_or_else(|e| e.into_inner()).clear();
         self.config = config;
     }
 
@@ -275,8 +290,64 @@ impl FederatedEngine {
 
     /// Plans a query without executing it, consulting the session's
     /// health registry for replica routing and degraded-source demotion.
+    /// Probes the normalized plan cache when [`PlanConfig::plan_cache`]
+    /// is set.
     pub fn plan(&self, query: &SelectQuery) -> Result<PlannedQuery, FedError> {
-        plan_query_with_health(query, &self.lake, &self.config, &self.health_view())
+        self.plan_cached(query).map(|(planned, _)| planned)
+    }
+
+    /// Like [`FederatedEngine::plan`], but also reports where the plan
+    /// came from. A cache hit replays a byte-identical [`PlannedQuery`]:
+    /// the origin is deliberately carried *next to* the plan, never
+    /// inside it.
+    pub fn plan_cached(
+        &self,
+        query: &SelectQuery,
+    ) -> Result<(PlannedQuery, crate::plancache::PlanOrigin), FedError> {
+        let view = self.health_view();
+        if !self.config.plan_cache {
+            let planned = plan_query_with_health(query, &self.lake, &self.config, &view)?;
+            let fingerprint = planned.report.fingerprint;
+            return Ok((planned, crate::plancache::PlanOrigin { cached: false, fingerprint }));
+        }
+        let key = (
+            crate::ir::query_fingerprint(query),
+            crate::ir::config_fingerprint(&self.config),
+        );
+        let epoch = self.lake.epoch();
+        {
+            let mut cache = self.plan_cache.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(planned) = cache.lookup(key, epoch, view.generation, |sources| {
+                crate::plancache::health_digest(&self.lake, &view, sources)
+            }) {
+                let fingerprint = planned.report.fingerprint;
+                return Ok((
+                    planned,
+                    crate::plancache::PlanOrigin { cached: true, fingerprint },
+                ));
+            }
+        }
+        // Plan outside the lock: a planning failure must not poison the
+        // cache, and concurrent serve jobs keep planning in parallel.
+        let planned = plan_query_with_health(query, &self.lake, &self.config, &view)?;
+        let sources = crate::plancache::plan_sources(&planned);
+        let digest = crate::plancache::health_digest(&self.lake, &view, &sources);
+        let fingerprint = planned.report.fingerprint;
+        self.plan_cache.lock().unwrap_or_else(|e| e.into_inner()).insert(
+            key,
+            epoch,
+            view.generation,
+            digest,
+            sources,
+            planned.clone(),
+        );
+        Ok((planned, crate::plancache::PlanOrigin { cached: false, fingerprint }))
+    }
+
+    /// Counter snapshot of the normalized plan cache (all zero when
+    /// [`PlanConfig::plan_cache`] is off).
+    pub fn plan_cache_stats(&self) -> crate::plancache::PlanCacheStats {
+        self.plan_cache.lock().unwrap_or_else(|e| e.into_inner()).stats()
     }
 
     /// Parses, plans and executes a SPARQL query.
@@ -287,12 +358,27 @@ impl FederatedEngine {
 
     /// Plans and executes a parsed query.
     pub fn execute(&self, query: &SelectQuery) -> Result<FedResult, FedError> {
-        let planned = self.plan(query)?;
-        self.execute_planned(&planned)
+        let (planned, origin) = self.plan_cached(query)?;
+        self.execute_planned_with_origin(&planned, origin)
     }
 
     /// Executes an already-planned query.
     pub fn execute_planned(&self, planned: &PlannedQuery) -> Result<FedResult, FedError> {
+        let origin = crate::plancache::PlanOrigin {
+            cached: false,
+            fingerprint: planned.report.fingerprint,
+        };
+        self.execute_planned_with_origin(planned, origin)
+    }
+
+    /// Executes an already-planned query, annotating the recorder event
+    /// and EXPLAIN with where the plan came from. The plan's execution is
+    /// byte-identical either way.
+    fn execute_planned_with_origin(
+        &self,
+        planned: &PlannedQuery,
+        origin: crate::plancache::PlanOrigin,
+    ) -> Result<FedResult, FedError> {
         let clock = if self.config.real_time {
             shared_real()
         } else {
@@ -324,7 +410,7 @@ impl FederatedEngine {
         );
         qrec.submit(Duration::ZERO);
         qrec.admit(Duration::ZERO, Duration::ZERO);
-        qrec.plan(Duration::ZERO, &planned.report, planned.report.estimated_rows);
+        qrec.plan(Duration::ZERO, &planned.report, planned.report.estimated_rows, origin.cached);
         let mut ctx = ExecCtx::new(
             Arc::clone(&clock),
             self.config.cost,
@@ -553,12 +639,22 @@ impl FederatedEngine {
             stats.answers,
         );
         let obs = sink.finish(&links, &stats);
+        // EXPLAIN names the plan's origin only when the cache is in play,
+        // so cache-off output stays byte-identical to previous releases.
+        let mut explain = crate::explain::explain_plan(&planned.plan);
+        if self.config.plan_cache {
+            explain.push_str(&format!(
+                "plan: {}[fp={:016x}]\n",
+                if origin.cached { "cached" } else { "cold" },
+                origin.fingerprint
+            ));
+        }
         Ok(FedResult {
             vars: Arc::clone(&planned.projection),
             rows,
             trace,
             stats,
-            explain: crate::explain::explain_plan(&planned.plan),
+            explain,
             obs,
         })
     }

@@ -25,6 +25,15 @@ pub enum FedError {
     },
     /// The per-query deadline elapsed before the query completed.
     Timeout(Duration),
+    /// Cost-based planning refused to price plans against a drifted
+    /// statistics catalog: a source was mutated (`DataLake::source_mut`)
+    /// without a following `DataLake::refresh_templates`.
+    StaleStatistics {
+        /// The lake's current catalog epoch.
+        epoch: u64,
+        /// The epoch the statistics were last collected at.
+        stats_epoch: u64,
+    },
     /// The query uses a feature the federated planner does not support.
     Unsupported(String),
     /// Planner/executor internal error.
@@ -48,6 +57,11 @@ impl fmt::Display for FedError {
             FedError::Timeout(d) => {
                 write!(f, "query deadline of {:?} exceeded", d)
             }
+            FedError::StaleStatistics { epoch, stats_epoch } => write!(
+                f,
+                "statistics catalog is stale (lake epoch {epoch}, statistics from epoch \
+                 {stats_epoch}): run DataLake::refresh_templates before cost-based planning"
+            ),
             FedError::Unsupported(m) => write!(f, "unsupported in federation: {m}"),
             FedError::Internal(m) => write!(f, "internal error: {m}"),
         }
@@ -90,5 +104,8 @@ mod tests {
         assert!(e.to_string().contains('4'));
         let e = FedError::Timeout(Duration::from_secs(30));
         assert!(e.to_string().contains("deadline"));
+        let e = FedError::StaleStatistics { epoch: 5, stats_epoch: 3 };
+        assert!(e.to_string().contains("stale"));
+        assert!(e.to_string().contains("refresh_templates"));
     }
 }

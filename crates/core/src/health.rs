@@ -24,6 +24,16 @@ pub struct EndpointHealth {
     pub failures: u64,
 }
 
+/// The registry's guarded state: the counters plus their generation.
+#[derive(Debug, Default)]
+struct HealthState {
+    endpoints: BTreeMap<String, EndpointHealth>,
+    /// Bumped whenever a *planning-relevant* observation lands (failures
+    /// change routing; successes never do) and on reset. The plan cache
+    /// uses it as a cheap "health unchanged" fast path.
+    generation: u64,
+}
+
 /// Session-scoped health registry: endpoint id → observed counters.
 ///
 /// Lives on the engine behind a mutex so the `&self` executors can feed
@@ -31,7 +41,7 @@ pub struct EndpointHealth {
 /// routing decision derived from one) is deterministic.
 #[derive(Debug, Default)]
 pub struct SourceHealth {
-    inner: Mutex<BTreeMap<String, EndpointHealth>>,
+    inner: Mutex<HealthState>,
 }
 
 impl SourceHealth {
@@ -47,7 +57,10 @@ impl SourceHealth {
             return;
         }
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        let h = inner.entry(endpoint.to_string()).or_default();
+        if failures > 0 {
+            inner.generation += 1;
+        }
+        let h = inner.endpoints.entry(endpoint.to_string()).or_default();
         h.successes += successes;
         h.failures += failures;
     }
@@ -66,18 +79,30 @@ impl SourceHealth {
         self.inner
             .lock()
             .unwrap_or_else(|e| e.into_inner())
+            .endpoints
             .get(endpoint)
             .map_or(0, |h| h.failures)
     }
 
     /// A deterministic snapshot of all endpoint counters.
     pub fn snapshot(&self) -> BTreeMap<String, EndpointHealth> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).clone()
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).endpoints.clone()
+    }
+
+    /// Monotone generation of planning-relevant health state: moves when
+    /// failures are recorded or the registry is reset, never on
+    /// success-only traffic (successes cannot change a routing decision).
+    pub fn generation(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).generation
     }
 
     /// Forgets everything (every endpoint presumed healthy again).
     pub fn reset(&self) {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if !inner.endpoints.is_empty() {
+            inner.generation += 1;
+        }
+        inner.endpoints.clear();
     }
 
     /// Exports the registry into `metrics` as
@@ -102,13 +127,16 @@ pub struct HealthView {
     pub endpoints: BTreeMap<String, EndpointHealth>,
     /// Failure count at which an endpoint is considered degraded.
     pub threshold: u64,
+    /// The registry generation the snapshot was taken at (see
+    /// [`SourceHealth::generation`]); the plan cache's fast-path guard.
+    pub generation: u64,
 }
 
 impl HealthView {
     /// An empty view: nothing observed, nothing degraded (the behaviour
     /// of a fresh session, and of every pre-health code path).
     pub fn empty() -> Self {
-        HealthView { endpoints: BTreeMap::new(), threshold: u64::MAX }
+        HealthView { endpoints: BTreeMap::new(), threshold: u64::MAX, generation: 0 }
     }
 
     /// Recorded failures for `endpoint`.
@@ -150,11 +178,27 @@ mod tests {
     }
 
     #[test]
+    fn generation_moves_only_on_planning_relevant_changes() {
+        let h = SourceHealth::new();
+        assert_eq!(h.generation(), 0);
+        h.observe("a", 10, 0); // success-only traffic: no routing impact
+        assert_eq!(h.generation(), 0);
+        h.observe("a", 0, 1);
+        assert_eq!(h.generation(), 1);
+        h.observe("b", 3, 2);
+        assert_eq!(h.generation(), 2);
+        h.reset();
+        assert_eq!(h.generation(), 3);
+        h.reset(); // already empty: nothing forgotten, nothing bumped
+        assert_eq!(h.generation(), 3);
+    }
+
+    #[test]
     fn view_thresholds() {
         let h = SourceHealth::new();
         h.observe("a#r0", 0, 8);
         h.observe("a#r1", 20, 1);
-        let view = HealthView { endpoints: h.snapshot(), threshold: 8 };
+        let view = HealthView { endpoints: h.snapshot(), threshold: 8, generation: h.generation() };
         assert!(view.is_degraded("a#r0"));
         assert!(!view.is_degraded("a#r1"));
         assert!(!view.is_degraded("never-seen"));

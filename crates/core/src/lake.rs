@@ -44,6 +44,14 @@ pub struct DataLake {
     /// recomputed by [`DataLake::refresh_templates`] (the invalidation
     /// point after source mutation).
     stats: LakeStatistics,
+    /// Catalog epoch: bumped by every catalog-affecting mutation
+    /// (`add_source`, `source_mut`, `refresh_templates`, `set_replicas`,
+    /// `statistics_mut`). The plan cache's invalidation key.
+    epoch: u64,
+    /// The epoch the statistics catalog was last brought in line with at
+    /// (`== epoch` unless a bare [`DataLake::source_mut`] left the
+    /// catalog stale).
+    stats_epoch: u64,
 }
 
 impl DataLake {
@@ -60,6 +68,8 @@ impl DataLake {
             .sources
             .insert(source.id().to_string(), SourceStatistics::collect(&source));
         self.sources.push(source);
+        self.epoch += 1;
+        self.stats_epoch = self.epoch;
     }
 
     /// All sources.
@@ -92,6 +102,8 @@ impl DataLake {
             .flat_map(DataSource::molecule_templates)
             .collect();
         self.stats = LakeStatistics::collect(&self.sources);
+        self.epoch += 1;
+        self.stats_epoch = self.epoch;
     }
 
     /// The lake-wide statistics catalog.
@@ -106,6 +118,12 @@ impl DataLake {
     /// must then catch. Production refreshes go through
     /// [`DataLake::refresh_templates`], which overwrites any drift.
     pub fn statistics_mut(&mut self) -> &mut LakeStatistics {
+        // Planted drift *is* the catalog from here on: bump the epoch (so
+        // cached plans priced on the old numbers are invalidated) and
+        // mark the catalog current (cost-based planning prices the
+        // drifted numbers, which is the point of the drift helpers).
+        self.epoch += 1;
+        self.stats_epoch = self.epoch;
         &mut self.stats
     }
 
@@ -116,9 +134,31 @@ impl DataLake {
 
     /// Mutable access to a source, for tests and administrative data
     /// loads. Call [`DataLake::refresh_templates`] afterwards — templates
-    /// and statistics are only recomputed there.
+    /// and statistics are only recomputed there. Until that happens the
+    /// lake reports [`DataLake::statistics_fresh`]` == false` and
+    /// cost-based planning refuses to price plans against the drifted
+    /// catalog.
     pub fn source_mut(&mut self, id: &str) -> Option<&mut DataSource> {
+        self.epoch += 1;
         self.sources.iter_mut().find(|s| s.id() == id)
+    }
+
+    /// The catalog epoch: moves on every catalog-affecting mutation, so
+    /// equal epochs imply an identical planning catalog.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The epoch the statistics catalog was collected at.
+    pub fn statistics_epoch(&self) -> u64 {
+        self.stats_epoch
+    }
+
+    /// False after a bare [`DataLake::source_mut`]: the statistics
+    /// catalog may describe data that no longer exists. Restored by
+    /// [`DataLake::refresh_templates`].
+    pub fn statistics_fresh(&self) -> bool {
+        self.stats_epoch == self.epoch
     }
 
     /// Materializes the whole lake as one RDF graph: relational sources
@@ -156,6 +196,9 @@ impl DataLake {
         } else {
             self.replicas.insert(id, n);
         }
+        // Replica topology steers routing: a new epoch for the cache.
+        self.epoch += 1;
+        self.stats_epoch = self.epoch;
     }
 
     /// Number of replica endpoints serving the logical source `id`.
@@ -242,6 +285,32 @@ mod tests {
         assert_eq!(lake.replica_endpoints("a"), ["a"]);
         lake.set_replicas("a", 0);
         assert_eq!(lake.replica_count("a"), 1);
+    }
+
+    #[test]
+    fn epochs_track_catalog_mutations() {
+        let mut lake = DataLake::new();
+        assert_eq!(lake.epoch(), 0);
+        assert!(lake.statistics_fresh());
+        lake.add_source(DataSource::sparql("a", typed_graph("http://v/A")));
+        assert_eq!(lake.epoch(), 1);
+        assert!(lake.statistics_fresh());
+        // A bare source_mut leaves the catalog stale…
+        lake.source_mut("a");
+        assert_eq!(lake.epoch(), 2);
+        assert!(!lake.statistics_fresh());
+        // …until refresh_templates recollects it.
+        lake.refresh_templates();
+        assert_eq!(lake.epoch(), 3);
+        assert!(lake.statistics_fresh());
+        // Planted drift becomes the current catalog.
+        lake.statistics_mut();
+        assert!(lake.statistics_fresh());
+        // Replica topology changes are catalog changes.
+        let before = lake.epoch();
+        lake.set_replicas("a", 2);
+        assert!(lake.epoch() > before);
+        assert!(lake.statistics_fresh());
     }
 
     #[test]

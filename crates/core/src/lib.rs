@@ -60,9 +60,11 @@ pub mod error;
 pub mod explain;
 pub mod fedplan;
 pub mod health;
+pub mod ir;
 pub mod lake;
 pub mod obs;
 pub mod operators;
+pub mod plancache;
 pub mod planner;
 pub mod reference;
 pub mod results;
@@ -89,6 +91,8 @@ pub use obs::{
     slow_queries, watch, FlightRecorder, FlightRecording, MetricsRegistry, SlowLogConfig,
     SlowQueryRecord, TraceReport, TraceSink, WatchdogConfig, WatchdogReport,
 };
+pub use ir::LogicalPlan;
+pub use plancache::{PlanCacheStats, PlanOrigin};
 pub use serve::{QueryOutcome, ServeConfig, ServeJob, ServeOutcome, ServeQueryStats};
 pub use source::DataSource;
 pub use stats::{FederationCost, LakeStatistics, SourceStatistics};

@@ -81,6 +81,10 @@ pub enum FleetEventKind {
         bind_joins: u64,
         /// The planner's estimated answer cardinality (plan root).
         estimated_rows: f64,
+        /// The plan was replayed from the normalized plan cache.
+        cached: bool,
+        /// Stable logical-plan fingerprint (see [`crate::ir`]).
+        fingerprint: u64,
     },
     /// The first answer row left the engine.
     FirstRow,
@@ -422,8 +426,9 @@ impl QueryRecorder {
         q.push(now, FleetEventKind::Admit { queued });
     }
 
-    /// Records the planner's report and root cardinality estimate.
-    pub fn plan(&self, now: Duration, report: &PlanReport, estimated_rows: f64) {
+    /// Records the planner's report and root cardinality estimate, plus
+    /// whether the plan was a cache replay.
+    pub fn plan(&self, now: Duration, report: &PlanReport, estimated_rows: f64, cached: bool) {
         let Some(q) = &self.0 else { return };
         q.push(
             now,
@@ -431,6 +436,8 @@ impl QueryRecorder {
                 plans_costed: report.plans_costed,
                 bind_joins: report.bind_joins,
                 estimated_rows,
+                cached,
+                fingerprint: report.fingerprint,
             },
         );
     }

@@ -1,0 +1,299 @@
+//! The normalized plan cache.
+//!
+//! Repeat traffic from the serving layer is dominated by a handful of
+//! templated query shapes, yet every job used to pay full decomposition +
+//! source selection + (cost-based) DP enumeration. [`PlanCache`] memoizes
+//! whole [`PlannedQuery`]s behind a conservative key so a hit replays the
+//! *byte-identical* plan a cold run would have built:
+//!
+//! * **Key** — `(query fingerprint, config fingerprint)` from
+//!   [`crate::ir`]: the canonical AST text and the full planner
+//!   configuration. Conservative by construction: different text ⇒
+//!   different key, so a hit can never cross queries or configs.
+//! * **Validation** — each entry remembers the lake epoch it was planned
+//!   under and an FNV digest of the health inputs (failure counts +
+//!   threshold) over exactly the replica endpoints its plan touches. A
+//!   lookup revalidates both, so `source_mut` / `refresh_templates` /
+//!   `set_replicas` (epoch bump) or a health flip on a *relevant*
+//!   endpoint invalidates exactly the affected entries, while unrelated
+//!   churn leaves them live. The health-view generation is a fast path:
+//!   if it has not moved since the entry was validated, the digest is
+//!   known unchanged and is not recomputed.
+//! * **Bounds** — at most [`PLAN_CACHE_CAPACITY`] entries; eviction is
+//!   least-recently-used by a monotone lookup tick, which is unique per
+//!   entry, so eviction order is deterministic even over an unordered
+//!   map.
+//!
+//! The cache is engine-internal: [`crate::FederatedEngine::plan`] probes
+//! it when [`crate::PlanConfig::plan_cache`] is set and
+//! [`PlanCacheStats`] reconciles every probe (`lookups = hits + misses`,
+//! invalidations ≤ misses).
+
+use crate::fedplan::FedPlan;
+use crate::health::HealthView;
+use crate::lake::DataLake;
+use crate::planner::PlannedQuery;
+
+/// Maximum resident entries; far above any workload mix in the repo, so
+/// evictions only occur under adversarial key churn.
+pub const PLAN_CACHE_CAPACITY: usize = 256;
+
+/// Monotone counters for every cache outcome. `lookups == hits + misses`
+/// always holds; `invalidations` counts misses caused by epoch/health
+/// revalidation failure; `evictions` counts capacity removals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Probes against the cache.
+    pub lookups: u64,
+    /// Probes that replayed a cached plan.
+    pub hits: u64,
+    /// Probes that fell through to cold planning.
+    pub misses: u64,
+    /// Entries dropped to stay within capacity.
+    pub evictions: u64,
+    /// Entries dropped because the lake epoch or the relevant health
+    /// digest moved (a subset of `misses`).
+    pub invalidations: u64,
+}
+
+/// Where a plan came from: the cache, or cold planning. Carried alongside
+/// the plan (never inside it) so cached and cold [`PlannedQuery`]s stay
+/// byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanOrigin {
+    /// True when the plan was replayed from the cache.
+    pub cached: bool,
+    /// The plan's stable logical fingerprint (equals
+    /// `report.fingerprint`).
+    pub fingerprint: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    lake_epoch: u64,
+    health_generation: u64,
+    health_digest: u64,
+    sources: Vec<String>,
+    planned: PlannedQuery,
+    tick: u64,
+}
+
+/// The bounded, deterministic normalized-plan cache.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    entries: fedlake_rdf::FastMap<(u64, u64), Entry>,
+    tick: u64,
+    stats: PlanCacheStats,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+
+    /// Drops every entry (configuration change); counters are
+    /// engine-lifetime and survive.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Probes for `key`, revalidating against the current lake epoch and
+    /// health inputs. `digest` recomputes the health digest over the
+    /// entry's relevant sources; it is skipped when `health_generation`
+    /// has not moved since the entry was last validated.
+    pub fn lookup(
+        &mut self,
+        key: (u64, u64),
+        lake_epoch: u64,
+        health_generation: u64,
+        digest: impl FnOnce(&[String]) -> u64,
+    ) -> Option<PlannedQuery> {
+        self.stats.lookups += 1;
+        let Some(entry) = self.entries.get_mut(&key) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        let mut valid = entry.lake_epoch == lake_epoch;
+        if valid && entry.health_generation != health_generation {
+            valid = digest(&entry.sources) == entry.health_digest;
+            if valid {
+                entry.health_generation = health_generation;
+            }
+        }
+        if !valid {
+            self.entries.remove(&key);
+            self.stats.invalidations += 1;
+            self.stats.misses += 1;
+            return None;
+        }
+        self.tick += 1;
+        entry.tick = self.tick;
+        self.stats.hits += 1;
+        Some(entry.planned.clone())
+    }
+
+    /// Inserts a cold-planned query, evicting the least-recently-used
+    /// entry when full. Ticks are unique, so the victim is deterministic.
+    pub fn insert(
+        &mut self,
+        key: (u64, u64),
+        lake_epoch: u64,
+        health_generation: u64,
+        health_digest: u64,
+        sources: Vec<String>,
+        planned: PlannedQuery,
+    ) {
+        if self.entries.len() >= PLAN_CACHE_CAPACITY && !self.entries.contains_key(&key) {
+            if let Some(victim) =
+                self.entries.iter().min_by_key(|(_, e)| e.tick).map(|(k, _)| *k)
+            {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.tick += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                lake_epoch,
+                health_generation,
+                health_digest,
+                sources,
+                planned,
+                tick: self.tick,
+            },
+        );
+    }
+}
+
+/// The logical sources a plan contacts (service leaves + bind-join
+/// targets) plus the sources it skipped as degraded — everything whose
+/// health can change what planning would produce. Sorted and deduped so
+/// digests are order-independent.
+pub fn plan_sources(planned: &PlannedQuery) -> Vec<String> {
+    fn walk(plan: &FedPlan, out: &mut Vec<String>) {
+        match plan {
+            FedPlan::Service(s) => out.push(s.source_id.clone()),
+            FedPlan::Join { left, right, .. } | FedPlan::LeftJoin { left, right, .. } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            FedPlan::BindJoin { left, right, .. } => {
+                walk(left, out);
+                out.push(right.source_id.clone());
+            }
+            FedPlan::Filter { input, .. } => walk(input, out),
+            FedPlan::Union(branches) => branches.iter().for_each(|b| walk(b, out)),
+        }
+    }
+    let mut sources = Vec::new();
+    walk(&planned.plan, &mut sources);
+    sources.extend(planned.skipped_sources.iter().cloned());
+    sources.sort_unstable();
+    sources.dedup();
+    sources
+}
+
+/// FNV digest of every health input that can steer planning for the given
+/// logical sources: the view threshold plus, per replica endpoint in the
+/// lake's deterministic order, its recorded failure count.
+pub fn health_digest(lake: &DataLake, view: &HealthView, sources: &[String]) -> u64 {
+    let mut h = crate::ir::Fnv64::new();
+    h.push_u64(view.threshold);
+    for source in sources {
+        h.push_str(source);
+        for endpoint in lake.replica_endpoints(source) {
+            h.push_str(&endpoint);
+            h.push_u64(view.failures_of(&endpoint));
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{PlanReport, PlannedQuery};
+    use fedlake_sparql::binding::{RowSchema, Var};
+    use std::sync::Arc;
+
+    fn planned(tag: &str) -> PlannedQuery {
+        PlannedQuery {
+            plan: FedPlan::Union(Vec::new()),
+            schema: Arc::new(RowSchema::new(Vec::<Var>::new())),
+            projection: Arc::from(Vec::<Var>::new().into_boxed_slice()),
+            distinct: false,
+            order_by: Vec::new(),
+            limit: None,
+            offset: 0,
+            skipped_sources: vec![tag.to_string()],
+            report: PlanReport::default(),
+        }
+    }
+
+    #[test]
+    fn lookup_insert_and_counters_reconcile() {
+        let mut cache = PlanCache::new();
+        let key = (1, 2);
+        assert!(cache.lookup(key, 0, 0, |_| 0).is_none());
+        cache.insert(key, 0, 0, 7, vec!["a".into()], planned("a"));
+        let hit = cache.lookup(key, 0, 0, |_| unreachable!("generation unchanged"));
+        assert_eq!(hit.unwrap().skipped_sources, vec!["a".to_string()]);
+        let s = cache.stats();
+        assert_eq!((s.lookups, s.hits, s.misses), (2, 1, 1));
+        assert_eq!(s.lookups, s.hits + s.misses);
+    }
+
+    #[test]
+    fn epoch_mismatch_invalidates() {
+        let mut cache = PlanCache::new();
+        cache.insert((1, 1), 3, 0, 7, Vec::new(), planned("x"));
+        assert!(cache.lookup((1, 1), 4, 0, |_| 7).is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+        assert!(cache.is_empty(), "stale entry must be dropped");
+    }
+
+    #[test]
+    fn health_digest_change_invalidates_and_match_revalidates() {
+        let mut cache = PlanCache::new();
+        cache.insert((1, 1), 0, 0, 7, vec!["a".into()], planned("x"));
+        // Generation moved but the digest still matches: hit, entry kept.
+        assert!(cache.lookup((1, 1), 0, 5, |_| 7).is_some());
+        // Generation unchanged from the revalidation: digest not recomputed.
+        assert!(cache.lookup((1, 1), 0, 5, |_| unreachable!()).is_some());
+        // Digest moved: exact invalidation.
+        assert!(cache.lookup((1, 1), 0, 9, |_| 8).is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_bounded() {
+        let mut cache = PlanCache::new();
+        for i in 0..PLAN_CACHE_CAPACITY as u64 {
+            cache.insert((i, 0), 0, 0, 0, Vec::new(), planned("x"));
+        }
+        // Touch entry 0 so entry 1 becomes the LRU victim.
+        assert!(cache.lookup((0, 0), 0, 0, |_| 0).is_some());
+        cache.insert((u64::MAX, 0), 0, 0, 0, Vec::new(), planned("y"));
+        assert_eq!(cache.len(), PLAN_CACHE_CAPACITY);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.lookup((0, 0), 0, 0, |_| 0).is_some(), "touched entry survives");
+        assert!(cache.lookup((1, 0), 0, 0, |_| 0).is_none(), "LRU entry evicted");
+    }
+}

@@ -90,6 +90,10 @@ pub struct PlanReport {
     pub estimated_cost: Option<FederationCost>,
     /// Estimated output rows of the final plan.
     pub estimated_rows: f64,
+    /// Stable 64-bit fingerprint of the plan's normalized logical IR
+    /// (see [`crate::ir`]): identical for a cached replay and its cold
+    /// original, interner-independent.
+    pub fingerprint: u64,
 }
 
 /// A fully planned query: the federated plan plus the solution modifiers
@@ -151,11 +155,24 @@ pub fn plan_query_with_health(
     config: &PlanConfig,
     health: &HealthView,
 ) -> Result<PlannedQuery, FedError> {
+    if config.cost_based && !lake.statistics_fresh() {
+        // A bare `source_mut` left the statistics catalog describing data
+        // that may no longer exist; pricing plans against it would be
+        // silent garbage-in. Heuristic planning never reads the catalog
+        // and proceeds.
+        return Err(FedError::StaleStatistics {
+            epoch: lake.epoch(),
+            stats_epoch: lake.statistics_epoch(),
+        });
+    }
     let dec = decompose_as(query, config.decomposition)?;
     let mut skipped = Vec::new();
     let mut report = PlanReport { cost_based: config.cost_based, ..PlanReport::default() };
     let mut plan = plan_tree(&dec, lake, config, health, &mut skipped, &mut report)?;
     report.estimated_rows = plan.estimated_rows();
+    // The logical identity is fixed before physical lowering: replica
+    // routes are assigned below and deliberately do not shift it.
+    report.fingerprint = crate::ir::LogicalPlan::of(&plan).normalized().fingerprint();
     assign_routes(&mut plan, lake, health);
     let projection = query.effective_projection();
     // The schema covers every variable an operator may bind or project.
@@ -1055,8 +1072,10 @@ fn unit_var_distincts(
     out
 }
 
-/// How one unit joins onto the left-deep prefix.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// How one unit joins onto the left-deep prefix. The derived order
+/// (`Hash < Bind`) is part of the deterministic tie-break key for
+/// equal-cost plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum StepKind {
     /// Fetch in full and hash-join at the engine.
     Hash,
@@ -1108,6 +1127,20 @@ impl DpState {
             io_us: self.io_us,
             network_us: self.net_sum_us + self.net_seq_us,
             parallelism_us: if overlap { self.net_sum_us - self.net_max_us } else { 0.0 },
+        }
+    }
+
+    /// True when `self` replaces `incumbent` in the enumeration: strictly
+    /// cheaper, or — at exactly equal cost — smaller on the deterministic
+    /// tie-break key, the lexicographic `(unit index, step kind)` step
+    /// sequence. Ties must never fall back to arrival order: it depends
+    /// on the enumeration's iteration pattern, which is exactly the kind
+    /// of incidental ordering a refactor silently changes.
+    fn beats(&self, incumbent: &DpState, overlap: bool) -> bool {
+        match self.total_us(overlap).total_cmp(&incumbent.total_us(overlap)) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Equal => self.steps < incumbent.steps,
+            std::cmp::Ordering::Greater => false,
         }
     }
 
@@ -1319,9 +1352,7 @@ fn order_units_by_cost(
                         bind_batch,
                     );
                     let slot = &mut dp[mask | (1 << j)];
-                    let better = slot
-                        .as_ref()
-                        .is_none_or(|s| next.total_us(env.overlap) < s.total_us(env.overlap));
+                    let better = slot.as_ref().is_none_or(|s| next.beats(s, env.overlap));
                     if better {
                         *slot = Some(next);
                     }
@@ -1334,14 +1365,18 @@ fn order_units_by_cost(
     } else {
         report.strategy = PlanStrategy::GreedyCost;
         // Start from the cheapest single fetch, then repeatedly take the
-        // cheapest extension.
-        let first = (0..n)
-            .min_by(|&a, &b| {
-                let fa = DpState::of_unit(a, &cost_units[a]).total_us(env.overlap);
-                let fb = DpState::of_unit(b, &cost_units[b]).total_us(env.overlap);
-                fa.total_cmp(&fb)
-            })
-            .expect("at least two units");
+        // cheapest extension. Equal-cost fetches resolve to the lowest
+        // unit index (`min_by` keeps the *last* minimum, which would tie-
+        // break on position — backwards and easy to destabilize).
+        let first = (1..n).fold(0, |best, i| {
+            let fi = DpState::of_unit(i, &cost_units[i]).total_us(env.overlap);
+            let fb = DpState::of_unit(best, &cost_units[best]).total_us(env.overlap);
+            if fi.total_cmp(&fb) == std::cmp::Ordering::Less {
+                i
+            } else {
+                best
+            }
+        });
         let mut state = DpState::of_unit(first, &cost_units[first]);
         let mut used = vec![false; n];
         used[first] = true;
@@ -1366,9 +1401,7 @@ fn order_units_by_cost(
                         lake,
                         bind_batch,
                     );
-                    let better = pick
-                        .as_ref()
-                        .is_none_or(|p| next.total_us(env.overlap) < p.total_us(env.overlap));
+                    let better = pick.as_ref().is_none_or(|p| next.beats(p, env.overlap));
                     if better {
                         pick = Some(next);
                     }

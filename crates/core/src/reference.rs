@@ -841,7 +841,7 @@ impl FederatedEngine {
         );
         qrec.submit(std::time::Duration::ZERO);
         qrec.admit(std::time::Duration::ZERO, std::time::Duration::ZERO);
-        qrec.plan(std::time::Duration::ZERO, &planned.report, planned.report.estimated_rows);
+        qrec.plan(std::time::Duration::ZERO, &planned.report, planned.report.estimated_rows, false);
         let mut ctx = ExecCtx::new(
             Arc::clone(&clock),
             config.cost,

@@ -230,7 +230,8 @@ mod tests {
 
         let health = SourceHealth::new();
         health.observe("drugbank", 0, 9);
-        let view = HealthView { endpoints: health.snapshot(), threshold: 8 };
+        let view =
+            HealthView { endpoints: health.snapshot(), threshold: 8, generation: health.generation() };
 
         // degraded_ok: the unhealthy candidate is demoted and reported.
         let (cands, skipped) = select_sources_with_health(&s, &lake, &view, true).unwrap();
@@ -245,7 +246,8 @@ mod tests {
 
         // When every candidate is degraded, none are dropped.
         health.observe("drugbank2", 0, 9);
-        let view = HealthView { endpoints: health.snapshot(), threshold: 8 };
+        let view =
+            HealthView { endpoints: health.snapshot(), threshold: 8, generation: health.generation() };
         let (cands, skipped) = select_sources_with_health(&s, &lake, &view, true).unwrap();
         assert_eq!(cands[0].len(), 2);
         assert!(skipped.is_empty());

@@ -84,6 +84,10 @@ pub struct ServeJob {
     /// Per-job deadline override (relative to arrival); `None` falls back
     /// to [`ServeConfig::deadline`].
     pub deadline: Option<Duration>,
+    /// The planned query was replayed from the normalized plan cache
+    /// (`false` for cold plans and whenever the cache is off). Annotation
+    /// only: execution is byte-identical either way.
+    pub cached: bool,
 }
 
 /// Deterministic per-session measurements (all timing-independent
@@ -273,7 +277,12 @@ impl FederatedEngine {
                 );
                 qrec.submit(arrivals[next_job]);
                 qrec.admit(clock.now(), clock.now().saturating_sub(arrivals[next_job]));
-                qrec.plan(clock.now(), &job.planned.report, job.planned.report.estimated_rows);
+                qrec.plan(
+                    clock.now(),
+                    &job.planned.report,
+                    job.planned.report.estimated_rows,
+                    job.cached,
+                );
                 let ctx = ExecCtx::new(
                     Arc::clone(&clock),
                     config.cost,
@@ -332,6 +341,16 @@ impl FederatedEngine {
                 metrics.counter_add("serve.planner.bind_joins", report.bind_joins);
                 if report.cost_based {
                     metrics.counter_add("serve.planner.cost_based", 1);
+                }
+                if self.config().plan_cache {
+                    metrics.counter_add(
+                        if job.cached {
+                            "serve.plancache.job_hits"
+                        } else {
+                            "serve.plancache.job_misses"
+                        },
+                        1,
+                    );
                 }
                 metrics.gauge_set("serve.in_flight", active.len() as u64);
                 next_job += 1;
@@ -417,6 +436,18 @@ impl FederatedEngine {
         // exposition snapshot carries endpoint health next to the serve
         // counters. Recorder-independent and read-only — passivity holds.
         self.health().fold_into(&mut metrics);
+        // Plan-cache rollup: the engine-lifetime counters at the end of
+        // this run (gauges — a counter would double-add across runs on
+        // the same engine). Exported only when the cache is in play so
+        // cache-off metric renders stay byte-identical to prior releases.
+        if self.config().plan_cache {
+            let pc = self.plan_cache_stats();
+            metrics.gauge_set("serve.plancache.lookups", pc.lookups);
+            metrics.gauge_set("serve.plancache.hits", pc.hits);
+            metrics.gauge_set("serve.plancache.misses", pc.misses);
+            metrics.gauge_set("serve.plancache.evictions", pc.evictions);
+            metrics.gauge_set("serve.plancache.invalidations", pc.invalidations);
+        }
 
         Ok(ServeOutcome {
             outcomes: outcomes.into_iter().map(|o| o.expect("every job finalized")).collect(),

@@ -159,12 +159,13 @@ pub fn build_jobs(
             let inst = workload::instantiate(&id, &mut rng)
                 .ok_or_else(|| FedError::Internal(format!("no template for {id}")))?;
             let ast = parse_query(&inst.sparql)?;
-            let planned = engine.plan(&ast)?;
+            let (planned, origin) = engine.plan_cached(&ast)?;
             jobs.push(ServeJob {
                 client,
                 label: inst.label.clone(),
                 planned,
                 deadline: None,
+                cached: origin.cached,
             });
             instances.push(inst);
         }

@@ -118,6 +118,27 @@ FEDLAKE_RECORDER=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --te
 echo "== chaos suite, recorded + traced (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
 FEDLAKE_RECORDER=1 FEDLAKE_TRACE=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
 
+# Normalized plan cache: the dedicated equivalence suite (cache hits must
+# replay byte-identical plans; mutations, drift and health flips must
+# invalidate exactly the affected entries), then FEDLAKE_PLAN_CACHE=1
+# flips PlanConfig::default() so the workspace, serve and chaos gates
+# re-run with every repeat query served from the cache — the cache is
+# contractually invisible, so every property must hold unchanged.
+echo "== plan cache equivalence =="
+cargo test -q --offline --test plan_cache
+
+echo "== full suite, plan-cached =="
+FEDLAKE_PLAN_CACHE=1 cargo test -q --offline --workspace
+
+echo "== serve determinism, plan-cached =="
+FEDLAKE_PLAN_CACHE=1 FEDLAKE_SERVE=1 cargo test -q --offline --test serve_determinism
+
+echo "== chaos suite, plan-cached (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
+FEDLAKE_PLAN_CACHE=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
+
+echo "== chaos suite, plan-cached + cost-based (CHAOS_ITERS=${CHAOS_ITERS:-32}) =="
+FEDLAKE_PLAN_CACHE=1 FEDLAKE_COST=1 CHAOS_ITERS="${CHAOS_ITERS:-32}" cargo test -q --offline --test chaos_federation
+
 echo "== serve smoke (lake_shell --serve, fixed seed) =="
 cargo run -q --offline --release -p fedlake-bench --bin lake_shell -- \
     --serve --scale 0.02 --seed 7 --clients 4 --queries-per-client 1 \
@@ -134,6 +155,20 @@ for f in slow.json metrics.prom serve.trace.json serve.html; do
     [ -s "$obs_tmp/$f" ] || { echo "missing serve export $f"; exit 1; }
 done
 rm -rf "$obs_tmp"
+
+echo "== serve smoke, plan-cached (lake_shell --serve --plan-cache) =="
+cargo run -q --offline --release -p fedlake-bench --bin lake_shell -- \
+    --serve --scale 0.02 --seed 7 --clients 4 --queries-per-client 2 \
+    --arrival 0.5 --in-flight 2 --plan-cache > /dev/null
+
+# Serve-only observability flags without --serve are a hard error (exit
+# code 2), never a silent no-op.
+echo "== lake_shell flag validation (obs flags require --serve) =="
+if cargo run -q --offline --release -p fedlake-bench --bin lake_shell -- \
+    --watchdog --query 'SELECT ?s WHERE { ?s ?p ?o }' > /dev/null 2>&1; then
+    echo "lake_shell accepted --watchdog without --serve"
+    exit 1
+fi
 
 echo "== cargo clippy -D warnings (offline) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings

@@ -309,3 +309,111 @@ fn explain_analyze_reports_estimates_for_every_operator() {
     assert_eq!(report.metrics.counter("planner.strategy.dp"), 1, "{rendered}");
     assert!(report.metrics.counter("planner.plans_costed") > 0);
 }
+
+// --- determinism regressions -----------------------------------------------
+
+/// Two perfectly symmetric stars on two sources cost exactly the same,
+/// so the DP's choice between the `alpha`-first and `beta`-first orders
+/// is a pure tie. The tie must break on the deterministic step key
+/// (lowest unit index first), never on map-iteration or fold-accumulator
+/// order — the historical bug kept whichever equal-cost state happened
+/// to be visited last.
+#[test]
+fn equal_cost_stars_order_deterministically() {
+    fn star_graph(class: &str, pred: &str) -> Graph {
+        let mut g = Graph::new();
+        for i in 0..10u32 {
+            let subject = format!("http://d/{class}{i}");
+            g.insert_terms(
+                Term::iri(&subject),
+                Term::iri(fedlake::rdf::vocab::rdf::TYPE),
+                Term::iri(format!("http://v/{class}")),
+            );
+            g.insert_terms(
+                Term::iri(&subject),
+                Term::iri(format!("http://v/{pred}")),
+                Term::iri(format!("http://o/k{}", i % 5)),
+            );
+        }
+        g
+    }
+    let mut lake = DataLake::new();
+    lake.add_source(DataSource::sparql("alpha", star_graph("C1", "p1")));
+    lake.add_source(DataSource::sparql("beta", star_graph("C2", "p2")));
+    let sparql = "SELECT ?x WHERE { \
+                  ?a a <http://v/C1> . ?a <http://v/p1> ?x . \
+                  ?b a <http://v/C2> . ?b <http://v/p2> ?x . }";
+    let ast = parse_query(sparql).unwrap();
+
+    let golden = FederatedEngine::new(lake.clone(), cost_config(NetworkProfile::GAMMA1))
+        .plan(&ast)
+        .unwrap();
+    assert_eq!(golden.report.strategy, PlanStrategy::Dp);
+    let rendered = format!("{:?}", golden.plan);
+    let alpha = rendered.find("alpha").expect("alpha star planned");
+    let beta = rendered.find("beta").expect("beta star planned");
+    assert!(
+        alpha < beta,
+        "on an exact cost tie the lower unit index must lead:\n{rendered}"
+    );
+    for _ in 0..5 {
+        let again = FederatedEngine::new(lake.clone(), cost_config(NetworkProfile::GAMMA1))
+            .plan(&ast)
+            .unwrap();
+        assert_eq!(format!("{:?}", again.plan), rendered, "plan must be stable");
+    }
+}
+
+/// Cost-based planning against a statistics catalog that predates the
+/// latest catalog mutation is a refusal, not a silent misestimate:
+/// `source_mut` bumps the lake epoch without recollecting, and the
+/// planner demands `refresh_templates` before pricing another plan.
+/// Heuristic planning never consults the catalog and is unaffected.
+#[test]
+fn cost_based_planning_refuses_stale_statistics() {
+    let mut g = Graph::new();
+    g.insert_terms(
+        Term::iri("http://d/x1"),
+        Term::iri(fedlake::rdf::vocab::rdf::TYPE),
+        Term::iri("http://v/Thing"),
+    );
+    let mut lake = DataLake::new();
+    lake.add_source(DataSource::sparql("things", g));
+    let sparql = "SELECT ?t WHERE { ?t a <http://v/Thing> . }";
+    let ast = parse_query(sparql).unwrap();
+
+    let mut engine = FederatedEngine::new(lake, cost_config(NetworkProfile::NO_DELAY));
+    assert!(engine.lake().statistics_fresh());
+    engine.plan(&ast).expect("fresh statistics plan fine");
+
+    if let Some(DataSource::Sparql { graph, .. }) = engine.lake_mut().source_mut("things") {
+        graph.insert_terms(
+            Term::iri("http://d/x2"),
+            Term::iri(fedlake::rdf::vocab::rdf::TYPE),
+            Term::iri("http://v/Thing"),
+        );
+    } else {
+        panic!("source vanished");
+    }
+    assert!(!engine.lake().statistics_fresh());
+    match engine.plan(&ast) {
+        Err(fedlake::core::FedError::StaleStatistics { epoch, stats_epoch }) => {
+            assert!(stats_epoch < epoch, "{stats_epoch} vs {epoch}");
+        }
+        other => panic!("expected StaleStatistics, got {other:?}"),
+    }
+
+    engine.lake_mut().refresh_templates();
+    let planned = engine.plan(&ast).expect("refresh restores cost-based planning");
+    assert!(planned.report.cost_based);
+
+    // The heuristic path plans straight through the same staleness.
+    let mut heur = FederatedEngine::new(engine.lake().clone(), {
+        let mut cfg = PlanConfig::new(PlanMode::AWARE, NetworkProfile::NO_DELAY);
+        cfg.cost_based = false;
+        cfg
+    });
+    heur.lake_mut().source_mut("things");
+    assert!(!heur.lake().statistics_fresh());
+    heur.plan(&ast).expect("heuristic planning ignores the statistics catalog");
+}

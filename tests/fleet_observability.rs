@@ -276,6 +276,9 @@ fn slow_query_log_matches_golden_snapshot() {
     let lake = serve_lake(&spec);
     let mut cfg = config(true);
     cfg.tracing = true; // per-operator / per-link enrichment
+    // The snapshot pins the *heuristic* plan shape; FEDLAKE_COST=1 must
+    // not silently swap in cost-ordered plans with different operators.
+    cfg.cost_based = false;
     let r = run(&FederatedEngine::new(lake, cfg), &spec).unwrap();
 
     let slow = SlowLogConfig { latency: Some(Duration::ZERO), ..Default::default() };

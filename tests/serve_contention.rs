@@ -50,6 +50,7 @@ fn q1_jobs(engine: &FederatedEngine, k: usize) -> Vec<ServeJob> {
             label: format!("{}#{client}", q.id),
             planned: planned.clone(),
             deadline: None,
+            cached: false,
         })
         .collect()
 }
